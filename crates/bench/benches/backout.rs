@@ -1,0 +1,49 @@
+//! Criterion bench: back-out strategy cost on conflicting graphs (E7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use histmerge_history::backout::affected_weight;
+use histmerge_history::{
+    BackoutStrategy, ExactMinimum, GreedyScc, PrecedenceGraph, TwoCycleOptimal,
+};
+use histmerge_workload::generator::{generate, ScenarioParams};
+
+fn bench_backout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backout");
+    group.sample_size(20);
+    for hot_prob in [0.4f64, 0.8] {
+        let params = ScenarioParams {
+            n_vars: 40,
+            n_tentative: 18,
+            n_base: 12,
+            commutative_fraction: 0.3,
+            guarded_fraction: 0.2,
+            read_only_fraction: 0.05,
+            hot_fraction: 0.1,
+            hot_prob,
+            seed: 3,
+            ..ScenarioParams::default()
+        };
+        let sc = generate(&params);
+        let graph = PrecedenceGraph::build(&sc.arena, &sc.hm, &sc.hb);
+        let weight = affected_weight(&sc.arena, &sc.hm);
+        let strategies: Vec<(&str, Box<dyn BackoutStrategy>)> = vec![
+            ("exact", Box::new(ExactMinimum::new())),
+            ("two-cycle", Box::new(TwoCycleOptimal::new())),
+            ("greedy", Box::new(GreedyScc::new())),
+        ];
+        for (label, strategy) in &strategies {
+            group.bench_with_input(
+                BenchmarkId::new(*label, format!("hot{hot_prob}")),
+                &hot_prob,
+                |b, _| {
+                    b.iter(|| strategy.compute(&graph, &weight).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backout);
+criterion_main!(benches);

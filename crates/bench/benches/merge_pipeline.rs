@@ -1,0 +1,49 @@
+//! Criterion bench: the end-to-end merging protocol (steps 1–6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use histmerge_core::merge::{MergeConfig, Merger};
+use histmerge_history::fixtures::example1;
+use histmerge_workload::generator::{generate, ScenarioParams};
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_pipeline");
+    group.sample_size(20);
+
+    // The paper's Example 1 (6 transactions).
+    let ex = example1();
+    group.bench_function("example1", |b| {
+        b.iter(|| {
+            Merger::new(MergeConfig::default())
+                .merge(&ex.arena, &ex.hm, &ex.hb, &ex.s0)
+                .unwrap()
+        });
+    });
+
+    // Generated merges of increasing size.
+    for n in [20usize, 60, 120] {
+        let sc = generate(&ScenarioParams {
+            n_vars: 96,
+            n_tentative: n,
+            n_base: n / 2,
+            commutative_fraction: 0.5,
+            guarded_fraction: 0.15,
+            read_only_fraction: 0.05,
+            hot_fraction: 0.08,
+            hot_prob: 0.4,
+            seed: 23,
+            ..ScenarioParams::default()
+        });
+        group.bench_with_input(BenchmarkId::new("generated", n), &n, |b, _| {
+            b.iter(|| {
+                Merger::new(MergeConfig::default())
+                    .merge(&sc.arena, &sc.hm, &sc.hb, &sc.s0)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench: semantic-relation detection cost per back-end
+//! (Section 5.1's detection discussion — canned table vs static analysis
+//! vs repair-time differential testing).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use histmerge_semantics::{RandomizedTester, SemanticOracle, StaticAnalyzer};
+use histmerge_txn::{TxnId, VarId, VarSet};
+use histmerge_workload::canned::Bank;
+
+fn bench_oracles(c: &mut Criterion) {
+    let bank = Bank::new();
+    let acct = VarId::new(0);
+    let d1 = bank.deposit(TxnId::new(0), "d1", acct, 10);
+    let d2 = bank.deposit(TxnId::new(1), "d2", acct, 25);
+    let w = bank.withdraw(TxnId::new(2), "w", acct, 40);
+    let table = bank.declared_relations();
+    let analyzer = StaticAnalyzer::new();
+    let tester = RandomizedTester::new();
+    let fix = VarSet::new();
+
+    let mut group = c.benchmark_group("oracles");
+    group.bench_function("declared-table", |b| {
+        b.iter(|| {
+            (table.commutes_backward_through(&d1, &d2), table.can_precede(&d1, &w, &fix))
+        });
+    });
+    group.bench_function("static-analyzer", |b| {
+        b.iter(|| {
+            (
+                analyzer.commutes_backward_through(&d1, &d2),
+                analyzer.can_precede(&d1, &w, &fix),
+            )
+        });
+    });
+    group.bench_function("randomized-tester-64", |b| {
+        b.iter(|| {
+            (tester.commutes_backward_through(&d1, &d2), tester.can_precede(&d1, &w, &fix))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracles);
+criterion_main!(benches);

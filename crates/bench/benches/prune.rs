@@ -1,0 +1,65 @@
+//! Criterion bench: pruning approaches vs repaired-history re-execution
+//! (E8).
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use histmerge_core::prune::{compensate, undo};
+use histmerge_core::rewrite::{rewrite, FixMode, RewriteAlgorithm};
+use histmerge_history::readsfrom::affected_set;
+use histmerge_history::{AugmentedHistory, SerialHistory, TxnArena};
+use histmerge_semantics::StaticAnalyzer;
+use histmerge_txn::{DbState, VarId};
+use histmerge_workload::canned::Bank;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_prune(c: &mut Criterion) {
+    let oracle = StaticAnalyzer::new();
+    let bank = Bank::new();
+    let mut group = c.benchmark_group("prune");
+    group.sample_size(20);
+    for n in [50usize, 200] {
+        let mut arena = TxnArena::new();
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut bad = BTreeSet::new();
+        let hm: SerialHistory = (0..n)
+            .map(|i| {
+                let acct = VarId::new(rng.gen_range(0..8));
+                let amt = rng.gen_range(1..100);
+                let id = arena.alloc(|id| bank.deposit(id, &format!("d{i}"), acct, amt));
+                if rng.gen_bool(0.1) {
+                    bad.insert(id);
+                }
+                id
+            })
+            .collect();
+        let s0 = DbState::uniform(8, 1_000);
+        let aug = AugmentedHistory::execute(&arena, &hm, &s0).unwrap();
+        let ag = affected_set(&arena, &hm, &bad);
+        let rw = rewrite(
+            &arena,
+            &aug,
+            &bad,
+            RewriteAlgorithm::CanFollowCanPrecede,
+            FixMode::Lemma1,
+            &oracle,
+        );
+        group.bench_with_input(BenchmarkId::new("undo", n), &n, |b, _| {
+            b.iter(|| undo(&arena, &aug, &rw, &ag).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("compensate", n), &n, |b, _| {
+            b.iter(|| compensate(&arena, &aug, &rw).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("reexecute", n), &n, |b, _| {
+            b.iter(|| {
+                AugmentedHistory::execute(&arena, &rw.repaired_history(), &s0).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prune);
+criterion_main!(benches);

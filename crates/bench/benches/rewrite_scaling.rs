@@ -1,0 +1,48 @@
+//! Criterion bench: rewriting cost vs tentative-history length (E9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use histmerge_core::rewrite::{rewrite, FixMode, RewriteAlgorithm};
+use histmerge_history::backout::affected_weight;
+use histmerge_history::{AugmentedHistory, BackoutStrategy, PrecedenceGraph, TwoCycleOptimal};
+use histmerge_semantics::StaticAnalyzer;
+use histmerge_workload::generator::{generate, ScenarioParams};
+
+fn bench_rewrite(c: &mut Criterion) {
+    let oracle = StaticAnalyzer::new();
+    let mut group = c.benchmark_group("rewrite");
+    group.sample_size(20);
+    for n in [25usize, 50, 100, 200] {
+        let params = ScenarioParams {
+            n_vars: 128,
+            n_tentative: n,
+            n_base: n / 2,
+            commutative_fraction: 0.4,
+            guarded_fraction: 0.2,
+            read_only_fraction: 0.05,
+            hot_fraction: 0.05,
+            hot_prob: 0.3,
+            seed: 11,
+            ..ScenarioParams::default()
+        };
+        let sc = generate(&params);
+        let graph = PrecedenceGraph::build(&sc.arena, &sc.hm, &sc.hb);
+        let weight = affected_weight(&sc.arena, &sc.hm);
+        let bad = TwoCycleOptimal::new().compute(&graph, &weight).unwrap();
+        let aug = AugmentedHistory::execute(&sc.arena, &sc.hm, &sc.s0).unwrap();
+        for (label, alg) in [
+            ("alg1", RewriteAlgorithm::CanFollow),
+            ("alg2", RewriteAlgorithm::CanFollowCanPrecede),
+            ("cbtr", RewriteAlgorithm::CommutesBackward),
+            ("rftc", RewriteAlgorithm::ReadsFromClosure),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| rewrite(&sc.arena, &aug, &bad, alg, FixMode::Lemma1, &oracle));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rewrite);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! E7 — back-out strategy quality and cost (\[Dav84\] step 2).
+//!
+//! Compares the exact minimum, Davidson's two-cycle-optimal heuristic, and
+//! the plain greedy strategy across conflict densities: mean |B|, mean
+//! back-out *weight* (1 + affected-closure size per backed-out
+//! transaction), and wall time.
+//!
+//! Run: `cargo run --release -p histmerge-bench --bin exp_backout`
+
+use histmerge_bench::{fmt, timed, Table};
+use histmerge_history::backout::affected_weight;
+use histmerge_history::{
+    BackoutStrategy, ExactMinimum, GreedyScc, PrecedenceGraph, TwoCycleOptimal,
+};
+use histmerge_workload::generator::{generate, ScenarioParams};
+
+fn main() {
+    let strategies: Vec<Box<dyn BackoutStrategy>> = vec![
+        Box::new(ExactMinimum::new()),
+        Box::new(TwoCycleOptimal::new()),
+        Box::new(GreedyScc::new()),
+    ];
+    let mut table = Table::new(&[
+        "hot_prob", "strategy", "mean |B|", "mean weight", "ms/graph", "cyclic scen.",
+    ]);
+
+    println!("E7: back-out strategies across conflict densities (40 seeds each)\n");
+    for hot_prob in [0.3, 0.5, 0.7, 0.9] {
+        for s in &strategies {
+            let mut total_b = 0usize;
+            let mut total_w = 0u64;
+            let mut total_ms = 0.0;
+            let mut cyclic = 0usize;
+            for seed in 0..40u64 {
+                let params = ScenarioParams {
+                    n_vars: 40,
+                    n_tentative: 18,
+                    n_base: 12,
+                    commutative_fraction: 0.3,
+                    guarded_fraction: 0.2,
+                    read_only_fraction: 0.05,
+                    hot_fraction: 0.1,
+                    hot_prob,
+                    seed,
+                    ..ScenarioParams::default()
+                };
+                let sc = generate(&params);
+                let graph = PrecedenceGraph::build(&sc.arena, &sc.hm, &sc.hb);
+                if graph.is_acyclic() {
+                    continue;
+                }
+                cyclic += 1;
+                let weight = affected_weight(&sc.arena, &sc.hm);
+                let (b, ms) = timed(|| s.compute(&graph, &weight).unwrap());
+                assert!(graph.is_acyclic_without(&b));
+                total_b += b.len();
+                total_w += b.iter().map(|id| weight(*id)).sum::<u64>();
+                total_ms += ms;
+            }
+            table.row_owned(vec![
+                fmt(hot_prob, 1),
+                s.name().to_string(),
+                fmt(total_b as f64 / cyclic.max(1) as f64, 2),
+                fmt(total_w as f64 / cyclic.max(1) as f64, 2),
+                fmt(total_ms / cyclic.max(1) as f64, 3),
+                cyclic.to_string(),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "\nThe exact strategy sets the quality bar; two-cycle-optimal tracks it closely\n\
+         (most conflicts are 2-cycles, as Davidson's simulations observed) at a\n\
+         fraction of the cost; greedy is cheapest and loosest."
+    );
+}

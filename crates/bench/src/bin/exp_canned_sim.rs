@@ -1,0 +1,84 @@
+//! E13 (extension) — canned systems end to end: the typed bank+promotions
+//! workload through the full replication loop.
+//!
+//! Section 5.1 positions canned systems as the sweet spot for the merging
+//! protocol: relations between transaction *types* are verified offline
+//! and consulted in O(1) at merge time. This experiment runs the same
+//! fleet under (a) the untyped random workload (static analysis only) and
+//! (b) the typed canned mix (static + declared tables), and reports how
+//! much more work the canned configuration saves.
+//!
+//! Run: `cargo run --release -p histmerge-bench --bin exp_canned_sim`
+
+use histmerge_bench::{fmt, Table};
+use histmerge_replication::{Protocol, SimConfig, Simulation, SyncStrategy};
+use histmerge_workload::canned_mix::CannedMixParams;
+use histmerge_workload::generator::ScenarioParams;
+
+fn main() {
+    let base = |seed: u64| SimConfig {
+        n_mobiles: 6,
+        duration: 600,
+        base_rate: 0.1,
+        mobile_rate: 0.1,
+        connect_every: 100,
+        protocol: Protocol::merging_default(),
+        strategy: SyncStrategy::WindowStart { window: 200 },
+        workload: ScenarioParams {
+            n_vars: 81, // match the canned item space (1 + 16 + 64)
+            commutative_fraction: 0.5,
+            guarded_fraction: 0.35,
+            read_only_fraction: 0.0,
+            hot_fraction: 0.2,
+            hot_prob: 0.3,
+            seed,
+            ..ScenarioParams::default()
+        },
+        ..SimConfig::default()
+    };
+
+    let mut table = Table::new(&["workload", "tentative", "saved", "backout", "saveRatio"]);
+    println!(
+        "E13 (extension): typed canned system vs untyped random workload,\n\
+         6 mobiles, 600 ticks, merging protocol, mean of 5 seeds\n"
+    );
+    for canned in [false, true] {
+        let mut saved = 0usize;
+        let mut backout = 0usize;
+        let mut tentative = 0usize;
+        let mut ratio = 0.0;
+        const SEEDS: u64 = 5;
+        for seed in 0..SEEDS {
+            let mut cfg = base(200 + seed);
+            if canned {
+                cfg.canned = Some(CannedMixParams {
+                    n_accounts: 64,
+                    n_prices: 16,
+                    deposit_frac: 0.4,
+                    withdraw_frac: 0.1,
+                    bonus_frac: 0.3,
+                    seed: 200 + seed,
+                });
+            }
+            let m = Simulation::new(cfg).run().metrics;
+            saved += m.saved;
+            backout += m.backed_out;
+            tentative += m.tentative_generated;
+            ratio += m.save_ratio();
+        }
+        table.row_owned(vec![
+            (if canned { "canned (typed + declared tables)" } else { "random (static analysis only)" })
+                .to_string(),
+            (tentative / SEEDS as usize).to_string(),
+            (saved / SEEDS as usize).to_string(),
+            (backout / SEEDS as usize).to_string(),
+            fmt(ratio / SEEDS as f64, 2),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nThe canned system's declared tables certify correlated-guard promotions and\n\
+         same-account deposits that no repair-time analysis could, lifting the save\n\
+         ratio of the very same protocol — the paper's argument for canned systems."
+    );
+}

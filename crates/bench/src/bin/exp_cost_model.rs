@@ -1,0 +1,124 @@
+//! E5 — Section 7.1: merging vs reprocessing cost as |SAV| varies.
+//!
+//! "When the size of SAV is big enough ... the merging protocol can win.
+//! On the contrary, when the size of SAV is very small the merging
+//! protocol will probably lose."
+//!
+//! The experiment sweeps contention (hotspot skew) to move |SAV| from
+//! nearly the whole history down to nearly nothing, computing both
+//! protocols' Section 7.1 costs for the SAME merges, and reports the
+//! crossover.
+//!
+//! Run: `cargo run --release -p histmerge-bench --bin exp_cost_model`
+
+use histmerge_bench::{fmt, Table};
+use histmerge_core::merge::{MergeConfig, Merger};
+use histmerge_history::{PrecedenceGraph, SerialHistory};
+use histmerge_workload::cost::{
+    merging_cost, reprocessing_cost, CostParams, MergeStats, ReprocessStats,
+};
+use histmerge_workload::generator::{generate, ScenarioParams};
+
+fn main() {
+    let cost = CostParams::default();
+    let mut table = Table::new(&[
+        "hot_prob",
+        "|SAV|/|Hm|",
+        "merge total",
+        "reproc total",
+        "merge/reproc",
+        "merge baseIO",
+        "reproc baseIO",
+        "winner",
+    ]);
+
+    println!("E5: Section 7.1 cost comparison, 30 tentative txns per merge, mean of 30 seeds\n");
+    for hot_prob in [0.05, 0.2, 0.4, 0.6, 0.8, 0.95] {
+        let mut merge_total = 0.0;
+        let mut reproc_total = 0.0;
+        let mut merge_io = 0.0;
+        let mut reproc_io = 0.0;
+        let mut sav = 0usize;
+        let mut total = 0usize;
+        for seed in 0..30u64 {
+            let params = ScenarioParams {
+                n_vars: 64,
+                n_tentative: 30,
+                n_base: 15,
+                commutative_fraction: 0.5,
+                guarded_fraction: 0.1,
+                read_only_fraction: 0.05,
+                hot_fraction: 0.08,
+                hot_prob,
+                seed,
+                ..ScenarioParams::default()
+            };
+            let sc = generate(&params);
+            let merger = Merger::new(MergeConfig::default());
+            let outcome = merger.merge(&sc.arena, &sc.hm, &sc.hb, &sc.s0).unwrap();
+
+            sav += outcome.saved.len();
+            total += sc.hm.len();
+
+            let rw_entries: usize = sc
+                .hm
+                .iter()
+                .map(|id| {
+                    let t = sc.arena.get(id);
+                    t.readset().len() + t.writeset().len()
+                })
+                .sum();
+            let graph_edges =
+                PrecedenceGraph::build(&sc.arena, &sc.hm, &SerialHistory::new()).edges().len();
+            let backed_out_stmts: usize = outcome
+                .backed_out
+                .iter()
+                .map(|id| sc.arena.get(*id).program().statement_count())
+                .sum();
+            let all_stmts: usize = sc
+                .hm
+                .iter()
+                .map(|id| sc.arena.get(id).program().statement_count())
+                .sum();
+
+            let m = merging_cost(
+                &cost,
+                &MergeStats {
+                    hm_len: sc.hm.len(),
+                    hb_len: sc.hb.len(),
+                    rw_entries,
+                    graph_edges,
+                    full_graph_edges: outcome.graph_edges,
+                    n_saved: outcome.saved.len(),
+                    n_backed_out: outcome.backed_out.len(),
+                    backed_out_stmts,
+                    forwarded_items: outcome.forwarded.len(),
+                },
+            );
+            let r = reprocessing_cost(
+                &cost,
+                &ReprocessStats { n_txns: sc.hm.len(), total_stmts: all_stmts },
+            );
+            merge_total += m.total();
+            reproc_total += r.total();
+            merge_io += m.base_io;
+            reproc_io += r.base_io;
+        }
+        let ratio = merge_total / reproc_total;
+        table.row_owned(vec![
+            fmt(hot_prob, 2),
+            fmt(sav as f64 / total as f64, 2),
+            fmt(merge_total / 30.0, 0),
+            fmt(reproc_total / 30.0, 0),
+            fmt(ratio, 2),
+            fmt(merge_io / 30.0, 0),
+            fmt(reproc_io / 30.0, 0),
+            (if ratio < 1.0 { "merging" } else { "reprocessing" }).to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nThe crossover: merging wins while enough of the history survives (large |SAV|),\n\
+         and loses once conflicts force most transactions to be reprocessed anyway."
+    );
+}

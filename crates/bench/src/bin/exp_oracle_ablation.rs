@@ -1,0 +1,129 @@
+//! E11 (ablation) — how the semantic-oracle back-end determines what
+//! Algorithm 2 can save.
+//!
+//! Section 5.1 enumerates three detection regimes; this ablation measures
+//! them on a mixed canned workload (bank deposits/withdraws + seasonal
+//! promotions whose commutativity hinges on correlated guards):
+//!
+//! * **none** — no oracle: Algorithm 2 degrades to Algorithm 1;
+//! * **static** — conservative code analysis: catches class-level
+//!   commutativity (deposit/deposit), misses guard correlation;
+//! * **static+declared** — the canned-system setup: adds the offline
+//!   tables, catching the promotions too.
+//!
+//! Run: `cargo run --release -p histmerge-bench --bin exp_oracle_ablation`
+
+use std::collections::BTreeSet;
+
+use histmerge_bench::{fmt, Table};
+use histmerge_core::rewrite::{rewrite, FixMode, RewriteAlgorithm};
+use histmerge_history::{AugmentedHistory, SerialHistory, TxnArena};
+use histmerge_semantics::{OracleStack, SemanticOracle, StaticAnalyzer};
+use histmerge_txn::registry::TypeRegistry;
+use histmerge_txn::{DbState, TxnId, VarId};
+use histmerge_workload::canned::{Bank, Promotions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A mixed tentative history: deposits, withdraws, and promotions over a
+/// handful of accounts/prices; the first transaction is the back-out
+/// target.
+fn scenario(seed: u64, n: usize) -> (TxnArena, SerialHistory, BTreeSet<TxnId>, DbState) {
+    let mut registry = TypeRegistry::new();
+    let bank = Bank::register_in(&mut registry);
+    let promo = Promotions::register_in(&mut registry);
+    let mut arena = TxnArena::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let season = VarId::new(0);
+    let price = |i: u32| VarId::new(1 + i % 3);
+    let acct = |i: u32| VarId::new(4 + i % 3);
+
+    // Two bad transactions: a deposit (static analysis can move same-account
+    // deposits past it) and a promotion (only the declared table can move
+    // other promotions past it).
+    let bad_dep = arena.alloc(|id| bank.deposit(id, "bad-dep", acct(0), 999));
+    let bad_promo = arena.alloc(|id| promo.bonus(id, "bad-promo", season, price(0)));
+    let mut order = vec![bad_dep, bad_promo];
+    for i in 0..n {
+        let roll: f64 = rng.gen();
+        let k = rng.gen_range(1..100);
+        let id = if roll < 0.4 {
+            // Half the deposits hit the bad deposit's account.
+            let v = acct(rng.gen_range(0..2));
+            arena.alloc(|id| bank.deposit(id, &format!("dep{i}"), v, k))
+        } else if roll < 0.5 {
+            let v = acct(rng.gen_range(0..3));
+            arena.alloc(|id| bank.withdraw(id, &format!("wd{i}"), v, k))
+        } else if roll < 0.8 {
+            // Half the promotions hit the bad promotion's price item.
+            let p = price(rng.gen_range(0..2));
+            arena.alloc(|id| promo.bonus(id, &format!("bonus{i}"), season, p))
+        } else {
+            let p = price(rng.gen_range(0..2));
+            arena.alloc(|id| promo.rebate(id, &format!("rebate{i}"), season, p))
+        };
+        order.push(id);
+    }
+    let mut s0 = DbState::uniform(7, 500);
+    s0.set(season, 250); // in season
+    (arena, SerialHistory::from_order(order), [bad_dep, bad_promo].into_iter().collect(), s0)
+}
+
+fn main() {
+    let mut registry = TypeRegistry::new();
+    let bank = Bank::register_in(&mut registry);
+    let promo = Promotions::register_in(&mut registry);
+
+    let oracles: Vec<(&str, Box<dyn SemanticOracle>)> = vec![
+        ("none", Box::new(OracleStack::new())),
+        ("static", Box::new(StaticAnalyzer::new())),
+        (
+            "static+declared",
+            Box::new(
+                OracleStack::new()
+                    .with(Box::new(StaticAnalyzer::new()))
+                    .with(Box::new(bank.declared_relations()))
+                    .with(Box::new(promo.declared_relations())),
+            ),
+        ),
+    ];
+
+    let mut table = Table::new(&["oracle", "mean saved", "of", "verified"]);
+    println!("E11 (ablation): Algorithm 2 saves vs oracle back-end (30 seeds, |Hm| = 22)\n");
+    for (label, oracle) in &oracles {
+        let mut saved = 0usize;
+        let mut total = 0usize;
+        let mut equivalent = true;
+        for seed in 0..30u64 {
+            let (arena, hm, bad, s0) = scenario(seed, 20);
+            let aug = AugmentedHistory::execute(&arena, &hm, &s0).unwrap();
+            let rw = rewrite(
+                &arena,
+                &aug,
+                &bad,
+                RewriteAlgorithm::CanFollowCanPrecede,
+                FixMode::Lemma1,
+                oracle.as_ref(),
+            );
+            saved += rw.saved().len();
+            total += hm.len() - 2;
+            let replay =
+                AugmentedHistory::execute_with_fixes(&arena, rw.entries(), &s0).unwrap();
+            equivalent &= replay.final_state_equivalent(&aug);
+        }
+        table.row_owned(vec![
+            label.to_string(),
+            fmt(saved as f64 / 30.0, 2),
+            fmt(total as f64 / 30.0, 0),
+            equivalent.to_string(),
+        ]);
+        assert!(equivalent, "oracle `{label}` broke final-state equivalence");
+    }
+    table.print();
+    println!(
+        "\nEach richer back-end saves strictly more: the static analyzer adds\n\
+         class-level commutativity, the declared tables add the correlated-guard\n\
+         promotions only offline (canned) knowledge can certify — all while keeping\n\
+         every rewritten history final-state equivalent."
+    );
+}

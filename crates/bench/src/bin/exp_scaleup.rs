@@ -1,0 +1,74 @@
+//! E6 — the Section 1 motivation (after Gray et al. 1996): base-node load
+//! as the mobile fleet scales up.
+//!
+//! "when the number of mobile nodes are much larger than that of base
+//! nodes ... the reprocessing on the base nodes can be very busy since the
+//! number of the accumulated tentative transactions ... can be huge."
+//!
+//! Sweeps the fleet size under both protocols with a FIXED base capacity,
+//! reporting base CPU + I/O cost and the peak work backlog.
+//!
+//! Run: `cargo run --release -p histmerge-bench --bin exp_scaleup`
+
+use histmerge_bench::{fmt, Table};
+use histmerge_replication::{Protocol, SimConfig, Simulation, SyncStrategy};
+use histmerge_workload::generator::ScenarioParams;
+
+fn main() {
+    let workload = ScenarioParams {
+        n_vars: 1024,
+        commutative_fraction: 0.7,
+        guarded_fraction: 0.1,
+        read_only_fraction: 0.1,
+        hot_fraction: 0.05,
+        hot_prob: 0.05,
+        seed: 99,
+        ..ScenarioParams::default()
+    };
+    let config = |protocol: Protocol, n_mobiles: usize| SimConfig {
+        n_mobiles,
+        duration: 500,
+        base_rate: 0.1,
+        mobile_rate: 0.1,
+        connect_every: 100,
+        protocol,
+        strategy: SyncStrategy::WindowStart { window: 400 },
+        workload: workload.clone(),
+        base_capacity: 120.0,
+        ..SimConfig::default()
+    };
+
+    let mut table = Table::new(&[
+        "mobiles",
+        "proto",
+        "tentative",
+        "saved",
+        "base work (cpu+io)",
+        "peak backlog",
+        "saveRatio",
+    ]);
+    println!("E6: base-node load vs fleet size (fixed base capacity 120/tick)\n");
+    for n in [2usize, 4, 8, 16, 32] {
+        for protocol in [Protocol::Reprocessing, Protocol::merging_default()] {
+            let m = Simulation::new(config(protocol, n)).run().metrics;
+            table.row_owned(vec![
+                n.to_string(),
+                protocol.name().to_string(),
+                m.tentative_generated.to_string(),
+                m.saved.to_string(),
+                fmt(m.cost.base_cpu + m.cost.base_io, 0),
+                fmt(m.peak_backlog, 0),
+                fmt(m.save_ratio(), 2),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "\nReprocessing base work grows linearly with the fleet. Merging stays well\n\
+         below it while the save ratio holds up — saved transactions consume no base\n\
+         query processing and no forced log write — but a bigger fleet also means\n\
+         more conflicting installs per window, so the save ratio erodes and merging's\n\
+         advantage narrows (and eventually inverts), exactly the |SAV| dependence\n\
+         Section 7.1 predicts."
+    );
+}

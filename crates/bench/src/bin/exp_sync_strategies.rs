@@ -1,0 +1,86 @@
+//! E2 — Figure 2 / Section 2.2: Strategy 1 vs Strategy 2.
+//!
+//! Simulates a fleet of mobile nodes under both synchronization strategies
+//! and a sweep of Strategy-2 window lengths, reporting merge failures
+//! (Strategy 1's snapshot invalidation), window misses, and back-out
+//! volume (the Strategy-2 trade-off the paper's resynchronization rule
+//! manages).
+//!
+//! Run: `cargo run --release -p histmerge-bench --bin exp_sync_strategies`
+
+use histmerge_bench::{fmt, Table};
+use histmerge_replication::{Protocol, SimConfig, Simulation, SyncStrategy};
+use histmerge_workload::generator::ScenarioParams;
+
+fn main() {
+    let workload = ScenarioParams {
+        n_vars: 48,
+        commutative_fraction: 0.4,
+        guarded_fraction: 0.2,
+        read_only_fraction: 0.1,
+        hot_fraction: 0.08,
+        hot_prob: 0.6,
+        seed: 7,
+        ..ScenarioParams::default()
+    };
+    let config = |strategy: SyncStrategy, seed: u64| SimConfig {
+        n_mobiles: 6,
+        duration: 600,
+        base_rate: 0.3,
+        mobile_rate: 0.25,
+        connect_every: 60,
+        protocol: Protocol::merging_default(),
+        strategy,
+        workload: ScenarioParams { seed, ..workload.clone() },
+        ..SimConfig::default()
+    };
+
+    let strategies: Vec<(String, SyncStrategy)> = vec![
+        ("strategy1".into(), SyncStrategy::PerDisconnectSnapshot),
+        ("strategy2 w=75".into(), SyncStrategy::WindowStart { window: 75 }),
+        ("strategy2 w=150".into(), SyncStrategy::WindowStart { window: 150 }),
+        ("strategy2 w=300".into(), SyncStrategy::WindowStart { window: 300 }),
+        ("strategy2 w=600".into(), SyncStrategy::WindowStart { window: 600 }),
+        ("strategy2 adaptive hb<=40".into(), SyncStrategy::AdaptiveWindow { max_hb: 40 }),
+        ("strategy2 adaptive hb<=80".into(), SyncStrategy::AdaptiveWindow { max_hb: 80 }),
+    ];
+
+    let mut table = Table::new(&[
+        "strategy", "saved", "backout", "reproc", "mergeFail", "winMiss", "saveRatio",
+    ]);
+    for (label, strategy) in strategies {
+        // Average over 5 seeds.
+        let mut agg = [0usize; 5];
+        let mut ratio = 0.0;
+        const SEEDS: u64 = 5;
+        for seed in 0..SEEDS {
+            let m = Simulation::new(config(strategy, 7 + seed)).run().metrics;
+            agg[0] += m.saved;
+            agg[1] += m.backed_out;
+            agg[2] += m.reprocessed;
+            agg[3] += m.merge_failures;
+            agg[4] += m.window_misses;
+            ratio += m.save_ratio();
+        }
+        table.row_owned(vec![
+            label,
+            (agg[0] / SEEDS as usize).to_string(),
+            (agg[1] / SEEDS as usize).to_string(),
+            (agg[2] / SEEDS as usize).to_string(),
+            (agg[3] / SEEDS as usize).to_string(),
+            (agg[4] / SEEDS as usize).to_string(),
+            fmt(ratio / SEEDS as f64, 3),
+        ]);
+    }
+
+    println!("E2: synchronization strategies (6 mobiles, 600 ticks, mean of 5 seeds)\n");
+    table.print();
+    println!(
+        "\nStrategy 1 loses merges to retroactive snapshot invalidation (mergeFail > 0);\n\
+         Strategy 2 never fails a merge but trades window misses (short windows)\n\
+         against back-out volume (long windows) — Section 2.2's resynchronization rule.\n\
+         The adaptive variant bounds per-merge back-out sharply (compare its backout\n\
+         column) but closes windows faster than mobiles reconnect under base load,\n\
+         spiking misses — the max_hb bound must be calibrated to connect intervals."
+    );
+}

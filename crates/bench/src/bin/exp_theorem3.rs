@@ -1,0 +1,87 @@
+//! E3 — Theorem 3: Algorithm 1's repaired prefix equals the classical
+//! reads-from transitive-closure back-out, on every workload.
+//!
+//! Sweeps contention and transaction mix; on every conflicting scenario,
+//! asserts the two saved sequences are identical and reports how much of
+//! the history the affected closure consumes (the quantity Algorithm 2
+//! then attacks).
+//!
+//! Run: `cargo run --release -p histmerge-bench --bin exp_theorem3`
+
+use histmerge_bench::{fmt, Table};
+use histmerge_core::rewrite::{rewrite, FixMode, RewriteAlgorithm};
+use histmerge_history::backout::affected_weight;
+use histmerge_history::readsfrom::affected_set;
+use histmerge_history::{AugmentedHistory, BackoutStrategy, PrecedenceGraph, TwoCycleOptimal};
+use histmerge_semantics::StaticAnalyzer;
+use histmerge_workload::generator::{generate, ScenarioParams};
+
+fn main() {
+    let oracle = StaticAnalyzer::new();
+    let mut table = Table::new(&[
+        "hot_prob", "scenarios", "mean |B|", "mean |AG|", "mean saved", "alg1 == rftc",
+    ]);
+    println!("E3: Theorem 3 over a contention sweep (50 seeds per row, |Hm| = 20)\n");
+    for hot_prob in [0.2, 0.4, 0.6, 0.8] {
+        let mut n_scen = 0usize;
+        let mut sum_b = 0usize;
+        let mut sum_ag = 0usize;
+        let mut sum_saved = 0usize;
+        let mut all_equal = true;
+        for seed in 0..50u64 {
+            let params = ScenarioParams {
+                n_vars: 48,
+                n_tentative: 20,
+                n_base: 12,
+                commutative_fraction: 0.3,
+                guarded_fraction: 0.2,
+                read_only_fraction: 0.1,
+                hot_fraction: 0.1,
+                hot_prob,
+                seed,
+                ..ScenarioParams::default()
+            };
+            let sc = generate(&params);
+            let graph = PrecedenceGraph::build(&sc.arena, &sc.hm, &sc.hb);
+            let weight = affected_weight(&sc.arena, &sc.hm);
+            let bad = TwoCycleOptimal::new().compute(&graph, &weight).unwrap();
+            if bad.is_empty() {
+                continue;
+            }
+            n_scen += 1;
+            sum_b += bad.len();
+            let ag = affected_set(&sc.arena, &sc.hm, &bad);
+            sum_ag += ag.len();
+            let aug = AugmentedHistory::execute(&sc.arena, &sc.hm, &sc.s0).unwrap();
+            let alg1 = rewrite(
+                &sc.arena, &aug, &bad, RewriteAlgorithm::CanFollow, FixMode::Lemma1, &oracle,
+            );
+            let rftc = rewrite(
+                &sc.arena,
+                &aug,
+                &bad,
+                RewriteAlgorithm::ReadsFromClosure,
+                FixMode::Lemma1,
+                &oracle,
+            );
+            all_equal &= alg1.saved() == rftc.saved();
+            sum_saved += alg1.saved().len();
+        }
+        let mean = |s: usize| fmt(s as f64 / n_scen.max(1) as f64, 2);
+        table.row_owned(vec![
+            fmt(hot_prob, 1),
+            n_scen.to_string(),
+            mean(sum_b),
+            mean(sum_ag),
+            mean(sum_saved),
+            all_equal.to_string(),
+        ]);
+        assert!(all_equal, "Theorem 3 violated at hot_prob {hot_prob}");
+    }
+    table.print();
+    println!(
+        "\nAlgorithm 1 and the reads-from closure save IDENTICAL sequences everywhere\n\
+         (Theorem 3); the affected closure |AG| grows with contention, which is the\n\
+         work Algorithm 2 recovers."
+    );
+}

@@ -1,0 +1,112 @@
+//! Error type for the merge core.
+
+use std::fmt;
+
+use histmerge_history::{BackoutError, HistoryError};
+use histmerge_txn::{TxnError, TxnId};
+
+/// Errors raised while rewriting, pruning, or merging histories.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Executing a history failed.
+    History(HistoryError),
+    /// Computing the back-out set failed.
+    Backout(BackoutError),
+    /// A transaction needed for compensation has no compensating program.
+    MissingInverse {
+        /// The transaction lacking an inverse.
+        txn: TxnId,
+    },
+    /// A fixed compensating transaction would violate Lemma 4's
+    /// precondition `F ∩ writeset = ∅`.
+    FixOverlapsWriteset {
+        /// The transaction whose fix overlaps its write set.
+        txn: TxnId,
+    },
+    /// Executing a compensating transaction or undo-repair action failed.
+    Execution {
+        /// The transaction involved.
+        txn: TxnId,
+        /// The underlying interpreter error.
+        source: TxnError,
+    },
+    /// The rewriting model requires no blind writes (Section 3), but a
+    /// tentative transaction blind-writes and the chosen configuration
+    /// cannot handle it.
+    BlindWrite {
+        /// The offending transaction.
+        txn: TxnId,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::History(e) => write!(f, "history execution failed: {e}"),
+            CoreError::Backout(e) => write!(f, "back-out computation failed: {e}"),
+            CoreError::MissingInverse { txn } => {
+                write!(f, "{txn} has no compensating program")
+            }
+            CoreError::FixOverlapsWriteset { txn } => {
+                write!(f, "fix of {txn} overlaps its write set; Lemma 4 does not apply")
+            }
+            CoreError::Execution { txn, source } => {
+                write!(f, "executing repair for {txn} failed: {source}")
+            }
+            CoreError::BlindWrite { txn } => {
+                write!(f, "{txn} issues blind writes, unsupported by this configuration")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::History(e) => Some(e),
+            CoreError::Backout(e) => Some(e),
+            CoreError::Execution { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<HistoryError> for CoreError {
+    fn from(e: HistoryError) -> Self {
+        CoreError::History(e)
+    }
+}
+
+impl From<BackoutError> for CoreError {
+    fn from(e: BackoutError) -> Self {
+        CoreError::Backout(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::MissingInverse { txn: TxnId::new(3) };
+        assert!(e.to_string().contains("T3"));
+        assert!(std::error::Error::source(&e).is_none());
+
+        let inner = HistoryError::Execution {
+            txn: TxnId::new(1),
+            source: TxnError::MissingVariable { var: histmerge_txn::VarId::new(0) },
+        };
+        let e: CoreError = inner.into();
+        assert!(e.to_string().contains("history"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e: CoreError =
+            CoreError::Execution { txn: TxnId::new(2), source: TxnError::MissingVariable { var: histmerge_txn::VarId::new(9) } };
+        assert!(e.to_string().contains("T2"));
+        let e = CoreError::FixOverlapsWriteset { txn: TxnId::new(4) };
+        assert!(e.to_string().contains("Lemma 4"));
+        let e = CoreError::BlindWrite { txn: TxnId::new(5) };
+        assert!(e.to_string().contains("blind"));
+    }
+}

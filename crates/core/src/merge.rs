@@ -1,0 +1,331 @@
+//! The merging protocol (Section 2.1): steps 1–6 behind one call.
+
+use std::collections::BTreeSet;
+
+use histmerge_history::backout::affected_weight;
+use histmerge_history::readsfrom::affected_set;
+use histmerge_history::{
+    AugmentedHistory, BackoutStrategy, PrecedenceGraph, SerialHistory, TwoCycleOptimal, TxnArena,
+};
+use histmerge_semantics::{OracleStack, SemanticOracle, StaticAnalyzer};
+use histmerge_txn::{DbState, Fix, TxnId, VarSet};
+
+use crate::error::CoreError;
+use crate::prune::{compensate, undo, PruneMethod};
+use crate::rewrite::{rewrite, FixMode, RewriteAlgorithm, RewrittenHistory};
+
+/// Configuration of a [`Merger`].
+pub struct MergeConfig {
+    /// Strategy for computing the back-out set `B` (step 2).
+    pub backout: Box<dyn BackoutStrategy>,
+    /// Rewriting algorithm (step 3).
+    pub algorithm: RewriteAlgorithm,
+    /// Fix computation mode.
+    pub fix_mode: FixMode,
+    /// Pruning approach (step 4).
+    pub prune: PruneMethod,
+    /// Semantic oracle consulted by Algorithm 2 and CBTR.
+    pub oracle: Box<dyn SemanticOracle>,
+}
+
+impl Default for MergeConfig {
+    /// The paper's recommended configuration: two-cycle-optimal back-out,
+    /// Algorithm 2 with the static analyzer, Lemma 1 fixes, undo pruning.
+    fn default() -> Self {
+        MergeConfig {
+            backout: Box::new(TwoCycleOptimal::new()),
+            algorithm: RewriteAlgorithm::CanFollowCanPrecede,
+            fix_mode: FixMode::Lemma1,
+            prune: PruneMethod::Undo,
+            oracle: Box::new(OracleStack::new().with(Box::new(StaticAnalyzer::new()))),
+        }
+    }
+}
+
+impl std::fmt::Debug for MergeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MergeConfig")
+            .field("backout", &self.backout.name())
+            .field("algorithm", &self.algorithm.name())
+            .field("fix_mode", &self.fix_mode)
+            .field("prune", &self.prune.name())
+            .field("oracle", &self.oracle.name())
+            .finish()
+    }
+}
+
+/// The result of merging a tentative history into a base history.
+#[derive(Debug)]
+pub struct MergeOutcome {
+    /// Step 2's back-out set `B` (undesirable transactions).
+    pub bad: BTreeSet<TxnId>,
+    /// The affected set `AG` of `B`.
+    pub affected: BTreeSet<TxnId>,
+    /// The rewritten history (step 3).
+    pub rewritten: RewrittenHistory,
+    /// Tentative transactions whose work was saved, in repaired order.
+    pub saved: Vec<TxnId>,
+    /// Tentative transactions backed out (to be re-executed), in original
+    /// order.
+    pub backed_out: Vec<TxnId>,
+    /// The repaired history's final state (after pruning).
+    pub repaired_state: DbState,
+    /// The values forwarded to the base nodes (step 5): for each item
+    /// modified by a saved transaction, its value in the repaired state.
+    pub forwarded: DbState,
+    /// The master state after installing the forwarded updates on the base
+    /// history's final state.
+    pub new_master: DbState,
+    /// Results of re-executing the backed-out transactions (step 6) on the
+    /// new master state, in execution order: `(txn, succeeded)`.
+    pub reexecuted: Vec<(TxnId, bool)>,
+    /// An equivalent merged serial history over the base transactions and
+    /// the saved tentative transactions (Theorem 1), for inspection.
+    pub merged_history: Option<SerialHistory>,
+    /// Number of edges in the full precedence graph `G(H_m, H_b)` (cost
+    /// accounting input).
+    pub graph_edges: usize,
+}
+
+/// Runs the merging protocol of Section 2.1.
+pub struct Merger {
+    config: MergeConfig,
+}
+
+impl Merger {
+    /// Creates a merger with the given configuration.
+    pub fn new(config: MergeConfig) -> Self {
+        Merger { config }
+    }
+
+    /// Read access to the configuration.
+    pub fn config(&self) -> &MergeConfig {
+        &self.config
+    }
+
+    /// Merges tentative history `hm` into base history `hb`. Both must
+    /// start from the same database state `s0` (Section 2.1's footnote:
+    /// otherwise the correctness of the merger cannot be ensured — see the
+    /// synchronization strategies of Section 2.2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates history-execution, back-out, and pruning errors.
+    pub fn merge(
+        &self,
+        arena: &TxnArena,
+        hm: &SerialHistory,
+        hb: &SerialHistory,
+        s0: &DbState,
+    ) -> Result<MergeOutcome, CoreError> {
+        // Execute both histories to obtain logs (before/after images and
+        // original read values). In a deployment these logs already exist;
+        // re-deriving them here keeps the API self-contained.
+        let hm_aug = AugmentedHistory::execute(arena, hm, s0)?;
+        let hb_aug = AugmentedHistory::execute(arena, hb, s0)?;
+
+        // Step 1: the precedence graph.
+        let graph = PrecedenceGraph::build(arena, hm, hb);
+        let graph_edges = graph.edges().len();
+
+        // Step 2: the back-out set, weighted by reads-from closure sizes.
+        let weight = affected_weight(arena, hm);
+        let bad = self.config.backout.compute(&graph, &weight)?;
+        let affected = affected_set(arena, hm, &bad);
+
+        // Step 3: rewrite.
+        let rewritten = rewrite(
+            arena,
+            &hm_aug,
+            &bad,
+            self.config.algorithm,
+            self.config.fix_mode,
+            self.config.oracle.as_ref(),
+        );
+
+        // Step 4: prune.
+        let repaired_state = match self.config.prune {
+            PruneMethod::Undo => undo(arena, &hm_aug, &rewritten, &affected)?,
+            PruneMethod::Compensate => compensate(arena, &hm_aug, &rewritten)?,
+        };
+
+        // Step 5: forward updates — only the final repaired value of each
+        // item some saved transaction modified.
+        let mut saved_writes = VarSet::new();
+        for (id, _) in rewritten.prefix() {
+            saved_writes.extend_from(arena.get(*id).writeset());
+        }
+        let forwarded = repaired_state.project(&saved_writes);
+        let mut new_master = hb_aug.final_state().clone();
+        new_master.apply(&forwarded);
+
+        // Step 6: re-execute backed-out transactions on the new master
+        // state, in their original order. "Failed reexecutions will be
+        // informed to the users together with the corresponding reasons":
+        // a re-execution fails when the transaction's declared
+        // precondition does not hold on the state it now runs against
+        // (e.g. a withdrawal that no longer clears), or when it cannot run
+        // at all.
+        let mut reexecuted = Vec::new();
+        let mut state = new_master.clone();
+        for (id, _) in rewritten.suffix() {
+            let txn = arena.get(*id);
+            let precondition_ok = txn.check_precondition(&state, &Fix::empty()).unwrap_or(false);
+            match txn.execute(&state, &Fix::empty()) {
+                Ok(out) => {
+                    state = out.after;
+                    reexecuted.push((*id, precondition_ok));
+                }
+                Err(_) => reexecuted.push((*id, false)),
+            }
+        }
+
+        let saved = rewritten.saved();
+        let backed_out = rewritten.pruned();
+        let removed: BTreeSet<TxnId> = backed_out.iter().copied().collect();
+        let merged_history = graph.merged_history_without(&removed);
+
+        Ok(MergeOutcome {
+            bad,
+            affected,
+            rewritten,
+            saved,
+            backed_out,
+            repaired_state,
+            forwarded,
+            new_master,
+            reexecuted,
+            merged_history,
+            graph_edges,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histmerge_history::fixtures::example1;
+    use histmerge_history::{ExactMinimum, GreedyScc};
+    use histmerge_txn::VarId;
+
+    fn d(i: u32) -> VarId {
+        VarId::new(i)
+    }
+
+    #[test]
+    fn example1_end_to_end() {
+        let ex = example1();
+        let outcome = Merger::new(MergeConfig::default())
+            .merge(&ex.arena, &ex.hm, &ex.hb, &ex.s0)
+            .unwrap();
+        // B = {Tm3}, AG = {Tm4}.
+        assert_eq!(outcome.bad, [ex.m[2]].into_iter().collect());
+        assert_eq!(outcome.affected, [ex.m[3]].into_iter().collect());
+        assert_eq!(outcome.saved, vec![ex.m[0], ex.m[1]]);
+        assert_eq!(outcome.backed_out, vec![ex.m[2], ex.m[3]]);
+        // The merged history of Example 1: Tb1 Tb2 Tm1 Tm2.
+        assert_eq!(
+            outcome.merged_history.as_ref().unwrap().order(),
+            &[ex.b[0], ex.b[1], ex.m[0], ex.m[1]]
+        );
+        // Both backed-out transactions re-execute fine on the new master.
+        assert!(outcome.reexecuted.iter().all(|(_, ok)| *ok));
+        assert_eq!(outcome.reexecuted.len(), 2);
+    }
+
+    #[test]
+    fn example1_master_state_matches_merged_history_execution() {
+        // The new master state (base final + forwarded values) must equal
+        // the state of executing the merged history Tb1 Tb2 Tm1 Tm2 from
+        // s0 — the correctness claim of protocol step 5.
+        let ex = example1();
+        let outcome = Merger::new(MergeConfig::default())
+            .merge(&ex.arena, &ex.hm, &ex.hb, &ex.s0)
+            .unwrap();
+        let merged = outcome.merged_history.clone().unwrap();
+        let replay = AugmentedHistory::execute(&ex.arena, &merged, &ex.s0).unwrap();
+        assert_eq!(&outcome.new_master, replay.final_state());
+    }
+
+    #[test]
+    fn example1_forwarded_values_are_saved_writes_only() {
+        let ex = example1();
+        let outcome = Merger::new(MergeConfig::default())
+            .merge(&ex.arena, &ex.hm, &ex.hb, &ex.s0)
+            .unwrap();
+        // Saved = {Tm1, Tm2}: writes {d1, d2} ∪ {d3, d4, d5, d6}.
+        let vars = outcome.forwarded.vars();
+        assert_eq!(vars, [d(1), d(2), d(3), d(4), d(5), d(6)].into_iter().collect());
+        // d0 and d7 (padding) are never forwarded.
+        assert!(!outcome.forwarded.contains(d(0)));
+        assert!(!outcome.forwarded.contains(d(7)));
+    }
+
+    #[test]
+    fn acyclic_merge_saves_everything() {
+        // Merging the tentative history against an EMPTY base history:
+        // no conflicts, everything saved, nothing re-executed.
+        let ex = example1();
+        let outcome = Merger::new(MergeConfig::default())
+            .merge(&ex.arena, &ex.hm, &SerialHistory::new(), &ex.s0)
+            .unwrap();
+        assert!(outcome.bad.is_empty());
+        assert!(outcome.backed_out.is_empty());
+        assert_eq!(outcome.saved.len(), 4);
+        // New master = repaired state = full tentative execution.
+        let hm_aug = AugmentedHistory::execute(&ex.arena, &ex.hm, &ex.s0).unwrap();
+        assert_eq!(&outcome.new_master, hm_aug.final_state());
+    }
+
+    #[test]
+    fn all_configurations_agree_on_example1_master_state() {
+        // Alg1/Alg2 × Lemma1/Lemma2 × undo, plus RFTC with undo: all
+        // configurations must produce the SAME new master state (they may
+        // save different sets; in Example 1 the saved sets coincide).
+        let ex = example1();
+        let mut masters = Vec::new();
+        for algorithm in [
+            RewriteAlgorithm::CanFollow,
+            RewriteAlgorithm::CanFollowCanPrecede,
+            RewriteAlgorithm::ReadsFromClosure,
+        ] {
+            for fix_mode in [FixMode::Lemma1, FixMode::Lemma2] {
+                let config = MergeConfig {
+                    backout: Box::new(ExactMinimum::new()),
+                    algorithm,
+                    fix_mode,
+                    prune: PruneMethod::Undo,
+                    oracle: Box::new(StaticAnalyzer::new()),
+                };
+                let outcome =
+                    Merger::new(config).merge(&ex.arena, &ex.hm, &ex.hb, &ex.s0).unwrap();
+                assert_eq!(outcome.saved.len(), 2, "{}", algorithm.name());
+                masters.push(outcome.new_master);
+            }
+        }
+        assert!(masters.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn greedy_backout_also_merges() {
+        let ex = example1();
+        let config = MergeConfig {
+            backout: Box::new(GreedyScc::new()),
+            ..MergeConfig::default()
+        };
+        let outcome = Merger::new(config).merge(&ex.arena, &ex.hm, &ex.hb, &ex.s0).unwrap();
+        // Greedy may back out more than the optimum, but the result must
+        // still be conflict-free.
+        assert!(!outcome.bad.is_empty());
+        assert!(outcome.merged_history.is_some());
+    }
+
+    #[test]
+    fn config_debug_prints_components() {
+        let config = MergeConfig::default();
+        let text = format!("{config:?}");
+        assert!(text.contains("two-cycle-optimal"));
+        assert!(text.contains("algorithm2-can-precede"));
+        assert!(text.contains("undo"));
+    }
+}

@@ -1,0 +1,48 @@
+//! Pruning rewritten histories (Section 6).
+//!
+//! After rewriting, the repaired history `H_r^s` is a prefix of the
+//! rewritten history `H_e^s`. Pruning produces the *database state* of the
+//! repaired history without re-executing it, starting from the final state
+//! of the original history:
+//!
+//! * [`compensate`] — Section 6.1: run the *fixed compensating transaction*
+//!   `T^(-1,F)` of every suffix transaction, in reverse order. Direct, but
+//!   requires every suffix transaction to declare an inverse.
+//! * [`undo`] — Section 6.2: restore before-images of the suffix
+//!   transactions from the log, then run the *undo-repair actions* built by
+//!   Algorithm 3 for the affected transactions that were saved.
+//!
+//! Both must produce exactly the state of executing the repaired prefix
+//! from the initial state (Theorem 5 for undo; Lemma 4 for compensation) —
+//! the workspace's property tests check them against each other and
+//! against re-execution.
+
+mod compensate;
+mod undo;
+
+pub use compensate::compensate;
+pub use undo::{build_undo_repair, undo};
+
+/// Which pruning approach the merge pipeline uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PruneMethod {
+    /// Undo from logged before-images plus undo-repair actions
+    /// (Section 6.2). Works for every rewriter, including the RFTC
+    /// baseline; requires no compensating programs.
+    #[default]
+    Undo,
+    /// Fixed compensating transactions (Section 6.1). Requires inverses on
+    /// every pruned transaction and a final-state-equivalent rewriting
+    /// (i.e. not the RFTC baseline).
+    Compensate,
+}
+
+impl PruneMethod {
+    /// Short name for experiment reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PruneMethod::Undo => "undo",
+            PruneMethod::Compensate => "compensate",
+        }
+    }
+}

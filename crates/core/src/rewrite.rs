@@ -1,0 +1,586 @@
+//! History rewriting: Algorithms 1 and 2, plus the two baselines.
+//!
+//! Given a serial tentative history `H^s` and the back-out set `B`, a
+//! rewriter produces a permutation of `H^s` (with fixes) whose **prefix**
+//! contains only desirable transactions — the *repaired history* — and
+//! whose suffix holds `B` plus whatever affected transactions could not be
+//! saved. The rewritten history must be final-state equivalent to the
+//! original (Theorem 2), which is what the fixes (Definition 1, Lemma 1)
+//! guarantee.
+//!
+//! Four algorithms:
+//!
+//! * [`RewriteAlgorithm::CanFollow`] — **Algorithm 1**: purely syntactic;
+//!   saves exactly `G − AG` (Theorems 2 and 3) while producing an
+//!   equivalent rewritten history whose suffix can be pruned semantically.
+//! * [`RewriteAlgorithm::CanFollowCanPrecede`] — **Algorithm 2**: also
+//!   moves a transaction when the oracle says it *can precede* a blocking
+//!   transaction for its current fix (Definition 4), potentially saving
+//!   affected transactions too. Under Property 1 it dominates the
+//!   commutativity baseline (Theorem 4).
+//! * [`RewriteAlgorithm::CommutesBackward`] — **CBTR**: Algorithm 1 with
+//!   can-follow replaced by commutes-backward-through (Section 5.2's
+//!   baseline); no fixes are produced.
+//! * [`RewriteAlgorithm::ReadsFromClosure`] — **RFTC**: the classical
+//!   Davidson-style back-out of `B` plus its whole reads-from closure; no
+//!   rewriting at all. Its result is the yardstick of Theorem 3. Unlike
+//!   the other three, its full entry sequence is *not* final-state
+//!   equivalent to the original — only its prefix is meaningful, and
+//!   pruning must use the undo approach.
+
+use std::collections::BTreeSet;
+
+use histmerge_history::readsfrom::affected_set;
+use histmerge_history::{AugmentedHistory, SerialHistory, TxnArena};
+use histmerge_semantics::SemanticOracle;
+use histmerge_txn::{Fix, Transaction, TxnId};
+
+/// Which rewriting algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RewriteAlgorithm {
+    /// Algorithm 1 (can-follow rewriting).
+    CanFollow,
+    /// Algorithm 2 (can-follow and can-precede rewriting).
+    CanFollowCanPrecede,
+    /// The commutes-backward-through baseline rewriter.
+    CommutesBackward,
+    /// The reads-from transitive-closure baseline (no rewriting).
+    ReadsFromClosure,
+}
+
+impl RewriteAlgorithm {
+    /// Short name for experiment reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RewriteAlgorithm::CanFollow => "algorithm1-can-follow",
+            RewriteAlgorithm::CanFollowCanPrecede => "algorithm2-can-precede",
+            RewriteAlgorithm::CommutesBackward => "cbtr",
+            RewriteAlgorithm::ReadsFromClosure => "rftc",
+        }
+    }
+}
+
+/// How fixes are computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FixMode {
+    /// Lemma 1: augment the fix of each jumped transaction incrementally by
+    /// `T'.readset ∩ T.writeset` at every jump.
+    #[default]
+    Lemma1,
+    /// Lemma 2: run the Lemma 1 bookkeeping, then replace every non-empty
+    /// fix with the whole `readset − writeset` (values from the original
+    /// before state). Cheaper in systems that log `readset − writeset` per
+    /// transaction; valid for Algorithm 2 only under Property 1 (Lemma 3).
+    Lemma2,
+}
+
+/// The result of rewriting a history.
+#[derive(Debug, Clone)]
+pub struct RewrittenHistory {
+    entries: Vec<(TxnId, Fix)>,
+    prefix_len: usize,
+    algorithm: RewriteAlgorithm,
+}
+
+impl RewrittenHistory {
+    /// The full rewritten sequence with fixes.
+    pub fn entries(&self) -> &[(TxnId, Fix)] {
+        &self.entries
+    }
+
+    /// Length of the repaired prefix.
+    pub fn prefix_len(&self) -> usize {
+        self.prefix_len
+    }
+
+    /// The repaired history `H_r^s`: the prefix of saved transactions.
+    pub fn prefix(&self) -> &[(TxnId, Fix)] {
+        &self.entries[..self.prefix_len]
+    }
+
+    /// The suffix of transactions to be pruned (`H_e^s − H_r^s`).
+    pub fn suffix(&self) -> &[(TxnId, Fix)] {
+        &self.entries[self.prefix_len..]
+    }
+
+    /// Ids of the saved transactions, in repaired-history order.
+    pub fn saved(&self) -> Vec<TxnId> {
+        self.prefix().iter().map(|(t, _)| *t).collect()
+    }
+
+    /// Ids of the pruned transactions, in suffix order.
+    pub fn pruned(&self) -> Vec<TxnId> {
+        self.suffix().iter().map(|(t, _)| *t).collect()
+    }
+
+    /// The repaired history as a [`SerialHistory`] (fixes in the prefix are
+    /// always empty — Theorem 2, point 3).
+    pub fn repaired_history(&self) -> SerialHistory {
+        self.prefix().iter().map(|(t, _)| *t).collect()
+    }
+
+    /// The algorithm that produced this rewriting.
+    pub fn algorithm(&self) -> RewriteAlgorithm {
+        self.algorithm
+    }
+}
+
+/// Can `stayer` follow `mover` for rewriting purposes?
+///
+/// Definition 3 (`stayer.writeset ∩ mover.readset = ∅`) plus an explicit
+/// write-write disjointness clause, which Definition 3 subsumes when the
+/// mover has no blind writes (then `writeset ⊆ readset`) but which must be
+/// stated for set-level transactions that write blindly: otherwise a swap
+/// would flip which write lands last.
+fn can_follow_for_rewrite(stayer: &Transaction, mover: &Transaction) -> bool {
+    !stayer.writeset().intersects(mover.readset())
+        && !stayer.writeset().intersects(mover.writeset())
+}
+
+/// Rewrites `original` (the executed tentative history) against the
+/// back-out set `bad`, using `algorithm`, `fix_mode`, and `oracle`.
+///
+/// The oracle is only consulted by [`RewriteAlgorithm::CanFollowCanPrecede`]
+/// and [`RewriteAlgorithm::CommutesBackward`]; pass any oracle (e.g. an
+/// empty stack) for the other two.
+pub fn rewrite(
+    arena: &TxnArena,
+    original: &AugmentedHistory,
+    bad: &BTreeSet<TxnId>,
+    algorithm: RewriteAlgorithm,
+    fix_mode: FixMode,
+    oracle: &dyn SemanticOracle,
+) -> RewrittenHistory {
+    if algorithm == RewriteAlgorithm::ReadsFromClosure {
+        return rftc(arena, original, bad);
+    }
+
+    let mut entries: Vec<(TxnId, Fix)> = original.entries().to_vec();
+    // Track which entries would carry a non-empty fix under Lemma 1, for
+    // the Lemma 2 post-pass.
+    let mut jumped: BTreeSet<TxnId> = BTreeSet::new();
+
+    let Some(mut b1_pos) = entries.iter().position(|(t, _)| bad.contains(t)) else {
+        // Nothing to back out: the whole history is the repaired prefix.
+        let len = entries.len();
+        return RewrittenHistory { entries, prefix_len: len, algorithm };
+    };
+
+    // Scan forward from the first good transaction after B1 (Algorithm 1).
+    let scan: Vec<TxnId> = entries[b1_pos + 1..]
+        .iter()
+        .map(|(t, _)| *t)
+        .filter(|t| !bad.contains(t))
+        .collect();
+
+    for t in scan {
+        let pos = entries
+            .iter()
+            .position(|(id, _)| *id == t)
+            .expect("scanned transaction present");
+        let mover = arena.get(t);
+
+        let movable = entries[b1_pos..pos].iter().all(|(tj, fixj)| {
+            let stayer = arena.get(*tj);
+            match algorithm {
+                RewriteAlgorithm::CanFollow => can_follow_for_rewrite(stayer, mover),
+                RewriteAlgorithm::CanFollowCanPrecede => {
+                    can_follow_for_rewrite(stayer, mover)
+                        || oracle.can_precede(mover, stayer, &fixj.vars())
+                }
+                RewriteAlgorithm::CommutesBackward => {
+                    oracle.commutes_backward_through(mover, stayer)
+                }
+                RewriteAlgorithm::ReadsFromClosure => unreachable!("handled above"),
+            }
+        });
+        if !movable {
+            continue;
+        }
+
+        // Fix maintenance (Lemma 1): every block transaction that the mover
+        // passes via can-follow conceptually moves right past it and must
+        // pin its reads of the mover's writes to original values.
+        if matches!(
+            algorithm,
+            RewriteAlgorithm::CanFollow | RewriteAlgorithm::CanFollowCanPrecede
+        ) {
+            for entry in entries.iter_mut().take(pos).skip(b1_pos) {
+                let (tj, fixj) = entry;
+                let stayer = arena.get(*tj);
+                if !can_follow_for_rewrite(stayer, mover) {
+                    // Algorithm 2 passed this one via can-precede: swap
+                    // without touching the fix.
+                    continue;
+                }
+                let pins = stayer.readset().intersection(mover.writeset());
+                if pins.is_empty() {
+                    continue;
+                }
+                let orig_pos = original.position(*tj).expect("stayer is in the original");
+                let before = original.before_state(orig_pos);
+                for var in pins.iter() {
+                    fixj.pin(var, before.get(var));
+                }
+                jumped.insert(*tj);
+            }
+        }
+
+        let entry = entries.remove(pos);
+        entries.insert(b1_pos, entry);
+        b1_pos += 1;
+    }
+
+    // Lemma 2 post-pass: replace every non-empty fix with
+    // readset − writeset, valued from the original before state.
+    if fix_mode == FixMode::Lemma2 {
+        for (tj, fixj) in entries.iter_mut().skip(b1_pos) {
+            if !jumped.contains(tj) {
+                continue;
+            }
+            let txn = arena.get(*tj);
+            let orig_pos = original.position(*tj).expect("entry is in the original");
+            let before = original.before_state(orig_pos);
+            *fixj = txn.read_only_set().iter().map(|v| (v, before.get(v))).collect();
+        }
+    }
+
+    RewrittenHistory { entries, prefix_len: b1_pos, algorithm }
+}
+
+/// The reads-from transitive-closure baseline: saved = `G − AG`, everything
+/// else appended in original order with no fixes.
+fn rftc(arena: &TxnArena, original: &AugmentedHistory, bad: &BTreeSet<TxnId>) -> RewrittenHistory {
+    let order = original.order();
+    let ag = affected_set(arena, &order, bad);
+    let mut prefix: Vec<(TxnId, Fix)> = Vec::new();
+    let mut suffix: Vec<(TxnId, Fix)> = Vec::new();
+    for id in order.iter() {
+        if bad.contains(&id) || ag.contains(&id) {
+            suffix.push((id, Fix::empty()));
+        } else {
+            prefix.push((id, Fix::empty()));
+        }
+    }
+    let prefix_len = prefix.len();
+    prefix.extend(suffix);
+    RewrittenHistory {
+        entries: prefix,
+        prefix_len,
+        algorithm: RewriteAlgorithm::ReadsFromClosure,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histmerge_history::fixtures::example1;
+    use histmerge_semantics::{OracleStack, StaticAnalyzer};
+    use histmerge_txn::{DbState, Expr, Program, ProgramBuilder, Transaction, TxnKind, VarId};
+    use std::sync::Arc;
+
+    fn v(i: u32) -> VarId {
+        VarId::new(i)
+    }
+
+    fn none() -> OracleStack {
+        OracleStack::new()
+    }
+
+    fn static_oracle() -> StaticAnalyzer {
+        StaticAnalyzer::new()
+    }
+
+    /// H4 of Section 5.1: B1 G2 G3 with B = {B1}.
+    /// B1: if u > 10 then x := x + 100, y := y - 20
+    /// G2: u := u - 20
+    /// G3: x := x + 10, z := z + 30
+    fn h4() -> (TxnArena, AugmentedHistory, BTreeSet<TxnId>, [TxnId; 3], DbState) {
+        let mut arena = TxnArena::new();
+        let b1: Arc<Program> = Arc::new(
+            ProgramBuilder::new("B1")
+                .read(v(0))
+                .read(v(1))
+                .read(v(2))
+                .branch(
+                    Expr::var(v(0)).gt(Expr::konst(10)),
+                    |b| {
+                        b.update(v(1), Expr::var(v(1)) + Expr::konst(100))
+                            .update(v(2), Expr::var(v(2)) - Expr::konst(20))
+                    },
+                    |b| b,
+                )
+                .build()
+                .unwrap(),
+        );
+        let g2: Arc<Program> = Arc::new(
+            ProgramBuilder::new("G2")
+                .read(v(0))
+                .update(v(0), Expr::var(v(0)) - Expr::konst(20))
+                .build()
+                .unwrap(),
+        );
+        let g3: Arc<Program> = Arc::new(
+            ProgramBuilder::new("G3")
+                .read(v(1))
+                .read(v(3))
+                .update(v(1), Expr::var(v(1)) + Expr::konst(10))
+                .update(v(3), Expr::var(v(3)) + Expr::konst(30))
+                .build()
+                .unwrap(),
+        );
+        let tb1 = arena.alloc(|id| Transaction::new(id, "B1", TxnKind::Tentative, b1, vec![]));
+        let tg2 = arena.alloc(|id| Transaction::new(id, "G2", TxnKind::Tentative, g2, vec![]));
+        let tg3 = arena.alloc(|id| Transaction::new(id, "G3", TxnKind::Tentative, g3, vec![]));
+        let s0: DbState = [(v(0), 20), (v(1), 5), (v(2), 50), (v(3), 0)].into_iter().collect();
+        let h = AugmentedHistory::execute(
+            &arena,
+            &SerialHistory::from_order([tb1, tg2, tg3]),
+            &s0,
+        )
+        .unwrap();
+        let bad: BTreeSet<TxnId> = [tb1].into_iter().collect();
+        (arena, h, bad, [tb1, tg2, tg3], s0)
+    }
+
+    #[test]
+    fn h4_algorithm1_saves_g2_only() {
+        // The paper: "The result of Algorithm 1 is the history
+        // G2 B1^{u} G3, thus G3 need to be undone."
+        let (arena, h, bad, [tb1, tg2, tg3], _) = h4();
+        let rw = rewrite(&arena, &h, &bad, RewriteAlgorithm::CanFollow, FixMode::Lemma1, &none());
+        assert_eq!(rw.saved(), vec![tg2]);
+        assert_eq!(rw.pruned(), vec![tb1, tg3]);
+        // B1 carries the fix {u}.
+        let (id, fix) = &rw.entries()[1];
+        assert_eq!(*id, tb1);
+        assert_eq!(fix.vars(), [v(0)].into_iter().collect());
+        assert_eq!(fix.get(v(0)), Some(20)); // original read value of u
+        // G3 was never jumped: empty fix.
+        assert!(rw.entries()[2].1.is_empty());
+    }
+
+    #[test]
+    fn h4_algorithm2_saves_g3_too() {
+        // G3 can precede B1^{u}, so Algorithm 2 produces G2 G3 B1^{u}.
+        let (arena, h, bad, [tb1, tg2, tg3], _) = h4();
+        let rw = rewrite(
+            &arena,
+            &h,
+            &bad,
+            RewriteAlgorithm::CanFollowCanPrecede,
+            FixMode::Lemma1,
+            &static_oracle(),
+        );
+        assert_eq!(rw.saved(), vec![tg2, tg3]);
+        assert_eq!(rw.pruned(), vec![tb1]);
+    }
+
+    #[test]
+    fn h4_rewritten_histories_are_final_state_equivalent() {
+        // Theorem 2(4): replaying the rewritten history (with fixes)
+        // reproduces the original final state — for every algorithm that
+        // claims equivalence.
+        let (arena, h, bad, _, s0) = h4();
+        for (alg, fix_mode) in [
+            (RewriteAlgorithm::CanFollow, FixMode::Lemma1),
+            (RewriteAlgorithm::CanFollow, FixMode::Lemma2),
+            (RewriteAlgorithm::CanFollowCanPrecede, FixMode::Lemma1),
+            (RewriteAlgorithm::CanFollowCanPrecede, FixMode::Lemma2),
+            (RewriteAlgorithm::CommutesBackward, FixMode::Lemma1),
+        ] {
+            let rw = rewrite(&arena, &h, &bad, alg, fix_mode, &static_oracle());
+            let replay =
+                AugmentedHistory::execute_with_fixes(&arena, rw.entries(), &s0).unwrap();
+            assert!(
+                replay.final_state_equivalent(&h),
+                "{} with {:?} broke final-state equivalence",
+                alg.name(),
+                fix_mode
+            );
+        }
+    }
+
+    #[test]
+    fn h4_lemma2_fix_is_whole_read_only_set() {
+        let (arena, h, bad, [tb1, _, _], _) = h4();
+        let rw = rewrite(&arena, &h, &bad, RewriteAlgorithm::CanFollow, FixMode::Lemma2, &none());
+        let (id, fix) = &rw.entries()[1];
+        assert_eq!(*id, tb1);
+        // B1.readset − B1.writeset = {u}; here it coincides with Lemma 1's
+        // answer, but the values must come from the original before state.
+        assert_eq!(fix.vars(), [v(0)].into_iter().collect());
+        assert_eq!(fix.get(v(0)), Some(20));
+    }
+
+    #[test]
+    fn example1_algorithm1_matches_rftc() {
+        // Theorem 3 on Example 1: the RFTC prefix equals Algorithm 1's.
+        let ex = example1();
+        let h = AugmentedHistory::execute(&ex.arena, &ex.hm, &ex.s0).unwrap();
+        let bad: BTreeSet<TxnId> = [ex.m[2]].into_iter().collect();
+        let alg1 =
+            rewrite(&ex.arena, &h, &bad, RewriteAlgorithm::CanFollow, FixMode::Lemma1, &none());
+        let rftc = rewrite(
+            &ex.arena,
+            &h,
+            &bad,
+            RewriteAlgorithm::ReadsFromClosure,
+            FixMode::Lemma1,
+            &none(),
+        );
+        assert_eq!(alg1.saved(), rftc.saved());
+        assert_eq!(alg1.saved(), vec![ex.m[0], ex.m[1]]);
+        assert_eq!(rftc.pruned(), vec![ex.m[2], ex.m[3]]);
+        assert_eq!(rftc.algorithm(), RewriteAlgorithm::ReadsFromClosure);
+    }
+
+    #[test]
+    fn no_bad_transactions_saves_everything() {
+        let (arena, h, _, [a, b, c], _) = h4();
+        let rw = rewrite(
+            &arena,
+            &h,
+            &BTreeSet::new(),
+            RewriteAlgorithm::CanFollow,
+            FixMode::Lemma1,
+            &none(),
+        );
+        assert_eq!(rw.saved(), vec![a, b, c]);
+        assert!(rw.suffix().is_empty());
+        assert_eq!(rw.prefix_len(), 3);
+    }
+
+    #[test]
+    fn all_bad_saves_nothing() {
+        let (arena, h, _, [a, b, c], _) = h4();
+        let bad: BTreeSet<TxnId> = [a, b, c].into_iter().collect();
+        for alg in [
+            RewriteAlgorithm::CanFollow,
+            RewriteAlgorithm::CanFollowCanPrecede,
+            RewriteAlgorithm::CommutesBackward,
+            RewriteAlgorithm::ReadsFromClosure,
+        ] {
+            let rw = rewrite(&arena, &h, &bad, alg, FixMode::Lemma1, &static_oracle());
+            assert!(rw.saved().is_empty(), "{}", alg.name());
+            assert_eq!(rw.pruned(), vec![a, b, c]);
+        }
+    }
+
+    #[test]
+    fn goods_before_first_bad_always_saved() {
+        // History G B: G precedes the first bad transaction and is saved
+        // without being scanned.
+        let (arena, _, _, [tb1, tg2, _], s0) = h4();
+        let h = AugmentedHistory::execute(
+            &arena,
+            &SerialHistory::from_order([tg2, tb1]),
+            &s0,
+        )
+        .unwrap();
+        let bad: BTreeSet<TxnId> = [tb1].into_iter().collect();
+        let rw = rewrite(&arena, &h, &bad, RewriteAlgorithm::CanFollow, FixMode::Lemma1, &none());
+        assert_eq!(rw.saved(), vec![tg2]);
+    }
+
+    #[test]
+    fn theorem2_prefix_fixes_are_empty_and_orders_preserved() {
+        let (arena, h, bad, _, _) = h4();
+        for alg in [RewriteAlgorithm::CanFollow, RewriteAlgorithm::CanFollowCanPrecede] {
+            let rw = rewrite(&arena, &h, &bad, alg, FixMode::Lemma1, &static_oracle());
+            for (_, fix) in rw.prefix() {
+                assert!(fix.is_empty(), "Theorem 2(3) violated by {}", alg.name());
+            }
+            // Theorem 2(2): saved and pruned orders follow the original.
+            let orig = h.order();
+            let pos = |id: TxnId| orig.position(id).unwrap();
+            let saved = rw.saved();
+            assert!(saved.windows(2).all(|w| pos(w[0]) < pos(w[1])));
+            let pruned = rw.pruned();
+            assert!(pruned.windows(2).all(|w| pos(w[0]) < pos(w[1])));
+        }
+    }
+
+    #[test]
+    fn blind_writer_blocked_by_write_write_clause() {
+        // B reads/writes x; G blind-writes x (reading only y). Plain
+        // Definition 3 would let B "follow" G (B.writeset ∩ G.readset = ∅),
+        // but swapping them flips which write to x lands last — the
+        // explicit write-write clause must block the move.
+        let mut arena = TxnArena::new();
+        let b_prog: Arc<Program> = Arc::new(
+            ProgramBuilder::new("B")
+                .read(v(0))
+                .update(v(0), Expr::var(v(0)) + Expr::konst(1))
+                .build()
+                .unwrap(),
+        );
+        let g_prog: Arc<Program> = Arc::new(
+            ProgramBuilder::new("G")
+                .allow_blind_writes()
+                .read(v(1))
+                .update(v(0), Expr::var(v(1)) * Expr::konst(2))
+                .build()
+                .unwrap(),
+        );
+        let b = arena.alloc(|id| Transaction::new(id, "B", TxnKind::Tentative, b_prog, vec![]));
+        let g = arena.alloc(|id| Transaction::new(id, "G", TxnKind::Tentative, g_prog, vec![]));
+        let s0: DbState = [(v(0), 10), (v(1), 3)].into_iter().collect();
+        let h = AugmentedHistory::execute(&arena, &SerialHistory::from_order([b, g]), &s0)
+            .unwrap();
+        let bad: BTreeSet<TxnId> = [b].into_iter().collect();
+        let rw = rewrite(&arena, &h, &bad, RewriteAlgorithm::CanFollow, FixMode::Lemma1, &none());
+        assert!(rw.saved().is_empty(), "blind writer must not jump a same-item writer");
+        // Equivalence still holds trivially (no moves happened).
+        let replay = AugmentedHistory::execute_with_fixes(&arena, rw.entries(), &s0).unwrap();
+        assert!(replay.final_state_equivalent(&h));
+    }
+
+    #[test]
+    fn example1_rewrites_remain_equivalent_despite_blind_writes() {
+        // Example 1's Tm2/Tm3 blind-write several items; every rewriting
+        // must still be final-state equivalent to the original H_m.
+        let ex = example1();
+        let h = AugmentedHistory::execute(&ex.arena, &ex.hm, &ex.s0).unwrap();
+        let bad: BTreeSet<TxnId> = [ex.m[2]].into_iter().collect();
+        for alg in [
+            RewriteAlgorithm::CanFollow,
+            RewriteAlgorithm::CanFollowCanPrecede,
+            RewriteAlgorithm::CommutesBackward,
+        ] {
+            let rw = rewrite(&ex.arena, &h, &bad, alg, FixMode::Lemma1, &static_oracle());
+            let replay =
+                AugmentedHistory::execute_with_fixes(&ex.arena, rw.entries(), &ex.s0).unwrap();
+            assert!(replay.final_state_equivalent(&h), "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn cbtr_subset_of_algorithm2_on_h4() {
+        // Theorem 4 instance: CBTR(H4) ⊆ FPR(H4).
+        let (arena, h, bad, _, _) = h4();
+        let oracle = static_oracle();
+        let cbtr = rewrite(
+            &arena,
+            &h,
+            &bad,
+            RewriteAlgorithm::CommutesBackward,
+            FixMode::Lemma1,
+            &oracle,
+        );
+        let fpr = rewrite(
+            &arena,
+            &h,
+            &bad,
+            RewriteAlgorithm::CanFollowCanPrecede,
+            FixMode::Lemma1,
+            &oracle,
+        );
+        let cbtr_saved: BTreeSet<TxnId> = cbtr.saved().into_iter().collect();
+        let fpr_saved: BTreeSet<TxnId> = fpr.saved().into_iter().collect();
+        assert!(cbtr_saved.is_subset(&fpr_saved));
+        // And here strictly: G2 does not commute backward through B1
+        // (it writes the guard u), but it CAN follow it.
+        assert!(cbtr_saved.len() < fpr_saved.len());
+    }
+}

@@ -1,0 +1,137 @@
+//! Transaction arena: ownership and identity for transaction instances.
+
+use histmerge_txn::{Transaction, TxnId, TxnKind};
+
+/// Owns every transaction of a merge scenario and assigns dense [`TxnId`]s.
+///
+/// Histories ([`SerialHistory`](crate::SerialHistory)) reference
+/// transactions by id, so a tentative history and a base history over the
+/// same arena can be combined into one precedence graph without cloning
+/// programs.
+///
+/// # Example
+///
+/// ```rust
+/// use histmerge_txn::{Expr, ProgramBuilder, Transaction, TxnKind, VarId};
+/// use histmerge_history::TxnArena;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let x = VarId::new(0);
+/// let prog = std::sync::Arc::new(
+///     ProgramBuilder::new("inc").read(x).update(x, Expr::var(x) + Expr::konst(1)).build()?,
+/// );
+/// let mut arena = TxnArena::new();
+/// let id = arena.alloc(|id| Transaction::new(id, "Tm1", TxnKind::Tentative, prog, vec![]));
+/// assert_eq!(arena.get(id).name(), "Tm1");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TxnArena {
+    txns: Vec<Transaction>,
+}
+
+impl TxnArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        TxnArena::default()
+    }
+
+    /// Allocates the next [`TxnId`] and stores the transaction the callback
+    /// builds for it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the callback returns a transaction whose id differs from
+    /// the one supplied — ids are the arena's invariant.
+    pub fn alloc(&mut self, build: impl FnOnce(TxnId) -> Transaction) -> TxnId {
+        let id = TxnId::new(self.txns.len() as u32);
+        let txn = build(id);
+        assert_eq!(txn.id(), id, "transaction must keep the id assigned by the arena");
+        self.txns.push(txn);
+        id
+    }
+
+    /// Returns the transaction with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not allocated by this arena.
+    pub fn get(&self, id: TxnId) -> &Transaction {
+        &self.txns[id.index() as usize]
+    }
+
+    /// Returns the transaction with the given id, or `None` if the id is
+    /// foreign to this arena.
+    pub fn try_get(&self, id: TxnId) -> Option<&Transaction> {
+        self.txns.get(id.index() as usize)
+    }
+
+    /// Number of transactions allocated.
+    pub fn len(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Returns `true` if no transactions are allocated.
+    pub fn is_empty(&self) -> bool {
+        self.txns.is_empty()
+    }
+
+    /// Iterates all transactions in allocation order.
+    pub fn iter(&self) -> impl Iterator<Item = &Transaction> + '_ {
+        self.txns.iter()
+    }
+
+    /// Iterates the ids of all transactions of the given kind.
+    pub fn ids_of_kind(&self, kind: TxnKind) -> impl Iterator<Item = TxnId> + '_ {
+        self.txns.iter().filter(move |t| t.kind() == kind).map(Transaction::id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histmerge_txn::{Expr, Program, ProgramBuilder, VarId};
+    use std::sync::Arc;
+
+    fn prog() -> Arc<Program> {
+        let x = VarId::new(0);
+        Arc::new(
+            ProgramBuilder::new("p").read(x).update(x, Expr::var(x) + Expr::konst(1)).build().unwrap(),
+        )
+    }
+
+    #[test]
+    fn alloc_assigns_dense_ids() {
+        let mut arena = TxnArena::new();
+        let p = prog();
+        let a = arena.alloc(|id| Transaction::new(id, "a", TxnKind::Base, p.clone(), vec![]));
+        let b = arena.alloc(|id| Transaction::new(id, "b", TxnKind::Tentative, p.clone(), vec![]));
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.get(b).name(), "b");
+        assert!(arena.try_get(TxnId::new(5)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "must keep the id")]
+    fn alloc_rejects_id_mismatch() {
+        let mut arena = TxnArena::new();
+        let p = prog();
+        arena.alloc(|_| Transaction::new(TxnId::new(99), "bad", TxnKind::Base, p, vec![]));
+    }
+
+    #[test]
+    fn ids_of_kind_filters() {
+        let mut arena = TxnArena::new();
+        let p = prog();
+        arena.alloc(|id| Transaction::new(id, "b1", TxnKind::Base, p.clone(), vec![]));
+        let m = arena.alloc(|id| Transaction::new(id, "m1", TxnKind::Tentative, p.clone(), vec![]));
+        arena.alloc(|id| Transaction::new(id, "b2", TxnKind::Base, p.clone(), vec![]));
+        let tentative: Vec<_> = arena.ids_of_kind(TxnKind::Tentative).collect();
+        assert_eq!(tentative, vec![m]);
+        assert_eq!(arena.ids_of_kind(TxnKind::Base).count(), 2);
+        assert!(!arena.is_empty());
+    }
+}

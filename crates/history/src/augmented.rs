@@ -1,0 +1,342 @@
+//! Augmented histories: serial histories with explicit interleaved states.
+
+use std::fmt;
+
+use histmerge_txn::exec::ExecOutcome;
+use histmerge_txn::{DbState, Fix, TxnError, TxnId, Value, VarId};
+
+use crate::arena::TxnArena;
+use crate::schedule::SerialHistory;
+
+/// Errors raised when constructing or comparing augmented histories.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HistoryError {
+    /// A transaction failed to execute.
+    Execution {
+        /// The transaction that failed.
+        txn: TxnId,
+        /// The underlying interpreter error.
+        source: TxnError,
+    },
+}
+
+impl fmt::Display for HistoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistoryError::Execution { txn, source } => {
+                write!(f, "executing {txn} failed: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HistoryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HistoryError::Execution { source, .. } => Some(source),
+        }
+    }
+}
+
+/// A serial history *augmented* with explicit database states
+/// (Section 3 of the paper: `H^s = s0 T1 s1 T2 s2 ...`).
+///
+/// Each entry pairs a transaction with the [`Fix`] it executed under (the
+/// empty fix for an original history) and records its full
+/// [`ExecOutcome`] — observed reads/writes and before/after images — which
+/// is exactly the log information the undo approach of Section 6.2 needs.
+///
+/// # Example
+///
+/// ```rust
+/// use histmerge_txn::{DbState, Expr, Fix, ProgramBuilder, Transaction, TxnKind, VarId};
+/// use histmerge_history::{AugmentedHistory, SerialHistory, TxnArena};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let x = VarId::new(0);
+/// let inc = std::sync::Arc::new(
+///     ProgramBuilder::new("inc").read(x).update(x, Expr::var(x) + Expr::konst(1)).build()?,
+/// );
+/// let mut arena = TxnArena::new();
+/// let t0 = arena.alloc(|id| Transaction::new(id, "T0", TxnKind::Tentative, inc.clone(), vec![]));
+/// let t1 = arena.alloc(|id| Transaction::new(id, "T1", TxnKind::Tentative, inc.clone(), vec![]));
+/// let s0: DbState = [(x, 0)].into_iter().collect();
+/// let h = AugmentedHistory::execute(&arena, &SerialHistory::from_order([t0, t1]), &s0)?;
+/// assert_eq!(h.final_state().get(x), 2);
+/// assert_eq!(h.before_state(1).get(x), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AugmentedHistory {
+    entries: Vec<(TxnId, Fix)>,
+    /// `states[i]` is the before state of entry `i`; `states[len]` is the
+    /// final state.
+    states: Vec<DbState>,
+    outcomes: Vec<ExecOutcome>,
+}
+
+impl AugmentedHistory {
+    /// Executes a serial history from `initial` with every fix empty (the
+    /// ordinary case: "for ordinary serializable execution histories, each
+    /// such fix is the empty fix").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistoryError::Execution`] if any transaction fails (e.g.
+    /// the state lacks a variable in its read set).
+    pub fn execute(
+        arena: &TxnArena,
+        history: &SerialHistory,
+        initial: &DbState,
+    ) -> Result<Self, HistoryError> {
+        let entries: Vec<(TxnId, Fix)> =
+            history.iter().map(|id| (id, Fix::empty())).collect();
+        Self::execute_with_fixes(arena, &entries, initial)
+    }
+
+    /// Executes a sequence of `(transaction, fix)` entries from `initial`.
+    /// This is how rewritten histories (whose repositioned transactions
+    /// carry non-empty fixes) are materialized and checked.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistoryError::Execution`] if any transaction fails.
+    pub fn execute_with_fixes(
+        arena: &TxnArena,
+        entries: &[(TxnId, Fix)],
+        initial: &DbState,
+    ) -> Result<Self, HistoryError> {
+        let mut states = Vec::with_capacity(entries.len() + 1);
+        let mut outcomes = Vec::with_capacity(entries.len());
+        states.push(initial.clone());
+        let mut current = initial.clone();
+        for (id, fix) in entries {
+            let txn = arena.get(*id);
+            let outcome = txn
+                .execute(&current, fix)
+                .map_err(|source| HistoryError::Execution { txn: *id, source })?;
+            current = outcome.after.clone();
+            states.push(current.clone());
+            outcomes.push(outcome);
+        }
+        Ok(AugmentedHistory { entries: entries.to_vec(), states, outcomes })
+    }
+
+    /// The `(transaction, fix)` entries in execution order.
+    pub fn entries(&self) -> &[(TxnId, Fix)] {
+        &self.entries
+    }
+
+    /// The serial order, without fixes.
+    pub fn order(&self) -> SerialHistory {
+        self.entries.iter().map(|(id, _)| *id).collect()
+    }
+
+    /// Number of transactions executed.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the history is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The *before state* of the `i`-th transaction.
+    pub fn before_state(&self, i: usize) -> &DbState {
+        &self.states[i]
+    }
+
+    /// The *after state* of the `i`-th transaction.
+    pub fn after_state(&self, i: usize) -> &DbState {
+        &self.states[i + 1]
+    }
+
+    /// The initial state `s0`.
+    pub fn initial_state(&self) -> &DbState {
+        &self.states[0]
+    }
+
+    /// The final state of the history.
+    pub fn final_state(&self) -> &DbState {
+        self.states.last().expect("states is never empty")
+    }
+
+    /// The execution record of the `i`-th transaction.
+    pub fn outcome(&self, i: usize) -> &ExecOutcome {
+        &self.outcomes[i]
+    }
+
+    /// The position of `id` in this history, if present.
+    pub fn position(&self, id: TxnId) -> Option<usize> {
+        self.entries.iter().position(|(t, _)| *t == id)
+    }
+
+    /// The value `id` read for `var` in its original position, if it read
+    /// it — the ingredient of every fix (Definition 1: "`v_i` is what `T_i`
+    /// read for `x_i` in the original history").
+    pub fn original_read(&self, id: TxnId, var: VarId) -> Option<Value> {
+        let pos = self.position(id)?;
+        self.outcomes[pos].read_value(var)
+    }
+
+    /// Two augmented histories are **final state equivalent** if they are
+    /// over the same set of transactions and their final states are
+    /// identical (Section 3). Final-state equivalent histories need not be
+    /// conflict or view equivalent.
+    pub fn final_state_equivalent(&self, other: &AugmentedHistory) -> bool {
+        let mut a: Vec<TxnId> = self.entries.iter().map(|(t, _)| *t).collect();
+        let mut b: Vec<TxnId> = other.entries.iter().map(|(t, _)| *t).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        a == b && self.final_state() == other.final_state()
+    }
+}
+
+impl fmt::Display for AugmentedHistory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s0")?;
+        for (i, (id, fix)) in self.entries.iter().enumerate() {
+            if fix.is_empty() {
+                write!(f, " {id} s{}", i + 1)?;
+            } else {
+                write!(f, " {id}^{fix} s{}", i + 1)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histmerge_txn::{Expr, Program, ProgramBuilder, Transaction, TxnKind};
+    use std::sync::Arc;
+
+    fn v(i: u32) -> VarId {
+        VarId::new(i)
+    }
+
+    /// Builds the Section 3 example: B1, G2 over {x, y, z}.
+    fn section3() -> (TxnArena, TxnId, TxnId, DbState) {
+        let b1: Arc<Program> = Arc::new(
+            ProgramBuilder::new("B1")
+                .read(v(0))
+                .read(v(1))
+                .read(v(2))
+                .branch(
+                    Expr::var(v(0)).gt(Expr::konst(0)),
+                    |b| b.update(v(1), Expr::var(v(1)) + Expr::var(v(2)) + Expr::konst(3)),
+                    |b| b,
+                )
+                .build()
+                .unwrap(),
+        );
+        let g2: Arc<Program> = Arc::new(
+            ProgramBuilder::new("G2")
+                .read(v(0))
+                .update(v(0), Expr::var(v(0)) - Expr::konst(1))
+                .build()
+                .unwrap(),
+        );
+        let mut arena = TxnArena::new();
+        let tb = arena.alloc(|id| Transaction::new(id, "B1", TxnKind::Tentative, b1, vec![]));
+        let tg = arena.alloc(|id| Transaction::new(id, "G2", TxnKind::Tentative, g2, vec![]));
+        let s0: DbState = [(v(0), 1), (v(1), 7), (v(2), 2)].into_iter().collect();
+        (arena, tb, tg, s0)
+    }
+
+    #[test]
+    fn augmented_states_match_paper() {
+        let (arena, b1, g2, s0) = section3();
+        let h =
+            AugmentedHistory::execute(&arena, &SerialHistory::from_order([b1, g2]), &s0).unwrap();
+        assert_eq!(h.len(), 2);
+        // s1 = {x=1; y=12; z=2}
+        assert_eq!(h.after_state(0).get(v(1)), 12);
+        assert_eq!(h.after_state(0).get(v(0)), 1);
+        // s2 = {x=0; y=12; z=2}
+        assert_eq!(h.final_state().get(v(0)), 0);
+        assert_eq!(h.final_state().get(v(1)), 12);
+        assert_eq!(h.initial_state(), &s0);
+        assert_eq!(h.before_state(1), h.after_state(0));
+    }
+
+    #[test]
+    fn swap_without_fix_not_equivalent_with_fix_equivalent() {
+        let (arena, b1, g2, s0) = section3();
+        let original =
+            AugmentedHistory::execute(&arena, &SerialHistory::from_order([b1, g2]), &s0).unwrap();
+        // H2 = G2 B1 (no fix): differs in final state.
+        let swapped =
+            AugmentedHistory::execute(&arena, &SerialHistory::from_order([g2, b1]), &s0).unwrap();
+        assert!(!original.final_state_equivalent(&swapped));
+        // H3 = G2 B1^{x=1}: final state equivalent.
+        let fix: Fix = [(v(0), 1)].into_iter().collect();
+        let fixed = AugmentedHistory::execute_with_fixes(
+            &arena,
+            &[(g2, Fix::empty()), (b1, fix)],
+            &s0,
+        )
+        .unwrap();
+        assert!(original.final_state_equivalent(&fixed));
+    }
+
+    #[test]
+    fn final_state_equivalence_requires_same_txn_set() {
+        let (arena, b1, g2, s0) = section3();
+        let h1 =
+            AugmentedHistory::execute(&arena, &SerialHistory::from_order([b1, g2]), &s0).unwrap();
+        let h2 =
+            AugmentedHistory::execute(&arena, &SerialHistory::from_order([g2]), &s0).unwrap();
+        // Different transaction sets: never equivalent, even if states matched.
+        assert!(!h1.final_state_equivalent(&h2));
+    }
+
+    #[test]
+    fn original_read_values() {
+        let (arena, b1, g2, s0) = section3();
+        let h =
+            AugmentedHistory::execute(&arena, &SerialHistory::from_order([b1, g2]), &s0).unwrap();
+        assert_eq!(h.original_read(b1, v(0)), Some(1));
+        assert_eq!(h.original_read(g2, v(0)), Some(1));
+        assert_eq!(h.original_read(b1, v(9)), None);
+        assert_eq!(h.position(g2), Some(1));
+    }
+
+    #[test]
+    fn execution_error_names_transaction() {
+        let (arena, b1, _, _) = section3();
+        let empty = DbState::new();
+        let err = AugmentedHistory::execute(&arena, &SerialHistory::from_order([b1]), &empty)
+            .unwrap_err();
+        assert!(matches!(err, HistoryError::Execution { txn, .. } if txn == b1));
+        assert!(err.to_string().contains("T0"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn display_marks_fixes() {
+        let (arena, b1, g2, s0) = section3();
+        let fix: Fix = [(v(0), 1)].into_iter().collect();
+        let h = AugmentedHistory::execute_with_fixes(
+            &arena,
+            &[(g2, Fix::empty()), (b1, fix)],
+            &s0,
+        )
+        .unwrap();
+        let text = h.to_string();
+        assert!(text.starts_with("s0 T1 s1"));
+        assert!(text.contains("T0^{(d0, 1)}"));
+    }
+
+    #[test]
+    fn empty_history() {
+        let (arena, _, _, s0) = section3();
+        let h = AugmentedHistory::execute(&arena, &SerialHistory::new(), &s0).unwrap();
+        assert!(h.is_empty());
+        assert_eq!(h.final_state(), &s0);
+        assert_eq!(h.order().len(), 0);
+    }
+}

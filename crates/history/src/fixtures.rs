@@ -1,0 +1,157 @@
+//! Reusable scenarios from the paper, for tests, examples, and benchmarks.
+
+use std::sync::Arc;
+
+use histmerge_txn::{DbState, Expr, Program, ProgramBuilder, Transaction, TxnId, TxnKind, VarId};
+
+use crate::arena::TxnArena;
+use crate::schedule::SerialHistory;
+
+/// Example 1 of the paper, fully materialized.
+///
+/// Read/write sets (Section 2.1; the paper's list omits `READSET(Tm3)` but
+/// its Figure 1 discussion says "Tm3 read the item d5 which is then updated
+/// by Tb1", so `READSET(Tm3) = {d5}`):
+///
+/// ```text
+/// READSET(Tm1) = WRITESET(Tm1) = {d1, d2}
+/// READSET(Tm2) = {d2, d3}, WRITESET(Tm2) = {d3, d4, d5, d6}
+/// READSET(Tm3) = {d5},     WRITESET(Tm3) = {d4, d6}
+/// READSET(Tm4) = WRITESET(Tm4) = {d6}
+/// READSET(Tb1) = WRITESET(Tb1) = {d5}
+/// READSET(Tb2) = {d1, d5}, WRITESET(Tb2) = {}
+/// H_m = Tm1 Tm2 Tm3 Tm4,  H_b = Tb1 Tb2
+/// ```
+///
+/// `Tm2` and `Tm3` blind-write some items, exactly as the paper's sets
+/// require. The concrete programs are arbitrary integer arithmetic
+/// honouring those sets.
+#[derive(Debug, Clone)]
+pub struct Example1 {
+    /// Arena owning all six transactions.
+    pub arena: TxnArena,
+    /// Tentative history `Tm1 Tm2 Tm3 Tm4`.
+    pub hm: SerialHistory,
+    /// Base history `Tb1 Tb2`.
+    pub hb: SerialHistory,
+    /// `[Tm1, Tm2, Tm3, Tm4]`.
+    pub m: [TxnId; 4],
+    /// `[Tb1, Tb2]`.
+    pub b: [TxnId; 2],
+    /// A common initial state over `d0..d7` (`d0` and `d7` are unused
+    /// padding items proving merges leave unrelated data alone).
+    pub s0: DbState,
+}
+
+/// Builds [`Example1`].
+pub fn example1() -> Example1 {
+    let d = |i: u32| VarId::new(i);
+    let mut arena = TxnArena::new();
+
+    // Tm1: reads/writes {d1, d2}.
+    let tm1: Arc<Program> = Arc::new(
+        ProgramBuilder::new("Tm1")
+            .read(d(1))
+            .read(d(2))
+            .update(d(1), Expr::var(d(1)) + Expr::konst(10))
+            .update(d(2), Expr::var(d(2)) + Expr::var(d(1)))
+            .build()
+            .expect("Tm1 is well formed"),
+    );
+    // Tm2: reads {d2, d3}; writes {d3, d4, d5, d6} (d4, d5, d6 blindly).
+    let tm2: Arc<Program> = Arc::new(
+        ProgramBuilder::new("Tm2")
+            .allow_blind_writes()
+            .read(d(2))
+            .read(d(3))
+            .update(d(3), Expr::var(d(3)) + Expr::var(d(2)))
+            .update(d(4), Expr::var(d(2)) * Expr::konst(2))
+            .update(d(5), Expr::var(d(3)) + Expr::konst(1))
+            .update(d(6), Expr::konst(50))
+            .build()
+            .expect("Tm2 is well formed"),
+    );
+    // Tm3: reads {d5}; writes {d4, d6} (both blindly).
+    let tm3: Arc<Program> = Arc::new(
+        ProgramBuilder::new("Tm3")
+            .allow_blind_writes()
+            .read(d(5))
+            .update(d(4), Expr::var(d(5)) + Expr::konst(3))
+            .update(d(6), Expr::var(d(5)) * Expr::konst(2))
+            .build()
+            .expect("Tm3 is well formed"),
+    );
+    // Tm4: reads/writes {d6}.
+    let tm4: Arc<Program> = Arc::new(
+        ProgramBuilder::new("Tm4")
+            .read(d(6))
+            .update(d(6), Expr::var(d(6)) + Expr::konst(7))
+            .build()
+            .expect("Tm4 is well formed"),
+    );
+    // Tb1: reads/writes {d5}.
+    let tb1: Arc<Program> = Arc::new(
+        ProgramBuilder::new("Tb1")
+            .read(d(5))
+            .update(d(5), Expr::var(d(5)) + Expr::konst(100))
+            .build()
+            .expect("Tb1 is well formed"),
+    );
+    // Tb2: reads {d1, d5}, read-only.
+    let tb2: Arc<Program> = Arc::new(
+        ProgramBuilder::new("Tb2").read(d(1)).read(d(5)).build().expect("Tb2 is well formed"),
+    );
+
+    let m1 = arena.alloc(|id| Transaction::new(id, "Tm1", TxnKind::Tentative, tm1, vec![]));
+    let m2 = arena.alloc(|id| Transaction::new(id, "Tm2", TxnKind::Tentative, tm2, vec![]));
+    let m3 = arena.alloc(|id| Transaction::new(id, "Tm3", TxnKind::Tentative, tm3, vec![]));
+    let m4 = arena.alloc(|id| Transaction::new(id, "Tm4", TxnKind::Tentative, tm4, vec![]));
+    let b1 = arena.alloc(|id| Transaction::new(id, "Tb1", TxnKind::Base, tb1, vec![]));
+    let b2 = arena.alloc(|id| Transaction::new(id, "Tb2", TxnKind::Base, tb2, vec![]));
+
+    let s0: DbState = (0..8).map(|i| (d(i), 10 * i as i64)).collect();
+
+    Example1 {
+        arena,
+        hm: SerialHistory::from_order([m1, m2, m3, m4]),
+        hb: SerialHistory::from_order([b1, b2]),
+        m: [m1, m2, m3, m4],
+        b: [b1, b2],
+        s0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sets_match_paper() {
+        let ex = example1();
+        let d = |i: u32| VarId::new(i);
+        let t = |id| ex.arena.get(id);
+        assert_eq!(t(ex.m[0]).readset(), &[d(1), d(2)].into_iter().collect());
+        assert_eq!(t(ex.m[0]).writeset(), &[d(1), d(2)].into_iter().collect());
+        assert_eq!(t(ex.m[1]).readset(), &[d(2), d(3)].into_iter().collect());
+        assert_eq!(t(ex.m[1]).writeset(), &[d(3), d(4), d(5), d(6)].into_iter().collect());
+        assert_eq!(t(ex.m[2]).readset(), &[d(5)].into_iter().collect());
+        assert_eq!(t(ex.m[2]).writeset(), &[d(4), d(6)].into_iter().collect());
+        assert_eq!(t(ex.m[3]).readset(), &[d(6)].into_iter().collect());
+        assert_eq!(t(ex.m[3]).writeset(), &[d(6)].into_iter().collect());
+        assert_eq!(t(ex.b[0]).readset(), &[d(5)].into_iter().collect());
+        assert_eq!(t(ex.b[0]).writeset(), &[d(5)].into_iter().collect());
+        assert_eq!(t(ex.b[1]).readset(), &[d(1), d(5)].into_iter().collect());
+        assert!(t(ex.b[1]).writeset().is_empty());
+    }
+
+    #[test]
+    fn histories_execute_from_s0() {
+        let ex = example1();
+        let hm = crate::AugmentedHistory::execute(&ex.arena, &ex.hm, &ex.s0).unwrap();
+        let hb = crate::AugmentedHistory::execute(&ex.arena, &ex.hb, &ex.s0).unwrap();
+        assert_eq!(hm.len(), 4);
+        assert_eq!(hb.len(), 2);
+        // Tb1 bumped d5 by 100 on the base copy.
+        assert_eq!(hb.final_state().get(VarId::new(5)), ex.s0.get(VarId::new(5)) + 100);
+    }
+}

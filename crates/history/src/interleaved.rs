@@ -1,0 +1,351 @@
+//! Interleaved (operation-level) schedules and conflict serializability.
+//!
+//! Section 3 of the paper assumes each history to be merged "is
+//! serializable and there is an explicit serial history `H^s` of `H`".
+//! Mobile nodes, however, execute transactions *interleaved* at the
+//! operation level. This module supplies the missing substrate: an
+//! operation-level [`InterleavedSchedule`], the classical serialization
+//! graph, a conflict-serializability test, and extraction of the explicit
+//! serial history the rewriting algorithms consume.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use histmerge_txn::{TxnId, VarId};
+
+use crate::schedule::SerialHistory;
+
+/// One operation of an interleaved schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// A read of `var` by `txn`.
+    Read {
+        /// The transaction issuing the read.
+        txn: TxnId,
+        /// The item read.
+        var: VarId,
+    },
+    /// A write of `var` by `txn`.
+    Write {
+        /// The transaction issuing the write.
+        txn: TxnId,
+        /// The item written.
+        var: VarId,
+    },
+}
+
+impl Op {
+    /// The transaction issuing this operation.
+    pub fn txn(&self) -> TxnId {
+        match self {
+            Op::Read { txn, .. } | Op::Write { txn, .. } => *txn,
+        }
+    }
+
+    /// The item this operation touches.
+    pub fn var(&self) -> VarId {
+        match self {
+            Op::Read { var, .. } | Op::Write { var, .. } => *var,
+        }
+    }
+
+    /// Two operations conflict if they touch the same item, belong to
+    /// different transactions, and at least one writes (the paper's
+    /// footnote ¶: "two operations conflict if one is write").
+    pub fn conflicts_with(&self, other: &Op) -> bool {
+        self.txn() != other.txn()
+            && self.var() == other.var()
+            && (matches!(self, Op::Write { .. }) || matches!(other, Op::Write { .. }))
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Read { txn, var } => write!(f, "r{}[{var}]", txn.index()),
+            Op::Write { txn, var } => write!(f, "w{}[{var}]", txn.index()),
+        }
+    }
+}
+
+/// An operation-level schedule of several transactions.
+///
+/// # Example
+///
+/// ```rust
+/// use histmerge_history::interleaved::{InterleavedSchedule, Op};
+/// use histmerge_txn::{TxnId, VarId};
+///
+/// let (t0, t1) = (TxnId::new(0), TxnId::new(1));
+/// let x = VarId::new(0);
+/// // r0[x] r1[x] w1[x] w0[x]: a lost-update anomaly — not serializable.
+/// let s = InterleavedSchedule::from_ops([
+///     Op::Read { txn: t0, var: x },
+///     Op::Read { txn: t1, var: x },
+///     Op::Write { txn: t1, var: x },
+///     Op::Write { txn: t0, var: x },
+/// ]);
+/// assert!(!s.is_conflict_serializable());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct InterleavedSchedule {
+    ops: Vec<Op>,
+}
+
+impl InterleavedSchedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        InterleavedSchedule::default()
+    }
+
+    /// Creates a schedule from operations in execution order.
+    pub fn from_ops<I: IntoIterator<Item = Op>>(ops: I) -> Self {
+        InterleavedSchedule { ops: ops.into_iter().collect() }
+    }
+
+    /// Appends an operation.
+    pub fn push(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    /// The operations in execution order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` if the schedule has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The distinct transactions, in order of first appearance.
+    pub fn txns(&self) -> Vec<TxnId> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for op in &self.ops {
+            if seen.insert(op.txn()) {
+                out.push(op.txn());
+            }
+        }
+        out
+    }
+
+    /// The serialization graph: `Ti → Tj` iff some operation of `Ti`
+    /// precedes a conflicting operation of `Tj`.
+    pub fn serialization_graph(&self) -> BTreeMap<TxnId, BTreeSet<TxnId>> {
+        let mut graph: BTreeMap<TxnId, BTreeSet<TxnId>> =
+            self.txns().into_iter().map(|t| (t, BTreeSet::new())).collect();
+        for (i, a) in self.ops.iter().enumerate() {
+            for b in &self.ops[i + 1..] {
+                if a.conflicts_with(b) {
+                    graph.get_mut(&a.txn()).expect("txn registered").insert(b.txn());
+                }
+            }
+        }
+        graph
+    }
+
+    /// Conflict-serializability: the serialization graph is acyclic.
+    pub fn is_conflict_serializable(&self) -> bool {
+        self.serial_order().is_some()
+    }
+
+    /// Extracts an equivalent serial history (the explicit `H^s` the
+    /// rewriting model assumes), or `None` if the schedule is not
+    /// conflict serializable. Ties are broken by first-appearance order,
+    /// so fully independent transactions keep their submission order.
+    pub fn serial_order(&self) -> Option<SerialHistory> {
+        let graph = self.serialization_graph();
+        let order = self.txns();
+        let mut indegree: BTreeMap<TxnId, usize> =
+            order.iter().map(|t| (*t, 0)).collect();
+        for succs in graph.values() {
+            for s in succs {
+                *indegree.get_mut(s).expect("txn registered") += 1;
+            }
+        }
+        let mut emitted: BTreeSet<TxnId> = BTreeSet::new();
+        let mut out = Vec::with_capacity(order.len());
+        while out.len() < order.len() {
+            let next = order
+                .iter()
+                .copied()
+                .find(|t| !emitted.contains(t) && indegree[t] == 0)?;
+            emitted.insert(next);
+            out.push(next);
+            for s in &graph[&next] {
+                if !emitted.contains(s) {
+                    *indegree.get_mut(s).expect("txn registered") -= 1;
+                }
+            }
+        }
+        Some(SerialHistory::from_order(out))
+    }
+}
+
+impl fmt::Display for InterleavedSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, op) in self.ops.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{op}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds the operation sequence of a transaction from its static sets:
+/// all reads (in item order), then all writes. Used to lower a serial
+/// transaction execution onto the operation level.
+pub fn ops_of_transaction(
+    txn: &histmerge_txn::Transaction,
+) -> impl Iterator<Item = Op> + '_ {
+    let id = txn.id();
+    txn.readset()
+        .iter()
+        .map(move |var| Op::Read { txn: id, var })
+        .chain(txn.writeset().iter().map(move |var| Op::Write { txn: id, var }))
+        .collect::<Vec<_>>()
+        .into_iter()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TxnId {
+        TxnId::new(i)
+    }
+
+    fn v(i: u32) -> VarId {
+        VarId::new(i)
+    }
+
+    fn r(txn: u32, var: u32) -> Op {
+        Op::Read { txn: t(txn), var: v(var) }
+    }
+
+    fn w(txn: u32, var: u32) -> Op {
+        Op::Write { txn: t(txn), var: v(var) }
+    }
+
+    #[test]
+    fn conflict_rules() {
+        assert!(w(0, 1).conflicts_with(&r(1, 1)));
+        assert!(r(0, 1).conflicts_with(&w(1, 1)));
+        assert!(w(0, 1).conflicts_with(&w(1, 1)));
+        assert!(!r(0, 1).conflicts_with(&r(1, 1)), "read-read never conflicts");
+        assert!(!w(0, 1).conflicts_with(&w(1, 2)), "different items");
+        assert!(!w(0, 1).conflicts_with(&w(0, 1)), "same transaction");
+    }
+
+    #[test]
+    fn serial_schedule_is_serializable() {
+        let s = InterleavedSchedule::from_ops([r(0, 0), w(0, 0), r(1, 0), w(1, 0)]);
+        assert!(s.is_conflict_serializable());
+        assert_eq!(s.serial_order().unwrap().order(), &[t(0), t(1)]);
+    }
+
+    #[test]
+    fn lost_update_is_not_serializable() {
+        let s = InterleavedSchedule::from_ops([r(0, 0), r(1, 0), w(1, 0), w(0, 0)]);
+        assert!(!s.is_conflict_serializable());
+        assert!(s.serial_order().is_none());
+    }
+
+    #[test]
+    fn interleaved_but_serializable() {
+        // r0[x] r1[y] w0[x] w1[y]: disjoint items, any order works.
+        let s = InterleavedSchedule::from_ops([r(0, 0), r(1, 1), w(0, 0), w(1, 1)]);
+        assert!(s.is_conflict_serializable());
+        // First-appearance tie-break keeps submission order.
+        assert_eq!(s.serial_order().unwrap().order(), &[t(0), t(1)]);
+    }
+
+    #[test]
+    fn serialization_can_reorder() {
+        // T1 wrote x before T0 read it: T1 must precede T0 even though T0
+        // appeared first.
+        let s = InterleavedSchedule::from_ops([r(0, 1), w(1, 0), r(0, 0), w(0, 1)]);
+        let order = s.serial_order().unwrap();
+        let p0 = order.position(t(0)).unwrap();
+        let p1 = order.position(t(1)).unwrap();
+        assert!(p1 < p0);
+    }
+
+    #[test]
+    fn graph_edges_follow_op_order() {
+        let s = InterleavedSchedule::from_ops([w(0, 0), r(1, 0), w(2, 0)]);
+        let g = s.serialization_graph();
+        assert!(g[&t(0)].contains(&t(1)));
+        assert!(g[&t(0)].contains(&t(2)));
+        assert!(g[&t(1)].contains(&t(2)));
+        assert!(!g[&t(2)].contains(&t(0)));
+    }
+
+    #[test]
+    fn three_way_cycle_detected() {
+        // T0 -> T1 (x), T1 -> T2 (y), T2 -> T0 (z).
+        let s = InterleavedSchedule::from_ops([
+            w(0, 0),
+            r(1, 0), // T0 -> T1
+            w(1, 1),
+            r(2, 1), // T1 -> T2
+            w(2, 2),
+            r(0, 2), // T2 -> T0
+        ]);
+        assert!(!s.is_conflict_serializable());
+    }
+
+    #[test]
+    fn txns_in_first_appearance_order() {
+        let s = InterleavedSchedule::from_ops([r(5, 0), r(1, 1), r(5, 2), r(0, 3)]);
+        assert_eq!(s.txns(), vec![t(5), t(1), t(0)]);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn display_format() {
+        let s = InterleavedSchedule::from_ops([r(0, 1), w(1, 2)]);
+        assert_eq!(s.to_string(), "r0[d1] w1[d2]");
+    }
+
+    #[test]
+    fn ops_of_transaction_reads_then_writes() {
+        use histmerge_txn::{Expr, ProgramBuilder, Transaction, TxnKind};
+        use std::sync::Arc;
+        let p = Arc::new(
+            ProgramBuilder::new("t")
+                .read(v(0))
+                .read(v(1))
+                .update(v(0), Expr::var(v(0)) + Expr::var(v(1)))
+                .build()
+                .unwrap(),
+        );
+        let txn = Transaction::new(t(3), "t", TxnKind::Tentative, p, vec![]);
+        let ops: Vec<Op> = ops_of_transaction(&txn).collect();
+        assert_eq!(ops, vec![r(3, 0), r(3, 1), w(3, 0)]);
+    }
+
+    #[test]
+    fn serialized_interleaving_of_serial_txns_roundtrips() {
+        // Lower a serial history to ops, interleave benignly, re-serialize.
+        let serial = [t(0), t(1), t(2)];
+        let mut s = InterleavedSchedule::new();
+        // Each txn reads/writes its own item: fully independent.
+        for (i, id) in serial.iter().enumerate() {
+            s.push(Op::Read { txn: *id, var: v(i as u32) });
+        }
+        for (i, id) in serial.iter().enumerate() {
+            s.push(Op::Write { txn: *id, var: v(i as u32) });
+        }
+        assert_eq!(s.serial_order().unwrap().order(), &serial);
+    }
+}

@@ -1,0 +1,263 @@
+//! Transaction logs: the durable record the merging protocol parses.
+//!
+//! Section 7.1: "the cost of constructing `G(H_m, H_b)` ... can be built by
+//! parsing the log for `H_m` and the log for `H_b` only once if read
+//! operations (or read sets) are recorded in the log", and the mobile node
+//! ships "the readset and writeset of each transaction in the tentative
+//! history" to the base. This module provides that log: a compact,
+//! serializable record per committed transaction with read/write sets and
+//! before/after images — enough to rebuild the precedence graph, run undo
+//! pruning, and account message sizes.
+
+use serde::{Deserialize, Serialize};
+
+use histmerge_txn::{TxnId, Value, VarId};
+
+use crate::augmented::AugmentedHistory;
+use crate::schedule::SerialHistory;
+
+/// One committed transaction's log record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogRecord {
+    /// The transaction (dense index within its arena).
+    pub txn: u32,
+    /// Items read, with the values observed (fix material, Definition 1).
+    pub reads: Vec<(u32, Value)>,
+    /// Items written, with the values produced.
+    pub writes: Vec<(u32, Value)>,
+    /// Before-image over the written items (undo material, Section 6.2).
+    pub before: Vec<(u32, Value)>,
+}
+
+impl LogRecord {
+    /// The transaction id.
+    pub fn txn_id(&self) -> TxnId {
+        TxnId::new(self.txn)
+    }
+
+    /// Size in bytes when shipped to a base node, under the simple
+    /// encoding of one `(u32, i64)` pair per entry plus a header.
+    pub fn encoded_size(&self) -> usize {
+        const HEADER: usize = 4 + 3 * 2; // txn id + three u16 lengths
+        const ENTRY: usize = 4 + 8;
+        HEADER + ENTRY * (self.reads.len() + self.writes.len() + self.before.len())
+    }
+}
+
+/// The log of one history: per-transaction records in commit order.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxnLog {
+    records: Vec<LogRecord>,
+}
+
+impl TxnLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        TxnLog::default()
+    }
+
+    /// Extracts the log of an executed (augmented) history.
+    pub fn from_augmented(history: &AugmentedHistory) -> TxnLog {
+        let records = (0..history.len())
+            .map(|i| {
+                let (id, _) = history.entries()[i];
+                let outcome = history.outcome(i);
+                LogRecord {
+                    txn: id.index(),
+                    reads: outcome.reads.iter().map(|(v, x)| (v.index(), *x)).collect(),
+                    writes: outcome.writes.iter().map(|(v, x)| (v.index(), *x)).collect(),
+                    before: outcome
+                        .writes
+                        .keys()
+                        .map(|v| (v.index(), outcome.before_image.get(*v)))
+                        .collect(),
+                }
+            })
+            .collect();
+        TxnLog { records }
+    }
+
+    /// Appends a record.
+    pub fn append(&mut self, record: LogRecord) {
+        self.records.push(record);
+    }
+
+    /// The records in commit order.
+    pub fn records(&self) -> &[LogRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The serial history recorded in the log.
+    pub fn serial_history(&self) -> SerialHistory {
+        self.records.iter().map(LogRecord::txn_id).collect()
+    }
+
+    /// Total bytes when shipped to a base node (the protocol-step-1 upload
+    /// the Section 7.1 communication comparison charges).
+    pub fn encoded_size(&self) -> usize {
+        self.records.iter().map(LogRecord::encoded_size).sum()
+    }
+
+    /// Total read/write-set entries (the `rw_entries` input of the cost
+    /// model).
+    pub fn rw_entries(&self) -> usize {
+        self.records.iter().map(|r| r.reads.len() + r.writes.len()).sum()
+    }
+
+    /// The value `txn` observed for `var`, if logged — fix material.
+    pub fn logged_read(&self, txn: TxnId, var: VarId) -> Option<Value> {
+        self.records
+            .iter()
+            .find(|r| r.txn_id() == txn)?
+            .reads
+            .iter()
+            .find(|(v, _)| *v == var.index())
+            .map(|(_, x)| *x)
+    }
+
+    /// The before-image value `txn` logged for `var`, if it wrote it —
+    /// undo material.
+    pub fn before_image(&self, txn: TxnId, var: VarId) -> Option<Value> {
+        self.records
+            .iter()
+            .find(|r| r.txn_id() == txn)?
+            .before
+            .iter()
+            .find(|(v, _)| *v == var.index())
+            .map(|(_, x)| *x)
+    }
+
+    /// REDO recovery: replays the logged writes onto `initial`, in commit
+    /// order, returning the recovered state. This is pure log application —
+    /// no transaction re-execution — so it works even when the programs are
+    /// no longer available (e.g. after a base-node restart).
+    pub fn redo(&self, initial: &crate::augmented::AugmentedHistory) -> histmerge_txn::DbState {
+        self.redo_onto(initial.initial_state().clone())
+    }
+
+    /// REDO recovery onto an explicit initial state.
+    pub fn redo_onto(&self, mut state: histmerge_txn::DbState) -> histmerge_txn::DbState {
+        for record in &self.records {
+            for (var, value) in &record.writes {
+                state.set(VarId::new(*var), *value);
+            }
+        }
+        state
+    }
+
+    /// UNDO recovery: rolls the final state back to just before the
+    /// `from`-th record by restoring before-images in reverse commit order
+    /// (the crash-recovery twin of Section 6.2's pruning undo).
+    pub fn undo_to(
+        &self,
+        mut final_state: histmerge_txn::DbState,
+        from: usize,
+    ) -> histmerge_txn::DbState {
+        for record in self.records.iter().skip(from).rev() {
+            for (var, value) in &record.before {
+                final_state.set(VarId::new(*var), *value);
+            }
+        }
+        final_state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::example1;
+
+    #[test]
+    fn log_captures_history() {
+        let ex = example1();
+        let aug = AugmentedHistory::execute(&ex.arena, &ex.hm, &ex.s0).unwrap();
+        let log = TxnLog::from_augmented(&aug);
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.serial_history().order(), ex.hm.order());
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn logged_reads_match_execution() {
+        let ex = example1();
+        let aug = AugmentedHistory::execute(&ex.arena, &ex.hm, &ex.s0).unwrap();
+        let log = TxnLog::from_augmented(&aug);
+        // Tm3 read d5 — the value Tm2 wrote.
+        let d5 = histmerge_txn::VarId::new(5);
+        let expected = aug.original_read(ex.m[2], d5).unwrap();
+        assert_eq!(log.logged_read(ex.m[2], d5), Some(expected));
+        // Items never read return None.
+        assert_eq!(log.logged_read(ex.m[2], histmerge_txn::VarId::new(0)), None);
+        assert_eq!(log.logged_read(histmerge_txn::TxnId::new(99), d5), None);
+    }
+
+    #[test]
+    fn before_images_enable_undo() {
+        let ex = example1();
+        let aug = AugmentedHistory::execute(&ex.arena, &ex.hm, &ex.s0).unwrap();
+        let log = TxnLog::from_augmented(&aug);
+        // Tm4 wrote d6; its before image is Tm3's output for d6.
+        let d6 = histmerge_txn::VarId::new(6);
+        let pos = aug.position(ex.m[3]).unwrap();
+        assert_eq!(
+            log.before_image(ex.m[3], d6),
+            Some(aug.before_state(pos).get(d6))
+        );
+        assert_eq!(log.before_image(ex.m[3], histmerge_txn::VarId::new(1)), None);
+    }
+
+    #[test]
+    fn encoded_sizes_are_positive_and_additive() {
+        let ex = example1();
+        let aug = AugmentedHistory::execute(&ex.arena, &ex.hm, &ex.s0).unwrap();
+        let log = TxnLog::from_augmented(&aug);
+        let total = log.encoded_size();
+        let sum: usize = log.records().iter().map(LogRecord::encoded_size).sum();
+        assert_eq!(total, sum);
+        assert!(total > 0);
+        assert!(log.rw_entries() >= 8);
+    }
+
+    #[test]
+    fn redo_recovers_final_state() {
+        let ex = example1();
+        let aug = AugmentedHistory::execute(&ex.arena, &ex.hm, &ex.s0).unwrap();
+        let log = TxnLog::from_augmented(&aug);
+        // Pure log application reproduces the executed final state.
+        assert_eq!(&log.redo(&aug), aug.final_state());
+        assert_eq!(&log.redo_onto(ex.s0.clone()), aug.final_state());
+    }
+
+    #[test]
+    fn undo_to_rolls_back_a_suffix() {
+        let ex = example1();
+        let aug = AugmentedHistory::execute(&ex.arena, &ex.hm, &ex.s0).unwrap();
+        let log = TxnLog::from_augmented(&aug);
+        // Undo everything: back to s0.
+        assert_eq!(log.undo_to(aug.final_state().clone(), 0), ex.s0);
+        // Undo the last two (Tm3, Tm4): the state after Tm2.
+        assert_eq!(&log.undo_to(aug.final_state().clone(), 2), aug.after_state(1));
+        // Undo nothing.
+        assert_eq!(&log.undo_to(aug.final_state().clone(), 4), aug.final_state());
+    }
+
+    #[test]
+    fn append_extends() {
+        let mut log = TxnLog::new();
+        assert!(log.is_empty());
+        log.append(LogRecord { txn: 7, reads: vec![(0, 1)], writes: vec![], before: vec![] });
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.serial_history().order(), &[TxnId::new(7)]);
+        assert_eq!(log.logged_read(TxnId::new(7), VarId::new(0)), Some(1));
+    }
+}

@@ -1,0 +1,528 @@
+//! The precedence graph `G(H_m, H_b)` of Section 2.1 (after Davidson 1984).
+//!
+//! Given a tentative history `H_m` and a base history `H_b` that started
+//! from the same database state, the graph has one node per transaction and
+//! three kinds of edges:
+//!
+//! 1. `T_i → T_j` for tentative `T_i`, `T_j` with conflicting operations,
+//!    `T_i` preceding `T_j` in `H_m`;
+//! 2. `T_i → T_j` for base transactions likewise (order in `H_b`);
+//! 3. cross edges: `T_m → T_b` if tentative `T_m` read an item that base
+//!    `T_b` updated (the tentative read saw the pre-base value, so `T_m`
+//!    must serialize before `T_b`), and symmetrically `T_b → T_m`.
+//!
+//! **Theorem 1**: `G(H_m, H_b)` is acyclic iff `H_m` and `H_b` are
+//! serializable, i.e. equivalent to some merged history `H` — which
+//! [`PrecedenceGraph::merged_history`] then produces by topological sort.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use histmerge_txn::{TxnId, TxnKind};
+
+use crate::arena::TxnArena;
+use crate::schedule::SerialHistory;
+
+/// Why an edge is in the precedence graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EdgeKind {
+    /// Conflicting tentative transactions, ordered by `H_m` (rule 1).
+    MobileConflict,
+    /// Conflicting base transactions, ordered by `H_b` (rule 2).
+    BaseConflict,
+    /// A tentative transaction read an item a base transaction updated
+    /// (rule 3, `T_m → T_b`).
+    MobileReadBase,
+    /// A base transaction read an item a tentative transaction updated
+    /// (rule 3, `T_b → T_m`).
+    BaseReadMobile,
+}
+
+impl fmt::Display for EdgeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EdgeKind::MobileConflict => "mobile-conflict",
+            EdgeKind::BaseConflict => "base-conflict",
+            EdgeKind::MobileReadBase => "mobile-read-base",
+            EdgeKind::BaseReadMobile => "base-read-mobile",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The precedence graph over the transactions of `H_m ∪ H_b`.
+#[derive(Debug, Clone)]
+pub struct PrecedenceGraph {
+    /// Node order: `H_m` transactions first, then `H_b` transactions.
+    nodes: Vec<TxnId>,
+    kinds: Vec<TxnKind>,
+    /// Adjacency: `succs[i]` is the set of node indices `i` points to.
+    succs: Vec<BTreeSet<usize>>,
+    /// Every edge with its reason, for diagnostics and Figure 1 rendering.
+    edges: Vec<(TxnId, TxnId, EdgeKind)>,
+}
+
+impl PrecedenceGraph {
+    /// Builds the graph from a tentative and a base history over one arena.
+    ///
+    /// Conflicts are determined from static read/write sets: two
+    /// transactions conflict on an item if both access it and at least one
+    /// writes it.
+    pub fn build(arena: &TxnArena, hm: &SerialHistory, hb: &SerialHistory) -> Self {
+        let nodes: Vec<TxnId> = hm.iter().chain(hb.iter()).collect();
+        let kinds: Vec<TxnKind> = nodes.iter().map(|id| arena.get(*id).kind()).collect();
+        let index_map: std::collections::BTreeMap<TxnId, usize> =
+            nodes.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+        let index_of = move |id: TxnId| *index_map.get(&id).expect("node present");
+
+        let mut graph = PrecedenceGraph {
+            succs: vec![BTreeSet::new(); nodes.len()],
+            edges: Vec::new(),
+            nodes,
+            kinds,
+        };
+
+        let conflicts = |a: TxnId, b: TxnId| -> bool {
+            let (ta, tb) = (arena.get(a), arena.get(b));
+            ta.readset().intersects(tb.writeset())
+                || ta.writeset().intersects(tb.readset())
+                || ta.writeset().intersects(tb.writeset())
+        };
+
+        // Rule 1: order of conflicting tentative transactions in H_m.
+        let hm_order: Vec<TxnId> = hm.iter().collect();
+        for (i, &ti) in hm_order.iter().enumerate() {
+            for &tj in &hm_order[i + 1..] {
+                if conflicts(ti, tj) {
+                    graph.add_edge(index_of(ti), index_of(tj), EdgeKind::MobileConflict);
+                }
+            }
+        }
+
+        // Rule 2: order of conflicting base transactions in H_b.
+        let hb_order: Vec<TxnId> = hb.iter().collect();
+        for (i, &ti) in hb_order.iter().enumerate() {
+            for &tj in &hb_order[i + 1..] {
+                if conflicts(ti, tj) {
+                    graph.add_edge(index_of(ti), index_of(tj), EdgeKind::BaseConflict);
+                }
+            }
+        }
+
+        // Rule 3: cross edges. Both histories started from the same state,
+        // so a tentative read of an item some base transaction wrote must
+        // have observed the pre-base value (and vice versa).
+        for &tm in &hm_order {
+            for &tb in &hb_order {
+                let (m, b) = (arena.get(tm), arena.get(tb));
+                if m.readset().intersects(b.writeset()) {
+                    graph.add_edge(index_of(tm), index_of(tb), EdgeKind::MobileReadBase);
+                }
+                if b.readset().intersects(m.writeset()) {
+                    graph.add_edge(index_of(tb), index_of(tm), EdgeKind::BaseReadMobile);
+                }
+            }
+        }
+
+        graph
+    }
+
+    fn add_edge(&mut self, from: usize, to: usize, kind: EdgeKind) {
+        if self.succs[from].insert(to) {
+            self.edges.push((self.nodes[from], self.nodes[to], kind));
+        }
+    }
+
+    /// The transactions in the graph (tentative first, then base).
+    pub fn nodes(&self) -> &[TxnId] {
+        &self.nodes
+    }
+
+    /// Every edge as `(from, to, kind)`, in insertion order.
+    pub fn edges(&self) -> &[(TxnId, TxnId, EdgeKind)] {
+        &self.edges
+    }
+
+    /// Returns `true` if there is an edge `from → to`.
+    pub fn has_edge(&self, from: TxnId, to: TxnId) -> bool {
+        match (self.index(from), self.index(to)) {
+            (Some(f), Some(t)) => self.succs[f].contains(&t),
+            _ => false,
+        }
+    }
+
+    /// The node index of `id`, if present.
+    fn index(&self, id: TxnId) -> Option<usize> {
+        self.nodes.iter().position(|n| *n == id)
+    }
+
+    /// The kind (base/tentative) of a node.
+    pub fn kind(&self, id: TxnId) -> Option<TxnKind> {
+        self.index(id).map(|i| self.kinds[i])
+    }
+
+    /// Returns `true` if the graph is acyclic, ignoring nodes in `removed`.
+    ///
+    /// By Theorem 1, acyclicity means the two histories are serializable
+    /// into one merged history.
+    pub fn is_acyclic_without(&self, removed: &BTreeSet<TxnId>) -> bool {
+        self.topo_order_without(removed).is_some()
+    }
+
+    /// Returns `true` if the full graph is acyclic (Theorem 1).
+    pub fn is_acyclic(&self) -> bool {
+        self.is_acyclic_without(&BTreeSet::new())
+    }
+
+    /// Kahn topological sort over the nodes not in `removed`; `None` if the
+    /// remaining graph has a cycle. Ties are broken by preferring **base**
+    /// transactions, then lower node index — so merged histories
+    /// deterministically front-load the durable base history where the
+    /// graph allows, matching the paper's `H = Tb1 Tb2 Tm1 Tm2` in
+    /// Example 1.
+    fn topo_order_without(&self, removed: &BTreeSet<TxnId>) -> Option<Vec<TxnId>> {
+        let n = self.nodes.len();
+        let alive: Vec<bool> = self.nodes.iter().map(|id| !removed.contains(id)).collect();
+        let mut indegree = vec![0usize; n];
+        for (from, succs) in self.succs.iter().enumerate() {
+            if !alive[from] {
+                continue;
+            }
+            for &to in succs {
+                if alive[to] {
+                    indegree[to] += 1;
+                }
+            }
+        }
+        let mut order = Vec::with_capacity(n);
+        let mut emitted = vec![false; n];
+        let alive_count = alive.iter().filter(|a| **a).count();
+        loop {
+            // Deterministic tie-break: base nodes first, then lowest index.
+            let next = (0..n)
+                .filter(|&i| alive[i] && !emitted[i] && indegree[i] == 0)
+                .min_by_key(|&i| (self.kinds[i] != TxnKind::Base, i));
+            let Some(i) = next else { break };
+            emitted[i] = true;
+            order.push(self.nodes[i]);
+            for &to in &self.succs[i] {
+                if alive[to] && !emitted[to] {
+                    indegree[to] -= 1;
+                }
+            }
+        }
+        (order.len() == alive_count).then_some(order)
+    }
+
+    /// If the graph (minus `removed`) is acyclic, returns an equivalent
+    /// merged serial history over the remaining transactions (Theorem 1).
+    pub fn merged_history_without(&self, removed: &BTreeSet<TxnId>) -> Option<SerialHistory> {
+        self.topo_order_without(removed).map(SerialHistory::from_order)
+    }
+
+    /// If the graph is acyclic, returns an equivalent merged serial history.
+    pub fn merged_history(&self) -> Option<SerialHistory> {
+        self.merged_history_without(&BTreeSet::new())
+    }
+
+    /// The strongly connected components with more than one node, or with a
+    /// self-loop — i.e. the components containing cycles. Nodes in
+    /// `removed` are ignored.
+    pub fn cyclic_sccs(&self, removed: &BTreeSet<TxnId>) -> Vec<Vec<TxnId>> {
+        let sccs = self.tarjan_sccs(removed);
+        sccs.into_iter()
+            .filter(|scc| {
+                scc.len() > 1 || {
+                    let i = self.index(scc[0]).expect("scc node");
+                    self.succs[i].contains(&i)
+                }
+            })
+            .collect()
+    }
+
+    /// All 2-cycles `(a, b)` (edges both ways) among non-removed nodes,
+    /// with `a < b` by node order. Davidson's simulations found most
+    /// conflicts appear as 2-cycles, motivating the two-cycle-optimal
+    /// back-out strategy.
+    pub fn two_cycles(&self, removed: &BTreeSet<TxnId>) -> Vec<(TxnId, TxnId)> {
+        let mut out = Vec::new();
+        for (i, succs) in self.succs.iter().enumerate() {
+            if removed.contains(&self.nodes[i]) {
+                continue;
+            }
+            for &j in succs {
+                if j > i && !removed.contains(&self.nodes[j]) && self.succs[j].contains(&i) {
+                    out.push((self.nodes[i], self.nodes[j]));
+                }
+            }
+        }
+        out
+    }
+
+    /// Tarjan's strongly-connected-components algorithm (iterative), over
+    /// nodes not in `removed`.
+    fn tarjan_sccs(&self, removed: &BTreeSet<TxnId>) -> Vec<Vec<TxnId>> {
+        let n = self.nodes.len();
+        let alive: Vec<bool> = self.nodes.iter().map(|id| !removed.contains(id)).collect();
+        let mut index = vec![usize::MAX; n];
+        let mut lowlink = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut sccs: Vec<Vec<TxnId>> = Vec::new();
+
+        // Explicit DFS stack: (node, iterator position over succs).
+        for start in 0..n {
+            if !alive[start] || index[start] != usize::MAX {
+                continue;
+            }
+            let mut call_stack: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+            let succs_of = |v: usize| -> Vec<usize> {
+                self.succs[v].iter().copied().filter(|&w| alive[w]).collect()
+            };
+            index[start] = next_index;
+            lowlink[start] = next_index;
+            next_index += 1;
+            stack.push(start);
+            on_stack[start] = true;
+            call_stack.push((start, succs_of(start), 0));
+
+            while let Some((v, succs, pos)) = call_stack.last_mut() {
+                if *pos < succs.len() {
+                    let w = succs[*pos];
+                    *pos += 1;
+                    if index[w] == usize::MAX {
+                        index[w] = next_index;
+                        lowlink[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        call_stack.push((w, succs_of(w), 0));
+                    } else if on_stack[w] {
+                        let v = *v;
+                        lowlink[v] = lowlink[v].min(index[w]);
+                    }
+                } else {
+                    let v = *v;
+                    call_stack.pop();
+                    if let Some((parent, _, _)) = call_stack.last() {
+                        lowlink[*parent] = lowlink[*parent].min(lowlink[v]);
+                    }
+                    if lowlink[v] == index[v] {
+                        let mut scc = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack");
+                            on_stack[w] = false;
+                            scc.push(self.nodes[w]);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        scc.sort_unstable();
+                        sccs.push(scc);
+                    }
+                }
+            }
+        }
+        sccs
+    }
+
+    /// Out-degree plus in-degree of a node, counting only edges between
+    /// non-removed nodes. Used by greedy back-out strategies.
+    pub fn degree_without(&self, id: TxnId, removed: &BTreeSet<TxnId>) -> usize {
+        let Some(i) = self.index(id) else { return 0 };
+        if removed.contains(&id) {
+            return 0;
+        }
+        let out = self.succs[i]
+            .iter()
+            .filter(|&&j| !removed.contains(&self.nodes[j]))
+            .count();
+        let inn = self
+            .succs
+            .iter()
+            .enumerate()
+            .filter(|(j, succs)| !removed.contains(&self.nodes[*j]) && succs.contains(&i))
+            .count();
+        out + inn
+    }
+}
+
+impl fmt::Display for PrecedenceGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "precedence graph: {} nodes, {} edges", self.nodes.len(), self.edges.len())?;
+        for (from, to, kind) in &self.edges {
+            writeln!(f, "  {from} -> {to}  [{kind}]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histmerge_txn::{Expr, Program, ProgramBuilder, Transaction, VarId, VarSet};
+    use std::sync::Arc;
+
+    fn v(i: u32) -> VarId {
+        VarId::new(i)
+    }
+
+    fn rw_txn(
+        arena: &mut TxnArena,
+        name: &str,
+        kind: TxnKind,
+        reads: &[u32],
+        writes: &[u32],
+    ) -> TxnId {
+        let mut b = ProgramBuilder::new(name);
+        let read_set: VarSet = reads.iter().chain(writes.iter()).map(|i| v(*i)).collect();
+        for var in read_set.iter() {
+            b = b.read(var);
+        }
+        for w in writes {
+            b = b.update(v(*w), Expr::var(v(*w)) + Expr::konst(1));
+        }
+        let prog: Arc<Program> = Arc::new(b.build().unwrap());
+        arena.alloc(|id| Transaction::new(id, name, kind, prog, vec![]))
+    }
+
+    #[test]
+    fn example1_edges_match_figure1() {
+        let ex = crate::fixtures::example1();
+        let ([m1, m2, m3, m4], [b1, b2]) = (ex.m, ex.b);
+        let g = PrecedenceGraph::build(&ex.arena, &ex.hm, &ex.hb);
+        // Rule 1 edges within H_m.
+        assert!(g.has_edge(m1, m2)); // d2
+        assert!(g.has_edge(m2, m3)); // d4, d5, d6
+        assert!(g.has_edge(m2, m4)); // d6
+        assert!(g.has_edge(m3, m4)); // d6
+        assert!(!g.has_edge(m1, m3)); // disjoint footprints
+        // Rule 2 edge within H_b (both touch d5, Tb1 writes).
+        assert!(g.has_edge(b1, b2));
+        // Rule 3 cross edges.
+        assert!(g.has_edge(b2, m1)); // Tb2 read d1, updated by Tm1
+        assert!(g.has_edge(b1, m2)); // Tb1 read d5, updated by Tm2
+        assert!(g.has_edge(b2, m2)); // Tb2 read d5, updated by Tm2
+        assert!(g.has_edge(m3, b1)); // Tm3 read d5, updated by Tb1
+        assert!(!g.has_edge(m2, b1)); // Tm2 never reads d5 (blind write)
+        // No edge in the reverse tentative order.
+        assert!(!g.has_edge(m2, m1));
+        assert!(!g.has_edge(m4, m3));
+    }
+
+    #[test]
+    fn example1_cycle_broken_by_tm3() {
+        let ex = crate::fixtures::example1();
+        let g = PrecedenceGraph::build(&ex.arena, &ex.hm, &ex.hb);
+        // "Since the graph has a cycle, conflict exists among the
+        // transactions": Tm3 -> Tb1 -> Tm2 -> Tm3.
+        assert!(!g.is_acyclic());
+        // "after Tm3 and Tm4 are backed out, ... the reconstructed
+        // precedence graph is acyclic" — indeed Tm3 alone suffices for
+        // acyclicity; Tm4 is backed out as an *affected* transaction.
+        let removed: BTreeSet<TxnId> = [ex.m[2]].into_iter().collect();
+        assert!(g.is_acyclic_without(&removed));
+    }
+
+    #[test]
+    fn example1_merged_history_matches_paper() {
+        let ex = crate::fixtures::example1();
+        let ([m1, m2, m3, m4], [b1, b2]) = (ex.m, ex.b);
+        let g = PrecedenceGraph::build(&ex.arena, &ex.hm, &ex.hb);
+        // Back out B ∪ AG = {Tm3, Tm4}: the merged history is
+        // H = Tb1 Tb2 Tm1 Tm2, as stated in Example 1.
+        let removed: BTreeSet<TxnId> = [m3, m4].into_iter().collect();
+        let merged = g.merged_history_without(&removed).unwrap();
+        assert_eq!(merged.order(), &[b1, b2, m1, m2]);
+    }
+
+    #[test]
+    fn two_cycles_detected() {
+        let mut arena = TxnArena::new();
+        let m = rw_txn(&mut arena, "m", TxnKind::Tentative, &[0], &[0]);
+        let b = rw_txn(&mut arena, "b", TxnKind::Base, &[0], &[0]);
+        let g = PrecedenceGraph::build(
+            &arena,
+            &SerialHistory::from_order([m]),
+            &SerialHistory::from_order([b]),
+        );
+        assert_eq!(g.two_cycles(&BTreeSet::new()), vec![(m, b)]);
+        assert_eq!(g.cyclic_sccs(&BTreeSet::new()).len(), 1);
+        let removed: BTreeSet<TxnId> = [m].into_iter().collect();
+        assert!(g.two_cycles(&removed).is_empty());
+        assert!(g.is_acyclic_without(&removed));
+    }
+
+    #[test]
+    fn disjoint_histories_are_acyclic() {
+        let mut arena = TxnArena::new();
+        let m = rw_txn(&mut arena, "m", TxnKind::Tentative, &[0], &[0]);
+        let b = rw_txn(&mut arena, "b", TxnKind::Base, &[1], &[1]);
+        let g = PrecedenceGraph::build(
+            &arena,
+            &SerialHistory::from_order([m]),
+            &SerialHistory::from_order([b]),
+        );
+        assert!(g.is_acyclic());
+        assert!(g.edges().is_empty());
+        let merged = g.merged_history().unwrap();
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged.order()[0], b, "base preferred in ties");
+    }
+
+    #[test]
+    fn read_only_cross_edges_are_one_way() {
+        let mut arena = TxnArena::new();
+        // Tentative reads d0; base writes d0. Only Tm -> Tb.
+        let m = rw_txn(&mut arena, "m", TxnKind::Tentative, &[0], &[]);
+        let b = rw_txn(&mut arena, "b", TxnKind::Base, &[0], &[0]);
+        let g = PrecedenceGraph::build(
+            &arena,
+            &SerialHistory::from_order([m]),
+            &SerialHistory::from_order([b]),
+        );
+        assert!(g.has_edge(m, b));
+        assert!(!g.has_edge(b, m));
+        assert!(g.is_acyclic());
+        assert_eq!(g.edges()[0].2, EdgeKind::MobileReadBase);
+        assert_eq!(g.kind(m), Some(TxnKind::Tentative));
+    }
+
+    #[test]
+    fn degree_counts_both_directions() {
+        let ex = crate::fixtures::example1();
+        let g = PrecedenceGraph::build(&ex.arena, &ex.hm, &ex.hb);
+        let none = BTreeSet::new();
+        // Tm2: out to Tm3, Tm4; in from Tm1, Tb1, Tb2.
+        assert_eq!(g.degree_without(ex.m[1], &none), 5);
+        let all: BTreeSet<TxnId> = g.nodes().iter().copied().collect();
+        assert_eq!(g.degree_without(ex.m[1], &all), 0);
+    }
+
+    #[test]
+    fn display_lists_edges() {
+        let ex = crate::fixtures::example1();
+        let g = PrecedenceGraph::build(&ex.arena, &ex.hm, &ex.hb);
+        let text = g.to_string();
+        assert!(text.contains("nodes"));
+        assert!(text.contains("mobile-read-base"));
+    }
+
+    #[test]
+    fn self_history_conflicts_only_forward() {
+        // Within one history the graph restricted to it is always acyclic
+        // (edges follow the serial order).
+        let mut arena = TxnArena::new();
+        let a = rw_txn(&mut arena, "a", TxnKind::Tentative, &[0], &[0]);
+        let b = rw_txn(&mut arena, "b", TxnKind::Tentative, &[0], &[0]);
+        let c = rw_txn(&mut arena, "c", TxnKind::Tentative, &[0], &[0]);
+        let g = PrecedenceGraph::build(
+            &arena,
+            &SerialHistory::from_order([a, b, c]),
+            &SerialHistory::new(),
+        );
+        assert!(g.is_acyclic());
+        assert_eq!(g.merged_history().unwrap().order(), &[a, b, c]);
+    }
+}

@@ -1,0 +1,184 @@
+//! The reads-from relation and the affected set `AG`.
+//!
+//! The paper (footnote ‖) defines: transaction `T_j` *reads `x` from* `T_i`
+//! if `T_j` reads `x` after `T_i` has updated `x` and no transaction updates
+//! `x` in between. The *affected transactions* `AG` are the good
+//! transactions in the reads-from transitive closure of the back-out set
+//! `B`; the classical approach (Davidson 1984) backs out all of `B ∪ AG`.
+//!
+//! Relations here are computed over **static** read/write sets — the sets a
+//! canned system extracts from transaction profiles offline (\[AJL98\], cited
+//! in Section 7.1), so no read logging is needed at run time.
+
+use std::collections::BTreeSet;
+
+use histmerge_txn::{TxnId, VarId};
+
+use crate::arena::TxnArena;
+use crate::schedule::SerialHistory;
+
+/// One reads-from fact: `reader` read `var` from `writer`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ReadsFrom {
+    /// The transaction that read the value.
+    pub reader: TxnId,
+    /// The transaction that produced the value.
+    pub writer: TxnId,
+    /// The data item involved.
+    pub var: VarId,
+}
+
+/// Computes every reads-from fact in a serial history.
+///
+/// For each transaction and each item in its read set, the writer is the
+/// latest preceding transaction whose write set contains the item.
+/// Transactions that read an item no one wrote earlier (they read from the
+/// initial state) contribute no fact.
+pub fn reads_from_facts(arena: &TxnArena, history: &SerialHistory) -> Vec<ReadsFrom> {
+    let mut last_writer: std::collections::BTreeMap<VarId, TxnId> = Default::default();
+    let mut facts = Vec::new();
+    for id in history.iter() {
+        let txn = arena.get(id);
+        for var in txn.readset().iter() {
+            if let Some(writer) = last_writer.get(&var) {
+                facts.push(ReadsFrom { reader: id, writer: *writer, var });
+            }
+        }
+        for var in txn.writeset().iter() {
+            last_writer.insert(var, id);
+        }
+    }
+    facts
+}
+
+/// Computes the affected set `AG`: every transaction *not in `bad`* that is
+/// in the reads-from transitive closure of `bad`.
+///
+/// A single forward scan suffices for a serial history: a transaction is
+/// affected as soon as it reads any item whose latest writer is in
+/// `bad ∪ AG-so-far`.
+///
+/// # Example
+///
+/// In Example 1 of the paper, `Tm4` reads `d6` from `Tm3 ∈ B`, so
+/// `AG = {Tm4}`.
+pub fn affected_set(
+    arena: &TxnArena,
+    history: &SerialHistory,
+    bad: &BTreeSet<TxnId>,
+) -> BTreeSet<TxnId> {
+    let mut tainted_writer: std::collections::BTreeMap<VarId, bool> = Default::default();
+    let mut affected = BTreeSet::new();
+    for id in history.iter() {
+        let txn = arena.get(id);
+        let is_bad = bad.contains(&id);
+        let reads_tainted = !is_bad
+            && txn
+                .readset()
+                .iter()
+                .any(|var| tainted_writer.get(&var).copied().unwrap_or(false));
+        if reads_tainted {
+            affected.insert(id);
+        }
+        let taints = is_bad || affected.contains(&id);
+        for var in txn.writeset().iter() {
+            tainted_writer.insert(var, taints);
+        }
+    }
+    affected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histmerge_txn::{Expr, Program, ProgramBuilder, Transaction, TxnKind, VarSet};
+    use std::sync::Arc;
+
+    fn v(i: u32) -> VarId {
+        VarId::new(i)
+    }
+
+    /// A transaction reading `reads` and writing `writes` (writes must be a
+    /// subset of reads ∪ writes; all written vars are read first).
+    fn rw_txn(arena: &mut TxnArena, name: &str, reads: &[u32], writes: &[u32]) -> TxnId {
+        let mut b = ProgramBuilder::new(name);
+        let read_set: VarSet = reads.iter().chain(writes.iter()).map(|i| v(*i)).collect();
+        for var in read_set.iter() {
+            b = b.read(var);
+        }
+        for w in writes {
+            b = b.update(v(*w), Expr::var(v(*w)) + Expr::konst(1));
+        }
+        let prog: Arc<Program> = Arc::new(b.build().unwrap());
+        arena.alloc(|id| Transaction::new(id, name, TxnKind::Tentative, prog, vec![]))
+    }
+
+    #[test]
+    fn reads_from_latest_writer() {
+        let ex = crate::fixtures::example1();
+        let [_, m2, m3, m4] = ex.m;
+        let facts = reads_from_facts(&ex.arena, &ex.hm);
+        // Tm4 reads d6; the latest preceding writer of d6 is Tm3 (not Tm2).
+        assert!(facts.contains(&ReadsFrom { reader: m4, writer: m3, var: v(6) }));
+        assert!(!facts.contains(&ReadsFrom { reader: m4, writer: m2, var: v(6) }));
+        // Tm3 reads d5 from Tm2.
+        assert!(facts.contains(&ReadsFrom { reader: m3, writer: m2, var: v(5) }));
+    }
+
+    #[test]
+    fn no_fact_for_initial_state_reads() {
+        let mut arena = TxnArena::new();
+        let a = rw_txn(&mut arena, "A", &[0], &[]);
+        let h = SerialHistory::from_order([a]);
+        assert!(reads_from_facts(&arena, &h).is_empty());
+    }
+
+    #[test]
+    fn example1_affected_set() {
+        let ex = crate::fixtures::example1();
+        let [m1, m2, m3, m4] = ex.m;
+        // B = {Tm3} per the paper; the affected set is {Tm4}.
+        let bad: BTreeSet<TxnId> = [m3].into_iter().collect();
+        let ag = affected_set(&ex.arena, &ex.hm, &bad);
+        assert_eq!(ag, [m4].into_iter().collect());
+        assert!(!ag.contains(&m1));
+        assert!(!ag.contains(&m2));
+    }
+
+    #[test]
+    fn affected_set_is_transitive() {
+        let mut arena = TxnArena::new();
+        // B writes d0; T1 reads d0 writes d1; T2 reads d1 writes d2.
+        let b = rw_txn(&mut arena, "B", &[], &[0]);
+        let t1 = rw_txn(&mut arena, "T1", &[0], &[1]);
+        let t2 = rw_txn(&mut arena, "T2", &[1], &[2]);
+        let h = SerialHistory::from_order([b, t1, t2]);
+        let bad: BTreeSet<TxnId> = [b].into_iter().collect();
+        assert_eq!(affected_set(&arena, &h, &bad), [t1, t2].into_iter().collect());
+    }
+
+    #[test]
+    fn overwrite_by_good_txn_cuts_taint() {
+        let mut arena = TxnArena::new();
+        // B writes d0; G1 writes d0 without reading it from B?  G1 must
+        // read d0 (no blind writes), so G1 is affected — but G2, which
+        // reads d0 from G1... is also affected (transitively). Contrast
+        // with d1: B never touches it.
+        let b = rw_txn(&mut arena, "B", &[], &[0]);
+        let g1 = rw_txn(&mut arena, "G1", &[], &[1]);
+        let g2 = rw_txn(&mut arena, "G2", &[1], &[]);
+        let h = SerialHistory::from_order([b, g1, g2]);
+        let bad: BTreeSet<TxnId> = [b].into_iter().collect();
+        assert!(affected_set(&arena, &h, &bad).is_empty());
+    }
+
+    #[test]
+    fn bad_transactions_never_in_ag() {
+        let mut arena = TxnArena::new();
+        let b1 = rw_txn(&mut arena, "B1", &[], &[0]);
+        let b2 = rw_txn(&mut arena, "B2", &[0], &[1]);
+        let h = SerialHistory::from_order([b1, b2]);
+        let bad: BTreeSet<TxnId> = [b1, b2].into_iter().collect();
+        assert!(affected_set(&arena, &h, &bad).is_empty());
+    }
+}

@@ -1,0 +1,290 @@
+//! The base tier: master data and the committed base history.
+
+use std::sync::Arc;
+
+use histmerge_history::{SerialHistory, TxnArena};
+use histmerge_txn::{
+    DbState, Fix, Program, ProgramBuilder, Statement, Expr, Transaction, TxnId, TxnKind,
+};
+
+/// The (logically centralized) base tier: the master copy of every data
+/// item plus the committed base history with per-commit after states.
+///
+/// The paper treats the base nodes as one serializable store ("base
+/// transactions ... involve several base nodes" but produce one master
+/// history); the simulator follows suit.
+#[derive(Debug, Clone)]
+pub struct BaseNode {
+    master: DbState,
+    /// Committed history: `(txn, state after commit)`, since the start of
+    /// the simulation.
+    log: Vec<(TxnId, DbState)>,
+    /// Index into `log` where the current window (epoch) began, and the
+    /// master state at that point — the common start state every merge in
+    /// this window uses (Section 2.2, Strategy 2).
+    epoch_start: usize,
+    epoch_state: DbState,
+}
+
+impl BaseNode {
+    /// Creates a base node owning `initial` as the master state.
+    pub fn new(initial: DbState) -> Self {
+        BaseNode {
+            epoch_state: initial.clone(),
+            master: initial,
+            log: Vec::new(),
+            epoch_start: 0,
+        }
+    }
+
+    /// The current master state.
+    pub fn master(&self) -> &DbState {
+        &self.master
+    }
+
+    /// The master state at the start of the current window.
+    pub fn epoch_state(&self) -> &DbState {
+        &self.epoch_state
+    }
+
+    /// Number of committed base transactions since the simulation start.
+    pub fn committed(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Length of the base history since the window start — the `H_b` every
+    /// merge in this window runs against.
+    pub fn epoch_len(&self) -> usize {
+        self.log.len() - self.epoch_start
+    }
+
+    /// The base history since the window start.
+    pub fn epoch_history(&self) -> SerialHistory {
+        self.log[self.epoch_start..].iter().map(|(t, _)| *t).collect()
+    }
+
+    /// The full committed history since simulation start.
+    pub fn full_history(&self) -> SerialHistory {
+        self.log.iter().map(|(t, _)| *t).collect()
+    }
+
+    /// The after state of the `i`-th committed transaction (0-based), or
+    /// the initial state for `i == log length` counting from the back...
+    /// use [`BaseNode::master`] for the latest state.
+    pub fn state_after(&self, i: usize) -> &DbState {
+        &self.log[i].1
+    }
+
+    /// Executes and commits a base transaction on the master.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transaction cannot execute — base transactions run
+    /// against the always-consistent master, so failure indicates a
+    /// harness bug.
+    pub fn commit(&mut self, arena: &TxnArena, id: TxnId) {
+        let txn = arena.get(id);
+        let out = txn.execute(&self.master, &Fix::empty()).expect("base transaction executes");
+        self.master = out.after;
+        self.log.push((id, self.master.clone()));
+    }
+
+    /// Installs forwarded updates (protocol step 5) as a single *install*
+    /// base transaction that reads and overwrites the forwarded items, and
+    /// commits it. Returns the install transaction's id, or `None` when
+    /// every forwarded value already matches the master (a no-op install
+    /// would only manufacture conflicts for later merges in the window).
+    pub fn install_updates(&mut self, arena: &mut TxnArena, forwarded: &DbState) -> Option<TxnId> {
+        let changed: DbState = forwarded
+            .iter()
+            .filter(|(var, value)| self.master.try_get(*var) != Some(*value))
+            .collect();
+        if changed.is_empty() {
+            return None;
+        }
+        let program = install_program(&changed);
+        let id = arena.alloc(|id| {
+            Transaction::new(id, format!("install@{}", self.log.len()), TxnKind::Base, program, vec![])
+        });
+        self.commit(arena, id);
+        Some(id)
+    }
+
+    /// Re-registers a backed-out tentative transaction as a base
+    /// transaction (protocol step 6 / reprocessing) and commits it.
+    /// Returns the new base transaction's id.
+    pub fn reexecute(&mut self, arena: &mut TxnArena, tentative: TxnId) -> TxnId {
+        let source = arena.get(tentative).clone();
+        let id = arena.alloc(|id| source.with_id(id).with_kind(TxnKind::Base));
+        self.commit(arena, id);
+        id
+    }
+
+    /// Starts a new window: the current master becomes the shared original
+    /// state for every tentative history begun in this window
+    /// (Section 2.2's periodic resynchronization).
+    pub fn start_window(&mut self) {
+        self.epoch_start = self.log.len();
+        self.epoch_state = self.master.clone();
+    }
+
+    /// Strategy 1 support: patches every recorded state from `from_index`
+    /// onward with the given updates, *except* items later base
+    /// transactions wrote themselves. This models retroactively inserting
+    /// merged tentative updates at their serialization point, which is
+    /// exactly what invalidates other mobiles' snapshots (Section 2.2's
+    /// argument against Strategy 1).
+    pub fn retro_patch(&mut self, arena: &TxnArena, from_index: usize, updates: &DbState) {
+        let mut masked: std::collections::BTreeSet<histmerge_txn::VarId> = Default::default();
+        for i in from_index..self.log.len() {
+            let (txn, state) = &mut self.log[i];
+            for var in arena.get(*txn).writeset().iter() {
+                masked.insert(var);
+            }
+            for (var, value) in updates.iter() {
+                if !masked.contains(&var) {
+                    state.set(var, value);
+                }
+            }
+        }
+        for (var, value) in updates.iter() {
+            if !masked.contains(&var) {
+                self.master.set(var, value);
+            }
+        }
+    }
+}
+
+/// Builds the install program for forwarded updates.
+///
+/// The install READS every item before overwriting it. This is not
+/// cosmetic: protocol step 5's forwarding rule ("we only need the value of
+/// d in the final state of the repaired history") is only sound while the
+/// base history contains no blind writes — a blind-writing install would
+/// let a later mobile's transaction that merely *reads* an installed item
+/// serialize before the install without forming a cycle, and that mobile's
+/// forwarded values would then silently clobber the newer install.
+/// Reading first turns any write-write overlap into a 2-cycle, forcing the
+/// conflicting tentative transaction to be backed out instead.
+fn install_program(forwarded: &DbState) -> Arc<Program> {
+    let mut builder = ProgramBuilder::new("install");
+    for (var, _) in forwarded.iter() {
+        builder = builder.read(var);
+    }
+    for (var, value) in forwarded.iter() {
+        builder = builder.statement(Statement::Update { target: var, expr: Expr::konst(value) });
+    }
+    Arc::new(builder.build().expect("install program is well formed"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histmerge_txn::{Expr, VarId};
+
+    fn v(i: u32) -> VarId {
+        VarId::new(i)
+    }
+
+    fn inc(arena: &mut TxnArena, name: &str, var: u32, k: i64) -> TxnId {
+        let p: Arc<Program> = Arc::new(
+            ProgramBuilder::new(name)
+                .read(v(var))
+                .update(v(var), Expr::var(v(var)) + Expr::konst(k))
+                .build()
+                .unwrap(),
+        );
+        arena.alloc(|id| Transaction::new(id, name, TxnKind::Base, p, vec![]))
+    }
+
+    #[test]
+    fn commit_advances_master_and_log() {
+        let mut arena = TxnArena::new();
+        let mut base = BaseNode::new(DbState::uniform(2, 0));
+        let t = inc(&mut arena, "t", 0, 5);
+        base.commit(&arena, t);
+        assert_eq!(base.master().get(v(0)), 5);
+        assert_eq!(base.committed(), 1);
+        assert_eq!(base.state_after(0).get(v(0)), 5);
+        assert_eq!(base.full_history().order(), &[t]);
+    }
+
+    #[test]
+    fn windows_reset_epoch() {
+        let mut arena = TxnArena::new();
+        let mut base = BaseNode::new(DbState::uniform(1, 0));
+        let t1 = inc(&mut arena, "a", 0, 1);
+        base.commit(&arena, t1);
+        assert_eq!(base.epoch_len(), 1);
+        base.start_window();
+        assert_eq!(base.epoch_len(), 0);
+        assert_eq!(base.epoch_state().get(v(0)), 1);
+        let t2 = inc(&mut arena, "b", 0, 1);
+        base.commit(&arena, t2);
+        assert_eq!(base.epoch_history().order(), &[t2]);
+        assert_eq!(base.committed(), 2);
+    }
+
+    #[test]
+    fn install_blind_writes_values() {
+        let mut arena = TxnArena::new();
+        let mut base = BaseNode::new(DbState::uniform(3, 0));
+        let updates: DbState = [(v(0), 10), (v(2), 30)].into_iter().collect();
+        let id = base.install_updates(&mut arena, &updates).expect("values changed");
+        assert_eq!(base.master().get(v(0)), 10);
+        assert_eq!(base.master().get(v(1)), 0);
+        assert_eq!(base.master().get(v(2)), 30);
+        assert_eq!(arena.get(id).kind(), TxnKind::Base);
+        // Re-installing identical values is a no-op (no new base txn).
+        assert!(base.install_updates(&mut arena, &updates).is_none());
+        // A mixed patch installs only the changed item.
+        let mixed: DbState = [(v(0), 10), (v(2), 99)].into_iter().collect();
+        let id2 = base.install_updates(&mut arena, &mixed).expect("one value changed");
+        assert_eq!(arena.get(id2).writeset().len(), 1);
+        assert_eq!(base.master().get(v(2)), 99);
+        // Installs must NOT blind-write (forwarding soundness; see
+        // `install_program`).
+        assert!(!arena.get(id).program().has_blind_writes());
+        assert_eq!(arena.get(id).readset(), arena.get(id).writeset());
+    }
+
+    #[test]
+    fn reexecute_rebrands_as_base() {
+        let mut arena = TxnArena::new();
+        let mut base = BaseNode::new(DbState::uniform(1, 0));
+        let p: Arc<Program> = Arc::new(
+            ProgramBuilder::new("m")
+                .read(v(0))
+                .update(v(0), Expr::var(v(0)) + Expr::konst(7))
+                .build()
+                .unwrap(),
+        );
+        let tentative =
+            arena.alloc(|id| Transaction::new(id, "m", TxnKind::Tentative, p, vec![]));
+        let reexec = base.reexecute(&mut arena, tentative);
+        assert_ne!(reexec, tentative);
+        assert_eq!(arena.get(reexec).kind(), TxnKind::Base);
+        assert_eq!(arena.get(tentative).kind(), TxnKind::Tentative);
+        assert_eq!(base.master().get(v(0)), 7);
+    }
+
+    #[test]
+    fn retro_patch_skips_overwritten_items() {
+        let mut arena = TxnArena::new();
+        let mut base = BaseNode::new(DbState::uniform(2, 0));
+        let t1 = inc(&mut arena, "a", 0, 1); // writes d0
+        base.commit(&arena, t1);
+        let t2 = inc(&mut arena, "b", 1, 1); // writes d1
+        base.commit(&arena, t2);
+        // Patch from index 0 with d0 := 100, d1... d0 is written by t1 at
+        // index 0 → masked everywhere; d1 written at index 1 → patched at
+        // index 0 only.
+        let updates: DbState = [(v(0), 100), (v(1), 50)].into_iter().collect();
+        base.retro_patch(&arena, 0, &updates);
+        assert_eq!(base.state_after(0).get(v(0)), 1); // masked by t1's write
+        assert_eq!(base.state_after(0).get(v(1)), 50); // patched
+        assert_eq!(base.state_after(1).get(v(1)), 1); // masked by t2's write
+        assert_eq!(base.master().get(v(1)), 1);
+        assert_eq!(base.master().get(v(0)), 1);
+    }
+}

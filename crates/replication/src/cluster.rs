@@ -1,0 +1,246 @@
+//! A partitioned base tier.
+//!
+//! The paper's base transactions "involve at most one connected-mobile node
+//! and may involve several base nodes": master copies are partitioned
+//! across always-connected base nodes, and a transaction touching items
+//! mastered on several nodes commits with a two-phase protocol. The
+//! cluster still produces ONE serializable base history (the paper's
+//! lazy-master scheme gives "ACID serializability" at the base tier);
+//! partitioning matters for *accounting* — per-node load balance and
+//! base-to-base coordination messages — which this module layers on top of
+//! [`BaseNode`].
+
+use histmerge_txn::{DbState, TxnId, VarId};
+
+use crate::base::BaseNode;
+use histmerge_history::TxnArena;
+
+/// Statistics of a partitioned base tier.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterStats {
+    /// Commits each node participated in.
+    pub per_node_commits: Vec<u64>,
+    /// Base-to-base messages spent on two-phase commit: `4 × (p − 1)` per
+    /// transaction with `p > 1` participants (prepare, vote, decide, ack).
+    pub two_pc_messages: u64,
+    /// Transactions that needed more than one participant.
+    pub distributed_txns: u64,
+}
+
+impl ClusterStats {
+    /// Load imbalance: max participation divided by the mean (1.0 =
+    /// perfectly balanced). Returns 0.0 before any commit.
+    pub fn imbalance(&self) -> f64 {
+        let total: u64 = self.per_node_commits.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mean = total as f64 / self.per_node_commits.len() as f64;
+        let max = *self.per_node_commits.iter().max().expect("non-empty") as f64;
+        max / mean
+    }
+}
+
+/// A base tier of `n_nodes` partitions over one logical serializable
+/// history.
+///
+/// Items are assigned to partitions by index modulo `n_nodes` (the
+/// hash-partitioning a 1999 deployment would use). All [`BaseNode`]
+/// operations delegate to the unified history; the cluster adds
+/// participant tracking.
+#[derive(Debug, Clone)]
+pub struct BaseCluster {
+    inner: BaseNode,
+    n_nodes: usize,
+    stats: ClusterStats,
+}
+
+impl BaseCluster {
+    /// Creates a cluster of `n_nodes` partitions (min 1) over `initial`.
+    pub fn new(initial: DbState, n_nodes: usize) -> Self {
+        let n_nodes = n_nodes.max(1);
+        BaseCluster {
+            inner: BaseNode::new(initial),
+            stats: ClusterStats {
+                per_node_commits: vec![0; n_nodes],
+                ..ClusterStats::default()
+            },
+            n_nodes,
+        }
+    }
+
+    /// The partition mastering `var`.
+    pub fn node_of(&self, var: VarId) -> usize {
+        var.index() as usize % self.n_nodes
+    }
+
+    /// Number of partitions.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// The unified base tier (master state, history, windows).
+    pub fn base(&self) -> &BaseNode {
+        &self.inner
+    }
+
+    /// Mutable access to the unified base tier.
+    pub fn base_mut(&mut self) -> &mut BaseNode {
+        &mut self.inner
+    }
+
+    /// The accumulated distribution statistics.
+    pub fn stats(&self) -> &ClusterStats {
+        &self.stats
+    }
+
+    /// The partitions a transaction's footprint touches.
+    pub fn participants(&self, arena: &TxnArena, id: TxnId) -> Vec<usize> {
+        let txn = arena.get(id);
+        let mut nodes: Vec<usize> = txn
+            .readset()
+            .union(txn.writeset())
+            .iter()
+            .map(|v| self.node_of(v))
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    fn account(&mut self, participants: &[usize]) {
+        for p in participants {
+            self.stats.per_node_commits[*p] += 1;
+        }
+        if participants.len() > 1 {
+            self.stats.distributed_txns += 1;
+            self.stats.two_pc_messages += 4 * (participants.len() as u64 - 1);
+        }
+    }
+
+    /// Commits a base transaction, accounting its participants.
+    pub fn commit(&mut self, arena: &TxnArena, id: TxnId) {
+        let participants = self.participants(arena, id);
+        self.account(&participants);
+        self.inner.commit(arena, id);
+    }
+
+    /// Installs forwarded updates (protocol step 5). The install touches
+    /// every partition mastering a changed item — a merge's single wide
+    /// transaction, versus reprocessing's many narrow ones. No-op installs
+    /// (every value already current) commit nothing and cost nothing.
+    pub fn install_updates(&mut self, arena: &mut TxnArena, forwarded: &DbState) -> Option<TxnId> {
+        let id = self.inner.install_updates(arena, forwarded)?;
+        let nodes = self.participants(arena, id);
+        self.account(&nodes);
+        Some(id)
+    }
+
+    /// Re-executes a backed-out tentative transaction as a base
+    /// transaction.
+    pub fn reexecute(&mut self, arena: &mut TxnArena, tentative: TxnId) -> TxnId {
+        let participants = self.participants(arena, tentative);
+        self.account(&participants);
+        self.inner.reexecute(arena, tentative)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histmerge_txn::{Expr, Program, ProgramBuilder, Transaction, TxnKind};
+    use std::sync::Arc;
+
+    fn v(i: u32) -> VarId {
+        VarId::new(i)
+    }
+
+    fn txn_on(arena: &mut TxnArena, vars: &[u32]) -> TxnId {
+        let mut b = ProgramBuilder::new("t");
+        for i in vars {
+            b = b.read(v(*i));
+        }
+        for i in vars {
+            b = b.update(v(*i), Expr::var(v(*i)) + Expr::konst(1));
+        }
+        let p: Arc<Program> = Arc::new(b.build().unwrap());
+        arena.alloc(|id| Transaction::new(id, "t", TxnKind::Base, p, vec![]))
+    }
+
+    #[test]
+    fn partitioning_is_modular() {
+        let c = BaseCluster::new(DbState::uniform(8, 0), 3);
+        assert_eq!(c.node_of(v(0)), 0);
+        assert_eq!(c.node_of(v(4)), 1);
+        assert_eq!(c.node_of(v(5)), 2);
+        assert_eq!(c.n_nodes(), 3);
+    }
+
+    #[test]
+    fn single_partition_txn_needs_no_2pc() {
+        let mut arena = TxnArena::new();
+        let mut c = BaseCluster::new(DbState::uniform(8, 0), 4);
+        let t = txn_on(&mut arena, &[0, 4]); // both on node 0
+        assert_eq!(c.participants(&arena, t), vec![0]);
+        c.commit(&arena, t);
+        assert_eq!(c.stats().two_pc_messages, 0);
+        assert_eq!(c.stats().distributed_txns, 0);
+        assert_eq!(c.stats().per_node_commits, vec![1, 0, 0, 0]);
+        assert_eq!(c.base().master().get(v(0)), 1);
+    }
+
+    #[test]
+    fn distributed_txn_pays_2pc() {
+        let mut arena = TxnArena::new();
+        let mut c = BaseCluster::new(DbState::uniform(8, 0), 4);
+        let t = txn_on(&mut arena, &[0, 1, 2]); // nodes 0, 1, 2
+        assert_eq!(c.participants(&arena, t), vec![0, 1, 2]);
+        c.commit(&arena, t);
+        assert_eq!(c.stats().distributed_txns, 1);
+        assert_eq!(c.stats().two_pc_messages, 8); // 4 × (3 − 1)
+    }
+
+    #[test]
+    fn install_is_one_wide_transaction() {
+        let mut arena = TxnArena::new();
+        let mut c = BaseCluster::new(DbState::uniform(8, 0), 4);
+        let forwarded: DbState = [(v(0), 5), (v(1), 6), (v(2), 7), (v(3), 8)]
+            .into_iter()
+            .collect();
+        c.install_updates(&mut arena, &forwarded);
+        assert_eq!(c.stats().distributed_txns, 1);
+        assert_eq!(c.stats().two_pc_messages, 12); // 4 × (4 − 1)
+        assert_eq!(c.base().master().get(v(3)), 8);
+        // Reprocessing the same items as four narrow transactions instead:
+        let mut c2 = BaseCluster::new(DbState::uniform(8, 0), 4);
+        for i in 0..4u32 {
+            let t = txn_on(&mut arena, &[i]);
+            c2.reexecute(&mut arena, t);
+        }
+        assert_eq!(c2.stats().two_pc_messages, 0, "narrow txns never coordinate");
+        assert_eq!(c2.stats().per_node_commits, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn imbalance_measured() {
+        let mut arena = TxnArena::new();
+        let mut c = BaseCluster::new(DbState::uniform(8, 0), 2);
+        assert_eq!(c.stats().imbalance(), 0.0);
+        for _ in 0..3 {
+            let t = txn_on(&mut arena, &[0]); // always node 0
+            c.commit(&arena, t);
+        }
+        // node 0: 3 commits, node 1: 0 → max/mean = 3 / 1.5 = 2.
+        assert!((c.stats().imbalance() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_node_cluster_degenerates_to_base_node() {
+        let mut arena = TxnArena::new();
+        let mut c = BaseCluster::new(DbState::uniform(4, 0), 1);
+        let t = txn_on(&mut arena, &[0, 1, 2, 3]);
+        c.commit(&arena, t);
+        assert_eq!(c.stats().two_pc_messages, 0);
+        assert_eq!(c.stats().imbalance(), 1.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! A deterministic two-tier replication simulator.
+//!
+//! The paper extends the two-tier replication scheme of Gray, Helland,
+//! O'Neil and Shasha (SIGMOD 1996): *mobile nodes* are disconnected most of
+//! the time and run **tentative** transactions against their local copy;
+//! *base nodes* are always connected and own the master data. On
+//! reconnection, tentative work is folded into the master either by
+//!
+//! * **reprocessing** ([`Protocol::Reprocessing`]) — the \[GHOS96\] baseline:
+//!   every tentative transaction is re-executed from scratch as a base
+//!   transaction; or
+//! * **merging** ([`Protocol::Merging`]) — the paper's contribution: the
+//!   tentative history is merged into the base history, saving the work of
+//!   every transaction the rewrite can keep (Section 2.1).
+//!
+//! [`sync`] implements the two multi-history synchronization strategies of
+//! Section 2.2 (per-disconnect snapshots vs shared window-start states with
+//! periodic resynchronization); [`metrics`] aggregates counts and
+//! Section 7.1 cost reports. The simulation is a discrete-time loop,
+//! deterministic for a given [`SimConfig`] (seeded RNG).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod base;
+mod cluster;
+mod mobile;
+mod sim;
+
+pub mod metrics;
+pub mod sync;
+
+pub use base::BaseNode;
+pub use cluster::{BaseCluster, ClusterStats};
+pub use mobile::MobileNode;
+pub use sim::{Protocol, SimConfig, SimReport, Simulation};
+pub use sync::SyncStrategy;

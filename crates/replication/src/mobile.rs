@@ -1,0 +1,146 @@
+//! The mobile tier: disconnected nodes running tentative transactions.
+
+use histmerge_history::{SerialHistory, TxnArena};
+use histmerge_txn::{DbState, Fix, TxnId};
+
+/// A mobile node: a local tentative copy of the database plus the tentative
+/// history accumulated since the node last synchronized.
+#[derive(Debug, Clone)]
+pub struct MobileNode {
+    /// Stable identifier (index in the simulation).
+    id: usize,
+    /// The original state the current tentative history began from.
+    origin: DbState,
+    /// The local tentative state (origin + tentative updates).
+    tentative: DbState,
+    /// The tentative history since the last synchronization.
+    history: SerialHistory,
+    /// For Strategy 1: the base-log index the origin snapshot was taken at.
+    origin_index: usize,
+    /// Simulation tick of the next reconnection.
+    next_connect: u64,
+}
+
+impl MobileNode {
+    /// Creates a mobile node with the given origin snapshot.
+    pub fn new(id: usize, origin: DbState, origin_index: usize, next_connect: u64) -> Self {
+        MobileNode {
+            id,
+            tentative: origin.clone(),
+            origin,
+            history: SerialHistory::new(),
+            origin_index,
+            next_connect,
+        }
+    }
+
+    /// The node's identifier.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The original state of the current tentative history.
+    pub fn origin(&self) -> &DbState {
+        &self.origin
+    }
+
+    /// The base-log index the origin was snapshotted at (Strategy 1).
+    pub fn origin_index(&self) -> usize {
+        self.origin_index
+    }
+
+    /// The current tentative state.
+    pub fn tentative_state(&self) -> &DbState {
+        &self.tentative
+    }
+
+    /// The tentative history since last synchronization.
+    pub fn history(&self) -> &SerialHistory {
+        &self.history
+    }
+
+    /// Number of pending tentative transactions.
+    pub fn pending(&self) -> usize {
+        self.history.len()
+    }
+
+    /// The tick at which this node next reconnects.
+    pub fn next_connect(&self) -> u64 {
+        self.next_connect
+    }
+
+    /// Schedules the next reconnection.
+    pub fn set_next_connect(&mut self, tick: u64) {
+        self.next_connect = tick;
+    }
+
+    /// Runs a tentative transaction against the local copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if execution fails (the local copy is always total over the
+    /// workload's variable space).
+    pub fn run_tentative(&mut self, arena: &TxnArena, id: TxnId) {
+        let txn = arena.get(id);
+        let out = txn
+            .execute(&self.tentative, &Fix::empty())
+            .expect("tentative transaction executes locally");
+        self.tentative = out.after;
+        self.history.push(id);
+    }
+
+    /// Resets the node after a synchronization: the new tentative history
+    /// starts from `origin` (under Strategy 2, the window-start state; under
+    /// Strategy 1, the current master snapshot).
+    pub fn resync(&mut self, origin: DbState, origin_index: usize) {
+        self.tentative = origin.clone();
+        self.origin = origin;
+        self.origin_index = origin_index;
+        self.history = SerialHistory::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histmerge_txn::{Expr, Program, ProgramBuilder, Transaction, TxnKind, VarId};
+    use std::sync::Arc;
+
+    fn v(i: u32) -> VarId {
+        VarId::new(i)
+    }
+
+    #[test]
+    fn tentative_execution_accumulates() {
+        let mut arena = TxnArena::new();
+        let p: Arc<Program> = Arc::new(
+            ProgramBuilder::new("inc")
+                .read(v(0))
+                .update(v(0), Expr::var(v(0)) + Expr::konst(1))
+                .build()
+                .unwrap(),
+        );
+        let t1 =
+            arena.alloc(|id| Transaction::new(id, "t1", TxnKind::Tentative, p.clone(), vec![]));
+        let t2 =
+            arena.alloc(|id| Transaction::new(id, "t2", TxnKind::Tentative, p.clone(), vec![]));
+        let origin = DbState::uniform(1, 10);
+        let mut node = MobileNode::new(3, origin.clone(), 0, 5);
+        assert_eq!(node.id(), 3);
+        assert_eq!(node.next_connect(), 5);
+        node.run_tentative(&arena, t1);
+        node.run_tentative(&arena, t2);
+        assert_eq!(node.pending(), 2);
+        assert_eq!(node.tentative_state().get(v(0)), 12);
+        assert_eq!(node.origin(), &origin);
+        assert_eq!(node.history().order(), &[t1, t2]);
+
+        let new_origin = DbState::uniform(1, 99);
+        node.resync(new_origin.clone(), 7);
+        assert_eq!(node.pending(), 0);
+        assert_eq!(node.tentative_state(), &new_origin);
+        assert_eq!(node.origin_index(), 7);
+        node.set_next_connect(20);
+        assert_eq!(node.next_connect(), 20);
+    }
+}

@@ -1,0 +1,772 @@
+//! The discrete-time two-tier replication simulation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+use histmerge_core::merge::{MergeConfig, MergeOutcome, Merger};
+use histmerge_core::prune::PruneMethod;
+use histmerge_core::rewrite::{FixMode, RewriteAlgorithm};
+use histmerge_history::{PrecedenceGraph, SerialHistory, TwoCycleOptimal, TxnArena};
+use histmerge_semantics::{OracleStack, StaticAnalyzer};
+use histmerge_txn::{DbState, TxnId, TxnKind};
+use histmerge_workload::cost::{
+    merging_cost, reprocessing_cost, CostParams, MergeStats, ReprocessStats,
+};
+use histmerge_workload::canned_mix::{CannedMix, CannedMixParams};
+use histmerge_workload::generator::{ScenarioParams, TxnFactory};
+
+use crate::cluster::BaseCluster;
+use crate::metrics::{Metrics, SyncRecord};
+use crate::mobile::MobileNode;
+use crate::sync::SyncStrategy;
+
+/// Which synchronization protocol the simulation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Protocol {
+    /// The \[GHOS96\] baseline: re-execute every tentative transaction at
+    /// the base.
+    Reprocessing,
+    /// The paper's merging protocol.
+    Merging {
+        /// The rewriting algorithm used by each merge.
+        #[serde(skip)]
+        algorithm: RewriteAlgorithm,
+        /// The fix-computation mode.
+        #[serde(skip)]
+        fix_mode: FixMode,
+    },
+}
+
+impl Protocol {
+    /// The paper's recommended merging configuration.
+    pub fn merging_default() -> Protocol {
+        Protocol::Merging {
+            algorithm: RewriteAlgorithm::CanFollowCanPrecede,
+            fix_mode: FixMode::Lemma1,
+        }
+    }
+
+    /// Short name for experiment reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Protocol::Reprocessing => "reprocessing",
+            Protocol::Merging { .. } => "merging",
+        }
+    }
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of mobile nodes.
+    pub n_mobiles: usize,
+    /// Simulation length in ticks.
+    pub duration: u64,
+    /// Base transactions committed per tick (fractional rates accumulate).
+    pub base_rate: f64,
+    /// Tentative transactions per mobile per tick while disconnected.
+    pub mobile_rate: f64,
+    /// Mean ticks between reconnections of each mobile (jittered ±25%).
+    pub connect_every: u64,
+    /// The synchronization protocol.
+    pub protocol: Protocol,
+    /// The multi-history strategy (Section 2.2).
+    pub strategy: SyncStrategy,
+    /// Workload shape (variable space, transaction mix, hotspot skew).
+    pub workload: ScenarioParams,
+    /// Cost-model constants (Section 7.1).
+    pub cost: CostParams,
+    /// Base-node work capacity per tick, for backlog tracking.
+    pub base_capacity: f64,
+    /// Number of base partitions mastering the item space (multi-node base
+    /// transactions coordinate via two-phase commit).
+    pub base_nodes: usize,
+    /// When set, transactions come from the typed canned mix (bank +
+    /// promotions) instead of the random generator, and every merge uses
+    /// the canned-system oracle (static analyzer + the libraries' declared
+    /// tables). `workload` then only contributes its seed-independent
+    /// simulation knobs; the item space and initial state come from the
+    /// mix.
+    pub canned: Option<CannedMixParams>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            n_mobiles: 4,
+            duration: 400,
+            base_rate: 0.5,
+            mobile_rate: 0.2,
+            connect_every: 50,
+            protocol: Protocol::merging_default(),
+            strategy: SyncStrategy::WindowStart { window: 100 },
+            workload: ScenarioParams::default(),
+            cost: CostParams::default(),
+            base_capacity: 200.0,
+            base_nodes: 1,
+            canned: None,
+        }
+    }
+}
+
+/// The report a finished simulation returns.
+#[derive(Debug)]
+pub struct SimReport {
+    /// Aggregated metrics.
+    pub metrics: Metrics,
+    /// The final master state.
+    pub final_master: DbState,
+    /// Base transactions committed in total (own load + installs +
+    /// re-executions).
+    pub base_commits: usize,
+    /// Distribution statistics of the partitioned base tier.
+    pub cluster: crate::cluster::ClusterStats,
+}
+
+/// Where the simulation's transactions come from.
+enum TxnSource {
+    /// The seeded random generator.
+    Random(Box<TxnFactory>),
+    /// The typed canned mix (bank + promotions).
+    Canned(Box<CannedMix>),
+}
+
+impl TxnSource {
+    fn next_txn(&mut self, arena: &mut TxnArena, kind: TxnKind) -> TxnId {
+        match self {
+            TxnSource::Random(f) => f.next_txn(arena, kind),
+            TxnSource::Canned(m) => m.next_txn(arena, kind),
+        }
+    }
+}
+
+/// The simulation state. Construct with [`Simulation::new`] and consume
+/// with [`Simulation::run`].
+pub struct Simulation {
+    config: SimConfig,
+    arena: TxnArena,
+    base: BaseCluster,
+    mobiles: Vec<MobileNode>,
+    /// Epoch id of the base's current window, and per-mobile epoch ids.
+    epoch: u64,
+    mobile_epochs: Vec<u64>,
+    source: TxnSource,
+    rng: StdRng,
+    metrics: Metrics,
+    backlog: f64,
+    base_accum: f64,
+    mobile_accum: Vec<f64>,
+}
+
+impl Simulation {
+    /// Creates a simulation in its initial state.
+    pub fn new(config: SimConfig) -> Self {
+        let source = match &config.canned {
+            Some(params) => TxnSource::Canned(Box::new(CannedMix::new(params.clone()))),
+            None => TxnSource::Random(Box::new(TxnFactory::new(config.workload.clone()))),
+        };
+        let initial = match &source {
+            TxnSource::Canned(mix) => mix.initial_state(),
+            TxnSource::Random(_) => {
+                histmerge_workload::generator::initial_state(&config.workload)
+            }
+        };
+        let base = BaseCluster::new(initial.clone(), config.base_nodes);
+        let mut rng = StdRng::seed_from_u64(config.workload.seed ^ 0x5151_5151);
+        let mobiles: Vec<MobileNode> = (0..config.n_mobiles)
+            .map(|i| {
+                let first = 1 + rng.gen_range(0..config.connect_every.max(1));
+                MobileNode::new(i, initial.clone(), 0, first)
+            })
+            .collect();
+        let n = config.n_mobiles;
+        Simulation {
+            arena: TxnArena::new(),
+            base,
+            mobile_epochs: vec![0; n],
+            epoch: 0,
+            source,
+            rng,
+            metrics: Metrics::default(),
+            backlog: 0.0,
+            base_accum: 0.0,
+            mobile_accum: vec![0.0; n],
+            mobiles,
+            config,
+        }
+    }
+
+    /// Runs the simulation to completion.
+    pub fn run(mut self) -> SimReport {
+        for tick in 0..self.config.duration {
+            self.step(tick);
+        }
+        SimReport {
+            base_commits: self.base.base().committed(),
+            final_master: self.base.base().master().clone(),
+            cluster: self.base.stats().clone(),
+            metrics: self.metrics,
+        }
+    }
+
+    fn step(&mut self, tick: u64) {
+        let mut tick_base_work = 0.0;
+
+        // Window boundary (Strategy 2, fixed or adaptive).
+        match self.config.strategy {
+            SyncStrategy::WindowStart { window } => {
+                if tick > 0 && tick.is_multiple_of(window.max(1)) {
+                    self.base.base_mut().start_window();
+                    self.epoch += 1;
+                }
+            }
+            SyncStrategy::AdaptiveWindow { max_hb } => {
+                if self.base.base().epoch_len() >= max_hb.max(1) {
+                    self.base.base_mut().start_window();
+                    self.epoch += 1;
+                }
+            }
+            SyncStrategy::PerDisconnectSnapshot => {}
+        }
+
+        // Base tier's own load.
+        self.base_accum += self.config.base_rate;
+        while self.base_accum >= 1.0 {
+            self.base_accum -= 1.0;
+            let id = self.source.next_txn(&mut self.arena, TxnKind::Base);
+            self.base.commit(&self.arena, id);
+            self.metrics.base_generated += 1;
+            let stmts = self.arena.get(id).program().statement_count() as f64;
+            tick_base_work +=
+                stmts * self.config.cost.base_query_per_stmt + self.config.cost.base_io_force;
+        }
+
+        // Mobile tier: generate tentative work, then handle reconnects.
+        for i in 0..self.mobiles.len() {
+            self.mobile_accum[i] += self.config.mobile_rate;
+            while self.mobile_accum[i] >= 1.0 {
+                self.mobile_accum[i] -= 1.0;
+                let id = self.source.next_txn(&mut self.arena, TxnKind::Tentative);
+                self.mobiles[i].run_tentative(&self.arena, id);
+                self.metrics.tentative_generated += 1;
+            }
+            if self.mobiles[i].next_connect() == tick {
+                tick_base_work += self.sync_mobile(i, tick);
+                let jitter = self.config.connect_every / 4;
+                let next = tick
+                    + self.config.connect_every.max(1)
+                    + if jitter > 0 { self.rng.gen_range(0..=2 * jitter) } else { 0 }
+                    - jitter.min(tick + self.config.connect_every);
+                self.mobiles[i].set_next_connect(next.max(tick + 1));
+            }
+        }
+
+        // Backlog accounting.
+        self.backlog = (self.backlog + tick_base_work - self.config.base_capacity).max(0.0);
+        if self.backlog > self.metrics.peak_backlog {
+            self.metrics.peak_backlog = self.backlog;
+        }
+        if tick.is_multiple_of(10) {
+            self.metrics.backlog_series.push((tick, self.backlog));
+        }
+    }
+
+    /// Synchronizes mobile `i`; returns the base-side work units incurred.
+    fn sync_mobile(&mut self, i: usize, tick: u64) -> f64 {
+        let pending = self.mobiles[i].pending();
+        if pending == 0 {
+            // Nothing to push: just refresh the origin.
+            self.refresh_origin(i);
+            return 0.0;
+        }
+        match self.config.protocol {
+            Protocol::Reprocessing => self.reprocess_all(i, tick, false),
+            Protocol::Merging { algorithm, fix_mode } => {
+                match self.config.strategy {
+                    SyncStrategy::WindowStart { .. } | SyncStrategy::AdaptiveWindow { .. } => {
+                        if self.mobile_epochs[i] != self.epoch {
+                            // Reconnected after its window closed: the
+                            // history cannot be merged (Section 2.2) and is
+                            // reprocessed instead.
+                            self.metrics.window_misses += 1;
+                            self.reprocess_all(i, tick, false)
+                        } else {
+                            self.merge_window(i, tick, algorithm, fix_mode)
+                        }
+                    }
+                    SyncStrategy::PerDisconnectSnapshot => {
+                        self.merge_snapshot(i, tick, algorithm, fix_mode)
+                    }
+                }
+            }
+        }
+    }
+
+    fn merger(&self, algorithm: RewriteAlgorithm, fix_mode: FixMode) -> Merger {
+        let oracle: Box<dyn histmerge_semantics::SemanticOracle> = match &self.source {
+            // Canned system: static analysis + the offline-verified tables.
+            TxnSource::Canned(mix) => Box::new(mix.oracle()),
+            TxnSource::Random(_) => {
+                Box::new(OracleStack::new().with(Box::new(StaticAnalyzer::new())))
+            }
+        };
+        Merger::new(MergeConfig {
+            backout: Box::new(TwoCycleOptimal::new()),
+            algorithm,
+            fix_mode,
+            prune: PruneMethod::Undo,
+            oracle,
+        })
+    }
+
+    /// Strategy 2 merge: against the window's base sub-history, from the
+    /// shared window-start state.
+    fn merge_window(
+        &mut self,
+        i: usize,
+        tick: u64,
+        algorithm: RewriteAlgorithm,
+        fix_mode: FixMode,
+    ) -> f64 {
+        let hm = self.mobiles[i].history().clone();
+        let hb = self.base.base().epoch_history();
+        let s0 = self.base.base().epoch_state().clone();
+        let merger = self.merger(algorithm, fix_mode);
+        match merger.merge(&self.arena, &hm, &hb, &s0) {
+            Ok(outcome) => self.apply_merge(i, tick, &hm, hb.len(), outcome, false),
+            Err(_) => self.reprocess_all(i, tick, true),
+        }
+    }
+
+    /// Strategy 1 merge: against the base log suffix from the mobile's own
+    /// snapshot, if that snapshot is still a valid cut of the base history.
+    fn merge_snapshot(
+        &mut self,
+        i: usize,
+        tick: u64,
+        algorithm: RewriteAlgorithm,
+        fix_mode: FixMode,
+    ) -> f64 {
+        let origin_index = self.mobiles[i].origin_index();
+        let hm = self.mobiles[i].history().clone();
+        let s0 = self.mobiles[i].origin().clone();
+        let full = self.base.base().full_history();
+        let hb: SerialHistory = full.order()[origin_index..].iter().copied().collect();
+        // Validity: replaying the suffix from the snapshot must reproduce
+        // the current master. Retro-patched installs from other mobiles'
+        // merges break this — the Strategy-1 failure mode.
+        let valid = match histmerge_history::AugmentedHistory::execute(&self.arena, &hb, &s0) {
+            Ok(aug) => aug.final_state() == self.base.base().master(),
+            Err(_) => false,
+        };
+        if !valid {
+            return self.reprocess_all(i, tick, true);
+        }
+        let merger = self.merger(algorithm, fix_mode);
+        match merger.merge(&self.arena, &hm, &hb, &s0) {
+            Ok(outcome) => self.apply_merge(i, tick, &hm, hb.len(), outcome, true),
+            Err(_) => self.reprocess_all(i, tick, true),
+        }
+    }
+
+    /// Installs a merge outcome on the base and records metrics. Returns
+    /// base work units.
+    fn apply_merge(
+        &mut self,
+        i: usize,
+        tick: u64,
+        hm: &SerialHistory,
+        hb_len: usize,
+        outcome: MergeOutcome,
+        retroactive: bool,
+    ) -> f64 {
+        // Step 5: install forwarded updates.
+        if retroactive {
+            let from = self.mobiles[i].origin_index();
+            self.base.base_mut().retro_patch(&self.arena, from, &outcome.forwarded);
+        } else {
+            let _ = self.base.install_updates(&mut self.arena, &outcome.forwarded);
+        }
+        // Step 6: re-execute backed-out transactions as base transactions.
+        let mut backed_out_stmts = 0usize;
+        for id in &outcome.backed_out {
+            backed_out_stmts += self.arena.get(*id).program().statement_count();
+            self.base.reexecute(&mut self.arena, *id);
+        }
+
+        let stats = self.merge_stats(hm, hb_len, &outcome, backed_out_stmts);
+        let cost = merging_cost(&self.config.cost, &stats);
+        self.metrics.record(
+            SyncRecord {
+                tick,
+                mobile: i,
+                pending: hm.len(),
+                hb_len,
+                saved: outcome.saved.len(),
+                backed_out: outcome.backed_out.len(),
+                reprocessed: 0,
+                merge_failed: false,
+            },
+            cost,
+        );
+        self.refresh_origin(i);
+        cost.base_cpu + cost.base_io
+    }
+
+    fn merge_stats(
+        &self,
+        hm: &SerialHistory,
+        hb_len: usize,
+        outcome: &MergeOutcome,
+        backed_out_stmts: usize,
+    ) -> MergeStats {
+        let rw_entries: usize = hm
+            .iter()
+            .map(|id| {
+                let t = self.arena.get(id);
+                t.readset().len() + t.writeset().len()
+            })
+            .sum();
+        let graph_edges =
+            PrecedenceGraph::build(&self.arena, hm, &SerialHistory::new()).edges().len();
+        MergeStats {
+            hm_len: hm.len(),
+            hb_len,
+            rw_entries,
+            graph_edges,
+            full_graph_edges: outcome.graph_edges,
+            n_saved: outcome.saved.len(),
+            n_backed_out: outcome.backed_out.len(),
+            backed_out_stmts,
+            forwarded_items: outcome.forwarded.len(),
+        }
+    }
+
+    /// Reprocesses every pending tentative transaction of mobile `i` the
+    /// old way. Returns base work units.
+    fn reprocess_all(&mut self, i: usize, tick: u64, merge_failed: bool) -> f64 {
+        let pending: Vec<TxnId> = self.mobiles[i].history().iter().collect();
+        let total_stmts: usize = pending
+            .iter()
+            .map(|id| self.arena.get(*id).program().statement_count())
+            .sum();
+        for id in &pending {
+            self.base.reexecute(&mut self.arena, *id);
+        }
+        let cost = reprocessing_cost(
+            &self.config.cost,
+            &ReprocessStats { n_txns: pending.len(), total_stmts },
+        );
+        self.metrics.record(
+            SyncRecord {
+                tick,
+                mobile: i,
+                pending: pending.len(),
+                hb_len: 0,
+                saved: 0,
+                backed_out: 0,
+                reprocessed: pending.len(),
+                merge_failed,
+            },
+            cost,
+        );
+        self.refresh_origin(i);
+        cost.base_cpu + cost.base_io
+    }
+
+    /// Resets mobile `i`'s origin according to the strategy.
+    fn refresh_origin(&mut self, i: usize) {
+        match self.config.strategy {
+            SyncStrategy::WindowStart { .. } | SyncStrategy::AdaptiveWindow { .. } => {
+                // Strategy 2: new tentative histories within the window
+                // keep the window-start state as their origin.
+                let origin = self.base.base().epoch_state().clone();
+                self.mobiles[i].resync(origin, 0);
+                self.mobile_epochs[i] = self.epoch;
+            }
+            SyncStrategy::PerDisconnectSnapshot => {
+                // Strategy 1: snapshot the current master.
+                let origin = self.base.base().master().clone();
+                let index = self.base.base().committed();
+                self.mobiles[i].resync(origin, index);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_workload(seed: u64) -> ScenarioParams {
+        ScenarioParams {
+            n_vars: 32,
+            commutative_fraction: 0.5,
+            guarded_fraction: 0.2,
+            read_only_fraction: 0.1,
+            hot_fraction: 0.1,
+            hot_prob: 0.4,
+            seed,
+            ..ScenarioParams::default()
+        }
+    }
+
+    fn config(protocol: Protocol, strategy: SyncStrategy, seed: u64) -> SimConfig {
+        SimConfig {
+            n_mobiles: 3,
+            duration: 300,
+            base_rate: 0.3,
+            mobile_rate: 0.15,
+            connect_every: 40,
+            protocol,
+            strategy,
+            workload: quiet_workload(seed),
+            cost: CostParams::default(),
+            base_capacity: 100.0,
+            base_nodes: 1,
+            canned: None,
+        }
+    }
+
+    #[test]
+    fn reprocessing_run_completes_and_reprocesses_everything() {
+        let report = Simulation::new(config(
+            Protocol::Reprocessing,
+            SyncStrategy::WindowStart { window: 100 },
+            1,
+        ))
+        .run();
+        let m = &report.metrics;
+        assert!(m.tentative_generated > 0);
+        assert_eq!(m.saved, 0);
+        assert!(m.reprocessed > 0);
+        assert!(m.syncs > 0);
+        // Everything synced so far was re-executed at the base.
+        assert!(report.base_commits >= m.reprocessed + m.base_generated);
+    }
+
+    #[test]
+    fn merging_run_saves_work() {
+        // Window spanning the whole run: no window-miss reprocessing, so
+        // the save ratio reflects pure conflict back-outs. The base history
+        // grows over the window, so back-outs accumulate (the Section 2.2
+        // trade-off) — the ratio is positive but far from 1.
+        let report = Simulation::new(config(
+            Protocol::merging_default(),
+            SyncStrategy::WindowStart { window: 1000 },
+            1,
+        ))
+        .run();
+        let m = &report.metrics;
+        assert!(m.saved > 0, "merging saved nothing: {m:?}");
+        assert!(m.save_ratio() > 0.1, "save ratio too low: {}", m.save_ratio());
+        assert_eq!(m.merge_failures, 0, "strategy 2 never fails to merge");
+        assert_eq!(m.window_misses, 0);
+    }
+
+    #[test]
+    fn commutative_workloads_save_more() {
+        let run = |commutative: f64| {
+            let mut cfg = config(
+                Protocol::merging_default(),
+                SyncStrategy::WindowStart { window: 100 },
+                21,
+            );
+            cfg.workload.commutative_fraction = commutative;
+            cfg.workload.guarded_fraction = 0.0;
+            cfg.workload.read_only_fraction = 0.0;
+            Simulation::new(cfg).run().metrics.save_ratio()
+        };
+        let low = run(0.0);
+        let high = run(1.0);
+        assert!(
+            high > low,
+            "commutative workload should save more: {high} !> {low}"
+        );
+    }
+
+    #[test]
+    fn merging_reduces_base_io_vs_reprocessing() {
+        // Moderate contention so a healthy fraction of work survives the
+        // merge (the regime Section 7.1 says merging targets).
+        let strategies = SyncStrategy::WindowStart { window: 150 };
+        let mut low = config(Protocol::Reprocessing, strategies, 7);
+        low.workload.n_vars = 128;
+        low.workload.hot_prob = 0.15;
+        low.workload.commutative_fraction = 0.7;
+        let mut low_m = low.clone();
+        low_m.protocol = Protocol::merging_default();
+        let rep = Simulation::new(low).run();
+        let mer = Simulation::new(low_m).run();
+        // Same workload seed: merging must force fewer log writes at the
+        // base (one per merge vs one per transaction).
+        assert!(
+            mer.metrics.cost.base_io < rep.metrics.cost.base_io,
+            "merging io {} !< reprocessing io {}",
+            mer.metrics.cost.base_io,
+            rep.metrics.cost.base_io
+        );
+    }
+
+    #[test]
+    fn strategy1_fails_merges_under_contention() {
+        // High contention + several mobiles: merged installs retro-patch
+        // the base log, invalidating other snapshots.
+        let mut cfg = config(
+            Protocol::merging_default(),
+            SyncStrategy::PerDisconnectSnapshot,
+            3,
+        );
+        cfg.workload.hot_prob = 0.9;
+        cfg.workload.hot_fraction = 0.05;
+        cfg.n_mobiles = 6;
+        cfg.mobile_rate = 0.3;
+        let report = Simulation::new(cfg).run();
+        assert!(
+            report.metrics.merge_failures > 0,
+            "expected Strategy-1 merge failures: {:?}",
+            report.metrics
+        );
+    }
+
+    #[test]
+    fn adaptive_window_bounds_hb_length() {
+        let mut cfg = config(
+            Protocol::merging_default(),
+            SyncStrategy::AdaptiveWindow { max_hb: 15 },
+            13,
+        );
+        cfg.base_rate = 0.5; // fast-growing base history
+        let report = Simulation::new(cfg).run();
+        let m = &report.metrics;
+        // Every merge ran against a bounded base history.
+        for r in &m.records {
+            assert!(
+                r.hb_len <= 15 + 1,
+                "adaptive window let H_b grow to {}",
+                r.hb_len
+            );
+        }
+        assert!(m.syncs > 0);
+        assert_eq!(m.merge_failures, 0);
+    }
+
+    #[test]
+    fn window_misses_counted() {
+        // Connect interval much longer than the window: every reconnection
+        // lands in a later window and must reprocess.
+        let mut cfg = config(
+            Protocol::merging_default(),
+            SyncStrategy::WindowStart { window: 20 },
+            5,
+        );
+        cfg.connect_every = 80;
+        let report = Simulation::new(cfg).run();
+        assert!(report.metrics.window_misses > 0);
+        assert!(report.metrics.reprocessed > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Simulation::new(config(
+            Protocol::merging_default(),
+            SyncStrategy::WindowStart { window: 100 },
+            9,
+        ))
+        .run();
+        let b = Simulation::new(config(
+            Protocol::merging_default(),
+            SyncStrategy::WindowStart { window: 100 },
+            9,
+        ))
+        .run();
+        assert_eq!(a.final_master, b.final_master);
+        assert_eq!(a.metrics.saved, b.metrics.saved);
+        assert_eq!(a.metrics.records.len(), b.metrics.records.len());
+    }
+
+    #[test]
+    fn canned_simulation_uses_declared_tables() {
+        use histmerge_workload::canned_mix::CannedMixParams;
+        let mut cfg = config(
+            Protocol::merging_default(),
+            SyncStrategy::WindowStart { window: 200 },
+            41,
+        );
+        cfg.canned = Some(CannedMixParams {
+            n_accounts: 24,
+            n_prices: 6,
+            seed: 41,
+            ..CannedMixParams::default()
+        });
+        let report = Simulation::new(cfg).run();
+        let m = &report.metrics;
+        assert!(m.tentative_generated > 0);
+        assert!(m.saved > 0, "canned merging saved nothing: {m:?}");
+        assert_eq!(m.merge_failures, 0);
+        // Deterministic like everything else.
+        let mut cfg2 = config(
+            Protocol::merging_default(),
+            SyncStrategy::WindowStart { window: 200 },
+            41,
+        );
+        cfg2.canned = Some(CannedMixParams {
+            n_accounts: 24,
+            n_prices: 6,
+            seed: 41,
+            ..CannedMixParams::default()
+        });
+        let again = Simulation::new(cfg2).run();
+        assert_eq!(report.final_master, again.final_master);
+    }
+
+    #[test]
+    fn partitioned_base_accounts_coordination() {
+        let mut cfg = config(
+            Protocol::merging_default(),
+            SyncStrategy::WindowStart { window: 100 },
+            31,
+        );
+        cfg.base_nodes = 4;
+        cfg.workload.writes_per_txn = 3; // multi-partition footprints
+        let report = Simulation::new(cfg).run();
+        assert_eq!(report.cluster.per_node_commits.len(), 4);
+        assert!(report.cluster.distributed_txns > 0, "wide transactions expected");
+        assert!(report.cluster.two_pc_messages > 0);
+        assert!(report.cluster.imbalance() >= 1.0);
+        // A single-node base never coordinates.
+        let mut cfg1 = config(
+            Protocol::merging_default(),
+            SyncStrategy::WindowStart { window: 100 },
+            31,
+        );
+        cfg1.workload.writes_per_txn = 3;
+        let single = Simulation::new(cfg1).run();
+        assert_eq!(single.cluster.two_pc_messages, 0);
+        // Partitioning does not change the outcome, only the accounting.
+        assert_eq!(single.final_master, report.final_master);
+    }
+
+    #[test]
+    fn backlog_grows_with_mobile_count_under_reprocessing() {
+        let small = {
+            let mut c = config(Protocol::Reprocessing, SyncStrategy::WindowStart { window: 100 }, 11);
+            c.n_mobiles = 2;
+            c.base_capacity = 30.0;
+            Simulation::new(c).run()
+        };
+        let large = {
+            let mut c = config(Protocol::Reprocessing, SyncStrategy::WindowStart { window: 100 }, 11);
+            c.n_mobiles = 12;
+            c.base_capacity = 30.0;
+            Simulation::new(c).run()
+        };
+        assert!(
+            large.metrics.peak_backlog > small.metrics.peak_backlog,
+            "backlog should grow with mobiles: {} !> {}",
+            large.metrics.peak_backlog,
+            small.metrics.peak_backlog
+        );
+    }
+}

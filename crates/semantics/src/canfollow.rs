@@ -1,0 +1,103 @@
+//! The *can follow* relation (Definition 3).
+//!
+//! Transaction `T` **can follow** a sequence of transactions `R` if
+//! `T.writeset ∩ R.readset = ∅` — i.e. `T` can be moved to the right past
+//! `R` because no transaction in `R` reads anything `T` writes.
+//!
+//! Properties (all stated in Section 4 of the paper and tested below):
+//!
+//! 1. if `T.writeset` is non-empty, `T` cannot follow itself;
+//! 2. can-follow is not transitive;
+//! 3. read-only transactions can follow any transaction;
+//! 4. `T` can follow `R` iff `T` can follow every transaction in `R`.
+
+use histmerge_txn::Transaction;
+
+/// Returns `true` if `t` can follow the single transaction `r`
+/// (Definition 3 with a one-element sequence).
+pub fn can_follow(t: &Transaction, r: &Transaction) -> bool {
+    !t.writeset().intersects(r.readset())
+}
+
+/// Returns `true` if `t` can follow the sequence `r` (Definition 3).
+///
+/// Equivalent to checking [`can_follow`] pairwise (property 4), because
+/// `R.readset` is the union of the member read sets.
+pub fn can_follow_sequence<'a, I>(t: &Transaction, r: I) -> bool
+where
+    I: IntoIterator<Item = &'a Transaction>,
+{
+    r.into_iter().all(|ri| can_follow(t, ri))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histmerge_txn::{Expr, Program, ProgramBuilder, Transaction, TxnId, TxnKind, VarId};
+    use std::sync::Arc;
+
+    fn v(i: u32) -> VarId {
+        VarId::new(i)
+    }
+
+    fn txn(name: &str, reads: &[u32], writes: &[u32]) -> Transaction {
+        let mut b = ProgramBuilder::new(name);
+        let all: std::collections::BTreeSet<u32> =
+            reads.iter().chain(writes.iter()).copied().collect();
+        for i in &all {
+            b = b.read(v(*i));
+        }
+        for w in writes {
+            b = b.update(v(*w), Expr::var(v(*w)) + Expr::konst(1));
+        }
+        let p: Arc<Program> = Arc::new(b.build().unwrap());
+        Transaction::new(TxnId::new(0), name, TxnKind::Tentative, p, vec![])
+    }
+
+    #[test]
+    fn property1_cannot_follow_itself() {
+        let t = txn("t", &[], &[0]);
+        assert!(!can_follow(&t, &t));
+        let ro = txn("ro", &[0], &[]);
+        assert!(can_follow(&ro, &ro));
+    }
+
+    #[test]
+    fn property2_not_transitive() {
+        // Ti can follow Tj, Tj can follow Tk, but Ti cannot follow Tk.
+        let ti = txn("ti", &[], &[0]);
+        let tj = txn("tj", &[1], &[1]);
+        let tk = txn("tk", &[0], &[2]);
+        assert!(can_follow(&ti, &tj));
+        assert!(can_follow(&tj, &tk));
+        assert!(!can_follow(&ti, &tk));
+    }
+
+    #[test]
+    fn property3_read_only_follows_anything() {
+        let ro = txn("ro", &[0, 1, 2], &[]);
+        for other in [txn("a", &[0], &[0]), txn("b", &[1, 2], &[1, 2]), txn("c", &[], &[])] {
+            assert!(can_follow(&ro, &other));
+        }
+    }
+
+    #[test]
+    fn property4_sequence_iff_pairwise() {
+        let t = txn("t", &[3], &[3]);
+        let r1 = txn("r1", &[0], &[0]);
+        let r2 = txn("r2", &[1], &[1]);
+        let r3 = txn("r3", &[3], &[]); // reads what t writes
+        assert!(can_follow_sequence(&t, [&r1, &r2]));
+        assert!(!can_follow_sequence(&t, [&r1, &r3]));
+        assert_eq!(
+            can_follow_sequence(&t, [&r1, &r2, &r3]),
+            [&r1, &r2, &r3].iter().all(|r| can_follow(&t, r))
+        );
+    }
+
+    #[test]
+    fn empty_sequence_always_followable() {
+        let t = txn("t", &[], &[0]);
+        assert!(can_follow_sequence(&t, []));
+    }
+}

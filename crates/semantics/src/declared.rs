@@ -1,0 +1,254 @@
+//! Declared relation tables for canned systems.
+//!
+//! Section 5.1: "For canned systems ... transactions are of limited number
+//! of types and the code of each transaction type is available, so the can
+//! precede relation between two transactions can be pre-detected by
+//! detecting the relation between the corresponding two transaction types
+//! in advance."
+//!
+//! A [`DeclaredTable`] stores, per *(mover type, stayer type)* pair, whether
+//! the mover commutes backward through the stayer, and a
+//! [`CanPrecedePolicy`] describing how fixes affect the relation. This is
+//! how the `H5` subtlety is expressed: `T3` commutes backward through `T1`,
+//! but only while no fix pins `T1`'s guard variable `y` — policy
+//! [`CanPrecedePolicy::UnlessFixPinsGuards`].
+
+use std::collections::BTreeMap;
+
+use histmerge_txn::registry::TxnTypeId;
+use histmerge_txn::{Transaction, VarSet};
+
+use crate::oracle::SemanticOracle;
+use crate::summary::TxnSummary;
+
+/// How a declared pair behaves in the presence of a fix on the stayer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CanPrecedePolicy {
+    /// The relation never holds with or without a fix.
+    Never,
+    /// The relation holds for every fix (Definition 4 verified offline for
+    /// arbitrary pinned values).
+    Always,
+    /// The relation holds only while the fix does not pin any guard
+    /// variable of the stayer's program — the offline verification relied
+    /// on correlated guards, which a pinned guard breaks (history `H5`).
+    UnlessFixPinsGuards,
+}
+
+/// A symmetric-looking but directional table of declared relations between
+/// canned transaction types.
+///
+/// # Soundness contract
+///
+/// Entries are trusted: declaring a pair asserts the relation was verified
+/// offline (the workspace's canned library validates its declarations with
+/// differential tests). Transactions without a type id never match.
+///
+/// # Example
+///
+/// ```rust
+/// use histmerge_semantics::{CanPrecedePolicy, DeclaredTable};
+/// use histmerge_txn::registry::TypeRegistry;
+///
+/// let mut reg = TypeRegistry::new();
+/// let deposit = reg.register("deposit");
+/// let withdraw = reg.register("withdraw");
+/// let table = DeclaredTable::new()
+///     .declare(deposit, withdraw, true, CanPrecedePolicy::Always)
+///     .declare_commuting_pair(deposit, deposit, CanPrecedePolicy::Always);
+/// assert!(table.is_declared(deposit, withdraw));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DeclaredTable {
+    /// (mover, stayer) → (commutes backward through, can-precede policy).
+    entries: BTreeMap<(TxnTypeId, TxnTypeId), (bool, CanPrecedePolicy)>,
+}
+
+impl DeclaredTable {
+    /// Creates an empty table (answers `false` to everything).
+    pub fn new() -> Self {
+        DeclaredTable::default()
+    }
+
+    /// Declares that `mover` commutes backward through `stayer` (when
+    /// `commutes` is true) with the given fix policy.
+    #[must_use]
+    pub fn declare(
+        mut self,
+        mover: TxnTypeId,
+        stayer: TxnTypeId,
+        commutes: bool,
+        policy: CanPrecedePolicy,
+    ) -> Self {
+        self.entries.insert((mover, stayer), (commutes, policy));
+        self
+    }
+
+    /// Declares both directions at once (full commutativity).
+    #[must_use]
+    pub fn declare_commuting_pair(
+        self,
+        a: TxnTypeId,
+        b: TxnTypeId,
+        policy: CanPrecedePolicy,
+    ) -> Self {
+        self.declare(a, b, true, policy).declare(b, a, true, policy)
+    }
+
+    /// Returns `true` if the (mover, stayer) pair has any declaration.
+    pub fn is_declared(&self, mover: TxnTypeId, stayer: TxnTypeId) -> bool {
+        self.entries.contains_key(&(mover, stayer))
+    }
+
+    /// Number of declared (directional) pairs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing is declared.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn lookup(&self, t2: &Transaction, t1: &Transaction) -> Option<(bool, CanPrecedePolicy)> {
+        let (m, s) = (t2.type_id()?, t1.type_id()?);
+        self.entries.get(&(m, s)).copied()
+    }
+}
+
+impl SemanticOracle for DeclaredTable {
+    fn commutes_backward_through(&self, t2: &Transaction, t1: &Transaction) -> bool {
+        self.lookup(t2, t1).map(|(c, _)| c).unwrap_or(false)
+    }
+
+    fn can_precede(&self, t2: &Transaction, t1: &Transaction, fix_vars: &VarSet) -> bool {
+        match self.lookup(t2, t1) {
+            Some((_, CanPrecedePolicy::Always)) => true,
+            Some((_, CanPrecedePolicy::UnlessFixPinsGuards)) => {
+                let guards = TxnSummary::of(t1).all_guard_vars;
+                !fix_vars.intersects(&guards)
+            }
+            Some((_, CanPrecedePolicy::Never)) | None => false,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "declared-table"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histmerge_txn::registry::TypeRegistry;
+    use histmerge_txn::{Expr, ProgramBuilder, TxnId, TxnKind, VarId};
+    use std::sync::Arc;
+
+    fn v(i: u32) -> VarId {
+        VarId::new(i)
+    }
+
+    /// H5's T1 (guarded by y = d1) tagged with a type.
+    fn h5_t1(ty: TxnTypeId) -> Transaction {
+        let p = ProgramBuilder::new("T1")
+            .read(v(0))
+            .read(v(1))
+            .branch(
+                Expr::var(v(1)).gt(Expr::konst(200)),
+                |b| b.update(v(0), Expr::var(v(0)) + Expr::konst(100)),
+                |b| b.update(v(0), Expr::var(v(0)) * Expr::konst(2)),
+            )
+            .build()
+            .unwrap();
+        Transaction::new(TxnId::new(0), "T1", TxnKind::Tentative, Arc::new(p), vec![])
+            .with_type(ty)
+    }
+
+    fn h5_t3(ty: TxnTypeId) -> Transaction {
+        let p = ProgramBuilder::new("T3")
+            .read(v(0))
+            .read(v(1))
+            .branch(
+                Expr::var(v(1)).gt(Expr::konst(200)),
+                |b| b.update(v(0), Expr::var(v(0)) - Expr::konst(10)),
+                |b| b.update(v(0), Expr::var(v(0)) / Expr::konst(2)),
+            )
+            .build()
+            .unwrap();
+        Transaction::new(TxnId::new(1), "T3", TxnKind::Tentative, Arc::new(p), vec![])
+            .with_type(ty)
+    }
+
+    #[test]
+    fn h5_policy_blocks_guard_pinning_fix() {
+        let mut reg = TypeRegistry::new();
+        let ty1 = reg.register("t1");
+        let ty3 = reg.register("t3");
+        // Offline analysis of H5: T3 commutes backward through T1, but the
+        // verification leaned on the shared guard over y.
+        let table = DeclaredTable::new().declare(
+            ty3,
+            ty1,
+            true,
+            CanPrecedePolicy::UnlessFixPinsGuards,
+        );
+        let (t1, t3) = (h5_t1(ty1), h5_t3(ty3));
+        assert!(table.commutes_backward_through(&t3, &t1));
+        // Fix over a non-guard variable: fine.
+        assert!(table.can_precede(&t3, &t1, &[v(5)].into_iter().collect()));
+        // Fix pinning y (the guard): exactly the paper's counterexample.
+        assert!(!table.can_precede(&t3, &t1, &[v(1)].into_iter().collect()));
+        // Empty fix: fine.
+        assert!(table.can_precede(&t3, &t1, &VarSet::new()));
+    }
+
+    #[test]
+    fn undeclared_and_untyped_pairs_deny() {
+        let mut reg = TypeRegistry::new();
+        let ty1 = reg.register("t1");
+        let ty3 = reg.register("t3");
+        let table = DeclaredTable::new();
+        assert!(table.is_empty());
+        assert!(!table.commutes_backward_through(&h5_t3(ty3), &h5_t1(ty1)));
+        // Untyped transaction never matches.
+        let t1_untyped = {
+            let t = h5_t1(ty1);
+            Transaction::new(
+                t.id(),
+                t.name().to_string(),
+                t.kind(),
+                t.program().clone(),
+                t.params().to_vec(),
+            )
+        };
+        let full = DeclaredTable::new().declare(ty3, ty1, true, CanPrecedePolicy::Always);
+        assert!(!full.commutes_backward_through(&h5_t3(ty3), &t1_untyped));
+        assert!(!full.can_precede(&h5_t3(ty3), &t1_untyped, &VarSet::new()));
+    }
+
+    #[test]
+    fn policies() {
+        let mut reg = TypeRegistry::new();
+        let a = reg.register("a");
+        let b = reg.register("b");
+        let (ta, tb) = (h5_t1(a), h5_t3(b));
+        let never = DeclaredTable::new().declare(b, a, true, CanPrecedePolicy::Never);
+        assert!(never.commutes_backward_through(&tb, &ta));
+        assert!(!never.can_precede(&tb, &ta, &VarSet::new()));
+        let always = DeclaredTable::new().declare(b, a, false, CanPrecedePolicy::Always);
+        assert!(!always.commutes_backward_through(&tb, &ta));
+        assert!(always.can_precede(&tb, &ta, &[v(1)].into_iter().collect()));
+    }
+
+    #[test]
+    fn commuting_pair_declares_both_directions() {
+        let mut reg = TypeRegistry::new();
+        let a = reg.register("a");
+        let b = reg.register("b");
+        let table = DeclaredTable::new().declare_commuting_pair(a, b, CanPrecedePolicy::Always);
+        assert_eq!(table.len(), 2);
+        assert!(table.is_declared(a, b));
+        assert!(table.is_declared(b, a));
+        assert_eq!(table.name(), "declared-table");
+    }
+}

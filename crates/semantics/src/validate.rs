@@ -1,0 +1,143 @@
+//! Offline validation of declared relation tables.
+//!
+//! Section 5.1 assumes canned systems pre-detect semantic relations
+//! "in advance" — which implies a verification step someone must run.
+//! [`validate_declarations`] is that step: it differentially tests every
+//! declared relation over representative transaction instances and reports
+//! the declarations the tester could refute. Run it whenever the canned
+//! transaction library or the table changes.
+
+use histmerge_txn::{Transaction, VarSet};
+
+use crate::declared::DeclaredTable;
+use crate::oracle::SemanticOracle;
+use crate::random_tester::RandomizedTester;
+
+/// A declaration the differential tester refuted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Name of the moving transaction instance.
+    pub mover: String,
+    /// Name of the staying transaction instance.
+    pub stayer: String,
+    /// Which declared relation failed.
+    pub relation: &'static str,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "declared {} of `{}` through `{}` was refuted", self.relation, self.mover, self.stayer)
+    }
+}
+
+/// Differentially tests every declared relation over all ordered pairs of
+/// `instances`, including the empty fix and a fix over the stayer's pure
+/// reads. Returns the refuted declarations (empty means the table passed).
+///
+/// The tester is probabilistic: passing is evidence, not proof; a refuted
+/// declaration is definitely wrong.
+pub fn validate_declarations(
+    table: &DeclaredTable,
+    instances: &[Transaction],
+    tester: &RandomizedTester,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for mover in instances {
+        for stayer in instances {
+            let (Some(m_ty), Some(s_ty)) = (mover.type_id(), stayer.type_id()) else {
+                continue;
+            };
+            if !table.is_declared(m_ty, s_ty) {
+                continue;
+            }
+            if table.commutes_backward_through(mover, stayer)
+                && !tester.commutes_backward_through(mover, stayer)
+            {
+                violations.push(Violation {
+                    mover: mover.name().to_string(),
+                    stayer: stayer.name().to_string(),
+                    relation: "commutes-backward-through",
+                });
+            }
+            for fix in [VarSet::new(), stayer.read_only_set()] {
+                if table.can_precede(mover, stayer, &fix)
+                    && !tester.can_precede(mover, stayer, &fix)
+                {
+                    violations.push(Violation {
+                        mover: mover.name().to_string(),
+                        stayer: stayer.name().to_string(),
+                        relation: "can-precede",
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::declared::CanPrecedePolicy;
+    use histmerge_txn::registry::TypeRegistry;
+    use histmerge_txn::{Expr, ProgramBuilder, TxnId, TxnKind, VarId};
+    use std::sync::Arc;
+
+    fn v(i: u32) -> VarId {
+        VarId::new(i)
+    }
+
+    fn typed_txn(
+        name: &str,
+        ty: histmerge_txn::registry::TxnTypeId,
+        build: impl FnOnce(ProgramBuilder) -> ProgramBuilder,
+    ) -> Transaction {
+        let p = build(ProgramBuilder::new(name)).build().unwrap();
+        Transaction::new(TxnId::new(0), name, TxnKind::Tentative, Arc::new(p), vec![])
+            .with_type(ty)
+    }
+
+    #[test]
+    fn sound_table_passes() {
+        let mut reg = TypeRegistry::new();
+        let inc = reg.register("inc");
+        let table = DeclaredTable::new().declare_commuting_pair(inc, inc, CanPrecedePolicy::Always);
+        let a = typed_txn("a", inc, |b| b.read(v(0)).update(v(0), Expr::var(v(0)) + Expr::konst(3)));
+        let b = typed_txn("b", inc, |b| b.read(v(0)).update(v(0), Expr::var(v(0)) + Expr::konst(9)));
+        let tester = RandomizedTester::with_config(64, 500, 1);
+        assert!(validate_declarations(&table, &[a, b], &tester).is_empty());
+    }
+
+    #[test]
+    fn bogus_commutation_is_refuted() {
+        let mut reg = TypeRegistry::new();
+        let setter = reg.register("set");
+        // Overwrites never commute, but someone declared they do.
+        let table =
+            DeclaredTable::new().declare_commuting_pair(setter, setter, CanPrecedePolicy::Always);
+        let a = typed_txn("set1", setter, |b| b.read(v(0)).update(v(0), Expr::konst(1) + Expr::konst(0)));
+        let b = typed_txn("set2", setter, |b| b.read(v(0)).update(v(0), Expr::konst(2) + Expr::konst(0)));
+        let tester = RandomizedTester::with_config(64, 500, 1);
+        let violations = validate_declarations(&table, &[a, b], &tester);
+        assert!(!violations.is_empty());
+        assert!(violations.iter().any(|x| x.relation == "commutes-backward-through"));
+        assert!(violations.iter().any(|x| x.relation == "can-precede"));
+        assert!(violations[0].to_string().contains("refuted"));
+    }
+
+    #[test]
+    fn untyped_instances_skipped() {
+        let mut reg = TypeRegistry::new();
+        let ty = reg.register("t");
+        let table = DeclaredTable::new().declare_commuting_pair(ty, ty, CanPrecedePolicy::Always);
+        let p = ProgramBuilder::new("u")
+            .read(v(0))
+            .update(v(0), Expr::konst(1) + Expr::konst(0))
+            .build()
+            .unwrap();
+        let untyped = Transaction::new(TxnId::new(0), "u", TxnKind::Tentative, Arc::new(p), vec![]);
+        let tester = RandomizedTester::new();
+        assert!(validate_declarations(&table, &[untyped], &tester).is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! Fixes: pinned read values attached to a repositioned transaction.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::value::{Value, VarId, VarSet};
+
+/// A *fix* for a transaction `T` in a rewritten history (Definition 1 of the
+/// paper).
+///
+/// A fix is a set of variables, each associated with the value `T` read for
+/// it **in its original position**. When the interpreter executes `T` with a
+/// fix `F`, reads of variables in `F` return the pinned value instead of the
+/// value in the before state. Fixes are what keep rewritten histories
+/// final-state equivalent to the original (Lemma 1).
+///
+/// # Example
+///
+/// ```rust
+/// use histmerge_txn::{Fix, VarId};
+///
+/// let x = VarId::new(0);
+/// let mut f = Fix::empty();
+/// assert!(f.is_empty());
+/// f.pin(x, 1);
+/// assert_eq!(f.get(x), Some(1));
+/// assert!(f.vars().contains(x));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Fix {
+    pins: BTreeMap<VarId, Value>,
+}
+
+impl Fix {
+    /// The empty fix (ordinary execution; every transaction in an original
+    /// serializable history carries the empty fix).
+    pub fn empty() -> Self {
+        Fix { pins: BTreeMap::new() }
+    }
+
+    /// Returns `true` if no variables are pinned.
+    pub fn is_empty(&self) -> bool {
+        self.pins.is_empty()
+    }
+
+    /// Number of pinned variables.
+    pub fn len(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// Pins `var` to `value`. If `var` was already pinned the earlier value
+    /// wins, because a fix records what the transaction read *in the original
+    /// history*, which never changes during rewriting.
+    pub fn pin(&mut self, var: VarId, value: Value) {
+        self.pins.entry(var).or_insert(value);
+    }
+
+    /// Returns the pinned value for `var`, if any.
+    pub fn get(&self, var: VarId) -> Option<Value> {
+        self.pins.get(&var).copied()
+    }
+
+    /// Returns `true` if `var` is pinned.
+    pub fn contains(&self, var: VarId) -> bool {
+        self.pins.contains_key(&var)
+    }
+
+    /// The set of pinned variables (the paper writes fixes as bare variable
+    /// sets, e.g. `B1^{x}`, leaving values implicit).
+    pub fn vars(&self) -> VarSet {
+        self.pins.keys().copied().collect()
+    }
+
+    /// Iterates `(variable, pinned value)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, Value)> + '_ {
+        self.pins.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Merges `other` into `self` (Lemma 1: `F2 = F1 ∪ (T.readset ∩
+    /// R.writeset)`). Existing pins win, matching [`Fix::pin`].
+    pub fn merge(&mut self, other: &Fix) {
+        for (var, value) in other.iter() {
+            self.pin(var, value);
+        }
+    }
+}
+
+impl FromIterator<(VarId, Value)> for Fix {
+    fn from_iter<I: IntoIterator<Item = (VarId, Value)>>(iter: I) -> Self {
+        let mut fix = Fix::empty();
+        for (var, value) in iter {
+            fix.pin(var, value);
+        }
+        fix
+    }
+}
+
+impl fmt::Display for Fix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (var, value)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "({var}, {value})")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VarId {
+        VarId::new(i)
+    }
+
+    #[test]
+    fn pin_and_get() {
+        let mut f = Fix::empty();
+        assert!(f.is_empty());
+        f.pin(v(0), 5);
+        assert_eq!(f.get(v(0)), Some(5));
+        assert_eq!(f.get(v(1)), None);
+        assert!(f.contains(v(0)));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn first_pin_wins() {
+        // A fix records the ORIGINAL read value; later attempts to re-pin
+        // (e.g. when a transaction is jumped twice) must not clobber it.
+        let mut f = Fix::empty();
+        f.pin(v(0), 5);
+        f.pin(v(0), 9);
+        assert_eq!(f.get(v(0)), Some(5));
+    }
+
+    #[test]
+    fn merge_keeps_existing() {
+        let mut a: Fix = [(v(0), 1), (v(1), 2)].into_iter().collect();
+        let b: Fix = [(v(1), 99), (v(2), 3)].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.get(v(0)), Some(1));
+        assert_eq!(a.get(v(1)), Some(2));
+        assert_eq!(a.get(v(2)), Some(3));
+        assert_eq!(a.vars(), [v(0), v(1), v(2)].into_iter().collect());
+    }
+
+    #[test]
+    fn display() {
+        let f: Fix = [(v(1), 7)].into_iter().collect();
+        assert_eq!(f.to_string(), "{(d1, 7)}");
+        assert_eq!(Fix::empty().to_string(), "{}");
+    }
+}

@@ -1,0 +1,161 @@
+//! Canned transaction-type registry.
+//!
+//! Section 5.1 of the paper distinguishes *canned systems* — "widely used in
+//! real applications such as banking systems and airline ticket reservation
+//! systems" — where transactions come from a small set of known types whose
+//! code is available in advance. For such systems, semantic relations
+//! (commutativity, can-precede) are detected **offline between types** and
+//! looked up at merge time.
+//!
+//! This module provides the type identity layer: a [`TypeRegistry`] mapping
+//! type names to dense [`TxnTypeId`]s. The declared-relation tables
+//! themselves live in the `histmerge-semantics` crate; the canned program
+//! library lives in `histmerge-workload`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::TxnError;
+
+/// Dense identifier of a canned transaction type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnTypeId(u32);
+
+impl TxnTypeId {
+    /// Creates a type identifier from a dense index.
+    pub const fn new(index: u32) -> Self {
+        TxnTypeId(index)
+    }
+
+    /// Returns the dense index.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for TxnTypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ty{}", self.0)
+    }
+}
+
+/// A registry of canned transaction types.
+///
+/// # Example
+///
+/// ```rust
+/// use histmerge_txn::registry::TypeRegistry;
+///
+/// let mut reg = TypeRegistry::new();
+/// let deposit = reg.register("deposit");
+/// assert_eq!(reg.register("deposit"), deposit); // idempotent
+/// assert_eq!(reg.name(deposit), Some("deposit"));
+/// assert_eq!(reg.lookup("deposit"), Some(deposit));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TypeRegistry {
+    by_name: BTreeMap<String, TxnTypeId>,
+    names: Vec<String>,
+}
+
+impl TypeRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        TypeRegistry::default()
+    }
+
+    /// Registers a type name, returning its id. Registering an existing
+    /// name returns the existing id.
+    pub fn register(&mut self, name: impl Into<String>) -> TxnTypeId {
+        let name = name.into();
+        if let Some(id) = self.by_name.get(&name) {
+            return *id;
+        }
+        let id = TxnTypeId::new(self.names.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.names.push(name);
+        id
+    }
+
+    /// Looks up a type by name.
+    pub fn lookup(&self, name: &str) -> Option<TxnTypeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Looks up a type by name, returning an error naming the missing type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxnError::UnknownTxnType`] when the name is unregistered.
+    pub fn require(&self, name: &str) -> Result<TxnTypeId, TxnError> {
+        self.lookup(name).ok_or_else(|| TxnError::UnknownTxnType { name: name.to_string() })
+    }
+
+    /// The name of a registered type.
+    pub fn name(&self, id: TxnTypeId) -> Option<&str> {
+        self.names.get(id.index() as usize).map(String::as_str)
+    }
+
+    /// Number of registered types.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if no types are registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (TxnTypeId, &str)> + '_ {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (TxnTypeId::new(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = TypeRegistry::new();
+        assert!(reg.is_empty());
+        let a = reg.register("deposit");
+        let b = reg.register("withdraw");
+        assert_ne!(a, b);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.lookup("withdraw"), Some(b));
+        assert_eq!(reg.lookup("transfer"), None);
+        assert_eq!(reg.name(a), Some("deposit"));
+        assert_eq!(reg.name(TxnTypeId::new(9)), None);
+    }
+
+    #[test]
+    fn register_is_idempotent() {
+        let mut reg = TypeRegistry::new();
+        let a = reg.register("deposit");
+        let b = reg.register("deposit");
+        assert_eq!(a, b);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn require_errors_on_unknown() {
+        let reg = TypeRegistry::new();
+        let err = reg.require("nope").unwrap_err();
+        assert_eq!(err, TxnError::UnknownTxnType { name: "nope".into() });
+    }
+
+    #[test]
+    fn iteration_order() {
+        let mut reg = TypeRegistry::new();
+        reg.register("a");
+        reg.register("b");
+        let collected: Vec<_> = reg.iter().map(|(_, n)| n.to_string()).collect();
+        assert_eq!(collected, vec!["a", "b"]);
+        assert_eq!(TxnTypeId::new(2).to_string(), "ty2");
+    }
+}

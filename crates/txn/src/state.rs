@@ -1,0 +1,233 @@
+//! Database states.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::value::{Value, VarId, VarSet};
+
+/// A database state: a total assignment of values to a finite set of data
+/// items.
+///
+/// Augmented histories (Section 3 of the paper) interleave transactions with
+/// explicit states `s0 T1 s1 T2 s2 ...`; `DbState` is the representation of
+/// those states. Backed by a [`BTreeMap`] for deterministic iteration.
+///
+/// # Example
+///
+/// ```rust
+/// use histmerge_txn::{DbState, VarId};
+///
+/// let x = VarId::new(0);
+/// let mut s = DbState::new();
+/// s.set(x, 41);
+/// s.set(x, s.get(x) + 1);
+/// assert_eq!(s.get(x), 42);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DbState {
+    items: BTreeMap<VarId, Value>,
+}
+
+impl DbState {
+    /// Creates an empty state (no data items).
+    pub fn new() -> Self {
+        DbState { items: BTreeMap::new() }
+    }
+
+    /// Creates a state where variables `d0..d{n-1}` all hold `value`.
+    pub fn uniform(n_vars: u32, value: Value) -> Self {
+        DbState {
+            items: (0..n_vars).map(|i| (VarId::new(i), value)).collect(),
+        }
+    }
+
+    /// Returns the value of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is not present; use [`DbState::try_get`] for a
+    /// fallible lookup. States in this workspace are total over the workload
+    /// variable space, so absence indicates a harness bug.
+    pub fn get(&self, var: VarId) -> Value {
+        match self.items.get(&var) {
+            Some(v) => *v,
+            None => panic!("variable {var} missing from database state"),
+        }
+    }
+
+    /// Returns the value of `var`, or `None` if it is not present.
+    pub fn try_get(&self, var: VarId) -> Option<Value> {
+        self.items.get(&var).copied()
+    }
+
+    /// Sets the value of `var`, inserting it if absent. Returns the previous
+    /// value if there was one.
+    pub fn set(&mut self, var: VarId, value: Value) -> Option<Value> {
+        self.items.insert(var, value)
+    }
+
+    /// Returns `true` if `var` is present.
+    pub fn contains(&self, var: VarId) -> bool {
+        self.items.contains_key(&var)
+    }
+
+    /// Number of data items in the state.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if the state holds no data items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates `(variable, value)` pairs in ascending variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, Value)> + '_ {
+        self.items.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// The set of variables present in the state.
+    pub fn vars(&self) -> VarSet {
+        self.items.keys().copied().collect()
+    }
+
+    /// Returns the restriction of this state to `vars`.
+    ///
+    /// Used when forwarding updates: protocol step 5 forwards, for each item
+    /// modified by the repaired history, only its value in the final state.
+    pub fn project(&self, vars: &VarSet) -> DbState {
+        DbState {
+            items: vars
+                .iter()
+                .filter_map(|v| self.try_get(v).map(|val| (v, val)))
+                .collect(),
+        }
+    }
+
+    /// Overwrites the items present in `patch` with the patch's values,
+    /// leaving other items untouched.
+    pub fn apply(&mut self, patch: &DbState) {
+        for (var, val) in patch.iter() {
+            self.items.insert(var, val);
+        }
+    }
+
+    /// Returns the set of variables on which `self` and `other` disagree
+    /// (including variables present in only one of the two states).
+    pub fn diff_vars(&self, other: &DbState) -> VarSet {
+        let mut out = VarSet::new();
+        for (var, val) in self.iter() {
+            if other.try_get(var) != Some(val) {
+                out.insert(var);
+            }
+        }
+        for (var, _) in other.iter() {
+            if !self.contains(var) {
+                out.insert(var);
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if both states assign the same value to every variable
+    /// in `vars`.
+    pub fn agrees_on(&self, other: &DbState, vars: &VarSet) -> bool {
+        vars.iter().all(|v| self.try_get(v) == other.try_get(v))
+    }
+}
+
+impl FromIterator<(VarId, Value)> for DbState {
+    fn from_iter<I: IntoIterator<Item = (VarId, Value)>>(iter: I) -> Self {
+        DbState { items: iter.into_iter().collect() }
+    }
+}
+
+impl fmt::Display for DbState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (var, val)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{var}={val}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VarId {
+        VarId::new(i)
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut s = DbState::new();
+        assert!(s.is_empty());
+        assert_eq!(s.set(v(0), 10), None);
+        assert_eq!(s.set(v(0), 20), Some(10));
+        assert_eq!(s.get(v(0)), 20);
+        assert_eq!(s.try_get(v(1)), None);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing from database state")]
+    fn get_missing_panics() {
+        DbState::new().get(v(9));
+    }
+
+    #[test]
+    fn uniform_state() {
+        let s = DbState::uniform(3, 7);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get(v(2)), 7);
+        assert_eq!(s.vars().len(), 3);
+    }
+
+    #[test]
+    fn project_and_apply() {
+        let mut s = DbState::uniform(4, 0);
+        s.set(v(1), 5);
+        s.set(v(2), 6);
+        let keep: VarSet = [v(1), v(3)].into_iter().collect();
+        let p = s.project(&keep);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.get(v(1)), 5);
+        assert_eq!(p.get(v(3)), 0);
+
+        let mut t = DbState::uniform(4, -1);
+        t.apply(&p);
+        assert_eq!(t.get(v(1)), 5);
+        assert_eq!(t.get(v(0)), -1);
+    }
+
+    #[test]
+    fn diff_and_agrees() {
+        let a = DbState::uniform(3, 1);
+        let mut b = DbState::uniform(3, 1);
+        assert!(a.diff_vars(&b).is_empty());
+        b.set(v(2), 9);
+        assert_eq!(a.diff_vars(&b), [v(2)].into_iter().collect());
+        let on: VarSet = [v(0), v(1)].into_iter().collect();
+        assert!(a.agrees_on(&b, &on));
+        let on2: VarSet = [v(2)].into_iter().collect();
+        assert!(!a.agrees_on(&b, &on2));
+        // asymmetric presence counts as a difference
+        let mut c = DbState::uniform(2, 1);
+        c.set(v(5), 4);
+        assert!(a.diff_vars(&c).contains(v(5)));
+        assert!(a.diff_vars(&c).contains(v(2)));
+    }
+
+    #[test]
+    fn display_is_sorted() {
+        let mut s = DbState::new();
+        s.set(v(1), 2);
+        s.set(v(0), 1);
+        assert_eq!(s.to_string(), "{d0=1; d1=2}");
+    }
+}

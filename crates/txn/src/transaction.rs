@@ -1,0 +1,389 @@
+//! Instantiated transactions.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::TxnError;
+use crate::exec::ExecOutcome;
+use crate::fix::Fix;
+use crate::program::Program;
+use crate::registry::TxnTypeId;
+use crate::state::DbState;
+use crate::value::{Value, VarSet};
+
+/// Identifier of a transaction within a history arena.
+///
+/// Identifiers are dense indices assigned by the owning arena (see the
+/// `histmerge-history` crate), which keeps per-transaction bookkeeping in
+/// plain vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId(u32);
+
+impl TxnId {
+    /// Creates a transaction identifier from a dense index.
+    pub const fn new(index: u32) -> Self {
+        TxnId(index)
+    }
+
+    /// Returns the dense index.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Whether a transaction executed on a mobile node (tentative) or a base
+/// node (base).
+///
+/// Base transactions are durable and can never be backed out (Section 2.1,
+/// step 2: "only tentative transactions can be put into B").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxnKind {
+    /// Executed on a base node against master data; durable.
+    Base,
+    /// Executed on a mobile node against tentative data; may be backed out.
+    Tentative,
+}
+
+impl fmt::Display for TxnKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnKind::Base => f.write_str("base"),
+            TxnKind::Tentative => f.write_str("tentative"),
+        }
+    }
+}
+
+/// A transaction instance: a program plus bound input parameters, identity,
+/// and optional semantic metadata.
+///
+/// `Transaction` is cheaply cloneable (programs are shared via [`Arc`]).
+///
+/// # Example
+///
+/// ```rust
+/// use histmerge_txn::{DbState, Expr, Fix, ProgramBuilder, Transaction, TxnId, TxnKind, VarId};
+///
+/// # fn main() -> Result<(), histmerge_txn::TxnError> {
+/// let x = VarId::new(0);
+/// let prog = ProgramBuilder::new("deposit")
+///     .read(x)
+///     .update(x, Expr::var(x) + Expr::param(0))
+///     .build()?;
+/// let t = Transaction::new(TxnId::new(0), "Tm1", TxnKind::Tentative, prog.into(), vec![100]);
+/// let s: DbState = [(x, 5)].into_iter().collect();
+/// let out = t.execute(&s, &Fix::empty())?;
+/// assert_eq!(out.after.get(x), 105);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Transaction {
+    id: TxnId,
+    name: String,
+    kind: TxnKind,
+    program: Arc<Program>,
+    params: Vec<Value>,
+    inverse: Option<Arc<Program>>,
+    type_id: Option<TxnTypeId>,
+    precondition: Option<crate::expr::Pred>,
+}
+
+impl Transaction {
+    /// Creates a transaction instance.
+    pub fn new(
+        id: TxnId,
+        name: impl Into<String>,
+        kind: TxnKind,
+        program: Arc<Program>,
+        params: Vec<Value>,
+    ) -> Self {
+        Transaction {
+            id,
+            name: name.into(),
+            kind,
+            program,
+            params,
+            inverse: None,
+            type_id: None,
+            precondition: None,
+        }
+    }
+
+    /// Declares the transaction's *precondition*: the predicate that must
+    /// hold on the state it executes against for the execution to count as
+    /// a success. Guarded programs degrade to no-ops when their guard
+    /// fails; the precondition is how a re-execution of a backed-out
+    /// transaction is classified as **failed** and "informed to the users
+    /// together with the corresponding reasons" (protocol step 6).
+    ///
+    /// Precondition variables must be in the program's read set.
+    #[must_use]
+    pub fn with_precondition(mut self, precondition: crate::expr::Pred) -> Self {
+        self.precondition = Some(precondition);
+        self
+    }
+
+    /// The declared precondition, if any.
+    pub fn precondition(&self) -> Option<&crate::expr::Pred> {
+        self.precondition.as_ref()
+    }
+
+    /// Evaluates the precondition against `state` (honouring `fix`).
+    /// Transactions without a precondition always pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxnError::MissingVariable`] if the state lacks a
+    /// precondition variable.
+    pub fn check_precondition(
+        &self,
+        state: &DbState,
+        fix: &crate::fix::Fix,
+    ) -> Result<bool, TxnError> {
+        match &self.precondition {
+            None => Ok(true),
+            Some(pred) => {
+                let mut lookup = |var| {
+                    fix.get(var)
+                        .or_else(|| state.try_get(var))
+                        .ok_or(TxnError::MissingVariable { var })
+                };
+                pred.eval_with(&mut lookup, &self.params)
+            }
+        }
+    }
+
+    /// Attaches a compensating (inverse) program. The inverse is executed
+    /// with the same parameters as the forward program.
+    #[must_use]
+    pub fn with_inverse(mut self, inverse: Arc<Program>) -> Self {
+        self.inverse = Some(inverse);
+        self
+    }
+
+    /// Tags the transaction with its canned type (Section 5.1: in canned
+    /// systems, semantic relations between transaction *types* are
+    /// pre-detected offline).
+    #[must_use]
+    pub fn with_type(mut self, type_id: TxnTypeId) -> Self {
+        self.type_id = Some(type_id);
+        self
+    }
+
+    /// The transaction's identity within its arena.
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// Re-identifies the transaction (used when copying a transaction into
+    /// a different arena, e.g. when a backed-out tentative transaction is
+    /// re-submitted as a base transaction).
+    #[must_use]
+    pub fn with_id(mut self, id: TxnId) -> Self {
+        self.id = id;
+        self
+    }
+
+    /// Re-labels the transaction kind (tentative → base on re-submission).
+    #[must_use]
+    pub fn with_kind(mut self, kind: TxnKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Human-readable name (e.g. `Tm1`, `Tb2`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether this is a base or tentative transaction.
+    pub fn kind(&self) -> TxnKind {
+        self.kind
+    }
+
+    /// The underlying program.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// The bound input parameters.
+    pub fn params(&self) -> &[Value] {
+        &self.params
+    }
+
+    /// The compensating program, if one was declared.
+    pub fn inverse(&self) -> Option<&Arc<Program>> {
+        self.inverse.as_ref()
+    }
+
+    /// The canned transaction type, if declared.
+    pub fn type_id(&self) -> Option<TxnTypeId> {
+        self.type_id
+    }
+
+    /// Static read set (delegates to the program).
+    pub fn readset(&self) -> &VarSet {
+        self.program.readset()
+    }
+
+    /// Static write set (delegates to the program).
+    pub fn writeset(&self) -> &VarSet {
+        self.program.writeset()
+    }
+
+    /// `readset − writeset`: the items read but never written. Lemma 2
+    /// shows this set (with original read values) is always a sufficient
+    /// fix.
+    pub fn read_only_set(&self) -> VarSet {
+        self.readset().difference(self.writeset())
+    }
+
+    /// Executes the forward program on `state` with `fix`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Program::execute`].
+    pub fn execute(&self, state: &DbState, fix: &Fix) -> Result<ExecOutcome, TxnError> {
+        self.program.execute(&self.params, state, fix)
+    }
+
+    /// Executes the compensating program on `state` with `fix` (the *fixed
+    /// compensating transaction* `T^(-1,F)` of Definition 5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxnError::UnknownTxnType`] if no inverse was declared,
+    /// otherwise see [`Program::execute`].
+    pub fn compensate(&self, state: &DbState, fix: &Fix) -> Result<ExecOutcome, TxnError> {
+        let inverse = self.inverse.as_ref().ok_or_else(|| TxnError::UnknownTxnType {
+            name: format!("{} (no compensating program)", self.name),
+        })?;
+        inverse.execute(&self.params, state, fix)
+    }
+}
+
+impl fmt::Display for Transaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.name, self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::program::ProgramBuilder;
+    use crate::value::VarId;
+
+    fn v(i: u32) -> VarId {
+        VarId::new(i)
+    }
+
+    fn deposit() -> Arc<Program> {
+        Arc::new(
+            ProgramBuilder::new("deposit")
+                .read(v(0))
+                .update(v(0), Expr::var(v(0)) + Expr::param(0))
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn withdraw() -> Arc<Program> {
+        Arc::new(
+            ProgramBuilder::new("withdraw")
+                .read(v(0))
+                .update(v(0), Expr::var(v(0)) - Expr::param(0))
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn execute_with_params() {
+        let t = Transaction::new(TxnId::new(0), "Tm1", TxnKind::Tentative, deposit(), vec![25]);
+        let s: DbState = [(v(0), 100)].into_iter().collect();
+        let out = t.execute(&s, &Fix::empty()).unwrap();
+        assert_eq!(out.after.get(v(0)), 125);
+        assert_eq!(t.kind(), TxnKind::Tentative);
+        assert_eq!(t.name(), "Tm1");
+        assert_eq!(t.params(), &[25]);
+    }
+
+    #[test]
+    fn compensate_inverts() {
+        let t = Transaction::new(TxnId::new(1), "T", TxnKind::Tentative, deposit(), vec![25])
+            .with_inverse(withdraw());
+        let s: DbState = [(v(0), 100)].into_iter().collect();
+        let fwd = t.execute(&s, &Fix::empty()).unwrap();
+        let back = t.compensate(&fwd.after, &Fix::empty()).unwrap();
+        assert_eq!(back.after, s);
+    }
+
+    #[test]
+    fn compensate_without_inverse_errors() {
+        let t = Transaction::new(TxnId::new(1), "T", TxnKind::Tentative, deposit(), vec![25]);
+        let s: DbState = [(v(0), 100)].into_iter().collect();
+        assert!(t.compensate(&s, &Fix::empty()).is_err());
+    }
+
+    #[test]
+    fn read_only_set() {
+        let p = Arc::new(
+            ProgramBuilder::new("t")
+                .read(v(0))
+                .read(v(1))
+                .update(v(0), Expr::var(v(0)) + Expr::var(v(1)))
+                .build()
+                .unwrap(),
+        );
+        let t = Transaction::new(TxnId::new(0), "T", TxnKind::Base, p, vec![]);
+        assert_eq!(t.read_only_set(), [v(1)].into_iter().collect());
+    }
+
+    #[test]
+    fn precondition_classifies_success() {
+        use crate::expr::Expr;
+        // withdraw(40) with the precondition bal >= 40.
+        let t = Transaction::new(TxnId::new(0), "wd", TxnKind::Tentative, withdraw(), vec![40])
+            .with_precondition(Expr::var(v(0)).ge(Expr::param(0)));
+        let rich: DbState = [(v(0), 100)].into_iter().collect();
+        assert!(t.check_precondition(&rich, &Fix::empty()).unwrap());
+        let poor: DbState = [(v(0), 10)].into_iter().collect();
+        assert!(!t.check_precondition(&poor, &Fix::empty()).unwrap());
+        // A fix pinning the balance overrides the state.
+        let fix: Fix = [(v(0), 100)].into_iter().collect();
+        assert!(t.check_precondition(&poor, &fix).unwrap());
+        assert!(t.precondition().is_some());
+        // No precondition: always passes.
+        let free = Transaction::new(TxnId::new(1), "d", TxnKind::Tentative, deposit(), vec![1]);
+        assert!(free.check_precondition(&poor, &Fix::empty()).unwrap());
+        assert!(free.precondition().is_none());
+        // Missing variable reported.
+        let empty = DbState::new();
+        assert!(t.check_precondition(&empty, &Fix::empty()).is_err());
+    }
+
+    #[test]
+    fn rebranding_helpers() {
+        let t = Transaction::new(TxnId::new(3), "T", TxnKind::Tentative, deposit(), vec![1]);
+        let t2 = t.clone().with_id(TxnId::new(9)).with_kind(TxnKind::Base);
+        assert_eq!(t2.id(), TxnId::new(9));
+        assert_eq!(t2.kind(), TxnKind::Base);
+        assert_eq!(t.id(), TxnId::new(3));
+    }
+
+    #[test]
+    fn display() {
+        let t = Transaction::new(TxnId::new(3), "Tm3", TxnKind::Tentative, deposit(), vec![1]);
+        assert_eq!(t.to_string(), "Tm3(T3)");
+        assert_eq!(TxnId::new(7).to_string(), "T7");
+        assert_eq!(TxnKind::Base.to_string(), "base");
+    }
+}

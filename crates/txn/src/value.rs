@@ -1,0 +1,231 @@
+//! Data item identifiers, values, and variable sets.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The value type stored in every data item.
+///
+/// The paper's examples are all integer arithmetic; using a signed 64-bit
+/// integer keeps final-state equivalence checks exact (no floating-point
+/// rounding) while covering banking/inventory/reservation workloads.
+pub type Value = i64;
+
+/// Identifier of a replicated data item (the paper's `d1, d2, ...`, or the
+/// named variables `x, y, z` of Section 3).
+///
+/// `VarId` is a dense index so that per-variable bookkeeping can use vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(u32);
+
+impl VarId {
+    /// Creates a variable identifier from a dense index.
+    pub const fn new(index: u32) -> Self {
+        VarId(index)
+    }
+
+    /// Returns the dense index of this variable.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for VarId {
+    fn from(index: u32) -> Self {
+        VarId(index)
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// An ordered set of data items, used for read sets and write sets.
+///
+/// Backed by a [`BTreeSet`] so iteration order is deterministic, which keeps
+/// every experiment in the workspace reproducible from a seed.
+///
+/// # Example
+///
+/// ```rust
+/// use histmerge_txn::{VarId, VarSet};
+///
+/// let a: VarSet = [VarId::new(1), VarId::new(2)].into_iter().collect();
+/// let b: VarSet = [VarId::new(2), VarId::new(3)].into_iter().collect();
+/// assert!(a.intersects(&b));
+/// assert_eq!(a.intersection(&b).len(), 1);
+/// assert!(a.difference(&b).contains(VarId::new(1)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VarSet(BTreeSet<VarId>);
+
+impl VarSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        VarSet(BTreeSet::new())
+    }
+
+    /// Returns `true` if the set contains no variables.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Number of variables in the set.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Inserts a variable; returns `true` if it was not already present.
+    pub fn insert(&mut self, var: VarId) -> bool {
+        self.0.insert(var)
+    }
+
+    /// Removes a variable; returns `true` if it was present.
+    pub fn remove(&mut self, var: VarId) -> bool {
+        self.0.remove(&var)
+    }
+
+    /// Returns `true` if `var` is a member.
+    pub fn contains(&self, var: VarId) -> bool {
+        self.0.contains(&var)
+    }
+
+    /// Returns `true` if the two sets share at least one variable.
+    ///
+    /// This is the primitive behind the paper's *conflict* test ("two
+    /// operations conflict if one is a write") and the *can follow* relation
+    /// of Definition 3.
+    pub fn intersects(&self, other: &VarSet) -> bool {
+        // Iterate the smaller set for an O(min * log max) test.
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small.iter().any(|v| large.contains(v))
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &VarSet) -> VarSet {
+        VarSet(self.0.intersection(&other.0).copied().collect())
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &VarSet) -> VarSet {
+        VarSet(self.0.union(&other.0).copied().collect())
+    }
+
+    /// Set difference `self − other`.
+    pub fn difference(&self, other: &VarSet) -> VarSet {
+        VarSet(self.0.difference(&other.0).copied().collect())
+    }
+
+    /// Returns `true` if every member of `self` is a member of `other`.
+    pub fn is_subset(&self, other: &VarSet) -> bool {
+        self.0.is_subset(&other.0)
+    }
+
+    /// Iterates the variables in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Adds every member of `other` to `self`.
+    pub fn extend_from(&mut self, other: &VarSet) {
+        self.0.extend(other.0.iter().copied());
+    }
+}
+
+impl FromIterator<VarId> for VarSet {
+    fn from_iter<I: IntoIterator<Item = VarId>>(iter: I) -> Self {
+        VarSet(iter.into_iter().collect())
+    }
+}
+
+impl Extend<VarId> for VarSet {
+    fn extend<I: IntoIterator<Item = VarId>>(&mut self, iter: I) {
+        self.0.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a VarSet {
+    type Item = VarId;
+    type IntoIter = std::iter::Copied<std::collections::btree_set::Iter<'a, VarId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter().copied()
+    }
+}
+
+impl fmt::Display for VarSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VarId {
+        VarId::new(i)
+    }
+
+    #[test]
+    fn varset_basic_ops() {
+        let mut s = VarSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(v(3)));
+        assert!(!s.insert(v(3)));
+        assert!(s.insert(v(1)));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(v(1)));
+        assert!(!s.contains(v(2)));
+        assert!(s.remove(v(1)));
+        assert!(!s.remove(v(1)));
+    }
+
+    #[test]
+    fn varset_algebra() {
+        let a: VarSet = [v(1), v(2), v(3)].into_iter().collect();
+        let b: VarSet = [v(3), v(4)].into_iter().collect();
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection(&b), [v(3)].into_iter().collect());
+        assert_eq!(a.union(&b), [v(1), v(2), v(3), v(4)].into_iter().collect());
+        assert_eq!(a.difference(&b), [v(1), v(2)].into_iter().collect());
+        assert!(a.intersection(&b).is_subset(&a));
+        let empty = VarSet::new();
+        assert!(!a.intersects(&empty));
+        assert!(empty.is_subset(&a));
+    }
+
+    #[test]
+    fn varset_iteration_is_sorted() {
+        let s: VarSet = [v(9), v(1), v(5)].into_iter().collect();
+        let order: Vec<u32> = s.iter().map(VarId::index).collect();
+        assert_eq!(order, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn varset_display() {
+        let s: VarSet = [v(2), v(1)].into_iter().collect();
+        assert_eq!(s.to_string(), "{d1, d2}");
+        assert_eq!(VarSet::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn varid_display_and_ord() {
+        assert_eq!(v(7).to_string(), "d7");
+        assert!(v(1) < v(2));
+        assert_eq!(VarId::from(4u32), v(4));
+        assert_eq!(v(4).index(), 4);
+    }
+}

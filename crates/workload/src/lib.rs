@@ -1,0 +1,26 @@
+//! Workloads for `histmerge`: canned transaction libraries, random merge
+//! scenarios, and the Section 7.1 cost model.
+//!
+//! Section 5.1 of the paper targets "canned systems which are widely used
+//! in real applications such as banking systems and airline ticket
+//! reservation systems". This crate provides:
+//!
+//! * [`canned`] — a banking / inventory / reservation transaction library
+//!   with declared inverse (compensating) programs and a pre-verified
+//!   [`DeclaredTable`](histmerge_semantics::DeclaredTable) of type-level
+//!   semantic relations (the paper's offline pre-detection);
+//! * [`generator`] — seeded random merge scenarios (a tentative history
+//!   plus a base history over a shared initial state) with knobs for
+//!   hotspot skew, read/write set sizes, and the fraction of commutative
+//!   and guarded transactions;
+//! * [`cost`] — the cost model of Section 7.1, decomposing both the
+//!   reprocessing (two-tier) and merging protocols into communication,
+//!   base-node CPU, base-node I/O, and mobile-node CPU costs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod canned;
+pub mod canned_mix;
+pub mod cost;
+pub mod generator;

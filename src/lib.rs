@@ -1,0 +1,55 @@
+//! # histmerge
+//!
+//! A Rust implementation of *"Incorporating Transaction Semantics to Reduce
+//! Reprocessing Overhead in Replicated Mobile Data Applications"*
+//! (Peng Liu, Paul Ammann, Sushil Jajodia — ICDCS 1999).
+//!
+//! Two-tier replication (Gray et al., SIGMOD 1996) lets disconnected mobile
+//! nodes run *tentative* transactions that are re-executed from scratch at
+//! the always-connected base nodes upon reconnection. `histmerge` implements
+//! the paper's alternative: **merge** the tentative history into the base
+//! history, back out only the transactions whose conflicts demand it, and
+//! save the rest — using a family of semantics-aware history *rewriting*
+//! algorithms.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`txn`] — the transaction language, interpreter, states and fixes;
+//! * [`history`] — serial/augmented histories, the precedence graph,
+//!   back-out strategies;
+//! * [`semantics`] — can-follow / commutativity / can-precede oracles;
+//! * [`core`] — the rewriting algorithms (Algorithms 1 & 2 plus the RFTC
+//!   and CBTR baselines), pruning (compensation & undo), and the merge
+//!   pipeline;
+//! * [`replication`] — a deterministic two-tier replication simulator with
+//!   both the reprocessing baseline and the merging protocol;
+//! * [`workload`] — canned transaction libraries, scenario generators, and
+//!   the Section 7.1 cost model.
+//!
+//! # Quickstart
+//!
+//! Reproduce Example 1 of the paper end to end:
+//!
+//! ```rust
+//! use histmerge::core::merge::{MergeConfig, Merger};
+//! use histmerge::history::fixtures::example1;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ex = example1();
+//! let outcome = Merger::new(MergeConfig::default())
+//!     .merge(&ex.arena, &ex.hm, &ex.hb, &ex.s0)?;
+//! assert_eq!(outcome.saved, vec![ex.m[0], ex.m[1]]); // Tm1, Tm2 saved
+//! assert_eq!(outcome.backed_out.len(), 2);           // Tm3, Tm4 backed out
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use histmerge_core as core;
+pub use histmerge_history as history;
+pub use histmerge_replication as replication;
+pub use histmerge_semantics as semantics;
+pub use histmerge_txn as txn;
+pub use histmerge_workload as workload;
