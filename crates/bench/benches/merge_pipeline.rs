@@ -14,9 +14,7 @@ fn bench_merge(c: &mut Criterion) {
     let ex = example1();
     group.bench_function("example1", |b| {
         b.iter(|| {
-            Merger::new(MergeConfig::default())
-                .merge(&ex.arena, &ex.hm, &ex.hb, &ex.s0)
-                .unwrap()
+            Merger::new(MergeConfig::default()).merge(&ex.arena, &ex.hm, &ex.hb, &ex.s0).unwrap()
         });
     });
 

@@ -21,22 +21,15 @@ fn bench_oracles(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("oracles");
     group.bench_function("declared-table", |b| {
-        b.iter(|| {
-            (table.commutes_backward_through(&d1, &d2), table.can_precede(&d1, &w, &fix))
-        });
+        b.iter(|| (table.commutes_backward_through(&d1, &d2), table.can_precede(&d1, &w, &fix)));
     });
     group.bench_function("static-analyzer", |b| {
         b.iter(|| {
-            (
-                analyzer.commutes_backward_through(&d1, &d2),
-                analyzer.can_precede(&d1, &w, &fix),
-            )
+            (analyzer.commutes_backward_through(&d1, &d2), analyzer.can_precede(&d1, &w, &fix))
         });
     });
     group.bench_function("randomized-tester-64", |b| {
-        b.iter(|| {
-            (tester.commutes_backward_through(&d1, &d2), tester.can_precede(&d1, &w, &fix))
-        });
+        b.iter(|| (tester.commutes_backward_through(&d1, &d2), tester.can_precede(&d1, &w, &fix)));
     });
     group.finish();
 }

@@ -1,0 +1,77 @@
+//! Criterion bench: the batched base-tier merge pipeline, serial vs
+//! parallel worker pools.
+//!
+//! Eight mobiles reconnect in the same tick; each brings its own slice of
+//! a generated tentative workload and merges against the shared
+//! window-start state. The serial/parallel outcomes are asserted equal
+//! once up front, then each worker count is timed. On a multi-core host
+//! the 4- and 8-worker rows should beat `workers=1` by well over 1.5x;
+//! on a single CPU they only measure pool overhead.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use histmerge_core::merge::{MergeConfig, Merger};
+use histmerge_history::{AugmentedHistory, BaseEdgeCache, SerialHistory};
+use histmerge_replication::{merge_batch, BatchJob};
+use histmerge_workload::generator::{generate, ScenarioParams};
+
+const MOBILES: usize = 8;
+const PER_MOBILE: usize = 40;
+
+fn bench_parallel_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_merge");
+    group.sample_size(10);
+
+    // One arena, one base history, eight disjoint tentative slices — the
+    // exact shape `Simulation::speculate_batch` hands to `merge_batch`.
+    let sc = generate(&ScenarioParams {
+        n_vars: 256,
+        n_tentative: MOBILES * PER_MOBILE,
+        n_base: 60,
+        commutative_fraction: 0.5,
+        guarded_fraction: 0.1,
+        read_only_fraction: 0.05,
+        hot_fraction: 0.05,
+        hot_prob: 0.2,
+        seed: 77,
+        ..ScenarioParams::default()
+    });
+    let jobs: Vec<BatchJob> = sc
+        .hm
+        .order()
+        .chunks(PER_MOBILE)
+        .enumerate()
+        .map(|(mobile, chunk)| BatchJob {
+            mobile,
+            hm: SerialHistory::from_order(chunk.iter().copied()),
+        })
+        .collect();
+    let mut cache = BaseEdgeCache::new();
+    cache.sync(&sc.arena, &sc.hb);
+    let hb_final =
+        AugmentedHistory::execute(&sc.arena, &sc.hb, &sc.s0).unwrap().final_state().clone();
+    let make = || Merger::new(MergeConfig::default());
+
+    // Sanity: the pool changes wall-clock only, never results.
+    let serial = merge_batch(&sc.arena, &jobs, &sc.hb, &sc.s0, &hb_final, &cache, &make, 1);
+    let pooled = merge_batch(&sc.arena, &jobs, &sc.hb, &sc.s0, &hb_final, &cache, &make, 4);
+    for (s, p) in serial.iter().zip(pooled.iter()) {
+        let (s, p) = (s.as_ref().unwrap(), p.as_ref().unwrap());
+        assert_eq!(s.saved, p.saved);
+        assert_eq!(s.new_master, p.new_master);
+    }
+
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &w| {
+            b.iter(|| {
+                black_box(merge_batch(
+                    &sc.arena, &jobs, &sc.hb, &sc.s0, &hb_final, &cache, &make, w,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_merge);
+criterion_main!(benches);

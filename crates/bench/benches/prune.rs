@@ -53,9 +53,7 @@ fn bench_prune(c: &mut Criterion) {
             b.iter(|| compensate(&arena, &aug, &rw).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("reexecute", n), &n, |b, _| {
-            b.iter(|| {
-                AugmentedHistory::execute(&arena, &rw.repaired_history(), &s0).unwrap()
-            });
+            b.iter(|| AugmentedHistory::execute(&arena, &rw.repaired_history(), &s0).unwrap());
         });
     }
     group.finish();

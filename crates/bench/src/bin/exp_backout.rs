@@ -21,7 +21,12 @@ fn main() {
         Box::new(GreedyScc::new()),
     ];
     let mut table = Table::new(&[
-        "hot_prob", "strategy", "mean |B|", "mean weight", "ms/graph", "cyclic scen.",
+        "hot_prob",
+        "strategy",
+        "mean |B|",
+        "mean weight",
+        "ms/graph",
+        "cyclic scen.",
     ]);
 
     println!("E7: back-out strategies across conflict densities (40 seeds each)\n");

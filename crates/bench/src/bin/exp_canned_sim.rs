@@ -67,8 +67,12 @@ fn main() {
             ratio += m.save_ratio();
         }
         table.row_owned(vec![
-            (if canned { "canned (typed + declared tables)" } else { "random (static analysis only)" })
-                .to_string(),
+            (if canned {
+                "canned (typed + declared tables)"
+            } else {
+                "random (static analysis only)"
+            })
+            .to_string(),
             (tentative / SEEDS as usize).to_string(),
             (saved / SEEDS as usize).to_string(),
             (backout / SEEDS as usize).to_string(),

@@ -75,11 +75,8 @@ fn main() {
                 .iter()
                 .map(|id| sc.arena.get(*id).program().statement_count())
                 .sum();
-            let all_stmts: usize = sc
-                .hm
-                .iter()
-                .map(|id| sc.arena.get(id).program().statement_count())
-                .sum();
+            let all_stmts: usize =
+                sc.hm.iter().map(|id| sc.arena.get(id).program().statement_count()).sum();
 
             let m = merging_cost(
                 &cost,

@@ -5,7 +5,7 @@
 //!
 //! Run: `cargo run --release -p histmerge-bench --bin exp_example1`
 
-use histmerge_bench::Table;
+use histmerge_bench::{artifact_json, write_artifact, Table};
 use histmerge_core::merge::{MergeConfig, Merger};
 use histmerge_history::fixtures::example1;
 use histmerge_history::PrecedenceGraph;
@@ -40,9 +40,9 @@ fn main() {
     out.print();
 
     assert_eq!(names(&outcome.saved), "Tm1 Tm2");
-    assert_eq!(
-        names(outcome.merged_history.as_ref().unwrap().order()),
-        "Tb1 Tb2 Tm1 Tm2"
-    );
+    assert_eq!(names(outcome.merged_history.as_ref().unwrap().order()), "Tb1 Tb2 Tm1 Tm2");
     println!("\nAll values match the paper.");
+
+    let json = artifact_json("exp_example1", &[("edges", &edges), ("outcome", &out)]);
+    println!("artifact: {}", write_artifact("exp_example1", &json).display());
 }

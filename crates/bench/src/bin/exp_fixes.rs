@@ -74,8 +74,7 @@ fn main() {
                     }
                 }
                 let replay =
-                    AugmentedHistory::execute_with_fixes(&sc.arena, rw.entries(), &sc.s0)
-                        .unwrap();
+                    AugmentedHistory::execute_with_fixes(&sc.arena, rw.entries(), &sc.s0).unwrap();
                 equivalent &= replay.final_state_equivalent(&aug);
             }
             table.row_owned(vec![

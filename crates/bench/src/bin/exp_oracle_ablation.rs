@@ -107,8 +107,7 @@ fn main() {
             );
             saved += rw.saved().len();
             total += hm.len() - 2;
-            let replay =
-                AugmentedHistory::execute_with_fixes(&arena, rw.entries(), &s0).unwrap();
+            let replay = AugmentedHistory::execute_with_fixes(&arena, rw.entries(), &s0).unwrap();
             equivalent &= replay.final_state_equivalent(&aug);
         }
         table.row_owned(vec![

@@ -17,7 +17,13 @@ use histmerge_workload::generator::{generate, ScenarioParams};
 fn main() {
     let oracle = StaticAnalyzer::new();
     let mut table = Table::new(&[
-        "n (Hm)", "graph ms", "backout ms", "alg1 ms", "alg2 ms", "cbtr ms", "rftc ms",
+        "n (Hm)",
+        "graph ms",
+        "backout ms",
+        "alg1 ms",
+        "alg2 ms",
+        "cbtr ms",
+        "rftc ms",
     ]);
     println!("E9: rewrite-cost scaling with history length (mean of 10 seeds)\n");
     for n in [25usize, 50, 100, 200, 400] {

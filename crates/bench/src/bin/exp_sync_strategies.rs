@@ -46,7 +46,13 @@ fn main() {
     ];
 
     let mut table = Table::new(&[
-        "strategy", "saved", "backout", "reproc", "mergeFail", "winMiss", "saveRatio",
+        "strategy",
+        "saved",
+        "backout",
+        "reproc",
+        "mergeFail",
+        "winMiss",
+        "saveRatio",
     ]);
     for (label, strategy) in strategies {
         // Average over 5 seeds.

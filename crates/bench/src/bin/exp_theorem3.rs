@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p histmerge-bench --bin exp_theorem3`
 
-use histmerge_bench::{fmt, Table};
+use histmerge_bench::{artifact_json, fmt, write_artifact, Table};
 use histmerge_core::rewrite::{rewrite, FixMode, RewriteAlgorithm};
 use histmerge_history::backout::affected_weight;
 use histmerge_history::readsfrom::affected_set;
@@ -19,7 +19,12 @@ use histmerge_workload::generator::{generate, ScenarioParams};
 fn main() {
     let oracle = StaticAnalyzer::new();
     let mut table = Table::new(&[
-        "hot_prob", "scenarios", "mean |B|", "mean |AG|", "mean saved", "alg1 == rftc",
+        "hot_prob",
+        "scenarios",
+        "mean |B|",
+        "mean |AG|",
+        "mean saved",
+        "alg1 == rftc",
     ]);
     println!("E3: Theorem 3 over a contention sweep (50 seeds per row, |Hm| = 20)\n");
     for hot_prob in [0.2, 0.4, 0.6, 0.8] {
@@ -54,7 +59,12 @@ fn main() {
             sum_ag += ag.len();
             let aug = AugmentedHistory::execute(&sc.arena, &sc.hm, &sc.s0).unwrap();
             let alg1 = rewrite(
-                &sc.arena, &aug, &bad, RewriteAlgorithm::CanFollow, FixMode::Lemma1, &oracle,
+                &sc.arena,
+                &aug,
+                &bad,
+                RewriteAlgorithm::CanFollow,
+                FixMode::Lemma1,
+                &oracle,
             );
             let rftc = rewrite(
                 &sc.arena,
@@ -84,4 +94,7 @@ fn main() {
          (Theorem 3); the affected closure |AG| grows with contention, which is the\n\
          work Algorithm 2 recovers."
     );
+
+    let json = artifact_json("exp_theorem3", &[("contention_sweep", &table)]);
+    println!("artifact: {}", write_artifact("exp_theorem3", &json).display());
 }

@@ -10,7 +10,7 @@
 
 use std::collections::BTreeSet;
 
-use histmerge_bench::{fmt, Table};
+use histmerge_bench::{artifact_json, fmt, write_artifact, Table};
 use histmerge_core::rewrite::{rewrite, FixMode, RewriteAlgorithm};
 use histmerge_history::backout::affected_weight;
 use histmerge_history::{AugmentedHistory, BackoutStrategy, PrecedenceGraph, TwoCycleOptimal};
@@ -92,4 +92,7 @@ fn main() {
     println!("E4: mean saved tentative transactions per merge (40 seeds each)\n");
     table.print();
     println!("\nInvariants checked on every instance: RFTC = Alg1 ⊆ Alg2, CBTR ⊆ Alg2.");
+
+    let json = artifact_json("exp_theorem4", &[("commutativity_sweep", &table)]);
+    println!("artifact: {}", write_artifact("exp_theorem4", &json).display());
 }

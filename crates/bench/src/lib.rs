@@ -84,6 +84,72 @@ impl Table {
     }
 }
 
+/// Escapes a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Table {
+    /// Renders the table as a JSON array of row objects keyed by header
+    /// (all values as strings — the artifacts mirror the printed tables).
+    pub fn render_json(&self) -> String {
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let fields: Vec<String> = self
+                    .headers
+                    .iter()
+                    .zip(row.iter())
+                    .map(|(h, v)| format!("\"{}\":\"{}\"", json_escape(h), json_escape(v)))
+                    .collect();
+                format!("{{{}}}", fields.join(","))
+            })
+            .collect();
+        format!("[{}]", rows.join(","))
+    }
+}
+
+/// Renders an experiment artifact: the experiment name plus its named
+/// tables, as one JSON document.
+pub fn artifact_json(experiment: &str, tables: &[(&str, &Table)]) -> String {
+    let entries: Vec<String> = tables
+        .iter()
+        .map(|(name, table)| format!("\"{}\":{}", json_escape(name), table.render_json()))
+        .collect();
+    format!(
+        "{{\"experiment\":\"{}\",\"tables\":{{{}}}}}",
+        json_escape(experiment),
+        entries.join(",")
+    )
+}
+
+/// Writes an experiment's JSON artifact to `<dir>/<name>.json`, where
+/// `<dir>` is `$EXPERIMENTS_DIR` or `target/experiments`, creating the
+/// directory. CI uploads the directory via `actions/upload-artifact`.
+/// Returns the path written.
+pub fn write_artifact(name: &str, json: &str) -> std::path::PathBuf {
+    let dir = std::env::var_os("EXPERIMENTS_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("target/experiments"));
+    std::fs::create_dir_all(&dir).expect("create experiments dir");
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, json).expect("write experiment artifact");
+    path
+}
+
 /// Times a closure, returning `(result, milliseconds)`.
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
@@ -134,5 +200,26 @@ mod tests {
     fn fmt_precision() {
         assert_eq!(fmt(1.23456, 2), "1.23");
         assert_eq!(fmt(10.0, 0), "10");
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_nests() {
+        let mut t = Table::new(&["alg", "note"]);
+        t.row(&["rftc", "a \"quoted\"\nvalue"]);
+        assert_eq!(t.render_json(), r#"[{"alg":"rftc","note":"a \"quoted\"\nvalue"}]"#);
+        let doc = artifact_json("exp_demo", &[("main", &t)]);
+        assert!(doc.starts_with(r#"{"experiment":"exp_demo","tables":{"main":["#));
+        assert!(doc.ends_with("]}}"));
+    }
+
+    #[test]
+    fn artifacts_land_in_experiments_dir() {
+        let dir = std::env::temp_dir().join("histmerge-artifact-test");
+        std::env::set_var("EXPERIMENTS_DIR", &dir);
+        let path = write_artifact("exp_smoke", "{\"experiment\":\"exp_smoke\"}");
+        std::env::remove_var("EXPERIMENTS_DIR");
+        assert_eq!(path, dir.join("exp_smoke.json"));
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"experiment\":\"exp_smoke\"}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

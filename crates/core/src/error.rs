@@ -101,8 +101,10 @@ mod tests {
         assert!(e.to_string().contains("history"));
         assert!(std::error::Error::source(&e).is_some());
 
-        let e: CoreError =
-            CoreError::Execution { txn: TxnId::new(2), source: TxnError::MissingVariable { var: histmerge_txn::VarId::new(9) } };
+        let e: CoreError = CoreError::Execution {
+            txn: TxnId::new(2),
+            source: TxnError::MissingVariable { var: histmerge_txn::VarId::new(9) },
+        };
         assert!(e.to_string().contains("T2"));
         let e = CoreError::FixOverlapsWriteset { txn: TxnId::new(4) };
         assert!(e.to_string().contains("Lemma 4"));

@@ -5,7 +5,8 @@ use std::collections::BTreeSet;
 use histmerge_history::backout::affected_weight;
 use histmerge_history::readsfrom::affected_set;
 use histmerge_history::{
-    AugmentedHistory, BackoutStrategy, PrecedenceGraph, SerialHistory, TwoCycleOptimal, TxnArena,
+    AugmentedHistory, BackoutStrategy, BaseEdgeCache, PrecedenceGraph, SerialHistory,
+    TwoCycleOptimal, TxnArena,
 };
 use histmerge_semantics::{OracleStack, SemanticOracle, StaticAnalyzer};
 use histmerge_txn::{DbState, Fix, TxnId, VarSet};
@@ -87,6 +88,23 @@ pub struct MergeOutcome {
     pub graph_edges: usize,
 }
 
+/// Precomputed inputs a caller can lend to [`Merger::merge_assisted`] to
+/// skip redundant work when merging repeatedly against a growing base
+/// history (the batched sync path).
+///
+/// Both fields are optional; an empty assist makes `merge_assisted`
+/// behave exactly like [`Merger::merge`].
+#[derive(Default, Clone, Copy)]
+pub struct MergeAssist<'a> {
+    /// Incrementally maintained rule-2 edges of the epoch's base history.
+    /// Must cover `hb` (see [`PrecedenceGraph::build_with_base_cache`]).
+    pub base_edges: Option<&'a BaseEdgeCache>,
+    /// The final state of executing `hb` from `s0`. Base nodes already
+    /// hold this (it is the current master), so re-executing the whole
+    /// epoch log per merge is pure waste.
+    pub hb_final: Option<&'a DbState>,
+}
+
 /// Runs the merging protocol of Section 2.1.
 pub struct Merger {
     config: MergeConfig,
@@ -118,14 +136,44 @@ impl Merger {
         hb: &SerialHistory,
         s0: &DbState,
     ) -> Result<MergeOutcome, CoreError> {
-        // Execute both histories to obtain logs (before/after images and
-        // original read values). In a deployment these logs already exist;
-        // re-deriving them here keeps the API self-contained.
+        self.merge_assisted(arena, hm, hb, s0, MergeAssist::default())
+    }
+
+    /// Like [`merge`](Self::merge), but reuses caller-precomputed inputs:
+    /// the epoch's incrementally maintained base-conflict edges and/or the
+    /// base history's final state. The outcome is identical to the
+    /// unassisted merge; only redundant recomputation is skipped. This is
+    /// the entry point of the batched base-tier sync path, where many
+    /// merges in one window share the same growing `hb`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates history-execution, back-out, and pruning errors.
+    pub fn merge_assisted(
+        &self,
+        arena: &TxnArena,
+        hm: &SerialHistory,
+        hb: &SerialHistory,
+        s0: &DbState,
+        assist: MergeAssist<'_>,
+    ) -> Result<MergeOutcome, CoreError> {
+        // Execute the tentative history to obtain its log (before/after
+        // images and original read values). In a deployment these logs
+        // already exist; re-deriving them here keeps the API
+        // self-contained. The base history's final state is either lent by
+        // the caller (base nodes hold it as the current master) or derived
+        // the same way.
         let hm_aug = AugmentedHistory::execute(arena, hm, s0)?;
-        let hb_aug = AugmentedHistory::execute(arena, hb, s0)?;
+        let hb_final = match assist.hb_final {
+            Some(state) => state.clone(),
+            None => AugmentedHistory::execute(arena, hb, s0)?.final_state().clone(),
+        };
 
         // Step 1: the precedence graph.
-        let graph = PrecedenceGraph::build(arena, hm, hb);
+        let graph = match assist.base_edges {
+            Some(cache) => PrecedenceGraph::build_with_base_cache(arena, hm, hb, cache),
+            None => PrecedenceGraph::build(arena, hm, hb),
+        };
         let graph_edges = graph.edges().len();
 
         // Step 2: the back-out set, weighted by reads-from closure sizes.
@@ -156,7 +204,7 @@ impl Merger {
             saved_writes.extend_from(arena.get(*id).writeset());
         }
         let forwarded = repaired_state.project(&saved_writes);
-        let mut new_master = hb_aug.final_state().clone();
+        let mut new_master = hb_final;
         new_master.apply(&forwarded);
 
         // Step 6: re-execute backed-out transactions on the new master
@@ -215,9 +263,8 @@ mod tests {
     #[test]
     fn example1_end_to_end() {
         let ex = example1();
-        let outcome = Merger::new(MergeConfig::default())
-            .merge(&ex.arena, &ex.hm, &ex.hb, &ex.s0)
-            .unwrap();
+        let outcome =
+            Merger::new(MergeConfig::default()).merge(&ex.arena, &ex.hm, &ex.hb, &ex.s0).unwrap();
         // B = {Tm3}, AG = {Tm4}.
         assert_eq!(outcome.bad, [ex.m[2]].into_iter().collect());
         assert_eq!(outcome.affected, [ex.m[3]].into_iter().collect());
@@ -239,9 +286,8 @@ mod tests {
         // the state of executing the merged history Tb1 Tb2 Tm1 Tm2 from
         // s0 — the correctness claim of protocol step 5.
         let ex = example1();
-        let outcome = Merger::new(MergeConfig::default())
-            .merge(&ex.arena, &ex.hm, &ex.hb, &ex.s0)
-            .unwrap();
+        let outcome =
+            Merger::new(MergeConfig::default()).merge(&ex.arena, &ex.hm, &ex.hb, &ex.s0).unwrap();
         let merged = outcome.merged_history.clone().unwrap();
         let replay = AugmentedHistory::execute(&ex.arena, &merged, &ex.s0).unwrap();
         assert_eq!(&outcome.new_master, replay.final_state());
@@ -250,9 +296,8 @@ mod tests {
     #[test]
     fn example1_forwarded_values_are_saved_writes_only() {
         let ex = example1();
-        let outcome = Merger::new(MergeConfig::default())
-            .merge(&ex.arena, &ex.hm, &ex.hb, &ex.s0)
-            .unwrap();
+        let outcome =
+            Merger::new(MergeConfig::default()).merge(&ex.arena, &ex.hm, &ex.hb, &ex.s0).unwrap();
         // Saved = {Tm1, Tm2}: writes {d1, d2} ∪ {d3, d4, d5, d6}.
         let vars = outcome.forwarded.vars();
         assert_eq!(vars, [d(1), d(2), d(3), d(4), d(5), d(6)].into_iter().collect());
@@ -297,8 +342,7 @@ mod tests {
                     prune: PruneMethod::Undo,
                     oracle: Box::new(StaticAnalyzer::new()),
                 };
-                let outcome =
-                    Merger::new(config).merge(&ex.arena, &ex.hm, &ex.hb, &ex.s0).unwrap();
+                let outcome = Merger::new(config).merge(&ex.arena, &ex.hm, &ex.hb, &ex.s0).unwrap();
                 assert_eq!(outcome.saved.len(), 2, "{}", algorithm.name());
                 masters.push(outcome.new_master);
             }
@@ -307,12 +351,37 @@ mod tests {
     }
 
     #[test]
+    fn assisted_merge_matches_unassisted() {
+        let ex = example1();
+        let merger = Merger::new(MergeConfig::default());
+        let plain = merger.merge(&ex.arena, &ex.hm, &ex.hb, &ex.s0).unwrap();
+
+        let mut cache = BaseEdgeCache::new();
+        cache.sync(&ex.arena, &ex.hb);
+        let hb_final =
+            AugmentedHistory::execute(&ex.arena, &ex.hb, &ex.s0).unwrap().final_state().clone();
+        let assist = MergeAssist { base_edges: Some(&cache), hb_final: Some(&hb_final) };
+        let assisted = merger.merge_assisted(&ex.arena, &ex.hm, &ex.hb, &ex.s0, assist).unwrap();
+
+        assert_eq!(plain.bad, assisted.bad);
+        assert_eq!(plain.affected, assisted.affected);
+        assert_eq!(plain.saved, assisted.saved);
+        assert_eq!(plain.backed_out, assisted.backed_out);
+        assert_eq!(plain.repaired_state, assisted.repaired_state);
+        assert_eq!(plain.forwarded, assisted.forwarded);
+        assert_eq!(plain.new_master, assisted.new_master);
+        assert_eq!(plain.reexecuted, assisted.reexecuted);
+        assert_eq!(
+            plain.merged_history.as_ref().map(|h| h.order().to_vec()),
+            assisted.merged_history.as_ref().map(|h| h.order().to_vec())
+        );
+        assert_eq!(plain.graph_edges, assisted.graph_edges);
+    }
+
+    #[test]
     fn greedy_backout_also_merges() {
         let ex = example1();
-        let config = MergeConfig {
-            backout: Box::new(GreedyScc::new()),
-            ..MergeConfig::default()
-        };
+        let config = MergeConfig { backout: Box::new(GreedyScc::new()), ..MergeConfig::default() };
         let outcome = Merger::new(config).merge(&ex.arena, &ex.hm, &ex.hb, &ex.s0).unwrap();
         // Greedy may back out more than the optimum, but the result must
         // still be conflict-free.

@@ -125,12 +125,8 @@ mod tests {
         let g1 = deposit(&mut arena, "g1", 0, 7); // cannot follow? reads d0 which bad writes
         let g2 = deposit(&mut arena, "g2", 1, 5);
         let s0: DbState = [(v(0), 0), (v(1), 0)].into_iter().collect();
-        let h = AugmentedHistory::execute(
-            &arena,
-            &SerialHistory::from_order([bad, g1, g2]),
-            &s0,
-        )
-        .unwrap();
+        let h = AugmentedHistory::execute(&arena, &SerialHistory::from_order([bad, g1, g2]), &s0)
+            .unwrap();
         let bads: BTreeSet<TxnId> = [bad].into_iter().collect();
         let rw = rewrite(
             &arena,
@@ -185,11 +181,9 @@ mod tests {
                 .build()
                 .unwrap(),
         );
-        let bad =
-            arena.alloc(|id| Transaction::new(id, "noinv", TxnKind::Tentative, prog, vec![]));
+        let bad = arena.alloc(|id| Transaction::new(id, "noinv", TxnKind::Tentative, prog, vec![]));
         let s0: DbState = [(v(0), 0)].into_iter().collect();
-        let h =
-            AugmentedHistory::execute(&arena, &SerialHistory::from_order([bad]), &s0).unwrap();
+        let h = AugmentedHistory::execute(&arena, &SerialHistory::from_order([bad]), &s0).unwrap();
         let bads: BTreeSet<TxnId> = [bad].into_iter().collect();
         let rw = rewrite(
             &arena,

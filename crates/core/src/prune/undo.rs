@@ -122,8 +122,7 @@ pub fn build_undo_repair(
 
     let mut prev_updated = VarSet::new();
     let mut local_known: BTreeMap<VarId, Value> = BTreeMap::new();
-    let body =
-        ctx.transform_block(txn.program().statements(), &mut prev_updated, &mut local_known);
+    let body = ctx.transform_block(txn.program().statements(), &mut prev_updated, &mut local_known);
     if !contains_update(&body) {
         return Ok(None);
     }
@@ -133,18 +132,14 @@ pub fn build_undo_repair(
     // from scratch achieves the same minimal read set).
     let mut referenced = VarSet::new();
     collect_referenced(&body, &mut referenced);
-    let mut builder =
-        ProgramBuilder::new(format!("ura-{}", txn.name())).allow_blind_writes();
+    let mut builder = ProgramBuilder::new(format!("ura-{}", txn.name())).allow_blind_writes();
     for var in referenced.iter() {
         builder = builder.read(var);
     }
     for stmt in body {
         builder = builder.statement(stmt);
     }
-    builder
-        .build()
-        .map(Some)
-        .map_err(|source| CoreError::Execution { txn: ag_k, source })
+    builder.build().map(Some).map_err(|source| CoreError::Execution { txn: ag_k, source })
 }
 
 struct UraContext<'a> {
@@ -204,9 +199,8 @@ impl UraContext<'_> {
                     // Textual union, matching Algorithm 3's flat reading of
                     // "updated by any preceding statement".
                     *prev_updated = t_upd.union(&e_upd);
-                    local_known.retain(|k, v| {
-                        t_known.get(k) == Some(v) && e_known.get(k) == Some(v)
-                    });
+                    local_known
+                        .retain(|k, v| t_known.get(k) == Some(v) && e_known.get(k) == Some(v));
                     if !tb.is_empty() || !eb.is_empty() {
                         out.push(Statement::If {
                             cond: new_cond,
@@ -313,9 +307,7 @@ impl UraContext<'_> {
                 Box::new(self.subst_pred(a, prev_updated, local_known)),
                 Box::new(self.subst_pred(b, prev_updated, local_known)),
             ),
-            Pred::Not(a) => {
-                Pred::Not(Box::new(self.subst_pred(a, prev_updated, local_known)))
-            }
+            Pred::Not(a) => Pred::Not(Box::new(self.subst_pred(a, prev_updated, local_known))),
         }
     }
 }
@@ -386,14 +378,8 @@ mod tests {
         let rw = rewrite(arena, &h, bad, alg, FixMode::Lemma1, &oracle);
         let ag = affected_set(arena, &h.order(), bad);
         let pruned = undo(arena, &h, &rw, &ag).unwrap();
-        let expect =
-            AugmentedHistory::execute(arena, &rw.repaired_history(), s0).unwrap();
-        assert_eq!(
-            &pruned,
-            expect.final_state(),
-            "Theorem 5 violated for {}",
-            alg.name()
-        );
+        let expect = AugmentedHistory::execute(arena, &rw.repaired_history(), s0).unwrap();
+        assert_eq!(&pruned, expect.final_state(), "Theorem 5 violated for {}", alg.name());
         (rw.saved(), pruned)
     }
 
@@ -424,13 +410,8 @@ mod tests {
         let g = inc(&mut arena, "g", 0, 10);
         let s0: DbState = [(v(0), 0)].into_iter().collect();
         let bads: BTreeSet<TxnId> = [bad].into_iter().collect();
-        let (saved, state) = check_theorem5(
-            &arena,
-            &[bad, g],
-            &bads,
-            &s0,
-            RewriteAlgorithm::CanFollowCanPrecede,
-        );
+        let (saved, state) =
+            check_theorem5(&arena, &[bad, g], &bads, &s0, RewriteAlgorithm::CanFollowCanPrecede);
         assert_eq!(saved, vec![g]);
         assert_eq!(state.get(v(0)), 10);
     }
@@ -490,24 +471,15 @@ mod tests {
         };
         let s0: DbState = [(v(0), 0), (v(2), 0)].into_iter().collect();
         let bads: BTreeSet<TxnId> = [bad].into_iter().collect();
-        let h = AugmentedHistory::execute(
-            &arena,
-            &SerialHistory::from_order([bad, g]),
-            &s0,
-        )
-        .unwrap();
+        let h =
+            AugmentedHistory::execute(&arena, &SerialHistory::from_order([bad, g]), &s0).unwrap();
         let undone: BTreeSet<TxnId> = bads.clone();
         let ura = build_undo_repair(&arena, &h, g, &undone).unwrap().unwrap();
         // Only the d0 statement survives.
         assert!(ura.writeset().contains(v(0)));
         assert!(!ura.writeset().contains(v(2)));
-        let (saved, state) = check_theorem5(
-            &arena,
-            &[bad, g],
-            &bads,
-            &s0,
-            RewriteAlgorithm::CanFollowCanPrecede,
-        );
+        let (saved, state) =
+            check_theorem5(&arena, &[bad, g], &bads, &s0, RewriteAlgorithm::CanFollowCanPrecede);
         assert_eq!(saved, vec![g]);
         assert_eq!(state.get(v(0)), 2);
         assert_eq!(state.get(v(2)), 9);
@@ -534,12 +506,8 @@ mod tests {
             arena.alloc(|id| Transaction::new(id, "g", TxnKind::Tentative, p, vec![]))
         };
         let s0: DbState = [(v(0), 0), (v(1), 0)].into_iter().collect();
-        let h = AugmentedHistory::execute(
-            &arena,
-            &SerialHistory::from_order([bad, g]),
-            &s0,
-        )
-        .unwrap();
+        let h =
+            AugmentedHistory::execute(&arena, &SerialHistory::from_order([bad, g]), &s0).unwrap();
         let undone: BTreeSet<TxnId> = [bad].into_iter().collect();
         assert!(build_undo_repair(&arena, &h, g, &undone).unwrap().is_none());
     }
@@ -567,12 +535,8 @@ mod tests {
             arena.alloc(|id| Transaction::new(id, "g", TxnKind::Tentative, p, vec![]))
         };
         let s0: DbState = [(v(0), 0)].into_iter().collect();
-        let h = AugmentedHistory::execute(
-            &arena,
-            &SerialHistory::from_order([bad, g]),
-            &s0,
-        )
-        .unwrap();
+        let h =
+            AugmentedHistory::execute(&arena, &SerialHistory::from_order([bad, g]), &s0).unwrap();
         let undone: BTreeSet<TxnId> = [bad].into_iter().collect();
         let ura = build_undo_repair(&arena, &h, g, &undone).unwrap().unwrap();
         // Executing the URA on the post-undo state (d0 = 0) re-runs the
@@ -601,12 +565,8 @@ mod tests {
             arena.alloc(|id| Transaction::new(id, "g", TxnKind::Tentative, p, vec![]))
         };
         let s0: DbState = [(v(0), 0), (v(3), 7)].into_iter().collect();
-        let h = AugmentedHistory::execute(
-            &arena,
-            &SerialHistory::from_order([bad, g]),
-            &s0,
-        )
-        .unwrap();
+        let h =
+            AugmentedHistory::execute(&arena, &SerialHistory::from_order([bad, g]), &s0).unwrap();
         let undone: BTreeSet<TxnId> = [bad].into_iter().collect();
         let ura = build_undo_repair(&arena, &h, g, &undone).unwrap().unwrap();
         // Even if d3 has since changed to 999, the URA uses the logged 7.
@@ -633,13 +593,8 @@ mod tests {
         };
         let s0: DbState = [(v(0), 0)].into_iter().collect();
         let bads: BTreeSet<TxnId> = [bad].into_iter().collect();
-        let (saved, state) = check_theorem5(
-            &arena,
-            &[bad, g],
-            &bads,
-            &s0,
-            RewriteAlgorithm::CanFollowCanPrecede,
-        );
+        let (saved, state) =
+            check_theorem5(&arena, &[bad, g], &bads, &s0, RewriteAlgorithm::CanFollowCanPrecede);
         assert_eq!(saved, vec![g]);
         assert_eq!(state.get(v(0)), 13, "the URA re-applied g's +p0 with p0 = 13");
     }
@@ -675,12 +630,8 @@ mod tests {
             arena.alloc(|id| Transaction::new(id, "g", TxnKind::Tentative, p, vec![]))
         };
         let s0: DbState = [(v(0), 0), (v(1), 1), (v(2), 9)].into_iter().collect();
-        let h = AugmentedHistory::execute(
-            &arena,
-            &SerialHistory::from_order([bad, g]),
-            &s0,
-        )
-        .unwrap();
+        let h =
+            AugmentedHistory::execute(&arena, &SerialHistory::from_order([bad, g]), &s0).unwrap();
         let undone: BTreeSet<TxnId> = [bad].into_iter().collect();
         let ura = build_undo_repair(&arena, &h, g, &undone).unwrap().unwrap();
         // Execute on the post-undo state; guards bound to flag=1, mode=9.
@@ -716,12 +667,8 @@ mod tests {
         let bad2 = inc(&mut arena, "bad2", 1, 50);
         let s0: DbState = [(v(0), 0), (v(1), 0), (v(2), 0)].into_iter().collect();
         let bads: BTreeSet<TxnId> = [bad1, bad2].into_iter().collect();
-        let h = AugmentedHistory::execute(
-            &arena,
-            &SerialHistory::from_order([bad1, g, bad2]),
-            &s0,
-        )
-        .unwrap();
+        let h = AugmentedHistory::execute(&arena, &SerialHistory::from_order([bad1, g, bad2]), &s0)
+            .unwrap();
         let ura = build_undo_repair(&arena, &h, g, &bads).unwrap().unwrap();
         assert!(ura.writeset().contains(v(0)), "case 3 kept");
         assert!(ura.writeset().contains(v(1)), "case 2 kept");
@@ -793,12 +740,8 @@ mod tests {
         };
         let s0: DbState = [(u, 20), (x, 5), (y, 50), (z, 0)].into_iter().collect();
         let bad: BTreeSet<TxnId> = [b1].into_iter().collect();
-        let h = AugmentedHistory::execute(
-            &arena,
-            &SerialHistory::from_order([b1, g2, g3]),
-            &s0,
-        )
-        .unwrap();
+        let h = AugmentedHistory::execute(&arena, &SerialHistory::from_order([b1, g2, g3]), &s0)
+            .unwrap();
         // Algorithm 2 saves BOTH good transactions (G2 can follow B1; G3
         // can precede B1^{u}).
         let oracle = StaticAnalyzer::new();
@@ -823,12 +766,8 @@ mod tests {
 
         // Full undo pruning yields the cumulative effect of G2 G3.
         let pruned = undo(&arena, &h, &rw, &ag).unwrap();
-        let g2g3 = AugmentedHistory::execute(
-            &arena,
-            &SerialHistory::from_order([g2, g3]),
-            &s0,
-        )
-        .unwrap();
+        let g2g3 =
+            AugmentedHistory::execute(&arena, &SerialHistory::from_order([g2, g3]), &s0).unwrap();
         assert_eq!(&pruned, g2g3.final_state());
         assert_eq!(pruned.get(u), 0); // u unchanged by the undo of B1
         assert_eq!(pruned.get(x), 15); // 5 + 10: B1's +100 gone, G3's +10 repaired
@@ -844,12 +783,8 @@ mod tests {
         let g2 = inc(&mut arena, "g2", 1, 5); // clean
         let s0: DbState = [(v(0), 3), (v(1), 4)].into_iter().collect();
         let bads: BTreeSet<TxnId> = [bad].into_iter().collect();
-        let h = AugmentedHistory::execute(
-            &arena,
-            &SerialHistory::from_order([bad, g1, g2]),
-            &s0,
-        )
-        .unwrap();
+        let h = AugmentedHistory::execute(&arena, &SerialHistory::from_order([bad, g1, g2]), &s0)
+            .unwrap();
         let rw = rewrite(
             &arena,
             &h,
@@ -871,8 +806,7 @@ mod tests {
         let mut arena = TxnArena::new();
         let g = inc(&mut arena, "g", 0, 1);
         let s0: DbState = [(v(0), 0)].into_iter().collect();
-        let h =
-            AugmentedHistory::execute(&arena, &SerialHistory::from_order([g]), &s0).unwrap();
+        let h = AugmentedHistory::execute(&arena, &SerialHistory::from_order([g]), &s0).unwrap();
         let rw = rewrite(
             &arena,
             &h,

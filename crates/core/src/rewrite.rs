@@ -167,17 +167,11 @@ pub fn rewrite(
     };
 
     // Scan forward from the first good transaction after B1 (Algorithm 1).
-    let scan: Vec<TxnId> = entries[b1_pos + 1..]
-        .iter()
-        .map(|(t, _)| *t)
-        .filter(|t| !bad.contains(t))
-        .collect();
+    let scan: Vec<TxnId> =
+        entries[b1_pos + 1..].iter().map(|(t, _)| *t).filter(|t| !bad.contains(t)).collect();
 
     for t in scan {
-        let pos = entries
-            .iter()
-            .position(|(id, _)| *id == t)
-            .expect("scanned transaction present");
+        let pos = entries.iter().position(|(id, _)| *id == t).expect("scanned transaction present");
         let mover = arena.get(t);
 
         let movable = entries[b1_pos..pos].iter().all(|(tj, fixj)| {
@@ -201,10 +195,8 @@ pub fn rewrite(
         // Fix maintenance (Lemma 1): every block transaction that the mover
         // passes via can-follow conceptually moves right past it and must
         // pin its reads of the mover's writes to original values.
-        if matches!(
-            algorithm,
-            RewriteAlgorithm::CanFollow | RewriteAlgorithm::CanFollowCanPrecede
-        ) {
+        if matches!(algorithm, RewriteAlgorithm::CanFollow | RewriteAlgorithm::CanFollowCanPrecede)
+        {
             for entry in entries.iter_mut().take(pos).skip(b1_pos) {
                 let (tj, fixj) = entry;
                 let stayer = arena.get(*tj);
@@ -264,11 +256,7 @@ fn rftc(arena: &TxnArena, original: &AugmentedHistory, bad: &BTreeSet<TxnId>) ->
     }
     let prefix_len = prefix.len();
     prefix.extend(suffix);
-    RewrittenHistory {
-        entries: prefix,
-        prefix_len,
-        algorithm: RewriteAlgorithm::ReadsFromClosure,
-    }
+    RewrittenHistory { entries: prefix, prefix_len, algorithm: RewriteAlgorithm::ReadsFromClosure }
 }
 
 #[cfg(test)]
@@ -333,12 +321,8 @@ mod tests {
         let tg2 = arena.alloc(|id| Transaction::new(id, "G2", TxnKind::Tentative, g2, vec![]));
         let tg3 = arena.alloc(|id| Transaction::new(id, "G3", TxnKind::Tentative, g3, vec![]));
         let s0: DbState = [(v(0), 20), (v(1), 5), (v(2), 50), (v(3), 0)].into_iter().collect();
-        let h = AugmentedHistory::execute(
-            &arena,
-            &SerialHistory::from_order([tb1, tg2, tg3]),
-            &s0,
-        )
-        .unwrap();
+        let h = AugmentedHistory::execute(&arena, &SerialHistory::from_order([tb1, tg2, tg3]), &s0)
+            .unwrap();
         let bad: BTreeSet<TxnId> = [tb1].into_iter().collect();
         (arena, h, bad, [tb1, tg2, tg3], s0)
     }
@@ -356,7 +340,7 @@ mod tests {
         assert_eq!(*id, tb1);
         assert_eq!(fix.vars(), [v(0)].into_iter().collect());
         assert_eq!(fix.get(v(0)), Some(20)); // original read value of u
-        // G3 was never jumped: empty fix.
+                                             // G3 was never jumped: empty fix.
         assert!(rw.entries()[2].1.is_empty());
     }
 
@@ -390,8 +374,7 @@ mod tests {
             (RewriteAlgorithm::CommutesBackward, FixMode::Lemma1),
         ] {
             let rw = rewrite(&arena, &h, &bad, alg, fix_mode, &static_oracle());
-            let replay =
-                AugmentedHistory::execute_with_fixes(&arena, rw.entries(), &s0).unwrap();
+            let replay = AugmentedHistory::execute_with_fixes(&arena, rw.entries(), &s0).unwrap();
             assert!(
                 replay.final_state_equivalent(&h),
                 "{} with {:?} broke final-state equivalence",
@@ -472,12 +455,8 @@ mod tests {
         // History G B: G precedes the first bad transaction and is saved
         // without being scanned.
         let (arena, _, _, [tb1, tg2, _], s0) = h4();
-        let h = AugmentedHistory::execute(
-            &arena,
-            &SerialHistory::from_order([tg2, tb1]),
-            &s0,
-        )
-        .unwrap();
+        let h =
+            AugmentedHistory::execute(&arena, &SerialHistory::from_order([tg2, tb1]), &s0).unwrap();
         let bad: BTreeSet<TxnId> = [tb1].into_iter().collect();
         let rw = rewrite(&arena, &h, &bad, RewriteAlgorithm::CanFollow, FixMode::Lemma1, &none());
         assert_eq!(rw.saved(), vec![tg2]);
@@ -526,8 +505,7 @@ mod tests {
         let b = arena.alloc(|id| Transaction::new(id, "B", TxnKind::Tentative, b_prog, vec![]));
         let g = arena.alloc(|id| Transaction::new(id, "G", TxnKind::Tentative, g_prog, vec![]));
         let s0: DbState = [(v(0), 10), (v(1), 3)].into_iter().collect();
-        let h = AugmentedHistory::execute(&arena, &SerialHistory::from_order([b, g]), &s0)
-            .unwrap();
+        let h = AugmentedHistory::execute(&arena, &SerialHistory::from_order([b, g]), &s0).unwrap();
         let bad: BTreeSet<TxnId> = [b].into_iter().collect();
         let rw = rewrite(&arena, &h, &bad, RewriteAlgorithm::CanFollow, FixMode::Lemma1, &none());
         assert!(rw.saved().is_empty(), "blind writer must not jump a same-item writer");
@@ -560,14 +538,8 @@ mod tests {
         // Theorem 4 instance: CBTR(H4) ⊆ FPR(H4).
         let (arena, h, bad, _, _) = h4();
         let oracle = static_oracle();
-        let cbtr = rewrite(
-            &arena,
-            &h,
-            &bad,
-            RewriteAlgorithm::CommutesBackward,
-            FixMode::Lemma1,
-            &oracle,
-        );
+        let cbtr =
+            rewrite(&arena, &h, &bad, RewriteAlgorithm::CommutesBackward, FixMode::Lemma1, &oracle);
         let fpr = rewrite(
             &arena,
             &h,

@@ -97,7 +97,11 @@ mod tests {
     fn prog() -> Arc<Program> {
         let x = VarId::new(0);
         Arc::new(
-            ProgramBuilder::new("p").read(x).update(x, Expr::var(x) + Expr::konst(1)).build().unwrap(),
+            ProgramBuilder::new("p")
+                .read(x)
+                .update(x, Expr::var(x) + Expr::konst(1))
+                .build()
+                .unwrap(),
         )
     }
 

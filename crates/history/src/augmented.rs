@@ -90,8 +90,7 @@ impl AugmentedHistory {
         history: &SerialHistory,
         initial: &DbState,
     ) -> Result<Self, HistoryError> {
-        let entries: Vec<(TxnId, Fix)> =
-            history.iter().map(|id| (id, Fix::empty())).collect();
+        let entries: Vec<(TxnId, Fix)> = history.iter().map(|id| (id, Fix::empty())).collect();
         Self::execute_with_fixes(arena, &entries, initial)
     }
 
@@ -274,12 +273,9 @@ mod tests {
         assert!(!original.final_state_equivalent(&swapped));
         // H3 = G2 B1^{x=1}: final state equivalent.
         let fix: Fix = [(v(0), 1)].into_iter().collect();
-        let fixed = AugmentedHistory::execute_with_fixes(
-            &arena,
-            &[(g2, Fix::empty()), (b1, fix)],
-            &s0,
-        )
-        .unwrap();
+        let fixed =
+            AugmentedHistory::execute_with_fixes(&arena, &[(g2, Fix::empty()), (b1, fix)], &s0)
+                .unwrap();
         assert!(original.final_state_equivalent(&fixed));
     }
 
@@ -288,8 +284,7 @@ mod tests {
         let (arena, b1, g2, s0) = section3();
         let h1 =
             AugmentedHistory::execute(&arena, &SerialHistory::from_order([b1, g2]), &s0).unwrap();
-        let h2 =
-            AugmentedHistory::execute(&arena, &SerialHistory::from_order([g2]), &s0).unwrap();
+        let h2 = AugmentedHistory::execute(&arena, &SerialHistory::from_order([g2]), &s0).unwrap();
         // Different transaction sets: never equivalent, even if states matched.
         assert!(!h1.final_state_equivalent(&h2));
     }
@@ -320,12 +315,8 @@ mod tests {
     fn display_marks_fixes() {
         let (arena, b1, g2, s0) = section3();
         let fix: Fix = [(v(0), 1)].into_iter().collect();
-        let h = AugmentedHistory::execute_with_fixes(
-            &arena,
-            &[(g2, Fix::empty()), (b1, fix)],
-            &s0,
-        )
-        .unwrap();
+        let h = AugmentedHistory::execute_with_fixes(&arena, &[(g2, Fix::empty()), (b1, fix)], &s0)
+            .unwrap();
         let text = h.to_string();
         assert!(text.starts_with("s0 T1 s1"));
         assert!(text.contains("T0^{(d0, 1)}"));

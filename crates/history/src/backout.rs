@@ -56,7 +56,11 @@ impl std::error::Error for BackoutError {}
 /// `weight` assigns each tentative transaction a back-out cost (e.g. 1 for
 /// plain counts, or the size of its reads-from closure to model Davidson's
 /// weighted variants); strategies prefer low-weight sets.
-pub trait BackoutStrategy {
+///
+/// Strategies run concurrently in the parallel merge pipeline, so
+/// implementations must be `Send + Sync` (the bundled strategies are plain
+/// configuration structs).
+pub trait BackoutStrategy: Send + Sync {
     /// Computes a set `B` of tentative transactions such that the graph
     /// minus `B` is acyclic.
     ///
@@ -96,10 +100,7 @@ pub fn affected_weight(
 }
 
 fn tentative_members(graph: &PrecedenceGraph, scc: &[TxnId]) -> Vec<TxnId> {
-    scc.iter()
-        .copied()
-        .filter(|id| graph.kind(*id) == Some(TxnKind::Tentative))
-        .collect()
+    scc.iter().copied().filter(|id| graph.kind(*id) == Some(TxnKind::Tentative)).collect()
 }
 
 /// Greedy pass: while cycles remain, remove the tentative node with the
@@ -298,8 +299,7 @@ impl BackoutStrategy for TwoCycleOptimal {
         open_pairs.retain(|(a, b)| !removed.contains(a) && !removed.contains(b));
 
         // Vertex cover over the remaining tentative-tentative 2-cycles.
-        let mut vertices: Vec<TxnId> =
-            open_pairs.iter().flat_map(|(a, b)| [*a, *b]).collect();
+        let mut vertices: Vec<TxnId> = open_pairs.iter().flat_map(|(a, b)| [*a, *b]).collect();
         vertices.sort_unstable();
         vertices.dedup();
         if vertices.len() <= self.cover_budget {

@@ -162,8 +162,7 @@ impl InterleavedSchedule {
     pub fn serial_order(&self) -> Option<SerialHistory> {
         let graph = self.serialization_graph();
         let order = self.txns();
-        let mut indegree: BTreeMap<TxnId, usize> =
-            order.iter().map(|t| (*t, 0)).collect();
+        let mut indegree: BTreeMap<TxnId, usize> = order.iter().map(|t| (*t, 0)).collect();
         for succs in graph.values() {
             for s in succs {
                 *indegree.get_mut(s).expect("txn registered") += 1;
@@ -172,10 +171,7 @@ impl InterleavedSchedule {
         let mut emitted: BTreeSet<TxnId> = BTreeSet::new();
         let mut out = Vec::with_capacity(order.len());
         while out.len() < order.len() {
-            let next = order
-                .iter()
-                .copied()
-                .find(|t| !emitted.contains(t) && indegree[t] == 0)?;
+            let next = order.iter().copied().find(|t| !emitted.contains(t) && indegree[t] == 0)?;
             emitted.insert(next);
             out.push(next);
             for s in &graph[&next] {
@@ -203,9 +199,7 @@ impl fmt::Display for InterleavedSchedule {
 /// Builds the operation sequence of a transaction from its static sets:
 /// all reads (in item order), then all writes. Used to lower a serial
 /// transaction execution onto the operation level.
-pub fn ops_of_transaction(
-    txn: &histmerge_txn::Transaction,
-) -> impl Iterator<Item = Op> + '_ {
+pub fn ops_of_transaction(txn: &histmerge_txn::Transaction) -> impl Iterator<Item = Op> + '_ {
     let id = txn.id();
     txn.readset()
         .iter()

@@ -60,5 +60,5 @@ pub mod readsfrom;
 pub use arena::TxnArena;
 pub use augmented::{AugmentedHistory, HistoryError};
 pub use backout::{BackoutError, BackoutStrategy, ExactMinimum, GreedyScc, TwoCycleOptimal};
-pub use precedence::{EdgeKind, PrecedenceGraph};
+pub use precedence::{BaseEdgeCache, EdgeKind, PrecedenceGraph};
 pub use schedule::SerialHistory;

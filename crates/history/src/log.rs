@@ -209,10 +209,7 @@ mod tests {
         // Tm4 wrote d6; its before image is Tm3's output for d6.
         let d6 = histmerge_txn::VarId::new(6);
         let pos = aug.position(ex.m[3]).unwrap();
-        assert_eq!(
-            log.before_image(ex.m[3], d6),
-            Some(aug.before_state(pos).get(d6))
-        );
+        assert_eq!(log.before_image(ex.m[3], d6), Some(aug.before_state(pos).get(d6)));
         assert_eq!(log.before_image(ex.m[3], histmerge_txn::VarId::new(1)), None);
     }
 

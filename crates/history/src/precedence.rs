@@ -50,6 +50,113 @@ impl fmt::Display for EdgeKind {
     }
 }
 
+/// Do two transactions conflict? Both access some item, at least one
+/// writing it — the standard read/write conflict relation the graph's
+/// edges are built from.
+fn txn_conflicts(arena: &TxnArena, a: TxnId, b: TxnId) -> bool {
+    let (ta, tb) = (arena.get(a), arena.get(b));
+    ta.readset().intersects(tb.writeset())
+        || ta.writeset().intersects(tb.readset())
+        || ta.writeset().intersects(tb.writeset())
+}
+
+/// Incrementally maintained rule-2 (base-conflict) edges of one epoch's
+/// base history.
+///
+/// [`PrecedenceGraph::build`] recomputes the `O(|H_b|²)` pairwise base
+/// conflicts on every merge, even though within a window `H_b` only ever
+/// *grows*. A `BaseEdgeCache` is kept per epoch: appending a suffix of `k`
+/// new base transactions costs `O(k · |H_b|)` comparisons once, and every
+/// merge in the window (serial or batched) then reads its rule-2 edges —
+/// for any prefix of the cached history — in `O(edges)`.
+///
+/// Edge counts are tracked cumulatively per prefix, so graphs built from
+/// the cache report byte-identical edge sets to the from-scratch build.
+#[derive(Debug, Clone, Default)]
+pub struct BaseEdgeCache {
+    txns: Vec<TxnId>,
+    /// Conflicting index pairs `(i, j)` with `i < j`, grouped by `j` in
+    /// append order (so the pairs among any prefix form a prefix of this
+    /// vector).
+    pairs: Vec<(usize, usize)>,
+    /// `edges_upto[k]` = number of pairs whose later member is `< k`.
+    edges_upto: Vec<usize>,
+}
+
+impl BaseEdgeCache {
+    /// Creates an empty cache (start of a window).
+    pub fn new() -> Self {
+        BaseEdgeCache { txns: Vec::new(), pairs: Vec::new(), edges_upto: vec![0] }
+    }
+
+    /// Number of base transactions cached.
+    pub fn len(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Returns `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.txns.is_empty()
+    }
+
+    /// Drops all cached state (window rollover).
+    pub fn clear(&mut self) {
+        self.txns.clear();
+        self.pairs.clear();
+        self.edges_upto.clear();
+        self.edges_upto.push(0);
+    }
+
+    /// Appends base transactions, computing their conflicts against every
+    /// earlier cached transaction.
+    pub fn extend(&mut self, arena: &TxnArena, suffix: impl IntoIterator<Item = TxnId>) {
+        for id in suffix {
+            let j = self.txns.len();
+            self.txns.push(id);
+            for (i, &earlier) in self.txns[..j].iter().enumerate() {
+                if txn_conflicts(arena, earlier, id) {
+                    self.pairs.push((i, j));
+                }
+            }
+            self.edges_upto.push(self.pairs.len());
+        }
+    }
+
+    /// Brings the cache up to date with `hb`, which must extend the cached
+    /// prefix (the invariant of an epoch's growing base history).
+    pub fn sync(&mut self, arena: &TxnArena, hb: &SerialHistory) {
+        debug_assert!(
+            hb.iter().take(self.txns.len()).eq(self.txns.iter().copied()),
+            "base history is not an extension of the cached prefix"
+        );
+        let known = self.txns.len();
+        let suffix: Vec<TxnId> = hb.iter().skip(known).collect();
+        self.extend(arena, suffix);
+    }
+
+    /// Number of rule-2 edges among the first `prefix` cached transactions.
+    pub fn edge_count(&self, prefix: usize) -> usize {
+        self.edges_upto[prefix.min(self.txns.len())]
+    }
+
+    /// The conflicting pairs among the first `prefix` transactions, in the
+    /// `(i asc, j asc)` order the from-scratch build emits them.
+    fn pairs_upto(&self, prefix: usize) -> Vec<(usize, usize)> {
+        let mut pairs = self.pairs[..self.edge_count(prefix)].to_vec();
+        pairs.sort_unstable();
+        pairs
+    }
+}
+
+/// How a [`PrecedenceGraph`] build obtains the rule-2 (base-conflict)
+/// edges.
+enum Rule2<'a> {
+    /// Pairwise comparison over `H_b` (the from-scratch path).
+    Compute,
+    /// Read them from a [`BaseEdgeCache`] whose prefix matches `H_b`.
+    Cached(&'a BaseEdgeCache),
+}
+
 /// The precedence graph over the transactions of `H_m ∪ H_b`.
 #[derive(Debug, Clone)]
 pub struct PrecedenceGraph {
@@ -69,6 +176,32 @@ impl PrecedenceGraph {
     /// transactions conflict on an item if both access it and at least one
     /// writes it.
     pub fn build(arena: &TxnArena, hm: &SerialHistory, hb: &SerialHistory) -> Self {
+        Self::build_inner(arena, hm, hb, Rule2::Compute)
+    }
+
+    /// Builds the graph like [`build`](Self::build), but takes the rule-2
+    /// base-conflict edges from an incrementally maintained
+    /// [`BaseEdgeCache`] instead of recomputing the `O(|H_b|²)` pairwise
+    /// comparisons. The cache must cover `hb` — i.e. `hb` must equal a
+    /// prefix of the cached history.
+    ///
+    /// The resulting graph is identical to the from-scratch build, edge
+    /// order included.
+    pub fn build_with_base_cache(
+        arena: &TxnArena,
+        hm: &SerialHistory,
+        hb: &SerialHistory,
+        cache: &BaseEdgeCache,
+    ) -> Self {
+        assert!(cache.len() >= hb.len(), "base-edge cache is behind the base history");
+        debug_assert!(
+            hb.iter().eq(cache.txns[..hb.len()].iter().copied()),
+            "base-edge cache prefix does not match the base history"
+        );
+        Self::build_inner(arena, hm, hb, Rule2::Cached(cache))
+    }
+
+    fn build_inner(arena: &TxnArena, hm: &SerialHistory, hb: &SerialHistory, rule2: Rule2) -> Self {
         let nodes: Vec<TxnId> = hm.iter().chain(hb.iter()).collect();
         let kinds: Vec<TxnKind> = nodes.iter().map(|id| arena.get(*id).kind()).collect();
         let index_map: std::collections::BTreeMap<TxnId, usize> =
@@ -82,12 +215,7 @@ impl PrecedenceGraph {
             kinds,
         };
 
-        let conflicts = |a: TxnId, b: TxnId| -> bool {
-            let (ta, tb) = (arena.get(a), arena.get(b));
-            ta.readset().intersects(tb.writeset())
-                || ta.writeset().intersects(tb.readset())
-                || ta.writeset().intersects(tb.writeset())
-        };
+        let conflicts = |a: TxnId, b: TxnId| -> bool { txn_conflicts(arena, a, b) };
 
         // Rule 1: order of conflicting tentative transactions in H_m.
         let hm_order: Vec<TxnId> = hm.iter().collect();
@@ -101,10 +229,20 @@ impl PrecedenceGraph {
 
         // Rule 2: order of conflicting base transactions in H_b.
         let hb_order: Vec<TxnId> = hb.iter().collect();
-        for (i, &ti) in hb_order.iter().enumerate() {
-            for &tj in &hb_order[i + 1..] {
-                if conflicts(ti, tj) {
-                    graph.add_edge(index_of(ti), index_of(tj), EdgeKind::BaseConflict);
+        let base_offset = hm_order.len();
+        match rule2 {
+            Rule2::Compute => {
+                for (i, &ti) in hb_order.iter().enumerate() {
+                    for &tj in &hb_order[i + 1..] {
+                        if conflicts(ti, tj) {
+                            graph.add_edge(index_of(ti), index_of(tj), EdgeKind::BaseConflict);
+                        }
+                    }
+                }
+            }
+            Rule2::Cached(cache) => {
+                for (i, j) in cache.pairs_upto(hb_order.len()) {
+                    graph.add_edge(base_offset + i, base_offset + j, EdgeKind::BaseConflict);
                 }
             }
         }
@@ -334,10 +472,7 @@ impl PrecedenceGraph {
         if removed.contains(&id) {
             return 0;
         }
-        let out = self.succs[i]
-            .iter()
-            .filter(|&&j| !removed.contains(&self.nodes[j]))
-            .count();
+        let out = self.succs[i].iter().filter(|&&j| !removed.contains(&self.nodes[j])).count();
         let inn = self
             .succs
             .iter()
@@ -398,7 +533,7 @@ mod tests {
         assert!(g.has_edge(m2, m4)); // d6
         assert!(g.has_edge(m3, m4)); // d6
         assert!(!g.has_edge(m1, m3)); // disjoint footprints
-        // Rule 2 edge within H_b (both touch d5, Tb1 writes).
+                                      // Rule 2 edge within H_b (both touch d5, Tb1 writes).
         assert!(g.has_edge(b1, b2));
         // Rule 3 cross edges.
         assert!(g.has_edge(b2, m1)); // Tb2 read d1, updated by Tm1
@@ -406,7 +541,7 @@ mod tests {
         assert!(g.has_edge(b2, m2)); // Tb2 read d5, updated by Tm2
         assert!(g.has_edge(m3, b1)); // Tm3 read d5, updated by Tb1
         assert!(!g.has_edge(m2, b1)); // Tm2 never reads d5 (blind write)
-        // No edge in the reverse tentative order.
+                                      // No edge in the reverse tentative order.
         assert!(!g.has_edge(m2, m1));
         assert!(!g.has_edge(m4, m3));
     }
@@ -507,6 +642,61 @@ mod tests {
         let text = g.to_string();
         assert!(text.contains("nodes"));
         assert!(text.contains("mobile-read-base"));
+    }
+
+    #[test]
+    fn cached_build_matches_from_scratch() {
+        let ex = crate::fixtures::example1();
+        let mut cache = BaseEdgeCache::new();
+        cache.sync(&ex.arena, &ex.hb);
+        assert_eq!(cache.len(), ex.hb.len());
+        let scratch = PrecedenceGraph::build(&ex.arena, &ex.hm, &ex.hb);
+        let cached = PrecedenceGraph::build_with_base_cache(&ex.arena, &ex.hm, &ex.hb, &cache);
+        assert_eq!(scratch.nodes(), cached.nodes());
+        assert_eq!(scratch.edges(), cached.edges());
+        assert_eq!(cache.edge_count(ex.hb.len()), 1); // Tb1 -> Tb2 on d5
+        assert_eq!(cache.edge_count(0), 0);
+    }
+
+    #[test]
+    fn cache_grows_incrementally_and_serves_prefixes() {
+        let mut arena = TxnArena::new();
+        let ids: Vec<TxnId> = (0..6)
+            .map(|i| rw_txn(&mut arena, &format!("b{i}"), TxnKind::Base, &[i % 2], &[i % 2]))
+            .collect();
+        let m = rw_txn(&mut arena, "m", TxnKind::Tentative, &[0], &[0]);
+        let hm = SerialHistory::from_order([m]);
+
+        let mut cache = BaseEdgeCache::new();
+        // Grow the epoch two transactions at a time; each prefix must match
+        // the from-scratch build exactly, including edge order, and earlier
+        // prefixes must keep working after later extensions.
+        for step in [2usize, 4, 6] {
+            let hb = SerialHistory::from_order(ids[..step].iter().copied());
+            cache.sync(&arena, &hb);
+            for prefix in (2..=step).step_by(2) {
+                let hb_pre = SerialHistory::from_order(ids[..prefix].iter().copied());
+                let scratch = PrecedenceGraph::build(&arena, &hm, &hb_pre);
+                let cached = PrecedenceGraph::build_with_base_cache(&arena, &hm, &hb_pre, &cache);
+                assert_eq!(scratch.edges(), cached.edges(), "prefix {prefix} of {step}");
+                assert_eq!(
+                    cache.edge_count(prefix),
+                    scratch.edges().iter().filter(|(_, _, k)| *k == EdgeKind::BaseConflict).count()
+                );
+            }
+        }
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.edge_count(6), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "behind the base history")]
+    fn stale_cache_is_rejected() {
+        let ex = crate::fixtures::example1();
+        let cache = BaseEdgeCache::new();
+        let _ = PrecedenceGraph::build_with_base_cache(&ex.arena, &ex.hm, &ex.hb, &cache);
     }
 
     #[test]

@@ -73,10 +73,7 @@ pub fn affected_set(
         let txn = arena.get(id);
         let is_bad = bad.contains(&id);
         let reads_tainted = !is_bad
-            && txn
-                .readset()
-                .iter()
-                .any(|var| tainted_writer.get(&var).copied().unwrap_or(false));
+            && txn.readset().iter().any(|var| tainted_writer.get(&var).copied().unwrap_or(false));
         if reads_tainted {
             affected.insert(id);
         }

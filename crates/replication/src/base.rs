@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use histmerge_history::{SerialHistory, TxnArena};
 use histmerge_txn::{
-    DbState, Fix, Program, ProgramBuilder, Statement, Expr, Transaction, TxnId, TxnKind,
+    DbState, Expr, Fix, Program, ProgramBuilder, Statement, Transaction, TxnId, TxnKind,
 };
 
 /// The (logically centralized) base tier: the master copy of every data
@@ -29,12 +29,7 @@ pub struct BaseNode {
 impl BaseNode {
     /// Creates a base node owning `initial` as the master state.
     pub fn new(initial: DbState) -> Self {
-        BaseNode {
-            epoch_state: initial.clone(),
-            master: initial,
-            log: Vec::new(),
-            epoch_start: 0,
-        }
+        BaseNode { epoch_state: initial.clone(), master: initial, log: Vec::new(), epoch_start: 0 }
     }
 
     /// The current master state.
@@ -104,7 +99,13 @@ impl BaseNode {
         }
         let program = install_program(&changed);
         let id = arena.alloc(|id| {
-            Transaction::new(id, format!("install@{}", self.log.len()), TxnKind::Base, program, vec![])
+            Transaction::new(
+                id,
+                format!("install@{}", self.log.len()),
+                TxnKind::Base,
+                program,
+                vec![],
+            )
         });
         self.commit(arena, id);
         Some(id)
@@ -259,8 +260,7 @@ mod tests {
                 .build()
                 .unwrap(),
         );
-        let tentative =
-            arena.alloc(|id| Transaction::new(id, "m", TxnKind::Tentative, p, vec![]));
+        let tentative = arena.alloc(|id| Transaction::new(id, "m", TxnKind::Tentative, p, vec![]));
         let reexec = base.reexecute(&mut arena, tentative);
         assert_ne!(reexec, tentative);
         assert_eq!(arena.get(reexec).kind(), TxnKind::Base);

@@ -1,0 +1,231 @@
+//! The parallel, batched base-tier merge pipeline.
+//!
+//! When several mobiles reconnect in the same tick under Strategy 2, every
+//! member of the batch merges against the **same** window-start state and
+//! the same (growing) epoch base history. The expensive, pure part of each
+//! merge — graph build, cycle back-out, rewrite, prune — has no need to
+//! see the other members' installs, so [`merge_batch`] runs those
+//! concurrently against a common snapshot. The *install* phase then
+//! applies forwarded updates and re-executions strictly in mobile-id
+//! order, validating each speculative outcome against the base
+//! transactions appended since the snapshot ([`delta_invalidates`]); a
+//! member whose outcome the delta invalidates simply re-merges serially.
+//! The result is byte-identical to the serial path (see the determinism
+//! test and DESIGN.md for the argument).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use histmerge_core::merge::{MergeAssist, MergeOutcome, Merger};
+use histmerge_core::CoreError;
+use histmerge_history::{BaseEdgeCache, SerialHistory, TxnArena};
+use histmerge_txn::{DbState, TxnId, VarSet};
+
+/// How many worker threads the batched sync path may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Merge batch members one at a time on the calling thread.
+    Serial,
+    /// One worker per available CPU, capped by the batch size.
+    Auto,
+    /// Exactly `n` workers, capped by the batch size (`0` and `1` both
+    /// mean serial).
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// The worker count for a batch of `batch` merges.
+    pub fn workers(&self, batch: usize) -> usize {
+        let cap = match self {
+            Parallelism::Serial => 1,
+            Parallelism::Auto => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            Parallelism::Threads(n) => (*n).max(1),
+        };
+        cap.min(batch.max(1))
+    }
+}
+
+/// One member of a merge batch: a reconnecting mobile's pending history.
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// The mobile's id — the deterministic install-order key.
+    pub mobile: usize,
+    /// Its pending tentative history.
+    pub hm: SerialHistory,
+}
+
+/// Runs the pure merge phase for every job against the shared snapshot
+/// (`hb` from `s0`, with `hb_final` the state after `hb` and `cache` the
+/// epoch's base-conflict edges). Returns one result per job, in job order.
+///
+/// With `workers <= 1` (or a single job) everything runs on the calling
+/// thread; otherwise a scoped thread pool claims jobs from a shared
+/// counter. Each worker builds its [`Merger`] once and reuses it — its
+/// oracle and back-out strategy act as the worker's scratch arena — which
+/// is why [`histmerge_semantics::SemanticOracle`] and
+/// [`histmerge_history::BackoutStrategy`] require `Send + Sync`.
+///
+/// The per-job computation is identical to
+/// [`Merger::merge_assisted`] on one thread; parallelism changes only
+/// wall-clock time, never results.
+#[allow(clippy::too_many_arguments)]
+pub fn merge_batch(
+    arena: &TxnArena,
+    jobs: &[BatchJob],
+    hb: &SerialHistory,
+    s0: &DbState,
+    hb_final: &DbState,
+    cache: &BaseEdgeCache,
+    make_merger: &(dyn Fn() -> Merger + Sync),
+    workers: usize,
+) -> Vec<Result<MergeOutcome, CoreError>> {
+    let assist = MergeAssist { base_edges: Some(cache), hb_final: Some(hb_final) };
+    if workers <= 1 || jobs.len() <= 1 {
+        let merger = make_merger();
+        return jobs.iter().map(|j| merger.merge_assisted(arena, &j.hm, hb, s0, assist)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<MergeOutcome, CoreError>>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(jobs.len()) {
+            scope.spawn(|| {
+                let merger = make_merger();
+                loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= jobs.len() {
+                        break;
+                    }
+                    let out = merger.merge_assisted(arena, &jobs[k].hm, hb, s0, assist);
+                    *slots[k].lock().expect("result slot") = Some(out);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("result slot").expect("every job merged"))
+        .collect()
+}
+
+/// The read and write footprint of a tentative history, for delta
+/// validation.
+pub fn history_footprint(arena: &TxnArena, hm: &SerialHistory) -> (VarSet, VarSet) {
+    let mut reads = VarSet::new();
+    let mut writes = VarSet::new();
+    for id in hm.iter() {
+        let t = arena.get(id);
+        reads.extend_from(t.readset());
+        writes.extend_from(t.writeset());
+    }
+    (reads, writes)
+}
+
+/// Would appending `delta` to the base history have changed the merge of a
+/// tentative history with footprint (`reads`, `writes`)?
+///
+/// New precedence-graph edges incident to the tentative history appear
+/// exactly when some delta transaction writes an item the history read
+/// (rule 3, `T_m → T_b`) or reads an item the history wrote (rule 3,
+/// `T_b → T_m`). Absent both, the delta contributes only forward
+/// base-internal edges — appended base transactions have no edges back
+/// into the snapshot — so back-out, rewrite, prune, and the forwarded
+/// values are untouched (write-write overlap does not add cross edges; see
+/// [`histmerge_history::PrecedenceGraph::build`]).
+pub fn delta_invalidates(
+    arena: &TxnArena,
+    delta: &[TxnId],
+    reads: &VarSet,
+    writes: &VarSet,
+) -> bool {
+    delta.iter().any(|&d| {
+        let t = arena.get(d);
+        t.writeset().intersects(reads) || t.readset().intersects(writes)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histmerge_core::merge::MergeConfig;
+    use histmerge_history::fixtures::example1;
+    use histmerge_history::AugmentedHistory;
+    use histmerge_txn::{Expr, ProgramBuilder, Transaction, TxnKind, VarId};
+    use std::sync::Arc;
+
+    fn rw_txn(
+        arena: &mut TxnArena,
+        name: &str,
+        kind: TxnKind,
+        reads: &[u32],
+        writes: &[u32],
+    ) -> TxnId {
+        let mut b = ProgramBuilder::new(name);
+        for r in reads.iter().chain(writes.iter()) {
+            b = b.read(VarId::new(*r));
+        }
+        for w in writes {
+            b = b.update(VarId::new(*w), Expr::var(VarId::new(*w)) + Expr::konst(1));
+        }
+        let p = Arc::new(b.build().unwrap());
+        arena.alloc(|id| Transaction::new(id, name, kind, p, vec![]))
+    }
+
+    #[test]
+    fn workers_respect_mode_and_batch() {
+        assert_eq!(Parallelism::Serial.workers(8), 1);
+        assert_eq!(Parallelism::Threads(4).workers(8), 4);
+        assert_eq!(Parallelism::Threads(4).workers(2), 2);
+        assert_eq!(Parallelism::Threads(0).workers(8), 1);
+        assert!(Parallelism::Auto.workers(64) >= 1);
+        assert_eq!(Parallelism::Auto.workers(1), 1);
+    }
+
+    #[test]
+    fn parallel_batch_matches_serial_batch() {
+        let ex = example1();
+        let mut cache = BaseEdgeCache::new();
+        cache.sync(&ex.arena, &ex.hb);
+        let hb_final =
+            AugmentedHistory::execute(&ex.arena, &ex.hb, &ex.s0).unwrap().final_state().clone();
+        // Four jobs over the same tentative history: results must agree
+        // pairwise and with the serial run.
+        let jobs: Vec<BatchJob> =
+            (0..4).map(|mobile| BatchJob { mobile, hm: ex.hm.clone() }).collect();
+        let make = || Merger::new(MergeConfig::default());
+        let serial = merge_batch(&ex.arena, &jobs, &ex.hb, &ex.s0, &hb_final, &cache, &make, 1);
+        let parallel = merge_batch(&ex.arena, &jobs, &ex.hb, &ex.s0, &hb_final, &cache, &make, 4);
+        assert_eq!(serial.len(), 4);
+        assert_eq!(parallel.len(), 4);
+        for (s, p) in serial.iter().zip(parallel.iter()) {
+            let (s, p) = (s.as_ref().unwrap(), p.as_ref().unwrap());
+            assert_eq!(s.saved, p.saved);
+            assert_eq!(s.backed_out, p.backed_out);
+            assert_eq!(s.forwarded, p.forwarded);
+            assert_eq!(s.new_master, p.new_master);
+            assert_eq!(s.graph_edges, p.graph_edges);
+        }
+    }
+
+    #[test]
+    fn delta_validation_tracks_rule3_edges() {
+        let mut arena = TxnArena::new();
+        let m = rw_txn(&mut arena, "m", TxnKind::Tentative, &[0], &[1]);
+        let hm = SerialHistory::from_order([m]);
+        let (reads, writes) = history_footprint(&arena, &hm);
+        // The footprint: reads {0, 1} (writes imply reads here), writes {1}.
+        assert!(reads.contains(VarId::new(0)));
+        assert!(writes.contains(VarId::new(1)));
+
+        // Delta writing an item the history read: invalidates.
+        let d1 = rw_txn(&mut arena, "d1", TxnKind::Base, &[], &[0]);
+        assert!(delta_invalidates(&arena, &[d1], &reads, &writes));
+        // Delta reading an item the history wrote: invalidates.
+        let d2 = rw_txn(&mut arena, "d2", TxnKind::Base, &[1], &[]);
+        assert!(delta_invalidates(&arena, &[d2], &reads, &writes));
+        // Disjoint delta: valid.
+        let d3 = rw_txn(&mut arena, "d3", TxnKind::Base, &[5], &[6]);
+        assert!(!delta_invalidates(&arena, &[d3], &reads, &writes));
+        assert!(!delta_invalidates(&arena, &[], &reads, &writes));
+    }
+}

@@ -61,10 +61,7 @@ impl BaseCluster {
         let n_nodes = n_nodes.max(1);
         BaseCluster {
             inner: BaseNode::new(initial),
-            stats: ClusterStats {
-                per_node_commits: vec![0; n_nodes],
-                ..ClusterStats::default()
-            },
+            stats: ClusterStats { per_node_commits: vec![0; n_nodes], ..ClusterStats::default() },
             n_nodes,
         }
     }
@@ -97,12 +94,8 @@ impl BaseCluster {
     /// The partitions a transaction's footprint touches.
     pub fn participants(&self, arena: &TxnArena, id: TxnId) -> Vec<usize> {
         let txn = arena.get(id);
-        let mut nodes: Vec<usize> = txn
-            .readset()
-            .union(txn.writeset())
-            .iter()
-            .map(|v| self.node_of(v))
-            .collect();
+        let mut nodes: Vec<usize> =
+            txn.readset().union(txn.writeset()).iter().map(|v| self.node_of(v)).collect();
         nodes.sort_unstable();
         nodes.dedup();
         nodes
@@ -204,9 +197,7 @@ mod tests {
     fn install_is_one_wide_transaction() {
         let mut arena = TxnArena::new();
         let mut c = BaseCluster::new(DbState::uniform(8, 0), 4);
-        let forwarded: DbState = [(v(0), 5), (v(1), 6), (v(2), 7), (v(3), 8)]
-            .into_iter()
-            .collect();
+        let forwarded: DbState = [(v(0), 5), (v(1), 6), (v(2), 7), (v(3), 8)].into_iter().collect();
         c.install_updates(&mut arena, &forwarded);
         assert_eq!(c.stats().distributed_txns, 1);
         assert_eq!(c.stats().two_pc_messages, 12); // 4 × (4 − 1)

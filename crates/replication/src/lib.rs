@@ -15,9 +15,13 @@
 //!
 //! [`sync`] implements the two multi-history synchronization strategies of
 //! Section 2.2 (per-disconnect snapshots vs shared window-start states with
-//! periodic resynchronization); [`metrics`] aggregates counts and
-//! Section 7.1 cost reports. The simulation is a discrete-time loop,
-//! deterministic for a given [`SimConfig`] (seeded RNG).
+//! periodic resynchronization); [`batch`] runs the merges of mobiles
+//! reconnecting in the same tick concurrently against the shared
+//! window-start state, with a deterministic mobile-id-ordered install
+//! phase; [`metrics`] aggregates counts and Section 7.1 cost reports. The
+//! simulation is a discrete-time loop, deterministic for a given
+//! [`SimConfig`] (seeded RNG) regardless of the configured
+//! [`Parallelism`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,10 +31,12 @@ mod cluster;
 mod mobile;
 mod sim;
 
+pub mod batch;
 pub mod metrics;
 pub mod sync;
 
 pub use base::BaseNode;
+pub use batch::{merge_batch, BatchJob, Parallelism};
 pub use cluster::{BaseCluster, ClusterStats};
 pub use mobile::MobileNode;
 pub use sim::{Protocol, SimConfig, SimReport, Simulation};

@@ -1,21 +1,25 @@
 //! The discrete-time two-tier replication simulation.
 
+use std::collections::BTreeMap;
+use std::time::Instant;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 
-use histmerge_core::merge::{MergeConfig, MergeOutcome, Merger};
+use histmerge_core::merge::{MergeAssist, MergeConfig, MergeOutcome, Merger};
 use histmerge_core::prune::PruneMethod;
 use histmerge_core::rewrite::{FixMode, RewriteAlgorithm};
-use histmerge_history::{PrecedenceGraph, SerialHistory, TwoCycleOptimal, TxnArena};
-use histmerge_semantics::{OracleStack, StaticAnalyzer};
-use histmerge_txn::{DbState, TxnId, TxnKind};
+use histmerge_history::{BaseEdgeCache, PrecedenceGraph, SerialHistory, TwoCycleOptimal, TxnArena};
+use histmerge_semantics::{OracleStack, SemanticOracle, StaticAnalyzer};
+use histmerge_txn::{DbState, TxnId, TxnKind, VarSet};
+use histmerge_workload::canned_mix::{CannedMix, CannedMixParams};
 use histmerge_workload::cost::{
     merging_cost, reprocessing_cost, CostParams, MergeStats, ReprocessStats,
 };
-use histmerge_workload::canned_mix::{CannedMix, CannedMixParams};
 use histmerge_workload::generator::{ScenarioParams, TxnFactory};
 
+use crate::batch::{delta_invalidates, history_footprint, merge_batch, BatchJob, Parallelism};
 use crate::cluster::BaseCluster;
 use crate::metrics::{Metrics, SyncRecord};
 use crate::mobile::MobileNode;
@@ -89,6 +93,14 @@ pub struct SimConfig {
     /// simulation knobs; the item space and initial state come from the
     /// mix.
     pub canned: Option<CannedMixParams>,
+    /// Worker threads for batched Strategy-2 merges when several mobiles
+    /// reconnect in the same tick. The simulation outcome is identical for
+    /// every setting — parallelism only changes wall-clock time.
+    pub parallelism: Parallelism,
+    /// When `true`, every mobile reconnects on the same fixed cadence
+    /// (`connect_every`, no jitter), so reconnections arrive in batches —
+    /// the regime the parallel merge pipeline targets.
+    pub synchronized_reconnects: bool,
 }
 
 impl Default for SimConfig {
@@ -106,6 +118,8 @@ impl Default for SimConfig {
             base_capacity: 200.0,
             base_nodes: 1,
             canned: None,
+            parallelism: Parallelism::Auto,
+            synchronized_reconnects: false,
         }
     }
 }
@@ -141,6 +155,50 @@ impl TxnSource {
     }
 }
 
+/// Builds a merger for the configured workload: the canned system gets the
+/// static analyzer plus the libraries' declared tables, the random
+/// workload the static analyzer alone. A free function (not a method) so
+/// batch workers can each build their own from a shared `&TxnSource`.
+fn build_merger(source: &TxnSource, algorithm: RewriteAlgorithm, fix_mode: FixMode) -> Merger {
+    let oracle: Box<dyn SemanticOracle> = match source {
+        TxnSource::Canned(mix) => Box::new(mix.oracle()),
+        TxnSource::Random(_) => Box::new(OracleStack::new().with(Box::new(StaticAnalyzer::new()))),
+    };
+    Merger::new(MergeConfig {
+        backout: Box::new(TwoCycleOptimal::new()),
+        algorithm,
+        fix_mode,
+        prune: PruneMethod::Undo,
+        oracle,
+    })
+}
+
+/// The next reconnection tick: `tick + every`, shifted by
+/// `draw − jitter ∈ [−jitter, +jitter]`, clamped to land strictly after
+/// `tick`. Saturating arithmetic throughout — the old inline expression
+/// mixed unsigned addition and subtraction in an order that could
+/// underflow for jitters exceeding `tick + every`.
+fn jittered_next_connect(tick: u64, every: u64, jitter: u64, draw: u64) -> u64 {
+    tick.saturating_add(every).saturating_add(draw).saturating_sub(jitter).max(tick + 1)
+}
+
+/// A batch member's merge, computed concurrently against the pre-batch
+/// snapshot and awaiting delta validation at install time.
+struct Speculative {
+    /// The pending history the merge consumed.
+    hm: SerialHistory,
+    /// Epoch-history length at the snapshot.
+    hb_len: usize,
+    /// Full base-log length at the snapshot (where the delta begins).
+    log_len: usize,
+    /// The speculative merge outcome.
+    outcome: MergeOutcome,
+    /// Items the pending history read (validation footprint).
+    reads: VarSet,
+    /// Items the pending history wrote (validation footprint).
+    writes: VarSet,
+}
+
 /// The simulation state. Construct with [`Simulation::new`] and consume
 /// with [`Simulation::run`].
 pub struct Simulation {
@@ -157,6 +215,10 @@ pub struct Simulation {
     backlog: f64,
     base_accum: f64,
     mobile_accum: Vec<f64>,
+    /// Incrementally maintained rule-2 edges of `epoch`'s base history.
+    base_edge_cache: BaseEdgeCache,
+    /// The epoch `base_edge_cache` belongs to (cleared on rollover).
+    cache_epoch: u64,
 }
 
 impl Simulation {
@@ -168,15 +230,17 @@ impl Simulation {
         };
         let initial = match &source {
             TxnSource::Canned(mix) => mix.initial_state(),
-            TxnSource::Random(_) => {
-                histmerge_workload::generator::initial_state(&config.workload)
-            }
+            TxnSource::Random(_) => histmerge_workload::generator::initial_state(&config.workload),
         };
         let base = BaseCluster::new(initial.clone(), config.base_nodes);
         let mut rng = StdRng::seed_from_u64(config.workload.seed ^ 0x5151_5151);
         let mobiles: Vec<MobileNode> = (0..config.n_mobiles)
             .map(|i| {
-                let first = 1 + rng.gen_range(0..config.connect_every.max(1));
+                let first = if config.synchronized_reconnects {
+                    config.connect_every.max(1)
+                } else {
+                    1 + rng.gen_range(0..config.connect_every.max(1))
+                };
                 MobileNode::new(i, initial.clone(), 0, first)
             })
             .collect();
@@ -192,6 +256,8 @@ impl Simulation {
             backlog: 0.0,
             base_accum: 0.0,
             mobile_accum: vec![0.0; n],
+            base_edge_cache: BaseEdgeCache::new(),
+            cache_epoch: 0,
             mobiles,
             config,
         }
@@ -242,7 +308,10 @@ impl Simulation {
                 stmts * self.config.cost.base_query_per_stmt + self.config.cost.base_io_force;
         }
 
-        // Mobile tier: generate tentative work, then handle reconnects.
+        // Mobile tier, phase 1: every mobile generates its tentative work.
+        // Generation is completed for the whole tier before any sync runs,
+        // so transaction identities are allocated in one canonical order
+        // regardless of how the sync phase below is scheduled.
         for i in 0..self.mobiles.len() {
             self.mobile_accum[i] += self.config.mobile_rate;
             while self.mobile_accum[i] >= 1.0 {
@@ -251,14 +320,17 @@ impl Simulation {
                 self.mobiles[i].run_tentative(&self.arena, id);
                 self.metrics.tentative_generated += 1;
             }
-            if self.mobiles[i].next_connect() == tick {
-                tick_base_work += self.sync_mobile(i, tick);
-                let jitter = self.config.connect_every / 4;
-                let next = tick
-                    + self.config.connect_every.max(1)
-                    + if jitter > 0 { self.rng.gen_range(0..=2 * jitter) } else { 0 }
-                    - jitter.min(tick + self.config.connect_every);
-                self.mobiles[i].set_next_connect(next.max(tick + 1));
+        }
+
+        // Mobile tier, phase 2: the tick's reconnect batch, merged (maybe
+        // concurrently) and installed in mobile-id order.
+        let batch: Vec<usize> =
+            (0..self.mobiles.len()).filter(|&i| self.mobiles[i].next_connect() == tick).collect();
+        if !batch.is_empty() {
+            tick_base_work += self.sync_batch(&batch, tick);
+            for &i in &batch {
+                let next = self.schedule_next_connect(tick);
+                self.mobiles[i].set_next_connect(next);
             }
         }
 
@@ -270,6 +342,130 @@ impl Simulation {
         if tick.is_multiple_of(10) {
             self.metrics.backlog_series.push((tick, self.backlog));
         }
+    }
+
+    /// Draws the next reconnection tick (jittered unless reconnects are
+    /// synchronized).
+    fn schedule_next_connect(&mut self, tick: u64) -> u64 {
+        let every = self.config.connect_every.max(1);
+        if self.config.synchronized_reconnects {
+            return tick + every;
+        }
+        let jitter = self.config.connect_every / 4;
+        let draw = if jitter > 0 { self.rng.gen_range(0..=2 * jitter) } else { 0 };
+        jittered_next_connect(tick, every, jitter, draw)
+    }
+
+    /// Synchronizes every member of a reconnect batch, installing results
+    /// in mobile-id order. When the configuration allows, the merge phase
+    /// of eligible Strategy-2 members runs concurrently against the
+    /// pre-batch snapshot; each speculative outcome is validated against
+    /// the base transactions earlier members appended, and invalidated
+    /// members fall back to the live serial path. Returns base work units.
+    fn sync_batch(&mut self, batch: &[usize], tick: u64) -> f64 {
+        self.metrics.batch_sizes.push(batch.len());
+        let mut speculated = self.speculate_batch(batch);
+        let mut work = 0.0;
+        for &i in batch {
+            work += match speculated.remove(&i) {
+                Some(spec) => self.install_speculative(i, tick, spec),
+                None => self.sync_mobile(i, tick),
+            };
+        }
+        work
+    }
+
+    /// Runs the concurrent merge phase for the batch members that can
+    /// merge against the shared window-start snapshot. Members left out of
+    /// the returned map (ineligible, or whose merge errored) take the live
+    /// serial path, which reproduces serial error handling exactly.
+    fn speculate_batch(&mut self, batch: &[usize]) -> BTreeMap<usize, Speculative> {
+        let mut out = BTreeMap::new();
+        let Protocol::Merging { algorithm, fix_mode } = self.config.protocol else {
+            return out;
+        };
+        if matches!(self.config.strategy, SyncStrategy::PerDisconnectSnapshot) {
+            return out; // Strategy 1 merges have per-mobile start states.
+        }
+        let eligible: Vec<usize> = batch
+            .iter()
+            .copied()
+            .filter(|&i| self.mobiles[i].pending() > 0 && self.mobile_epochs[i] == self.epoch)
+            .collect();
+        let workers = self.config.parallelism.workers(eligible.len());
+        if eligible.len() < 2 || workers < 2 {
+            return out; // Nothing to overlap: merge live, one at a time.
+        }
+
+        self.sync_cache();
+        let hb = self.base.base().epoch_history();
+        let s0 = self.base.base().epoch_state().clone();
+        let hb_final = self.base.base().master().clone();
+        let log_len = self.base.base().committed();
+        let hb_len = hb.len();
+        let jobs: Vec<BatchJob> = eligible
+            .iter()
+            .map(|&i| BatchJob { mobile: i, hm: self.mobiles[i].history().clone() })
+            .collect();
+
+        let source = &self.source;
+        let make_merger = move || build_merger(source, algorithm, fix_mode);
+        let started = Instant::now();
+        let results = merge_batch(
+            &self.arena,
+            &jobs,
+            &hb,
+            &s0,
+            &hb_final,
+            &self.base_edge_cache,
+            &make_merger,
+            workers,
+        );
+        self.metrics.parallel_merge_ns += started.elapsed().as_nanos() as u64;
+
+        for (job, result) in jobs.into_iter().zip(results) {
+            if let Ok(outcome) = result {
+                let (reads, writes) = history_footprint(&self.arena, &job.hm);
+                out.insert(
+                    job.mobile,
+                    Speculative { hm: job.hm, hb_len, log_len, outcome, reads, writes },
+                );
+            }
+        }
+        out
+    }
+
+    /// Installs a batch member's speculative merge if the base transactions
+    /// appended since its snapshot leave it valid; otherwise re-merges on
+    /// the live serial path. Returns base work units.
+    fn install_speculative(&mut self, i: usize, tick: u64, spec: Speculative) -> f64 {
+        let delta: Vec<TxnId> = self.base.base().full_history().order()[spec.log_len..].to_vec();
+        if delta_invalidates(&self.arena, &delta, &spec.reads, &spec.writes) {
+            self.metrics.speculative_retries += 1;
+            return self.sync_mobile(i, tick);
+        }
+        // The delta only appends base-internal edges to the precedence
+        // graph; fold them into the outcome's edge count so cost
+        // accounting matches the live merge exactly.
+        let live_hb_len = self.base.base().epoch_len();
+        self.sync_cache();
+        let appended_edges = self.base_edge_cache.edge_count(live_hb_len)
+            - self.base_edge_cache.edge_count(spec.hb_len);
+        let mut outcome = spec.outcome;
+        outcome.graph_edges += appended_edges;
+        self.metrics.speculative_hits += 1;
+        self.apply_merge(i, tick, &spec.hm, live_hb_len, outcome, false)
+    }
+
+    /// Brings the epoch's base-edge cache up to date with the epoch
+    /// history, resetting it on window rollover.
+    fn sync_cache(&mut self) {
+        if self.cache_epoch != self.epoch {
+            self.base_edge_cache.clear();
+            self.cache_epoch = self.epoch;
+        }
+        let hb = self.base.base().epoch_history();
+        self.base_edge_cache.sync(&self.arena, &hb);
     }
 
     /// Synchronizes mobile `i`; returns the base-side work units incurred.
@@ -304,24 +500,13 @@ impl Simulation {
     }
 
     fn merger(&self, algorithm: RewriteAlgorithm, fix_mode: FixMode) -> Merger {
-        let oracle: Box<dyn histmerge_semantics::SemanticOracle> = match &self.source {
-            // Canned system: static analysis + the offline-verified tables.
-            TxnSource::Canned(mix) => Box::new(mix.oracle()),
-            TxnSource::Random(_) => {
-                Box::new(OracleStack::new().with(Box::new(StaticAnalyzer::new())))
-            }
-        };
-        Merger::new(MergeConfig {
-            backout: Box::new(TwoCycleOptimal::new()),
-            algorithm,
-            fix_mode,
-            prune: PruneMethod::Undo,
-            oracle,
-        })
+        build_merger(&self.source, algorithm, fix_mode)
     }
 
     /// Strategy 2 merge: against the window's base sub-history, from the
-    /// shared window-start state.
+    /// shared window-start state. Reuses the epoch's base-edge cache and
+    /// the current master (the state after `H_b`), so per-merge work is
+    /// linear in the history growth instead of quadratic in `|H_b|`.
     fn merge_window(
         &mut self,
         i: usize,
@@ -332,8 +517,12 @@ impl Simulation {
         let hm = self.mobiles[i].history().clone();
         let hb = self.base.base().epoch_history();
         let s0 = self.base.base().epoch_state().clone();
+        let hb_final = self.base.base().master().clone();
+        self.sync_cache();
         let merger = self.merger(algorithm, fix_mode);
-        match merger.merge(&self.arena, &hm, &hb, &s0) {
+        let assist =
+            MergeAssist { base_edges: Some(&self.base_edge_cache), hb_final: Some(&hb_final) };
+        match merger.merge_assisted(&self.arena, &hm, &hb, &s0, assist) {
             Ok(outcome) => self.apply_merge(i, tick, &hm, hb.len(), outcome, false),
             Err(_) => self.reprocess_all(i, tick, true),
         }
@@ -447,10 +636,8 @@ impl Simulation {
     /// old way. Returns base work units.
     fn reprocess_all(&mut self, i: usize, tick: u64, merge_failed: bool) -> f64 {
         let pending: Vec<TxnId> = self.mobiles[i].history().iter().collect();
-        let total_stmts: usize = pending
-            .iter()
-            .map(|id| self.arena.get(*id).program().statement_count())
-            .sum();
+        let total_stmts: usize =
+            pending.iter().map(|id| self.arena.get(*id).program().statement_count()).sum();
         for id in &pending {
             self.base.reexecute(&mut self.arena, *id);
         }
@@ -526,6 +713,8 @@ mod tests {
             base_capacity: 100.0,
             base_nodes: 1,
             canned: None,
+            parallelism: Parallelism::Auto,
+            synchronized_reconnects: false,
         }
     }
 
@@ -568,11 +757,8 @@ mod tests {
     #[test]
     fn commutative_workloads_save_more() {
         let run = |commutative: f64| {
-            let mut cfg = config(
-                Protocol::merging_default(),
-                SyncStrategy::WindowStart { window: 100 },
-                21,
-            );
+            let mut cfg =
+                config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 100 }, 21);
             cfg.workload.commutative_fraction = commutative;
             cfg.workload.guarded_fraction = 0.0;
             cfg.workload.read_only_fraction = 0.0;
@@ -580,10 +766,7 @@ mod tests {
         };
         let low = run(0.0);
         let high = run(1.0);
-        assert!(
-            high > low,
-            "commutative workload should save more: {high} !> {low}"
-        );
+        assert!(high > low, "commutative workload should save more: {high} !> {low}");
     }
 
     #[test]
@@ -613,11 +796,7 @@ mod tests {
     fn strategy1_fails_merges_under_contention() {
         // High contention + several mobiles: merged installs retro-patch
         // the base log, invalidating other snapshots.
-        let mut cfg = config(
-            Protocol::merging_default(),
-            SyncStrategy::PerDisconnectSnapshot,
-            3,
-        );
+        let mut cfg = config(Protocol::merging_default(), SyncStrategy::PerDisconnectSnapshot, 3);
         cfg.workload.hot_prob = 0.9;
         cfg.workload.hot_fraction = 0.05;
         cfg.n_mobiles = 6;
@@ -632,21 +811,14 @@ mod tests {
 
     #[test]
     fn adaptive_window_bounds_hb_length() {
-        let mut cfg = config(
-            Protocol::merging_default(),
-            SyncStrategy::AdaptiveWindow { max_hb: 15 },
-            13,
-        );
+        let mut cfg =
+            config(Protocol::merging_default(), SyncStrategy::AdaptiveWindow { max_hb: 15 }, 13);
         cfg.base_rate = 0.5; // fast-growing base history
         let report = Simulation::new(cfg).run();
         let m = &report.metrics;
         // Every merge ran against a bounded base history.
         for r in &m.records {
-            assert!(
-                r.hb_len <= 15 + 1,
-                "adaptive window let H_b grow to {}",
-                r.hb_len
-            );
+            assert!(r.hb_len <= 15 + 1, "adaptive window let H_b grow to {}", r.hb_len);
         }
         assert!(m.syncs > 0);
         assert_eq!(m.merge_failures, 0);
@@ -656,11 +828,8 @@ mod tests {
     fn window_misses_counted() {
         // Connect interval much longer than the window: every reconnection
         // lands in a later window and must reprocess.
-        let mut cfg = config(
-            Protocol::merging_default(),
-            SyncStrategy::WindowStart { window: 20 },
-            5,
-        );
+        let mut cfg =
+            config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 20 }, 5);
         cfg.connect_every = 80;
         let report = Simulation::new(cfg).run();
         assert!(report.metrics.window_misses > 0);
@@ -689,11 +858,8 @@ mod tests {
     #[test]
     fn canned_simulation_uses_declared_tables() {
         use histmerge_workload::canned_mix::CannedMixParams;
-        let mut cfg = config(
-            Protocol::merging_default(),
-            SyncStrategy::WindowStart { window: 200 },
-            41,
-        );
+        let mut cfg =
+            config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 200 }, 41);
         cfg.canned = Some(CannedMixParams {
             n_accounts: 24,
             n_prices: 6,
@@ -706,11 +872,8 @@ mod tests {
         assert!(m.saved > 0, "canned merging saved nothing: {m:?}");
         assert_eq!(m.merge_failures, 0);
         // Deterministic like everything else.
-        let mut cfg2 = config(
-            Protocol::merging_default(),
-            SyncStrategy::WindowStart { window: 200 },
-            41,
-        );
+        let mut cfg2 =
+            config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 200 }, 41);
         cfg2.canned = Some(CannedMixParams {
             n_accounts: 24,
             n_prices: 6,
@@ -723,11 +886,8 @@ mod tests {
 
     #[test]
     fn partitioned_base_accounts_coordination() {
-        let mut cfg = config(
-            Protocol::merging_default(),
-            SyncStrategy::WindowStart { window: 100 },
-            31,
-        );
+        let mut cfg =
+            config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 100 }, 31);
         cfg.base_nodes = 4;
         cfg.workload.writes_per_txn = 3; // multi-partition footprints
         let report = Simulation::new(cfg).run();
@@ -736,11 +896,8 @@ mod tests {
         assert!(report.cluster.two_pc_messages > 0);
         assert!(report.cluster.imbalance() >= 1.0);
         // A single-node base never coordinates.
-        let mut cfg1 = config(
-            Protocol::merging_default(),
-            SyncStrategy::WindowStart { window: 100 },
-            31,
-        );
+        let mut cfg1 =
+            config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 100 }, 31);
         cfg1.workload.writes_per_txn = 3;
         let single = Simulation::new(cfg1).run();
         assert_eq!(single.cluster.two_pc_messages, 0);
@@ -749,15 +906,96 @@ mod tests {
     }
 
     #[test]
+    fn jittered_next_connect_is_clamped() {
+        // Nominal case: base + draw − jitter.
+        assert_eq!(jittered_next_connect(100, 40, 10, 0), 130);
+        assert_eq!(jittered_next_connect(100, 40, 10, 20), 150);
+        // Jitter exceeding tick + every must clamp, not underflow.
+        assert_eq!(jittered_next_connect(0, 1, 100, 0), 1);
+        assert_eq!(jittered_next_connect(5, 2, 1000, 0), 6);
+        // Never schedules at or before the current tick.
+        for draw in 0..=2 {
+            assert!(jittered_next_connect(7, 1, 1, draw) > 7);
+        }
+    }
+
+    #[test]
+    fn tight_connect_interval_keeps_advancing() {
+        // Regression: connect_every = 2 puts reconnects on nearly every
+        // tick; scheduling arithmetic must keep producing strictly
+        // advancing reconnect times (the old expression relied on unsigned
+        // wraparound staying in range).
+        let mut cfg =
+            config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 50 }, 17);
+        cfg.connect_every = 2;
+        cfg.duration = 200;
+        let report = Simulation::new(cfg).run();
+        let m = &report.metrics;
+        assert!(m.syncs > 50, "tight interval should sync often: {}", m.syncs);
+        // Per-mobile reconnect ticks strictly increase.
+        for mobile in 0..3 {
+            let ticks: Vec<u64> =
+                m.records.iter().filter(|r| r.mobile == mobile).map(|r| r.tick).collect();
+            assert!(ticks.windows(2).all(|w| w[0] < w[1]), "mobile {mobile}: {ticks:?}");
+        }
+    }
+
+    #[test]
+    fn synchronized_reconnects_form_batches() {
+        let mut cfg =
+            config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 200 }, 23);
+        cfg.synchronized_reconnects = true;
+        // Force a real worker pool: Auto degrades to serial on one CPU.
+        cfg.parallelism = Parallelism::Threads(4);
+        cfg.n_mobiles = 6;
+        cfg.connect_every = 25;
+        cfg.duration = 200;
+        let report = Simulation::new(cfg).run();
+        let m = &report.metrics;
+        assert!(
+            m.batch_sizes.contains(&6),
+            "synchronized mobiles should reconnect together: {:?}",
+            m.batch_sizes
+        );
+        assert!(m.speculative_hits > 0, "batched merges should speculate: {m:?}");
+    }
+
+    #[test]
+    fn parallel_and_serial_runs_are_identical() {
+        // The core tentpole claim, exercised at unit scope (the full
+        // matrix lives in tests/parallel_determinism.rs): any Parallelism
+        // setting produces the same simulation, byte for byte.
+        let mut serial_cfg =
+            config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 200 }, 29);
+        serial_cfg.synchronized_reconnects = true;
+        serial_cfg.n_mobiles = 5;
+        serial_cfg.connect_every = 30;
+        let mut parallel_cfg = serial_cfg.clone();
+        serial_cfg.parallelism = Parallelism::Serial;
+        parallel_cfg.parallelism = Parallelism::Threads(4);
+        let serial = Simulation::new(serial_cfg).run();
+        let parallel = Simulation::new(parallel_cfg).run();
+        assert_eq!(serial.final_master, parallel.final_master);
+        assert_eq!(serial.metrics.saved, parallel.metrics.saved);
+        assert_eq!(serial.metrics.cost.total(), parallel.metrics.cost.total());
+        assert_eq!(serial.metrics.records.len(), parallel.metrics.records.len());
+        // The parallel run actually took the speculative path.
+        assert!(parallel.metrics.speculative_hits > 0);
+        assert_eq!(serial.metrics.speculative_hits, 0);
+    }
+
+    #[test]
     fn backlog_grows_with_mobile_count_under_reprocessing() {
         let small = {
-            let mut c = config(Protocol::Reprocessing, SyncStrategy::WindowStart { window: 100 }, 11);
+            let mut c =
+                config(Protocol::Reprocessing, SyncStrategy::WindowStart { window: 100 }, 11);
             c.n_mobiles = 2;
             c.base_capacity = 30.0;
             Simulation::new(c).run()
         };
         let large = {
-            let mut c = config(Protocol::Reprocessing, SyncStrategy::WindowStart { window: 100 }, 11);
+            let mut c =
+                config(Protocol::Reprocessing, SyncStrategy::WindowStart { window: 100 }, 11);
             c.n_mobiles = 12;
             c.base_capacity = 30.0;
             Simulation::new(c).run()

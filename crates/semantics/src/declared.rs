@@ -160,8 +160,7 @@ mod tests {
             )
             .build()
             .unwrap();
-        Transaction::new(TxnId::new(0), "T1", TxnKind::Tentative, Arc::new(p), vec![])
-            .with_type(ty)
+        Transaction::new(TxnId::new(0), "T1", TxnKind::Tentative, Arc::new(p), vec![]).with_type(ty)
     }
 
     fn h5_t3(ty: TxnTypeId) -> Transaction {
@@ -175,8 +174,7 @@ mod tests {
             )
             .build()
             .unwrap();
-        Transaction::new(TxnId::new(1), "T3", TxnKind::Tentative, Arc::new(p), vec![])
-            .with_type(ty)
+        Transaction::new(TxnId::new(1), "T3", TxnKind::Tentative, Arc::new(p), vec![]).with_type(ty)
     }
 
     #[test]
@@ -186,12 +184,8 @@ mod tests {
         let ty3 = reg.register("t3");
         // Offline analysis of H5: T3 commutes backward through T1, but the
         // verification leaned on the shared guard over y.
-        let table = DeclaredTable::new().declare(
-            ty3,
-            ty1,
-            true,
-            CanPrecedePolicy::UnlessFixPinsGuards,
-        );
+        let table =
+            DeclaredTable::new().declare(ty3, ty1, true, CanPrecedePolicy::UnlessFixPinsGuards);
         let (t1, t3) = (h5_t1(ty1), h5_t3(ty3));
         assert!(table.commutes_backward_through(&t3, &t1));
         // Fix over a non-guard variable: fine.

@@ -9,7 +9,11 @@ use histmerge_txn::{Transaction, VarSet};
 /// answering `false` is always safe and merely loses an optimization
 /// opportunity. The purely syntactic *can follow* relation needs no oracle
 /// (see [`canfollow`](crate::canfollow)).
-pub trait SemanticOracle {
+///
+/// Oracles are consulted concurrently by the parallel merge pipeline, so
+/// implementations must be `Send + Sync` (all relations are pure functions
+/// of their arguments; interior mutability would need its own locking).
+pub trait SemanticOracle: Send + Sync {
     /// Does `t2` commute backward through `t1`? (`T2(T1(s)) = T1(T2(s))`
     /// for every state `s` on which `T1 T2` is defined.)
     fn commutes_backward_through(&self, t2: &Transaction, t1: &Transaction) -> bool;
@@ -103,7 +107,11 @@ mod tests {
     fn t() -> Transaction {
         let x = VarId::new(0);
         let p = Arc::new(
-            ProgramBuilder::new("t").read(x).update(x, Expr::var(x) + Expr::konst(1)).build().unwrap(),
+            ProgramBuilder::new("t")
+                .read(x)
+                .update(x, Expr::var(x) + Expr::konst(1))
+                .build()
+                .unwrap(),
         );
         Transaction::new(TxnId::new(0), "t", TxnKind::Tentative, p, vec![])
     }

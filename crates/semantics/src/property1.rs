@@ -50,7 +50,13 @@ mod tests {
         for w in writes {
             b = b.update(v(*w), Expr::var(v(*w)) + Expr::konst(1));
         }
-        Transaction::new(TxnId::new(0), name, TxnKind::Tentative, Arc::new(b.build().unwrap()), vec![])
+        Transaction::new(
+            TxnId::new(0),
+            name,
+            TxnKind::Tentative,
+            Arc::new(b.build().unwrap()),
+            vec![],
+        )
     }
 
     #[test]

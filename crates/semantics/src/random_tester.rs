@@ -69,26 +69,17 @@ impl RandomizedTester {
     /// and random fix values for `fix_vars`.
     fn orders_agree(&self, t2: &Transaction, t1: &Transaction, fix_vars: &VarSet) -> bool {
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let footprint = t1
-            .readset()
-            .union(t1.writeset())
-            .union(&t2.readset().union(t2.writeset()));
+        let footprint = t1.readset().union(t1.writeset()).union(&t2.readset().union(t2.writeset()));
         let mut interesting = collect_constants(t1);
         interesting.extend(collect_constants(t2));
         for _ in 0..self.samples {
             let state = self.sample_state(&mut rng, &footprint, &interesting);
-            let fix: Fix = fix_vars
-                .iter()
-                .map(|v| (v, self.sample_value(&mut rng, &interesting)))
-                .collect();
+            let fix: Fix =
+                fix_vars.iter().map(|v| (v, self.sample_value(&mut rng, &interesting))).collect();
             // Order A: t1^F then t2.
-            let a = t1
-                .execute(&state, &fix)
-                .and_then(|o| t2.execute(&o.after, &Fix::empty()));
+            let a = t1.execute(&state, &fix).and_then(|o| t2.execute(&o.after, &Fix::empty()));
             // Order B: t2 then t1^F.
-            let b = t2
-                .execute(&state, &Fix::empty())
-                .and_then(|o| t1.execute(&o.after, &fix));
+            let b = t2.execute(&state, &Fix::empty()).and_then(|o| t1.execute(&o.after, &fix));
             match (a, b) {
                 (Ok(a), Ok(b)) if a.after == b.after => {}
                 _ => return false,
@@ -179,7 +170,13 @@ mod tests {
     }
 
     fn txn(p: histmerge_txn::Program) -> Transaction {
-        Transaction::new(TxnId::new(0), p.name().to_string(), TxnKind::Tentative, Arc::new(p), vec![])
+        Transaction::new(
+            TxnId::new(0),
+            p.name().to_string(),
+            TxnKind::Tentative,
+            Arc::new(p),
+            vec![],
+        )
     }
 
     fn h5_t1() -> Transaction {

@@ -73,8 +73,7 @@ impl StaticAnalyzer {
         let r1f = r1.difference(fix_vars);
 
         // Disjoint rule.
-        let disjoint =
-            !w2.intersects(&r1f) && !w2.intersects(w1) && !w1.intersects(r2);
+        let disjoint = !w2.intersects(&r1f) && !w2.intersects(w1) && !w1.intersects(r2);
         if disjoint {
             return true;
         }
@@ -101,9 +100,7 @@ impl StaticAnalyzer {
                 // happens with our builders; stay conservative.
                 return false;
             }
-            let all_commute = u1
-                .iter()
-                .all(|a| u2.iter().all(|b| a.op.commutes_with(&b.op)));
+            let all_commute = u1.iter().all(|a| u2.iter().all(|b| a.op.commutes_with(&b.op)));
             if !all_commute {
                 return false;
             }
@@ -148,7 +145,13 @@ mod tests {
     }
 
     fn txn(p: Program) -> Transaction {
-        Transaction::new(TxnId::new(0), p.name().to_string(), TxnKind::Tentative, Arc::new(p), vec![])
+        Transaction::new(
+            TxnId::new(0),
+            p.name().to_string(),
+            TxnKind::Tentative,
+            Arc::new(p),
+            vec![],
+        )
     }
 
     /// B1 of history H4: if u > 10 then x := x + 100, y := y - 20.

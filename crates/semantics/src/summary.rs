@@ -77,12 +77,7 @@ impl TxnSummary {
     /// Builds the summary of a transaction's program.
     pub fn of(txn: &Transaction) -> TxnSummary {
         let mut summary = TxnSummary::default();
-        collect(
-            txn.program().statements(),
-            &VarSet::new(),
-            txn.params(),
-            &mut summary,
-        );
+        collect(txn.program().statements(), &VarSet::new(), txn.params(), &mut summary);
         summary
     }
 

@@ -26,7 +26,11 @@ pub struct Violation {
 
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "declared {} of `{}` through `{}` was refuted", self.relation, self.mover, self.stayer)
+        write!(
+            f,
+            "declared {} of `{}` through `{}` was refuted",
+            self.relation, self.mover, self.stayer
+        )
     }
 }
 
@@ -94,8 +98,7 @@ mod tests {
         build: impl FnOnce(ProgramBuilder) -> ProgramBuilder,
     ) -> Transaction {
         let p = build(ProgramBuilder::new(name)).build().unwrap();
-        Transaction::new(TxnId::new(0), name, TxnKind::Tentative, Arc::new(p), vec![])
-            .with_type(ty)
+        Transaction::new(TxnId::new(0), name, TxnKind::Tentative, Arc::new(p), vec![]).with_type(ty)
     }
 
     #[test]
@@ -103,8 +106,10 @@ mod tests {
         let mut reg = TypeRegistry::new();
         let inc = reg.register("inc");
         let table = DeclaredTable::new().declare_commuting_pair(inc, inc, CanPrecedePolicy::Always);
-        let a = typed_txn("a", inc, |b| b.read(v(0)).update(v(0), Expr::var(v(0)) + Expr::konst(3)));
-        let b = typed_txn("b", inc, |b| b.read(v(0)).update(v(0), Expr::var(v(0)) + Expr::konst(9)));
+        let a =
+            typed_txn("a", inc, |b| b.read(v(0)).update(v(0), Expr::var(v(0)) + Expr::konst(3)));
+        let b =
+            typed_txn("b", inc, |b| b.read(v(0)).update(v(0), Expr::var(v(0)) + Expr::konst(9)));
         let tester = RandomizedTester::with_config(64, 500, 1);
         assert!(validate_declarations(&table, &[a, b], &tester).is_empty());
     }
@@ -116,8 +121,12 @@ mod tests {
         // Overwrites never commute, but someone declared they do.
         let table =
             DeclaredTable::new().declare_commuting_pair(setter, setter, CanPrecedePolicy::Always);
-        let a = typed_txn("set1", setter, |b| b.read(v(0)).update(v(0), Expr::konst(1) + Expr::konst(0)));
-        let b = typed_txn("set2", setter, |b| b.read(v(0)).update(v(0), Expr::konst(2) + Expr::konst(0)));
+        let a = typed_txn("set1", setter, |b| {
+            b.read(v(0)).update(v(0), Expr::konst(1) + Expr::konst(0))
+        });
+        let b = typed_txn("set2", setter, |b| {
+            b.read(v(0)).update(v(0), Expr::konst(2) + Expr::konst(0))
+        });
         let tester = RandomizedTester::with_config(64, 500, 1);
         let violations = validate_declarations(&table, &[a, b], &tester);
         assert!(!violations.is_empty());

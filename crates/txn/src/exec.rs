@@ -150,10 +150,7 @@ impl Interp<'_> {
         }
         let value = match self.fix.get(var) {
             Some(pinned) => pinned,
-            None => self
-                .state
-                .try_get(var)
-                .ok_or(TxnError::MissingVariable { var })?,
+            None => self.state.try_get(var).ok_or(TxnError::MissingVariable { var })?,
         };
         self.env.insert(var, value);
         self.reads.insert(var, value);

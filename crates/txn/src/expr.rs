@@ -175,19 +175,18 @@ impl Expr {
         Ok(match self {
             Expr::Const(v) => *v,
             Expr::Var(v) => lookup(*v)?,
-            Expr::Param(i) => *params.get(*i).ok_or(TxnError::MissingParameter {
-                index: *i,
-                supplied: params.len(),
-            })?,
-            Expr::Add(a, b) => a
-                .eval_with(lookup, params)?
-                .wrapping_add(b.eval_with(lookup, params)?),
-            Expr::Sub(a, b) => a
-                .eval_with(lookup, params)?
-                .wrapping_sub(b.eval_with(lookup, params)?),
-            Expr::Mul(a, b) => a
-                .eval_with(lookup, params)?
-                .wrapping_mul(b.eval_with(lookup, params)?),
+            Expr::Param(i) => *params
+                .get(*i)
+                .ok_or(TxnError::MissingParameter { index: *i, supplied: params.len() })?,
+            Expr::Add(a, b) => {
+                a.eval_with(lookup, params)?.wrapping_add(b.eval_with(lookup, params)?)
+            }
+            Expr::Sub(a, b) => {
+                a.eval_with(lookup, params)?.wrapping_sub(b.eval_with(lookup, params)?)
+            }
+            Expr::Mul(a, b) => {
+                a.eval_with(lookup, params)?.wrapping_mul(b.eval_with(lookup, params)?)
+            }
             Expr::Div(a, b) => {
                 let d = b.eval_with(lookup, params)?;
                 if d == 0 {
@@ -204,12 +203,8 @@ impl Expr {
                     a.eval_with(lookup, params)?.wrapping_rem(d)
                 }
             }
-            Expr::Min(a, b) => a
-                .eval_with(lookup, params)?
-                .min(b.eval_with(lookup, params)?),
-            Expr::Max(a, b) => a
-                .eval_with(lookup, params)?
-                .max(b.eval_with(lookup, params)?),
+            Expr::Min(a, b) => a.eval_with(lookup, params)?.min(b.eval_with(lookup, params)?),
+            Expr::Max(a, b) => a.eval_with(lookup, params)?.max(b.eval_with(lookup, params)?),
             Expr::Neg(a) => a.eval_with(lookup, params)?.wrapping_neg(),
         })
     }
@@ -528,9 +523,6 @@ mod tests {
         let p = Expr::var(v(0)).gt(Expr::konst(0));
         assert_eq!(p.to_string(), "d0 > 0");
         assert_eq!(Expr::param(1).to_string(), "p1");
-        assert_eq!(
-            Expr::konst(1).min(Expr::konst(2)).to_string(),
-            "min(1, 2)"
-        );
+        assert_eq!(Expr::konst(1).min(Expr::konst(2)).to_string(), "min(1, 2)");
     }
 }

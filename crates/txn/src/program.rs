@@ -247,11 +247,7 @@ impl ProgramBuilder {
     ) -> Self {
         let tb = then_b(ProgramBuilder::new("then"));
         let eb = else_b(ProgramBuilder::new("else"));
-        self.stmts.push(Statement::If {
-            cond,
-            then_branch: tb.stmts,
-            else_branch: eb.stmts,
-        });
+        self.stmts.push(Statement::If { cond, then_branch: tb.stmts, else_branch: eb.stmts });
         self
     }
 
@@ -353,14 +349,26 @@ impl ProgramBuilder {
                     let mut then_avail = available.clone();
                     let mut then_upd = updated.clone();
                     Self::validate_block(
-                        name, allow_blind, then_branch, &mut then_avail, &mut then_upd, readset,
-                        writeset, n_params,
+                        name,
+                        allow_blind,
+                        then_branch,
+                        &mut then_avail,
+                        &mut then_upd,
+                        readset,
+                        writeset,
+                        n_params,
                     )?;
                     let mut else_avail = available.clone();
                     let mut else_upd = updated.clone();
                     Self::validate_block(
-                        name, allow_blind, else_branch, &mut else_avail, &mut else_upd, readset,
-                        writeset, n_params,
+                        name,
+                        allow_blind,
+                        else_branch,
+                        &mut else_avail,
+                        &mut else_upd,
+                        readset,
+                        writeset,
+                        n_params,
                     )?;
                     // After the conditional, only facts common to both
                     // branches are guaranteed.
@@ -411,20 +419,14 @@ mod tests {
 
     #[test]
     fn blind_write_rejected() {
-        let err = ProgramBuilder::new("blind")
-            .update(v(0), Expr::konst(1))
-            .build()
-            .unwrap_err();
+        let err = ProgramBuilder::new("blind").update(v(0), Expr::konst(1)).build().unwrap_err();
         assert_eq!(err, TxnError::UnreadVariable { var: v(0), program: "blind".into() });
     }
 
     #[test]
     fn unread_operand_rejected() {
-        let err = ProgramBuilder::new("t")
-            .read(v(0))
-            .update(v(0), Expr::var(v(1)))
-            .build()
-            .unwrap_err();
+        let err =
+            ProgramBuilder::new("t").read(v(0)).update(v(0), Expr::var(v(1))).build().unwrap_err();
         assert_eq!(err, TxnError::UnreadVariable { var: v(1), program: "t".into() });
     }
 
@@ -487,11 +489,7 @@ mod tests {
         // the conditional.
         let err = ProgramBuilder::new("t")
             .read(v(0))
-            .branch(
-                Expr::var(v(0)).gt(Expr::konst(0)),
-                |b| b.read(v(1)),
-                |b| b,
-            )
+            .branch(Expr::var(v(0)).gt(Expr::konst(0)), |b| b.read(v(1)), |b| b)
             .update(v(0), Expr::var(v(1)))
             .build()
             .unwrap_err();

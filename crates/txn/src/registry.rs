@@ -108,10 +108,7 @@ impl TypeRegistry {
 
     /// Iterates `(id, name)` pairs in registration order.
     pub fn iter(&self) -> impl Iterator<Item = (TxnTypeId, &str)> + '_ {
-        self.names
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (TxnTypeId::new(i as u32), n.as_str()))
+        self.names.iter().enumerate().map(|(i, n)| (TxnTypeId::new(i as u32), n.as_str()))
     }
 }
 

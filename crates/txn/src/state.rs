@@ -36,9 +36,7 @@ impl DbState {
 
     /// Creates a state where variables `d0..d{n-1}` all hold `value`.
     pub fn uniform(n_vars: u32, value: Value) -> Self {
-        DbState {
-            items: (0..n_vars).map(|i| (VarId::new(i), value)).collect(),
-        }
+        DbState { items: (0..n_vars).map(|i| (VarId::new(i), value)).collect() }
     }
 
     /// Returns the value of `var`.
@@ -96,12 +94,7 @@ impl DbState {
     /// Used when forwarding updates: protocol step 5 forwards, for each item
     /// modified by the repaired history, only its value in the final state.
     pub fn project(&self, vars: &VarSet) -> DbState {
-        DbState {
-            items: vars
-                .iter()
-                .filter_map(|v| self.try_get(v).map(|val| (v, val)))
-                .collect(),
-        }
+        DbState { items: vars.iter().filter_map(|v| self.try_get(v).map(|val| (v, val))).collect() }
     }
 
     /// Overwrites the items present in `patch` with the patch's values,

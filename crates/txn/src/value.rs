@@ -98,11 +98,7 @@ impl VarSet {
     /// of Definition 3.
     pub fn intersects(&self, other: &VarSet) -> bool {
         // Iterate the smaller set for an O(min * log max) test.
-        let (small, large) = if self.len() <= other.len() {
-            (self, other)
-        } else {
-            (other, self)
-        };
+        let (small, large) = if self.len() <= other.len() { (self, other) } else { (other, self) };
         small.iter().any(|v| large.contains(v))
     }
 

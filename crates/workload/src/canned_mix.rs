@@ -108,15 +108,11 @@ impl CannedMix {
     pub fn next_txn(&mut self, arena: &mut TxnArena, kind: TxnKind) -> TxnId {
         let (deposit_frac, withdraw_frac, bonus_frac) =
             (self.params.deposit_frac, self.params.withdraw_frac, self.params.bonus_frac);
-        let (n_accounts, n_prices) =
-            (self.params.n_accounts.max(1), self.params.n_prices.max(1));
+        let (n_accounts, n_prices) = (self.params.n_accounts.max(1), self.params.n_prices.max(1));
         let roll: f64 = self.rng.gen();
         self.counter += 1;
-        let name = format!(
-            "{}{}",
-            if kind == TxnKind::Tentative { "m" } else { "b" },
-            self.counter
-        );
+        let name =
+            format!("{}{}", if kind == TxnKind::Tentative { "m" } else { "b" }, self.counter);
         let season = self.season();
         let acct_pick = self.rng.gen_range(0..n_accounts);
         let price_pick = self.rng.gen_range(0..n_prices);
@@ -132,7 +128,8 @@ impl CannedMix {
             arena.alloc(|id| self.promo.bonus(id, &name, season, price).with_kind(kind).with_id(id))
         } else {
             let price = self.price(price_pick);
-            arena.alloc(|id| self.promo.rebate(id, &name, season, price).with_kind(kind).with_id(id))
+            arena
+                .alloc(|id| self.promo.rebate(id, &name, season, price).with_kind(kind).with_id(id))
         }
     }
 }
@@ -169,7 +166,12 @@ mod tests {
 
     #[test]
     fn oracle_knows_promotions() {
-        let mut mix = CannedMix::new(CannedMixParams { bonus_frac: 1.0, deposit_frac: 0.0, withdraw_frac: 0.0, ..Default::default() });
+        let mut mix = CannedMix::new(CannedMixParams {
+            bonus_frac: 1.0,
+            deposit_frac: 0.0,
+            withdraw_frac: 0.0,
+            ..Default::default()
+        });
         let mut arena = TxnArena::new();
         let a = mix.next_txn(&mut arena, TxnKind::Tentative);
         let b = mix.next_txn(&mut arena, TxnKind::Tentative);
@@ -187,10 +189,12 @@ mod tests {
         let gen = |seed| {
             let mut mix = CannedMix::new(CannedMixParams { seed, ..Default::default() });
             let mut arena = TxnArena::new();
-            (0..20).map(|_| {
-                let id = mix.next_txn(&mut arena, TxnKind::Tentative);
-                arena.get(id).writeset().to_string()
-            }).collect::<Vec<_>>()
+            (0..20)
+                .map(|_| {
+                    let id = mix.next_txn(&mut arena, TxnKind::Tentative);
+                    arena.get(id).writeset().to_string()
+                })
+                .collect::<Vec<_>>()
         };
         assert_eq!(gen(5), gen(5));
         assert_ne!(gen(5), gen(6));

@@ -251,8 +251,7 @@ mod tests {
                 forwarded_items: 120,
             },
         );
-        let reprocess =
-            reprocessing_cost(&p, &ReprocessStats { n_txns: 100, total_stmts: 300 });
+        let reprocess = reprocessing_cost(&p, &ReprocessStats { n_txns: 100, total_stmts: 300 });
         assert!(
             merge.total() < reprocess.total(),
             "merge {} !< reprocess {}",

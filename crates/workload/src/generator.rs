@@ -85,9 +85,8 @@ pub fn generate(params: &ScenarioParams) -> Scenario {
     let mut arena = TxnArena::new();
     let mut factory = TxnFactory::new(params.clone());
 
-    let hm: SerialHistory = (0..params.n_tentative)
-        .map(|_| factory.next_txn(&mut arena, TxnKind::Tentative))
-        .collect();
+    let hm: SerialHistory =
+        (0..params.n_tentative).map(|_| factory.next_txn(&mut arena, TxnKind::Tentative)).collect();
     let hb: SerialHistory =
         (0..params.n_base).map(|_| factory.next_txn(&mut arena, TxnKind::Base)).collect();
     let s0 = initial_state(params);
@@ -155,11 +154,7 @@ impl TxnGen<'_> {
         out
     }
 
-    fn next_txn(
-        &mut self,
-        arena: &mut TxnArena,
-        kind: TxnKind,
-    ) -> histmerge_txn::TxnId {
+    fn next_txn(&mut self, arena: &mut TxnArena, kind: TxnKind) -> histmerge_txn::TxnId {
         let p = self.params;
         let roll: f64 = self.rng.gen();
         let program = if roll < p.commutative_fraction {
@@ -172,11 +167,8 @@ impl TxnGen<'_> {
             self.rw_txn()
         };
         self.counter += 1;
-        let name = format!(
-            "{}{}",
-            if kind == TxnKind::Tentative { "Tm" } else { "Tb" },
-            self.counter
-        );
+        let name =
+            format!("{}{}", if kind == TxnKind::Tentative { "Tm" } else { "Tb" }, self.counter);
         let prog = Arc::new(program);
         arena.alloc(|id| Transaction::new(id, name, kind, prog, vec![]))
     }
@@ -280,8 +272,7 @@ mod tests {
 
     #[test]
     fn histories_have_requested_lengths() {
-        let params =
-            ScenarioParams { n_tentative: 7, n_base: 3, ..ScenarioParams::default() };
+        let params = ScenarioParams { n_tentative: 7, n_base: 3, ..ScenarioParams::default() };
         let s = generate(&params);
         assert_eq!(s.hm.len(), 7);
         assert_eq!(s.hb.len(), 3);
@@ -292,11 +283,7 @@ mod tests {
     fn no_blind_writes_generated() {
         let s = generate(&ScenarioParams { n_tentative: 50, n_base: 50, ..Default::default() });
         for txn in s.arena.iter() {
-            assert!(
-                !txn.program().has_blind_writes(),
-                "{} blind-writes",
-                txn.name()
-            );
+            assert!(!txn.program().has_blind_writes(), "{} blind-writes", txn.name());
         }
     }
 
@@ -351,11 +338,7 @@ mod tests {
             writes_per_txn: 1,
             ..Default::default()
         });
-        let touching_v0 = s
-            .arena
-            .iter()
-            .filter(|t| t.readset().contains(VarId::new(0)))
-            .count();
+        let touching_v0 = s.arena.iter().filter(|t| t.readset().contains(VarId::new(0))).count();
         assert_eq!(touching_v0, 20);
     }
 }

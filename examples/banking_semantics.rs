@@ -62,7 +62,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let rw = rewrite(&arena, &aug, &bad, algorithm, FixMode::Lemma1, &oracle);
         let names: Vec<&str> = rw.saved().iter().map(|id| arena.get(*id).name()).collect();
-        println!("{:<28} {:>3}/{:<3}  {:?}", algorithm.name(), rw.saved().len(), hm.len() - 1, names);
+        println!(
+            "{:<28} {:>3}/{:<3}  {:?}",
+            algorithm.name(),
+            rw.saved().len(),
+            hm.len() - 1,
+            names
+        );
     }
 
     // Pruning: both approaches yield the repaired state.

@@ -35,8 +35,8 @@ fn main() {
     let config = |protocol: Protocol| SimConfig {
         n_mobiles: 8,
         duration: 600,
-        base_rate: 0.1,    // headquarters' own order flow
-        mobile_rate: 0.1,  // per laptop while on the road
+        base_rate: 0.1,   // headquarters' own order flow
+        mobile_rate: 0.1, // per laptop while on the road
         connect_every: 100,
         protocol,
         strategy: SyncStrategy::WindowStart { window: 400 },

@@ -68,7 +68,10 @@ fn cmd_example1() -> ExitCode {
                 ids.iter().map(|i| ex.arena.get(*i).name()).collect::<Vec<_>>().join(" ")
             };
             println!("\nB         = {}", names(&outcome.bad.iter().copied().collect::<Vec<_>>()));
-            println!("affected  = {}", names(&outcome.affected.iter().copied().collect::<Vec<_>>()));
+            println!(
+                "affected  = {}",
+                names(&outcome.affected.iter().copied().collect::<Vec<_>>())
+            );
             println!("saved     = {}", names(&outcome.saved));
             println!("backed out= {}", names(&outcome.backed_out));
             println!("new master= {}", outcome.new_master);

@@ -41,9 +41,8 @@ fn sequential_merges_share_the_window_state() {
     let mut base = BaseNode::new(s0.clone());
 
     // Base activity within the window: a deposit on account 0.
-    let b1 = arena.alloc(|id| {
-        bank.deposit(id, "base-dep", v(0), 10).with_kind(TxnKind::Base).with_id(id)
-    });
+    let b1 = arena
+        .alloc(|id| bank.deposit(id, "base-dep", v(0), 10).with_kind(TxnKind::Base).with_id(id));
     base.commit(&arena, b1);
 
     // Mobile A worked on accounts 0 and 1 from the window-start state.

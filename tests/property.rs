@@ -14,25 +14,23 @@ use histmerge::history::{
     AugmentedHistory, BackoutStrategy, ExactMinimum, GreedyScc, PrecedenceGraph, SerialHistory,
     TwoCycleOptimal, TxnArena,
 };
-use histmerge::semantics::{
-    satisfies_property1, RandomizedTester, SemanticOracle, StaticAnalyzer,
-};
+use histmerge::semantics::{satisfies_property1, RandomizedTester, SemanticOracle, StaticAnalyzer};
 use histmerge::txn::{TxnKind, VarSet};
 use histmerge::workload::generator::{generate, ScenarioParams};
 
 fn arb_params() -> impl Strategy<Value = ScenarioParams> {
     (
-        0u64..5000,       // seed
-        4u32..40,         // n_vars
-        2usize..14,       // n_tentative
-        0usize..10,       // n_base
-        0.0f64..1.0,      // commutative fraction
-        0.0f64..0.5,      // guarded fraction
-        0.0f64..0.4,      // read-only fraction
-        0.1f64..0.9,      // hot prob
+        0u64..5000,  // seed
+        4u32..40,    // n_vars
+        2usize..14,  // n_tentative
+        0usize..10,  // n_base
+        0.0f64..1.0, // commutative fraction
+        0.0f64..0.5, // guarded fraction
+        0.0f64..0.4, // read-only fraction
+        0.1f64..0.9, // hot prob
     )
-        .prop_map(
-            |(seed, n_vars, n_tentative, n_base, cf, gf, rof, hot_prob)| ScenarioParams {
+        .prop_map(|(seed, n_vars, n_tentative, n_base, cf, gf, rof, hot_prob)| {
+            ScenarioParams {
                 n_vars,
                 n_tentative,
                 n_base,
@@ -44,8 +42,8 @@ fn arb_params() -> impl Strategy<Value = ScenarioParams> {
                 reads_per_txn: 2,
                 writes_per_txn: 2,
                 seed,
-            },
-        )
+            }
+        })
 }
 
 proptest! {

@@ -24,12 +24,7 @@ fn insufficient_funds_reexecution_fails() {
     });
     let s0: DbState = [(v(0), 100)].into_iter().collect();
     let outcome = Merger::new(MergeConfig::default())
-        .merge(
-            &arena,
-            &SerialHistory::from_order([tm]),
-            &SerialHistory::from_order([tb]),
-            &s0,
-        )
+        .merge(&arena, &SerialHistory::from_order([tm]), &SerialHistory::from_order([tb]), &s0)
         .unwrap();
     // The tentative withdrawal conflicts (2-cycle on the balance) and is
     // backed out...
@@ -52,12 +47,7 @@ fn sufficient_funds_reexecution_succeeds() {
     });
     let s0: DbState = [(v(0), 100)].into_iter().collect();
     let outcome = Merger::new(MergeConfig::default())
-        .merge(
-            &arena,
-            &SerialHistory::from_order([tm]),
-            &SerialHistory::from_order([tb]),
-            &s0,
-        )
+        .merge(&arena, &SerialHistory::from_order([tm]), &SerialHistory::from_order([tb]), &s0)
         .unwrap();
     assert_eq!(outcome.reexecuted, vec![(tm, true)]);
     // Both withdrawals applied: 100 - 30 - 50.
@@ -86,12 +76,7 @@ fn overbooked_reservation_reported() {
     });
     let s0: DbState = [(seats, 1), (booked_base, 0), (booked_mobile, 0)].into_iter().collect();
     let outcome = Merger::new(MergeConfig::default())
-        .merge(
-            &arena,
-            &SerialHistory::from_order([tm]),
-            &SerialHistory::from_order([tb]),
-            &s0,
-        )
+        .merge(&arena, &SerialHistory::from_order([tm]), &SerialHistory::from_order([tb]), &s0)
         .unwrap();
     assert_eq!(outcome.backed_out, vec![tm]);
     assert_eq!(outcome.reexecuted, vec![(tm, false)], "no seats left: user informed");

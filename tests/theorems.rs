@@ -20,9 +20,7 @@ use histmerge::core::prune::undo;
 use histmerge::core::rewrite::{rewrite, FixMode, RewriteAlgorithm};
 use histmerge::history::backout::affected_weight;
 use histmerge::history::readsfrom::affected_set;
-use histmerge::history::{
-    AugmentedHistory, BackoutStrategy, PrecedenceGraph, TwoCycleOptimal,
-};
+use histmerge::history::{AugmentedHistory, BackoutStrategy, PrecedenceGraph, TwoCycleOptimal};
 use histmerge::semantics::StaticAnalyzer;
 use histmerge::txn::TxnId;
 use histmerge::workload::generator::{generate, Scenario, ScenarioParams};
@@ -114,11 +112,8 @@ fn theorem3_algorithm1_equals_rftc() {
         assert_eq!(alg1.saved(), rftc.saved(), "Theorem 3 violated (seed scenario)");
         // Also: the saved set is exactly G − AG.
         let ag = affected_set(&sc.arena, &sc.hm, &bad);
-        let expected: Vec<TxnId> = sc
-            .hm
-            .iter()
-            .filter(|t| !bad.contains(t) && !ag.contains(t))
-            .collect();
+        let expected: Vec<TxnId> =
+            sc.hm.iter().filter(|t| !bad.contains(t) && !ag.contains(t)).collect();
         assert_eq!(alg1.saved(), expected);
     }
 }
@@ -147,10 +142,7 @@ fn theorem4_cbtr_subset_of_algorithm2() {
         );
         let cbtr_saved: BTreeSet<TxnId> = cbtr.saved().into_iter().collect();
         let fpr_saved: BTreeSet<TxnId> = fpr.saved().into_iter().collect();
-        assert!(
-            cbtr_saved.is_subset(&fpr_saved),
-            "Theorem 4 violated: CBTR ⊄ FPR"
-        );
+        assert!(cbtr_saved.is_subset(&fpr_saved), "Theorem 4 violated: CBTR ⊄ FPR");
         if cbtr_saved.len() < fpr_saved.len() {
             strict += 1;
         }
@@ -179,12 +171,7 @@ fn theorem5_undo_matches_prefix_reexecution() {
             let pruned = undo(&sc.arena, &aug, &rw, &ag).unwrap();
             let reexec =
                 AugmentedHistory::execute(&sc.arena, &rw.repaired_history(), &sc.s0).unwrap();
-            assert_eq!(
-                &pruned,
-                reexec.final_state(),
-                "Theorem 5 violated for {}",
-                alg.name()
-            );
+            assert_eq!(&pruned, reexec.final_state(), "Theorem 5 violated for {}", alg.name());
         }
     }
 }

@@ -1,0 +1,221 @@
+//! Vendored mini benchmark harness.
+//!
+//! The build environment has no registry access, so this crate implements
+//! the slice of the `criterion` API the workspace benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`black_box`], and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! `cargo bench -- --test` runs every benchmark body exactly once (the CI
+//! smoke mode); otherwise each benchmark is timed over a fixed warm-up plus
+//! measured iterations and reported as mean ns/iter on stdout.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { test_mode: false, filter: None, sample_size: 50 }
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments (`--test` enables the
+    /// run-once smoke mode; a bare string filters benchmarks by substring).
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.test_mode = true,
+                "--bench" => {}
+                a if !a.starts_with('-') => c.filter = Some(a.to_string()),
+                _ => {}
+            }
+        }
+        c
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+    }
+}
+
+/// A benchmark identifier: a function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the measured iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn run(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            samples: self.sample_size.unwrap_or(self.criterion.sample_size),
+            report: None,
+        };
+        f(&mut bencher);
+        match bencher.report {
+            Some(ns) if !self.criterion.test_mode => {
+                println!("{full}: {ns:.0} ns/iter");
+            }
+            _ => println!("{full}: ok (test mode)"),
+        }
+    }
+
+    /// Runs a benchmark under `id` in this group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) {
+        self.run(id.to_string(), f);
+    }
+
+    /// Runs a parameterized benchmark.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        self.run(id.to_string(), |b| f(b, input));
+    }
+
+    /// Ends the group (report flushing is immediate here; kept for API
+    /// compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    samples: usize,
+    report: Option<f64>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records the mean wall-clock time per
+    /// call. In `--test` mode the routine runs exactly once, untimed.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm up, then measure.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let iters = self.samples.max(1);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.report = Some(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+}
+
+/// Declares a benchmark group entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion { test_mode: false, filter: None, sample_size: 5 };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(4);
+        let mut calls = 0usize;
+        group.bench_function("f", |b| {
+            b.iter(|| calls += 1);
+        });
+        group.finish();
+        // 3 warm-up + 4 measured.
+        assert_eq!(calls, 7);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { test_mode: true, filter: None, sample_size: 50 };
+        let mut group = c.benchmark_group("g");
+        let mut calls = 0usize;
+        group.bench_with_input(BenchmarkId::new("f", 3), &3, |b, &_n| {
+            b.iter(|| calls += 1);
+        });
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { test_mode: true, filter: Some("zzz".into()), sample_size: 5 };
+        let mut group = c.benchmark_group("g");
+        let mut calls = 0usize;
+        group.bench_function("f", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("f", 12).to_string(), "f/12");
+    }
+}

@@ -1,0 +1,254 @@
+//! Vendored mini property-testing harness.
+//!
+//! The build environment has no registry access, so this crate implements
+//! the small slice of the `proptest` API the workspace tests use:
+//!
+//! * [`Strategy`] with an associated `Value`, implemented for integer and
+//!   float ranges and for tuples, plus [`Strategy::prop_map`];
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//!   which expands each `fn name(pat in strategy, ..) { .. }` into a
+//!   `#[test]` running a deterministic seeded case loop;
+//! * `prop_assert!` / `prop_assert_eq!`, which panic like plain asserts
+//!   but prefix the failing case's seed for reproduction.
+//!
+//! There is no shrinking: a failing case reports its case index and seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps the produced value through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+/// Runs `body` for each case of a property, with deterministic seeding.
+/// Used by the [`proptest!`] expansion; not part of the public proptest API.
+pub fn run_property<F: FnMut(&mut StdRng, u64)>(config: &ProptestConfig, name: &str, mut body: F) {
+    // Deterministic per property name: FNV-1a over the name.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    for case in 0..config.cases {
+        let seed = h ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = StdRng::seed_from_u64(seed);
+        body(&mut rng, seed);
+    }
+}
+
+/// Asserts a condition inside a property, reporting the failing case seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property, reporting the failing case seed.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Declares property tests. Supports the subset of the upstream grammar the
+/// workspace uses: an optional leading `#![proptest_config(EXPR)]`, then
+/// `#[test] fn name(pat in strategy, ..) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($cfg); $($rest)*);
+    };
+    (@fns ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_property(&config, stringify!($name), |rng, seed| {
+                let ($($arg,)+) =
+                    $crate::Strategy::sample(&($($strat,)+), rng);
+                let run = || { $body };
+                if ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)).is_err() {
+                    panic!(
+                        "property {} failed (reproduce with seed {seed:#x})",
+                        stringify!($name)
+                    );
+                }
+            });
+        }
+        $crate::proptest!(@fns ($cfg); $($rest)*);
+    };
+    (@fns ($cfg:expr);) => {};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// The usual wildcard import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (u32, u32)> {
+        (1u32..10, 0u32..5).prop_map(|(a, b)| (a + b, b))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Mapped tuples uphold their construction invariant.
+        #[test]
+        fn mapped_tuples_hold(pair in arb_pair(), k in 0u64..3) {
+            prop_assert!(pair.0 >= pair.1, "sum {} < part {}", pair.0, pair.1);
+            prop_assert_eq!(k.min(2), k.min(2));
+        }
+    }
+
+    proptest! {
+        /// Default config also compiles and runs.
+        #[test]
+        fn default_config_runs(x in -5i64..=5) {
+            prop_assert!((-5..=5).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reproduce with seed")]
+    fn failing_property_reports_seed() {
+        crate::run_property(&ProptestConfig::with_cases(1), "always_fails", |_rng, seed| {
+            let run = || panic!("boom");
+            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)).is_err() {
+                panic!("property always_fails failed (reproduce with seed {seed:#x})");
+            }
+        });
+    }
+
+    #[test]
+    fn just_yields_value() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        use rand::SeedableRng;
+        assert_eq!(Just(7u8).sample(&mut rng), 7);
+    }
+}

@@ -1,0 +1,15 @@
+//! Vendored facade for the `serde` crate.
+//!
+//! The build environment has no registry access; the workspace only *tags*
+//! types with the serde derives (no serializer ever runs), so this facade
+//! provides the trait names and re-exports the no-op derive macros. Swap in
+//! the real serde by pointing the workspace dependency back at crates.io.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

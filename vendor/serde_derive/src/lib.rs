@@ -1,0 +1,22 @@
+//! Vendored no-op implementations of `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]`.
+//!
+//! The workspace annotates report types with serde derives so downstream
+//! consumers with the real serde can serialize them, but nothing in this
+//! repository invokes a serializer. With no registry access, these derives
+//! expand to nothing: they exist so the attributes (including `#[serde(..)]`
+//! field attributes) parse and compile.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
