@@ -1,0 +1,66 @@
+//! Criterion bench: the session sync path vs the legacy handshake.
+//!
+//! Times the full simulation three ways — legacy atomic handshake,
+//! resumable sessions with `FaultPlan::none()`, and resumable sessions at
+//! a 10% uniform fault rate. The first two should be indistinguishable
+//! (the fault-free session path is the same plan/apply pipeline plus a
+//! ledger insert per sync); the third prices the recovery machinery
+//! (retries, ledger resumes, re-offered sessions).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use histmerge_replication::{
+    FaultPlan, FaultRates, Protocol, SimConfig, Simulation, SyncPath, SyncStrategy,
+};
+use histmerge_workload::generator::ScenarioParams;
+
+fn config(sync_path: SyncPath, fault: FaultPlan) -> SimConfig {
+    SimConfig {
+        n_mobiles: 4,
+        duration: 300,
+        base_rate: 0.3,
+        mobile_rate: 0.25,
+        connect_every: 40,
+        protocol: Protocol::merging_default(),
+        strategy: SyncStrategy::WindowStart { window: 150 },
+        workload: ScenarioParams {
+            n_vars: 48,
+            commutative_fraction: 0.4,
+            guarded_fraction: 0.2,
+            read_only_fraction: 0.1,
+            hot_fraction: 0.08,
+            hot_prob: 0.6,
+            seed: 7,
+            ..ScenarioParams::default()
+        },
+        sync_path,
+        fault,
+        ..SimConfig::default()
+    }
+}
+
+fn bench_fault_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_path");
+    group.sample_size(10);
+
+    // Sanity: fault-free sessions reproduce the legacy run.
+    let legacy = Simulation::new(config(SyncPath::Legacy, FaultPlan::none())).run();
+    let session = Simulation::new(config(SyncPath::Session, FaultPlan::none())).run();
+    assert_eq!(legacy.final_master, session.final_master);
+    assert_eq!(legacy.metrics.normalized(), session.metrics.normalized());
+
+    let variants = [
+        ("legacy", SyncPath::Legacy, FaultPlan::none()),
+        ("session-fault-free", SyncPath::Session, FaultPlan::none()),
+        ("session-10pct-faults", SyncPath::Session, FaultPlan::seeded(7, FaultRates::uniform(0.1))),
+    ];
+    for (label, path, fault) in variants {
+        group.bench_with_input(BenchmarkId::new("run", label), &(path, fault), |b, &(p, f)| {
+            b.iter(|| black_box(Simulation::new(config(p, f)).run()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_path);
+criterion_main!(benches);

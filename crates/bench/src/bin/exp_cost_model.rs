@@ -102,9 +102,12 @@ fn main() {
             reproc_io += r.base_io;
         }
         let ratio = merge_total / reproc_total;
+        // Same 0/0 guard as `Metrics::save_ratio`: an empty sweep cell
+        // reads as "nothing saved", not NaN.
+        let save_ratio = if total == 0 { 0.0 } else { sav as f64 / total as f64 };
         table.row_owned(vec![
             fmt(hot_prob, 2),
-            fmt(sav as f64 / total as f64, 2),
+            fmt(save_ratio, 2),
             fmt(merge_total / 30.0, 0),
             fmt(reproc_total / 30.0, 0),
             fmt(ratio, 2),

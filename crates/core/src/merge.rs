@@ -88,6 +88,42 @@ pub struct MergeOutcome {
     pub graph_edges: usize,
 }
 
+/// The durable, resumable half of a [`MergeOutcome`]: everything a base
+/// node must retain — write-ahead, atomically with the install commit — to
+/// finish a merge whose handshake is interrupted after step 5. A node that
+/// crashes between installing the forwarded values and re-executing the
+/// backed-out transactions recovers by reloading the plan and running only
+/// the remaining step-6 re-executions; re-applying the plan is idempotent
+/// because the install is a constant-write transaction and re-execution
+/// progress is tracked alongside the plan (see `replication::session`).
+///
+/// Unlike the full outcome (which owns the rewritten history, repaired
+/// states, and the merged witness history), the plan is small, cloneable,
+/// and comparable — the shape a recovering node can dedupe retransmissions
+/// against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstallPlan {
+    /// Step 5: per saved-written item, its final repaired value.
+    pub forwarded: DbState,
+    /// Step 6: the transactions still to re-execute as base transactions,
+    /// in their original order.
+    pub reexecute: Vec<TxnId>,
+    /// The transactions whose work the merge saved (informational — needed
+    /// by the completion report, not by recovery itself).
+    pub saved: Vec<TxnId>,
+}
+
+impl MergeOutcome {
+    /// Extracts the durable install plan from this outcome.
+    pub fn install_plan(&self) -> InstallPlan {
+        InstallPlan {
+            forwarded: self.forwarded.clone(),
+            reexecute: self.backed_out.clone(),
+            saved: self.saved.clone(),
+        }
+    }
+}
+
 /// Precomputed inputs a caller can lend to [`Merger::merge_assisted`] to
 /// skip redundant work when merging repeatedly against a growing base
 /// history (the batched sync path).
@@ -376,6 +412,20 @@ mod tests {
             assisted.merged_history.as_ref().map(|h| h.order().to_vec())
         );
         assert_eq!(plain.graph_edges, assisted.graph_edges);
+    }
+
+    #[test]
+    fn install_plan_captures_base_side_effects() {
+        let ex = example1();
+        let outcome =
+            Merger::new(MergeConfig::default()).merge(&ex.arena, &ex.hm, &ex.hb, &ex.s0).unwrap();
+        let plan = outcome.install_plan();
+        assert_eq!(plan.forwarded, outcome.forwarded);
+        assert_eq!(plan.reexecute, outcome.backed_out);
+        assert_eq!(plan.saved, outcome.saved);
+        // Cloneable and comparable — a recovering node dedupes
+        // retransmitted plans by equality.
+        assert_eq!(plan, plan.clone());
     }
 
     #[test]

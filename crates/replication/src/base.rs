@@ -135,7 +135,20 @@ impl BaseNode {
     /// merged tentative updates at their serialization point, which is
     /// exactly what invalidates other mobiles' snapshots (Section 2.2's
     /// argument against Strategy 1).
-    pub fn retro_patch(&mut self, arena: &TxnArena, from_index: usize, updates: &DbState) {
+    ///
+    /// Fails when `from_index` lies beyond the committed log: such an
+    /// index names a serialization point that does not exist, and the old
+    /// behavior — skipping the log loop but still patching the master —
+    /// silently corrupted the master without any matching history entry.
+    pub fn retro_patch(
+        &mut self,
+        arena: &TxnArena,
+        from_index: usize,
+        updates: &DbState,
+    ) -> Result<(), RetroPatchError> {
+        if from_index > self.log.len() {
+            return Err(RetroPatchError { from_index, log_len: self.log.len() });
+        }
         let mut masked: std::collections::BTreeSet<histmerge_txn::VarId> = Default::default();
         for i in from_index..self.log.len() {
             let (txn, state) = &mut self.log[i];
@@ -153,8 +166,31 @@ impl BaseNode {
                 self.master.set(var, value);
             }
         }
+        Ok(())
     }
 }
+
+/// A retroactive patch named a serialization point beyond the committed
+/// log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetroPatchError {
+    /// The out-of-range index the patch asked for.
+    pub from_index: usize,
+    /// The committed log length at the time of the call.
+    pub log_len: usize,
+}
+
+impl std::fmt::Display for RetroPatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "retro-patch from index {} exceeds the committed log (length {})",
+            self.from_index, self.log_len
+        )
+    }
+}
+
+impl std::error::Error for RetroPatchError {}
 
 /// Builds the install program for forwarded updates.
 ///
@@ -280,11 +316,34 @@ mod tests {
         // index 0 → masked everywhere; d1 written at index 1 → patched at
         // index 0 only.
         let updates: DbState = [(v(0), 100), (v(1), 50)].into_iter().collect();
-        base.retro_patch(&arena, 0, &updates);
+        base.retro_patch(&arena, 0, &updates).unwrap();
         assert_eq!(base.state_after(0).get(v(0)), 1); // masked by t1's write
         assert_eq!(base.state_after(0).get(v(1)), 50); // patched
         assert_eq!(base.state_after(1).get(v(1)), 1); // masked by t2's write
         assert_eq!(base.master().get(v(1)), 1);
         assert_eq!(base.master().get(v(0)), 1);
+    }
+
+    #[test]
+    fn retro_patch_rejects_out_of_range_index() {
+        // Regression: an index past the log used to skip the masking loop
+        // entirely and patch the master anyway — a silent no-op on the
+        // history but a real (untracked) master mutation.
+        let mut arena = TxnArena::new();
+        let mut base = BaseNode::new(DbState::uniform(2, 0));
+        let t = inc(&mut arena, "a", 0, 1);
+        base.commit(&arena, t);
+        let updates: DbState = [(v(1), 50)].into_iter().collect();
+        let err = base.retro_patch(&arena, 2, &updates).unwrap_err();
+        assert_eq!(err.from_index, 2);
+        assert_eq!(err.log_len, 1);
+        assert!(err.to_string().contains("exceeds the committed log"));
+        // Nothing changed — neither the log nor the master.
+        assert_eq!(base.master().get(v(1)), 0);
+        assert_eq!(base.state_after(0).get(v(1)), 0);
+        // The boundary index (== log length) is legal: it patches nothing
+        // in the log but legitimately extends the final state.
+        base.retro_patch(&arena, 1, &updates).unwrap();
+        assert_eq!(base.master().get(v(1)), 50);
     }
 }

@@ -12,6 +12,16 @@
 //! member whose outcome the delta invalidates simply re-merges serially.
 //! The result is byte-identical to the serial path (see the determinism
 //! test and DESIGN.md for the argument).
+//!
+//! Under the resumable session path (`SyncPath::Session`) the same
+//! speculative outcomes feed the per-mobile session state machines: a
+//! member's speculation is validated at its session's merge step and
+//! retained across mid-merge disconnects like any other computed
+//! decision, so the pipeline composes with fault injection unchanged.
+//! Mobiles carrying an unresolved prior session are excluded from
+//! speculation — their pending set is only known after ledger recovery
+//! runs (a recovered session may trim the already-committed prefix of the
+//! persisted log).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

@@ -16,7 +16,7 @@ use crate::base::BaseNode;
 use histmerge_history::TxnArena;
 
 /// Statistics of a partitioned base tier.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ClusterStats {
     /// Commits each node participated in.
     pub per_node_commits: Vec<u64>,

@@ -22,6 +22,17 @@
 //! simulation is a discrete-time loop, deterministic for a given
 //! [`SimConfig`] (seeded RNG) regardless of the configured
 //! [`Parallelism`].
+//!
+//! Reconnections can run through two interchangeable paths
+//! ([`SyncPath`]): the legacy atomic in-process handshake, or the
+//! resumable [`session`] protocol (offer → merge → install → re-execute →
+//! ack) whose individually idempotent steps survive the faults a
+//! deterministic [`fault::FaultPlan`] injects — message loss, duplication
+//! and reordering, mid-merge disconnects, and base crashes between
+//! install and re-execution. Fault-free session runs are byte-identical
+//! to legacy runs; faulted runs are audited by a convergence oracle
+//! ([`ConvergenceReport`]) that replays the recorded commit order through
+//! the serial path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,12 +43,17 @@ mod mobile;
 mod sim;
 
 pub mod batch;
+pub mod fault;
 pub mod metrics;
+pub mod session;
 pub mod sync;
 
-pub use base::BaseNode;
+pub use base::{BaseNode, RetroPatchError};
 pub use batch::{merge_batch, BatchJob, Parallelism};
 pub use cluster::{BaseCluster, ClusterStats};
+pub use fault::{Delivery, FaultKind, FaultPlan, FaultRates};
+pub use metrics::FaultStats;
 pub use mobile::MobileNode;
-pub use sim::{Protocol, SimConfig, SimReport, Simulation};
-pub use sync::SyncStrategy;
+pub use session::{SessionConfig, SessionLedger, SessionRecord, UnackedSession};
+pub use sim::{ConvergenceReport, Protocol, SimConfig, SimReport, Simulation};
+pub use sync::{SyncPath, SyncStrategy};

@@ -3,6 +3,8 @@
 use histmerge_history::{SerialHistory, TxnArena};
 use histmerge_txn::{DbState, Fix, TxnId};
 
+use crate::session::UnackedSession;
+
 /// A mobile node: a local tentative copy of the database plus the tentative
 /// history accumulated since the node last synchronized.
 #[derive(Debug, Clone)]
@@ -19,6 +21,16 @@ pub struct MobileNode {
     origin_index: usize,
     /// Simulation tick of the next reconnection.
     next_connect: u64,
+    /// Next session sequence number (session path).
+    next_seq: u64,
+    /// A session that performed its offer but was never acknowledged; its
+    /// fate is resolved against the base's ledger at the next reconnection.
+    unacked: Option<UnackedSession>,
+    /// `true` after a recovered session trimmed the committed prefix from
+    /// the persisted log: the remaining suffix ran from a state that
+    /// already included committed work, so it is unmergeable and must be
+    /// reprocessed. Cleared by the next [`MobileNode::resync`].
+    dirty_origin: bool,
 }
 
 impl MobileNode {
@@ -31,6 +43,9 @@ impl MobileNode {
             history: SerialHistory::new(),
             origin_index,
             next_connect,
+            next_seq: 0,
+            unacked: None,
+            dirty_origin: false,
         }
     }
 
@@ -97,6 +112,43 @@ impl MobileNode {
         self.origin = origin;
         self.origin_index = origin_index;
         self.history = SerialHistory::new();
+        self.dirty_origin = false;
+    }
+
+    /// Opens a new sync session over the current pending log: allocates
+    /// the session's sequence number and marks it unacked until the base's
+    /// acknowledgment arrives.
+    pub fn begin_session(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.unacked = Some(UnackedSession { seq, offered: self.history.len() });
+        seq
+    }
+
+    /// The session awaiting acknowledgment, if any.
+    pub fn unacked(&self) -> Option<UnackedSession> {
+        self.unacked
+    }
+
+    /// Marks the outstanding session acknowledged (or resolved against the
+    /// ledger): the node no longer owes the base a status query.
+    pub fn ack_session(&mut self) {
+        self.unacked = None;
+    }
+
+    /// Drops the first `n` pending transactions — a recovered session
+    /// proved the base already committed them. The surviving suffix was
+    /// executed from a state that included the trimmed prefix, so its
+    /// origin is marked dirty (forcing reprocessing at the next sync).
+    pub fn trim_prefix(&mut self, n: usize) {
+        self.history = self.history.iter().skip(n).collect();
+        self.dirty_origin = true;
+    }
+
+    /// `true` when the pending log's origin no longer matches any base
+    /// snapshot (see [`MobileNode::trim_prefix`]).
+    pub fn dirty_origin(&self) -> bool {
+        self.dirty_origin
     }
 }
 
@@ -142,5 +194,53 @@ mod tests {
         assert_eq!(node.origin_index(), 7);
         node.set_next_connect(20);
         assert_eq!(node.next_connect(), 20);
+    }
+
+    #[test]
+    fn session_bookkeeping_tracks_acks_and_trims() {
+        let mut arena = TxnArena::new();
+        let p: Arc<Program> = Arc::new(
+            ProgramBuilder::new("inc")
+                .read(v(0))
+                .update(v(0), Expr::var(v(0)) + Expr::konst(1))
+                .build()
+                .unwrap(),
+        );
+        let ids: Vec<_> = (0..3)
+            .map(|k| {
+                arena.alloc(|id| {
+                    Transaction::new(id, format!("t{k}"), TxnKind::Tentative, p.clone(), vec![])
+                })
+            })
+            .collect();
+        let mut node = MobileNode::new(0, DbState::uniform(1, 0), 0, 1);
+        assert!(node.unacked().is_none());
+        assert!(!node.dirty_origin());
+        for id in &ids {
+            node.run_tentative(&arena, *id);
+        }
+
+        // Sequence numbers are consecutive; each session offers the
+        // then-pending log length.
+        let s0 = node.begin_session();
+        assert_eq!(s0, 0);
+        let unacked = node.unacked().expect("offer outstanding");
+        assert_eq!(unacked.seq, 0);
+        assert_eq!(unacked.offered, 3);
+        node.ack_session();
+        assert!(node.unacked().is_none());
+        assert_eq!(node.begin_session(), 1);
+
+        // A recovered session trims its committed prefix and dirties the
+        // origin; resync cleans the node again.
+        node.trim_prefix(2);
+        assert_eq!(node.pending(), 1);
+        assert_eq!(node.history().order(), &ids[2..]);
+        assert!(node.dirty_origin());
+        node.resync(DbState::uniform(1, 5), 0);
+        assert!(!node.dirty_origin());
+        assert_eq!(node.pending(), 0);
+        // Sequence numbers never reset.
+        assert_eq!(node.begin_session(), 2);
     }
 }

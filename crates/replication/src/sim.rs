@@ -1,13 +1,13 @@
 //! The discrete-time two-tier replication simulation.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 
-use histmerge_core::merge::{MergeAssist, MergeConfig, MergeOutcome, Merger};
+use histmerge_core::merge::{InstallPlan, MergeAssist, MergeConfig, MergeOutcome, Merger};
 use histmerge_core::prune::PruneMethod;
 use histmerge_core::rewrite::{FixMode, RewriteAlgorithm};
 use histmerge_history::{BaseEdgeCache, PrecedenceGraph, SerialHistory, TwoCycleOptimal, TxnArena};
@@ -21,9 +21,11 @@ use histmerge_workload::generator::{ScenarioParams, TxnFactory};
 
 use crate::batch::{delta_invalidates, history_footprint, merge_batch, BatchJob, Parallelism};
 use crate::cluster::BaseCluster;
+use crate::fault::{Delivery, FaultPlan};
 use crate::metrics::{Metrics, SyncRecord};
 use crate::mobile::MobileNode;
-use crate::sync::SyncStrategy;
+use crate::session::{SessionConfig, SessionLedger, SessionRecord};
+use crate::sync::{SyncPath, SyncStrategy};
 
 /// Which synchronization protocol the simulation runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -101,6 +103,19 @@ pub struct SimConfig {
     /// (`connect_every`, no jitter), so reconnections arrive in batches —
     /// the regime the parallel merge pipeline targets.
     pub synchronized_reconnects: bool,
+    /// Which reconnection machinery runs: the legacy atomic handshake or
+    /// the resumable session protocol. With [`FaultPlan::none`] the two
+    /// are byte-identical.
+    pub sync_path: SyncPath,
+    /// The fault schedule injected into session handshakes (ignored on the
+    /// legacy path, which cannot represent faults).
+    pub fault: FaultPlan,
+    /// Session-protocol knobs (retry budget).
+    pub session: SessionConfig,
+    /// When `true`, the report carries a [`ConvergenceReport`]: the
+    /// recorded commit order is replayed through the serial path and
+    /// checked against the final master.
+    pub check_convergence: bool,
 }
 
 impl Default for SimConfig {
@@ -120,6 +135,10 @@ impl Default for SimConfig {
             canned: None,
             parallelism: Parallelism::Auto,
             synchronized_reconnects: false,
+            sync_path: SyncPath::Legacy,
+            fault: FaultPlan::none(),
+            session: SessionConfig::default(),
+            check_convergence: false,
         }
     }
 }
@@ -136,6 +155,37 @@ pub struct SimReport {
     pub base_commits: usize,
     /// Distribution statistics of the partitioned base tier.
     pub cluster: crate::cluster::ClusterStats,
+    /// The convergence-oracle verdict, when
+    /// [`SimConfig::check_convergence`] was set.
+    pub convergence: Option<ConvergenceReport>,
+}
+
+/// The convergence oracle's verdict: after any fault schedule, the final
+/// master state must be byte-identical to a fault-free serial run over the
+/// surviving (committed) transactions — checked by replaying the recorded
+/// commit order through the serial execution path from the initial state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvergenceReport {
+    /// `false` when Strategy-1 retroactive installs occurred: retro-patches
+    /// edit recorded after-states in place instead of appending commits, so
+    /// the commit log is not a replayable serial history.
+    pub applicable: bool,
+    /// Replaying the commit order reproduced the final master
+    /// (only meaningful when `applicable`).
+    pub converged: bool,
+    /// Committed transactions replayed.
+    pub commits: usize,
+    /// Tentative transactions resolved more than once (must be 0 — any
+    /// double install/re-execution is an idempotence bug).
+    pub double_resolutions: usize,
+}
+
+impl ConvergenceReport {
+    /// `true` when the oracle holds: no double resolutions, and (where the
+    /// replay check applies) the replayed history reproduces the master.
+    pub fn holds(&self) -> bool {
+        self.double_resolutions == 0 && (!self.applicable || self.converged)
+    }
 }
 
 /// Where the simulation's transactions come from.
@@ -199,6 +249,32 @@ struct Speculative {
     writes: VarSet,
 }
 
+/// What a reconnection decided to do, computed by [`Simulation::plan_sync`]
+/// and applied by either path. Separating the decision from its
+/// application is what lets the session protocol retain a computed merge
+/// across a mid-merge disconnect and resume it without recomputation.
+enum SyncDecision {
+    /// Nothing pending: just refresh the mobile's origin.
+    Refresh,
+    /// Merge the pending history (protocol steps 1–6).
+    Merge {
+        /// The pending tentative history the merge consumed.
+        hm: SerialHistory,
+        /// Base-history length the merge ran against.
+        hb_len: usize,
+        /// The merge outcome to install (boxed: it dwarfs the other
+        /// variants, and decisions are cached across session retries).
+        outcome: Box<MergeOutcome>,
+        /// Strategy 1: install retroactively at the snapshot point.
+        retroactive: bool,
+    },
+    /// Re-execute everything the \[GHOS96\] way.
+    Reprocess {
+        /// A Strategy-1 merge failed (snapshot invalidated) first.
+        merge_failed: bool,
+    },
+}
+
 /// The simulation state. Construct with [`Simulation::new`] and consume
 /// with [`Simulation::run`].
 pub struct Simulation {
@@ -219,6 +295,16 @@ pub struct Simulation {
     base_edge_cache: BaseEdgeCache,
     /// The epoch `base_edge_cache` belongs to (cleared on rollover).
     cache_epoch: u64,
+    /// The fault event stream (session path; untouched when the plan is
+    /// inactive, keeping fault-free runs byte-identical).
+    fault_rng: StdRng,
+    /// The base's durable session table (session path).
+    ledger: SessionLedger,
+    /// Tentative transactions already installed or re-executed — the
+    /// double-resolution guard behind the convergence oracle.
+    resolved: BTreeSet<TxnId>,
+    /// The initial master state, kept for the oracle's replay.
+    initial: DbState,
 }
 
 impl Simulation {
@@ -258,6 +344,10 @@ impl Simulation {
             mobile_accum: vec![0.0; n],
             base_edge_cache: BaseEdgeCache::new(),
             cache_epoch: 0,
+            fault_rng: config.fault.rng(),
+            ledger: SessionLedger::new(),
+            resolved: BTreeSet::new(),
+            initial,
             mobiles,
             config,
         }
@@ -268,11 +358,36 @@ impl Simulation {
         for tick in 0..self.config.duration {
             self.step(tick);
         }
+        let convergence =
+            if self.config.check_convergence { Some(self.convergence_report()) } else { None };
         SimReport {
             base_commits: self.base.base().committed(),
             final_master: self.base.base().master().clone(),
             cluster: self.base.stats().clone(),
             metrics: self.metrics,
+            convergence,
+        }
+    }
+
+    /// Replays the recorded commit order through the serial path from the
+    /// initial state and compares against the master — the convergence
+    /// oracle. Inapplicable when retroactive installs edited recorded
+    /// after-states in place (Strategy-1 merges).
+    fn convergence_report(&self) -> ConvergenceReport {
+        let applicable = self.metrics.retro_patches == 0;
+        let full = self.base.base().full_history();
+        let commits = full.len();
+        let converged = applicable
+            && match histmerge_history::AugmentedHistory::execute(&self.arena, &full, &self.initial)
+            {
+                Ok(aug) => aug.final_state() == self.base.base().master(),
+                Err(_) => false,
+            };
+        ConvergenceReport {
+            applicable,
+            converged,
+            commits,
+            double_resolutions: self.metrics.fault.double_resolutions,
         }
     }
 
@@ -367,9 +482,10 @@ impl Simulation {
         let mut speculated = self.speculate_batch(batch);
         let mut work = 0.0;
         for &i in batch {
-            work += match speculated.remove(&i) {
-                Some(spec) => self.install_speculative(i, tick, spec),
-                None => self.sync_mobile(i, tick),
+            let spec = speculated.remove(&i);
+            work += match self.config.sync_path {
+                SyncPath::Legacy => self.sync_mobile(i, tick, spec),
+                SyncPath::Session => self.sync_session(i, tick, spec),
             };
         }
         work
@@ -387,10 +503,19 @@ impl Simulation {
         if matches!(self.config.strategy, SyncStrategy::PerDisconnectSnapshot) {
             return out; // Strategy 1 merges have per-mobile start states.
         }
+        // Mobiles with an unresolved prior session (or a trimmed, dirty
+        // log) must run recovery before their pending set is known, so
+        // they cannot speculate against a pre-batch clone of it. Both
+        // conditions are always false on the legacy path.
         let eligible: Vec<usize> = batch
             .iter()
             .copied()
-            .filter(|&i| self.mobiles[i].pending() > 0 && self.mobile_epochs[i] == self.epoch)
+            .filter(|&i| {
+                self.mobiles[i].pending() > 0
+                    && self.mobile_epochs[i] == self.epoch
+                    && self.mobiles[i].unacked().is_none()
+                    && !self.mobiles[i].dirty_origin()
+            })
             .collect();
         let workers = self.config.parallelism.workers(eligible.len());
         if eligible.len() < 2 || workers < 2 {
@@ -435,26 +560,63 @@ impl Simulation {
         out
     }
 
-    /// Installs a batch member's speculative merge if the base transactions
-    /// appended since its snapshot leave it valid; otherwise re-merges on
-    /// the live serial path. Returns base work units.
-    fn install_speculative(&mut self, i: usize, tick: u64, spec: Speculative) -> f64 {
-        let delta: Vec<TxnId> = self.base.base().full_history().order()[spec.log_len..].to_vec();
-        if delta_invalidates(&self.arena, &delta, &spec.reads, &spec.writes) {
-            self.metrics.speculative_retries += 1;
-            return self.sync_mobile(i, tick);
+    /// Decides what this reconnection does, without applying anything. The
+    /// speculative outcome (if any) is validated here against the base
+    /// transactions appended since its snapshot; an invalidated member
+    /// falls through to the live serial decision.
+    fn plan_sync(&mut self, i: usize, spec: Option<Speculative>) -> SyncDecision {
+        if let Some(spec) = spec {
+            let delta: Vec<TxnId> =
+                self.base.base().full_history().order()[spec.log_len..].to_vec();
+            if delta_invalidates(&self.arena, &delta, &spec.reads, &spec.writes) {
+                self.metrics.speculative_retries += 1;
+            } else {
+                // The delta only appends base-internal edges to the
+                // precedence graph; fold them into the outcome's edge
+                // count so cost accounting matches the live merge exactly.
+                let live_hb_len = self.base.base().epoch_len();
+                self.sync_cache();
+                let appended_edges = self.base_edge_cache.edge_count(live_hb_len)
+                    - self.base_edge_cache.edge_count(spec.hb_len);
+                let mut outcome = spec.outcome;
+                outcome.graph_edges += appended_edges;
+                self.metrics.speculative_hits += 1;
+                return SyncDecision::Merge {
+                    hm: spec.hm,
+                    hb_len: live_hb_len,
+                    outcome: Box::new(outcome),
+                    retroactive: false,
+                };
+            }
         }
-        // The delta only appends base-internal edges to the precedence
-        // graph; fold them into the outcome's edge count so cost
-        // accounting matches the live merge exactly.
-        let live_hb_len = self.base.base().epoch_len();
-        self.sync_cache();
-        let appended_edges = self.base_edge_cache.edge_count(live_hb_len)
-            - self.base_edge_cache.edge_count(spec.hb_len);
-        let mut outcome = spec.outcome;
-        outcome.graph_edges += appended_edges;
-        self.metrics.speculative_hits += 1;
-        self.apply_merge(i, tick, &spec.hm, live_hb_len, outcome, false)
+        if self.mobiles[i].pending() == 0 {
+            return SyncDecision::Refresh;
+        }
+        if self.mobiles[i].dirty_origin() {
+            // The suffix a recovered session left behind ran from a state
+            // that already included committed work: no base snapshot
+            // matches its origin, so it cannot be merged.
+            return SyncDecision::Reprocess { merge_failed: false };
+        }
+        match self.config.protocol {
+            Protocol::Reprocessing => SyncDecision::Reprocess { merge_failed: false },
+            Protocol::Merging { algorithm, fix_mode } => match self.config.strategy {
+                SyncStrategy::WindowStart { .. } | SyncStrategy::AdaptiveWindow { .. } => {
+                    if self.mobile_epochs[i] != self.epoch {
+                        // Reconnected after its window closed: the history
+                        // cannot be merged (Section 2.2) and is reprocessed
+                        // instead.
+                        self.metrics.window_misses += 1;
+                        SyncDecision::Reprocess { merge_failed: false }
+                    } else {
+                        self.plan_merge_window(i, algorithm, fix_mode)
+                    }
+                }
+                SyncStrategy::PerDisconnectSnapshot => {
+                    self.plan_merge_snapshot(i, algorithm, fix_mode)
+                }
+            },
+        }
     }
 
     /// Brings the epoch's base-edge cache up to date with the epoch
@@ -468,34 +630,18 @@ impl Simulation {
         self.base_edge_cache.sync(&self.arena, &hb);
     }
 
-    /// Synchronizes mobile `i`; returns the base-side work units incurred.
-    fn sync_mobile(&mut self, i: usize, tick: u64) -> f64 {
-        let pending = self.mobiles[i].pending();
-        if pending == 0 {
-            // Nothing to push: just refresh the origin.
-            self.refresh_origin(i);
-            return 0.0;
-        }
-        match self.config.protocol {
-            Protocol::Reprocessing => self.reprocess_all(i, tick, false),
-            Protocol::Merging { algorithm, fix_mode } => {
-                match self.config.strategy {
-                    SyncStrategy::WindowStart { .. } | SyncStrategy::AdaptiveWindow { .. } => {
-                        if self.mobile_epochs[i] != self.epoch {
-                            // Reconnected after its window closed: the
-                            // history cannot be merged (Section 2.2) and is
-                            // reprocessed instead.
-                            self.metrics.window_misses += 1;
-                            self.reprocess_all(i, tick, false)
-                        } else {
-                            self.merge_window(i, tick, algorithm, fix_mode)
-                        }
-                    }
-                    SyncStrategy::PerDisconnectSnapshot => {
-                        self.merge_snapshot(i, tick, algorithm, fix_mode)
-                    }
-                }
+    /// Synchronizes mobile `i` through the legacy atomic handshake;
+    /// returns the base-side work units incurred.
+    fn sync_mobile(&mut self, i: usize, tick: u64, spec: Option<Speculative>) -> f64 {
+        match self.plan_sync(i, spec) {
+            SyncDecision::Refresh => {
+                self.refresh_origin(i);
+                0.0
             }
+            SyncDecision::Merge { hm, hb_len, outcome, retroactive } => {
+                self.apply_merge(i, tick, &hm, hb_len, *outcome, retroactive)
+            }
+            SyncDecision::Reprocess { merge_failed } => self.reprocess_all(i, tick, merge_failed),
         }
     }
 
@@ -503,17 +649,17 @@ impl Simulation {
         build_merger(&self.source, algorithm, fix_mode)
     }
 
-    /// Strategy 2 merge: against the window's base sub-history, from the
-    /// shared window-start state. Reuses the epoch's base-edge cache and
-    /// the current master (the state after `H_b`), so per-merge work is
-    /// linear in the history growth instead of quadratic in `|H_b|`.
-    fn merge_window(
+    /// Strategy 2 merge decision: against the window's base sub-history,
+    /// from the shared window-start state. Reuses the epoch's base-edge
+    /// cache and the current master (the state after `H_b`), so per-merge
+    /// work is linear in the history growth instead of quadratic in
+    /// `|H_b|`.
+    fn plan_merge_window(
         &mut self,
         i: usize,
-        tick: u64,
         algorithm: RewriteAlgorithm,
         fix_mode: FixMode,
-    ) -> f64 {
+    ) -> SyncDecision {
         let hm = self.mobiles[i].history().clone();
         let hb = self.base.base().epoch_history();
         let s0 = self.base.base().epoch_state().clone();
@@ -523,20 +669,25 @@ impl Simulation {
         let assist =
             MergeAssist { base_edges: Some(&self.base_edge_cache), hb_final: Some(&hb_final) };
         match merger.merge_assisted(&self.arena, &hm, &hb, &s0, assist) {
-            Ok(outcome) => self.apply_merge(i, tick, &hm, hb.len(), outcome, false),
-            Err(_) => self.reprocess_all(i, tick, true),
+            Ok(outcome) => SyncDecision::Merge {
+                hb_len: hb.len(),
+                hm,
+                outcome: Box::new(outcome),
+                retroactive: false,
+            },
+            Err(_) => SyncDecision::Reprocess { merge_failed: true },
         }
     }
 
-    /// Strategy 1 merge: against the base log suffix from the mobile's own
-    /// snapshot, if that snapshot is still a valid cut of the base history.
-    fn merge_snapshot(
+    /// Strategy 1 merge decision: against the base log suffix from the
+    /// mobile's own snapshot, if that snapshot is still a valid cut of the
+    /// base history.
+    fn plan_merge_snapshot(
         &mut self,
         i: usize,
-        tick: u64,
         algorithm: RewriteAlgorithm,
         fix_mode: FixMode,
-    ) -> f64 {
+    ) -> SyncDecision {
         let origin_index = self.mobiles[i].origin_index();
         let hm = self.mobiles[i].history().clone();
         let s0 = self.mobiles[i].origin().clone();
@@ -550,12 +701,17 @@ impl Simulation {
             Err(_) => false,
         };
         if !valid {
-            return self.reprocess_all(i, tick, true);
+            return SyncDecision::Reprocess { merge_failed: true };
         }
         let merger = self.merger(algorithm, fix_mode);
         match merger.merge(&self.arena, &hm, &hb, &s0) {
-            Ok(outcome) => self.apply_merge(i, tick, &hm, hb.len(), outcome, true),
-            Err(_) => self.reprocess_all(i, tick, true),
+            Ok(outcome) => SyncDecision::Merge {
+                hb_len: hb.len(),
+                hm,
+                outcome: Box::new(outcome),
+                retroactive: true,
+            },
+            Err(_) => SyncDecision::Reprocess { merge_failed: true },
         }
     }
 
@@ -573,15 +729,23 @@ impl Simulation {
         // Step 5: install forwarded updates.
         if retroactive {
             let from = self.mobiles[i].origin_index();
-            self.base.base_mut().retro_patch(&self.arena, from, &outcome.forwarded);
+            self.base
+                .base_mut()
+                .retro_patch(&self.arena, from, &outcome.forwarded)
+                .expect("snapshot origin index lies within the base log");
+            self.metrics.retro_patches += 1;
         } else {
             let _ = self.base.install_updates(&mut self.arena, &outcome.forwarded);
+        }
+        for id in &outcome.saved {
+            self.mark_resolved(*id);
         }
         // Step 6: re-execute backed-out transactions as base transactions.
         let mut backed_out_stmts = 0usize;
         for id in &outcome.backed_out {
             backed_out_stmts += self.arena.get(*id).program().statement_count();
             self.base.reexecute(&mut self.arena, *id);
+            self.mark_resolved(*id);
         }
 
         let stats = self.merge_stats(hm, hb_len, &outcome, backed_out_stmts);
@@ -640,6 +804,7 @@ impl Simulation {
             pending.iter().map(|id| self.arena.get(*id).program().statement_count()).sum();
         for id in &pending {
             self.base.reexecute(&mut self.arena, *id);
+            self.mark_resolved(*id);
         }
         let cost = reprocessing_cost(
             &self.config.cost,
@@ -680,11 +845,292 @@ impl Simulation {
             }
         }
     }
+
+    // ------------------------------------------------------------------
+    // The resumable sync-session protocol (SyncPath::Session).
+    // ------------------------------------------------------------------
+
+    /// Tracks a tentative transaction's resolution (install or
+    /// re-execution); a second resolution of the same id is the
+    /// idempotence violation the convergence oracle reports.
+    fn mark_resolved(&mut self, id: TxnId) {
+        if !self.resolved.insert(id) {
+            self.metrics.fault.double_resolutions += 1;
+        }
+    }
+
+    /// Rolls the fate of one handshake message, counting transport faults.
+    fn roll_delivery(&mut self) -> Delivery {
+        let delivery = self.config.fault.deliver(&mut self.fault_rng);
+        match delivery {
+            Delivery::Ok => {}
+            Delivery::Dropped => self.metrics.fault.dropped += 1,
+            Delivery::Duplicated => self.metrics.fault.duplicated += 1,
+            Delivery::Reordered => self.metrics.fault.reordered += 1,
+        }
+        delivery
+    }
+
+    /// Spends one retry from the reconnection's budget. Returns `false`
+    /// when the budget is exhausted (the session must be abandoned).
+    fn consume_retry(&mut self, retries: &mut u32) -> bool {
+        if *retries >= self.config.session.max_retries {
+            return false;
+        }
+        *retries += 1;
+        self.metrics.fault.retries += 1;
+        true
+    }
+
+    /// Gives up on the current reconnection. The mobile keeps its
+    /// persisted tentative log and its unacked-session note; the next
+    /// reconnection resolves the session's fate against the ledger.
+    fn abandon(&mut self, work: f64) -> f64 {
+        self.metrics.fault.abandoned += 1;
+        work
+    }
+
+    /// Synchronizes mobile `i` through the resumable session protocol:
+    /// offer → merge → install → re-execute → ack, every step idempotent
+    /// under the `(mobile, seq)` session id and individually retryable
+    /// within one bounded budget. With [`FaultPlan::none`] this composes
+    /// exactly the legacy path's primitives in the legacy order, so
+    /// fault-free runs are byte-identical.
+    fn sync_session(&mut self, i: usize, tick: u64, spec: Option<Speculative>) -> f64 {
+        let mut work = 0.0;
+        let mut retries: u32 = 0;
+        if !self.recover_unacked(i, tick, &mut retries, &mut work) {
+            return self.abandon(work); // the reconnection died mid-recovery
+        }
+        let seq = self.mobiles[i].begin_session();
+        let mut decision: Option<SyncDecision> = None;
+        let mut spec = spec;
+        loop {
+            // Offer (mobile → base), retransmitted on loss.
+            let offer = self.roll_delivery();
+            if offer == Delivery::Dropped {
+                if !self.consume_retry(&mut retries) {
+                    return self.abandon(work);
+                }
+                continue;
+            }
+            // Base-side handling, idempotent by (mobile, seq).
+            if self.ledger.contains(i, seq) {
+                // A retransmitted offer for a session that already
+                // installed: the durable record suppresses a second
+                // install; only whatever re-execution remains is run.
+                self.metrics.fault.ledger_resumes += 1;
+                work += self.resume_session(i, seq, tick);
+            } else {
+                if decision.is_none() {
+                    decision = Some(self.plan_sync(i, spec.take()));
+                }
+                if self.config.fault.mid_merge_disconnect(&mut self.fault_rng) {
+                    // The mobile dropped while the base computed the
+                    // merge; the computed decision is retained and resumed
+                    // on retry without recomputation.
+                    self.metrics.fault.mid_merge_disconnects += 1;
+                    if !self.consume_retry(&mut retries) {
+                        return self.abandon(work);
+                    }
+                    continue;
+                }
+                match decision.take().expect("decision computed above") {
+                    SyncDecision::Refresh => {} // nothing durable to do
+                    d => {
+                        let record = self.build_record(i, d);
+                        self.session_install(i, seq, record);
+                        if self.config.fault.base_crash(&mut self.fault_rng) {
+                            // Crash between install and re-execution: the
+                            // log and ledger survive, in-flight scratch
+                            // does not. The retry's offer finds the ledger
+                            // record and resumes from it.
+                            self.metrics.fault.base_crashes += 1;
+                            if !self.consume_retry(&mut retries) {
+                                return self.abandon(work);
+                            }
+                            continue;
+                        }
+                        work += self.resume_session(i, seq, tick);
+                    }
+                }
+            }
+            if offer == Delivery::Duplicated && self.ledger.contains(i, seq) {
+                // The duplicate copy of the offer arrives after the first
+                // completed the install; the ledger guard rejects it — the
+                // no-double-install path.
+                self.metrics.fault.duplicate_installs_suppressed += 1;
+            }
+            // Ack (base → mobile): ships the refreshed origin. A lost ack
+            // sends the mobile back to retransmitting its offer.
+            match self.roll_delivery() {
+                Delivery::Dropped => {
+                    if !self.consume_retry(&mut retries) {
+                        return self.abandon(work);
+                    }
+                }
+                Delivery::Ok | Delivery::Duplicated | Delivery::Reordered => {
+                    self.mobiles[i].ack_session();
+                    self.refresh_origin(i);
+                    return work;
+                }
+            }
+        }
+    }
+
+    /// Resolves a prior unacked session against the ledger (the first
+    /// thing a reconnecting mobile does). If the session had installed,
+    /// its remaining re-execution is completed and the already-committed
+    /// prefix is trimmed from the mobile's persisted log. Returns `false`
+    /// when the status exchange itself exhausted the retry budget.
+    fn recover_unacked(&mut self, i: usize, tick: u64, retries: &mut u32, work: &mut f64) -> bool {
+        let Some(unacked) = self.mobiles[i].unacked() else {
+            return true;
+        };
+        // Status query (mobile → base), retransmitted on loss; any other
+        // delivery (including duplicated or reordered copies) gets through.
+        while let Delivery::Dropped = self.roll_delivery() {
+            if !self.consume_retry(retries) {
+                return false;
+            }
+        }
+        if self.ledger.contains(i, unacked.seq) {
+            // The session reached its install: finish whatever
+            // re-execution remains, then drop the committed prefix. The
+            // surviving suffix ran from a state including that prefix, so
+            // trim_prefix marks the origin dirty and the next plan
+            // reprocesses it.
+            self.metrics.fault.recovered_sessions += 1;
+            *work += self.resume_session(i, unacked.seq, tick);
+            self.mobiles[i].trim_prefix(unacked.offered);
+            self.metrics.fault.trimmed_txns += unacked.offered;
+        }
+        // else: nothing durable ever happened; the whole log is still
+        // pending and the fresh session below covers it.
+        self.mobiles[i].ack_session();
+        true
+    }
+
+    /// Completes a ledger-recorded session: re-executes whatever remains
+    /// of its plan (progress is durable per step) and emits its metrics
+    /// record exactly once. Returns the base work units to account, 0.0
+    /// if the session had already completed.
+    fn resume_session(&mut self, i: usize, seq: u64, tick: u64) -> f64 {
+        let record = self.ledger.get(i, seq).expect("ledger record exists").clone();
+        if record.completed {
+            return 0.0;
+        }
+        for idx in record.reexec_done..record.plan.reexecute.len() {
+            let id = record.plan.reexecute[idx];
+            self.base.reexecute(&mut self.arena, id);
+            self.mark_resolved(id);
+            self.ledger.get_mut(i, seq).expect("record present").reexec_done = idx + 1;
+        }
+        let entry = self.ledger.get_mut(i, seq).expect("record present");
+        entry.completed = true;
+        let mut sync = entry.sync;
+        sync.tick = tick;
+        let cost = entry.cost;
+        self.metrics.record(sync, cost);
+        cost.base_cpu + cost.base_io
+    }
+
+    /// Turns a non-trivial sync decision into the durable session record
+    /// written at install time: the install plan, the metrics record to
+    /// emit at completion, and the session's cost report.
+    fn build_record(&mut self, i: usize, decision: SyncDecision) -> SessionRecord {
+        match decision {
+            SyncDecision::Refresh => unreachable!("refresh sessions write no record"),
+            SyncDecision::Merge { hm, hb_len, outcome, retroactive } => {
+                let backed_out_stmts = outcome
+                    .backed_out
+                    .iter()
+                    .map(|id| self.arena.get(*id).program().statement_count())
+                    .sum();
+                let stats = self.merge_stats(&hm, hb_len, &outcome, backed_out_stmts);
+                let cost = merging_cost(&self.config.cost, &stats);
+                SessionRecord {
+                    retro_from: retroactive.then(|| self.mobiles[i].origin_index()),
+                    sync: SyncRecord {
+                        tick: 0, // filled at emission
+                        mobile: i,
+                        pending: hm.len(),
+                        hb_len,
+                        saved: outcome.saved.len(),
+                        backed_out: outcome.backed_out.len(),
+                        reprocessed: 0,
+                        merge_failed: false,
+                    },
+                    plan: outcome.install_plan(),
+                    cost,
+                    reexec_done: 0,
+                    completed: false,
+                }
+            }
+            SyncDecision::Reprocess { merge_failed } => {
+                let pending: Vec<TxnId> = self.mobiles[i].history().iter().collect();
+                let total_stmts: usize =
+                    pending.iter().map(|id| self.arena.get(*id).program().statement_count()).sum();
+                let cost = reprocessing_cost(
+                    &self.config.cost,
+                    &ReprocessStats { n_txns: pending.len(), total_stmts },
+                );
+                SessionRecord {
+                    sync: SyncRecord {
+                        tick: 0, // filled at emission
+                        mobile: i,
+                        pending: pending.len(),
+                        hb_len: 0,
+                        saved: 0,
+                        backed_out: 0,
+                        reprocessed: pending.len(),
+                        merge_failed,
+                    },
+                    plan: InstallPlan {
+                        forwarded: DbState::new(),
+                        reexecute: pending,
+                        saved: Vec::new(),
+                    },
+                    retro_from: None,
+                    cost,
+                    reexec_done: 0,
+                    completed: false,
+                }
+            }
+        }
+    }
+
+    /// Protocol step 5 under the session path: commits forwarded updates
+    /// and the durable session record in one (modeled) write-ahead
+    /// transaction. An empty forwarded set (a reprocess plan) commits
+    /// nothing, exactly like the legacy path.
+    fn session_install(&mut self, i: usize, seq: u64, record: SessionRecord) {
+        if let Some(from) = record.retro_from {
+            self.base
+                .base_mut()
+                .retro_patch(&self.arena, from, &record.plan.forwarded)
+                .expect("snapshot origin index lies within the base log");
+            self.metrics.retro_patches += 1;
+        } else {
+            let _ = self.base.install_updates(&mut self.arena, &record.plan.forwarded);
+        }
+        for idx in 0..record.plan.saved.len() {
+            self.mark_resolved(record.plan.saved[idx]);
+        }
+        let inserted = self.ledger.insert(i, seq, record);
+        debug_assert!(inserted, "double install for session ({i}, {seq})");
+        if !inserted {
+            // A second install slipping past the guard would be a protocol
+            // bug; surface it through the oracle's counter.
+            self.metrics.fault.double_resolutions += 1;
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultKind;
 
     fn quiet_workload(seed: u64) -> ScenarioParams {
         ScenarioParams {
@@ -715,6 +1161,10 @@ mod tests {
             canned: None,
             parallelism: Parallelism::Auto,
             synchronized_reconnects: false,
+            sync_path: SyncPath::Legacy,
+            fault: FaultPlan::none(),
+            session: SessionConfig::default(),
+            check_convergence: false,
         }
     }
 
@@ -982,6 +1432,133 @@ mod tests {
         // The parallel run actually took the speculative path.
         assert!(parallel.metrics.speculative_hits > 0);
         assert_eq!(serial.metrics.speculative_hits, 0);
+    }
+
+    #[test]
+    fn session_path_fault_free_is_byte_identical_to_legacy() {
+        for strategy in [
+            SyncStrategy::WindowStart { window: 100 },
+            SyncStrategy::AdaptiveWindow { max_hb: 20 },
+            SyncStrategy::PerDisconnectSnapshot,
+        ] {
+            let legacy_cfg = config(Protocol::merging_default(), strategy, 33);
+            let mut session_cfg = legacy_cfg.clone();
+            session_cfg.sync_path = SyncPath::Session;
+            session_cfg.fault = FaultPlan::none();
+            let legacy = Simulation::new(legacy_cfg).run();
+            let session = Simulation::new(session_cfg).run();
+            assert_eq!(legacy.final_master, session.final_master, "{}", strategy.name());
+            assert_eq!(legacy.base_commits, session.base_commits);
+            assert_eq!(legacy.metrics.normalized(), session.metrics.normalized());
+            assert_eq!(legacy.cluster, session.cluster);
+            assert_eq!(session.metrics.fault, crate::metrics::FaultStats::default());
+        }
+    }
+
+    #[test]
+    fn session_convergence_oracle_holds_fault_free() {
+        let mut cfg =
+            config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 100 }, 2);
+        cfg.sync_path = SyncPath::Session;
+        cfg.check_convergence = true;
+        let report = Simulation::new(cfg).run();
+        let oracle = report.convergence.expect("requested");
+        assert!(oracle.applicable);
+        assert!(oracle.holds(), "{oracle:?}");
+        assert_eq!(oracle.commits, report.base_commits);
+        assert!(oracle.commits > 0);
+    }
+
+    #[test]
+    fn certain_base_crashes_recover_through_the_ledger() {
+        // Crash rate 1.0: every installing session crashes between install
+        // and re-execution, retries, and resumes from its durable record.
+        // Recovery completes within the same tick, so everything except
+        // the fault counters matches the fault-free run byte-for-byte.
+        let mut crash_cfg =
+            config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 100 }, 19);
+        crash_cfg.sync_path = SyncPath::Session;
+        crash_cfg.check_convergence = true;
+        let mut clean_cfg = crash_cfg.clone();
+        crash_cfg.fault =
+            FaultPlan::seeded(19, crate::fault::FaultRates::only(FaultKind::BaseCrash, 1.0));
+        clean_cfg.fault = FaultPlan::none();
+        let crashed = Simulation::new(crash_cfg).run();
+        let clean = Simulation::new(clean_cfg).run();
+        assert!(crashed.metrics.fault.base_crashes > 0);
+        assert!(crashed.metrics.fault.ledger_resumes > 0);
+        assert_eq!(crashed.metrics.fault.abandoned, 0);
+        assert_eq!(crashed.final_master, clean.final_master);
+        assert_eq!(crashed.metrics.records, clean.metrics.records);
+        assert!(crashed.convergence.unwrap().holds());
+    }
+
+    #[test]
+    fn total_message_loss_abandons_every_session() {
+        // Drop rate 1.0: no offer ever arrives; every reconnection burns
+        // its retry budget and abandons, leaving tentative logs intact.
+        // Only the base tier's own load commits, and the oracle still
+        // holds over it.
+        let mut cfg =
+            config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 100 }, 23);
+        cfg.sync_path = SyncPath::Session;
+        cfg.check_convergence = true;
+        cfg.fault =
+            FaultPlan::seeded(23, crate::fault::FaultRates::only(FaultKind::MessageLoss, 1.0));
+        let report = Simulation::new(cfg).run();
+        let m = &report.metrics;
+        assert_eq!(m.syncs, 0, "no session ever completes");
+        assert!(m.fault.abandoned > 0);
+        assert!(m.fault.dropped > m.fault.abandoned, "each abandonment took retries");
+        assert_eq!(report.base_commits, m.base_generated);
+        assert!(report.convergence.unwrap().holds());
+    }
+
+    #[test]
+    fn duplicated_messages_never_double_install() {
+        let mut cfg =
+            config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 100 }, 29);
+        cfg.sync_path = SyncPath::Session;
+        cfg.check_convergence = true;
+        cfg.fault = FaultPlan::seeded(
+            29,
+            crate::fault::FaultRates::only(FaultKind::MessageDuplication, 1.0),
+        );
+        let report = Simulation::new(cfg).run();
+        let m = &report.metrics;
+        assert!(m.fault.duplicated > 0);
+        assert!(
+            m.fault.duplicate_installs_suppressed > 0,
+            "duplicated offers must hit the ledger guard: {:?}",
+            m.fault
+        );
+        assert_eq!(m.fault.double_resolutions, 0);
+        assert!(report.convergence.unwrap().holds());
+        // Dedup is absorbing: the run matches the fault-free one.
+        let mut clean =
+            config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 100 }, 29);
+        clean.sync_path = SyncPath::Session;
+        let clean = Simulation::new(clean).run();
+        assert_eq!(report.final_master, clean.final_master);
+        assert_eq!(report.metrics.records, clean.metrics.records);
+    }
+
+    #[test]
+    fn moderate_fault_mix_converges_with_recovery_traffic() {
+        // A realistic mixed schedule: some sessions abandon and recover at
+        // the next reconnection (trimming committed prefixes), others
+        // retry through transient faults. The oracle must hold throughout.
+        let mut cfg =
+            config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 150 }, 37);
+        cfg.sync_path = SyncPath::Session;
+        cfg.check_convergence = true;
+        cfg.fault = FaultPlan::seeded(37, crate::fault::FaultRates::uniform(0.25));
+        let report = Simulation::new(cfg).run();
+        let m = &report.metrics;
+        assert!(m.syncs > 0, "some sessions still complete");
+        assert!(m.fault.retries > 0);
+        assert!(report.convergence.unwrap().holds(), "{:?}", report.convergence);
+        assert_eq!(m.fault.double_resolutions, 0);
     }
 
     #[test]

@@ -46,6 +46,32 @@ impl SyncStrategy {
     }
 }
 
+/// Which reconnection machinery the simulation drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SyncPath {
+    /// The original in-process handshake: one atomic, infallible call per
+    /// reconnection. Cannot represent faults.
+    Legacy,
+    /// The resumable session protocol (offer → merge → install →
+    /// re-execute → ack) with idempotent, individually retryable steps.
+    /// With [`FaultPlan::none`] it reproduces the legacy path
+    /// byte-for-byte; with an active plan it injects and recovers from
+    /// transport and crash faults.
+    ///
+    /// [`FaultPlan::none`]: crate::fault::FaultPlan::none
+    Session,
+}
+
+impl SyncPath {
+    /// Short name for experiment reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SyncPath::Legacy => "legacy",
+            SyncPath::Session => "session",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -55,5 +81,7 @@ mod tests {
         assert_eq!(SyncStrategy::PerDisconnectSnapshot.name(), "strategy1-per-disconnect");
         assert_eq!(SyncStrategy::WindowStart { window: 100 }.name(), "strategy2-window");
         assert_eq!(SyncStrategy::AdaptiveWindow { max_hb: 50 }.name(), "strategy2-adaptive");
+        assert_eq!(SyncPath::Legacy.name(), "legacy");
+        assert_eq!(SyncPath::Session.name(), "session");
     }
 }

@@ -1,0 +1,156 @@
+//! Property-based tests of fault-injected sync sessions.
+//!
+//! Three families, per the fault model in `replication::fault`:
+//!
+//! 1. the convergence oracle holds over arbitrary `(seed, rate, strategy)`
+//!    draws — after any fault schedule, the committed history replayed
+//!    through the serial path reproduces the final master;
+//! 2. duplicated messages never double-install (session-ledger
+//!    idempotence);
+//! 3. a fault plan whose rates are all zero reproduces the legacy path
+//!    byte-for-byte, whatever its seed.
+//!
+//! The deterministic seed-matrix test at the bottom sweeps every fault
+//! kind x strategy; `FAULT_SEEDS` scales the number of schedules per cell
+//! (CI runs the release build with a large matrix, the default keeps
+//! debug-mode `cargo test` fast).
+
+use proptest::prelude::*;
+
+use histmerge::replication::{
+    FaultKind, FaultPlan, FaultRates, FaultStats, Protocol, SimConfig, Simulation, SyncPath,
+    SyncStrategy,
+};
+use histmerge::workload::generator::ScenarioParams;
+
+const STRATEGIES: [SyncStrategy; 3] = [
+    SyncStrategy::WindowStart { window: 120 },
+    SyncStrategy::AdaptiveWindow { max_hb: 60 },
+    SyncStrategy::PerDisconnectSnapshot,
+];
+
+fn config(workload_seed: u64, strategy: SyncStrategy, fault: FaultPlan) -> SimConfig {
+    SimConfig {
+        n_mobiles: 3,
+        duration: 240,
+        base_rate: 0.25,
+        mobile_rate: 0.2,
+        connect_every: 40,
+        protocol: Protocol::merging_default(),
+        strategy,
+        workload: ScenarioParams {
+            n_vars: 48,
+            commutative_fraction: 0.5,
+            guarded_fraction: 0.15,
+            read_only_fraction: 0.1,
+            hot_fraction: 0.1,
+            hot_prob: 0.4,
+            seed: workload_seed,
+            ..ScenarioParams::default()
+        },
+        base_capacity: 120.0,
+        sync_path: SyncPath::Session,
+        fault,
+        check_convergence: true,
+        ..SimConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// After ANY mixed fault schedule, the surviving committed history
+    /// replays to the final master and no tentative transaction is
+    /// resolved twice.
+    #[test]
+    fn convergence_oracle_holds_under_arbitrary_fault_mix(
+        seed in 0u64..10_000,
+        rate in 0.02f64..0.35,
+        strategy_idx in 0usize..3,
+    ) {
+        let fault = FaultPlan::seeded(seed, FaultRates::uniform(rate));
+        let report = Simulation::new(config(seed, STRATEGIES[strategy_idx], fault)).run();
+        let convergence = report.convergence.expect("oracle requested");
+        prop_assert!(
+            convergence.holds(),
+            "oracle failed for seed {seed} rate {rate} strategy {}: {convergence:?}",
+            STRATEGIES[strategy_idx].name()
+        );
+    }
+
+    /// Duplicated messages are absorbed by the session ledger: no install
+    /// or re-execution ever runs twice, and — since duplication drops
+    /// nothing — the run matches the fault-free session run exactly.
+    #[test]
+    fn duplicated_messages_never_double_install(
+        seed in 0u64..10_000,
+        rate in 0.2f64..1.0,
+        strategy_idx in 0usize..3,
+    ) {
+        let strategy = STRATEGIES[strategy_idx];
+        let fault = FaultPlan::seeded(seed, FaultRates::only(FaultKind::MessageDuplication, rate));
+        let faulted = Simulation::new(config(seed, strategy, fault)).run();
+        prop_assert_eq!(faulted.metrics.fault.double_resolutions, 0);
+        prop_assert!(faulted.convergence.expect("oracle requested").holds());
+
+        let clean = Simulation::new(config(seed, strategy, FaultPlan::none())).run();
+        prop_assert_eq!(&faulted.final_master, &clean.final_master);
+        prop_assert_eq!(faulted.base_commits, clean.base_commits);
+        prop_assert_eq!(&faulted.metrics.records, &clean.metrics.records);
+    }
+
+    /// An all-zero-rate plan is inert whatever its seed: the session path
+    /// reproduces today's legacy reports byte-for-byte.
+    #[test]
+    fn zero_rate_plans_reproduce_legacy_reports(
+        seed in 0u64..10_000,
+        fault_seed in 0u64..10_000,
+        strategy_idx in 0usize..3,
+    ) {
+        let strategy = STRATEGIES[strategy_idx];
+        let fault = FaultPlan::seeded(fault_seed, FaultRates::zero());
+        let session = Simulation::new(config(seed, strategy, fault)).run();
+
+        let mut legacy_config = config(seed, strategy, FaultPlan::none());
+        legacy_config.sync_path = SyncPath::Legacy;
+        legacy_config.check_convergence = false;
+        let legacy = Simulation::new(legacy_config).run();
+
+        prop_assert_eq!(&session.final_master, &legacy.final_master);
+        prop_assert_eq!(session.base_commits, legacy.base_commits);
+        prop_assert_eq!(&session.cluster, &legacy.cluster);
+        prop_assert_eq!(session.metrics.normalized(), legacy.metrics.normalized());
+        prop_assert_eq!(session.metrics.fault, FaultStats::default());
+    }
+}
+
+/// The deterministic sweep: every fault kind under every strategy, across
+/// `FAULT_SEEDS` schedules per cell at rotating rates. CI's fault-matrix
+/// job runs this in release with a large `FAULT_SEEDS`; the default keeps
+/// the debug-mode suite quick.
+#[test]
+fn seed_matrix_convergence_oracle() {
+    let seeds: u64 = std::env::var("FAULT_SEEDS").ok().and_then(|s| s.parse().ok()).unwrap_or(4);
+    const RATES: [f64; 3] = [0.05, 0.15, 0.3];
+    let strategies =
+        [SyncStrategy::WindowStart { window: 120 }, SyncStrategy::PerDisconnectSnapshot];
+    let mut schedules = 0usize;
+    for kind in FaultKind::ALL {
+        for strategy in strategies {
+            for seed in 0..seeds {
+                let rate = RATES[(seed % RATES.len() as u64) as usize];
+                let fault = FaultPlan::seeded(seed, FaultRates::only(kind, rate));
+                let report = Simulation::new(config(seed, strategy, fault)).run();
+                let convergence = report.convergence.expect("oracle requested");
+                assert!(
+                    convergence.holds(),
+                    "oracle failed: kind {} strategy {} seed {seed} rate {rate}: {convergence:?}",
+                    kind.name(),
+                    strategy.name()
+                );
+                schedules += 1;
+            }
+        }
+    }
+    assert_eq!(schedules, FaultKind::ALL.len() * strategies.len() * seeds as usize);
+}

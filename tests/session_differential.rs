@@ -1,0 +1,125 @@
+//! Differential test of the resumable session path: every simulation
+//! scenario from `tests/simulation.rs`, re-run through `SyncPath::Session`
+//! with `FaultPlan::none()`, must reproduce the legacy atomic handshake
+//! byte-for-byte — same final master, same commit counts, same per-sync
+//! records, same cost totals. Only `parallel_merge_ns` (wall clock) is
+//! exempt, via `Metrics::normalized`.
+
+use histmerge::replication::{
+    FaultPlan, FaultStats, Protocol, SimConfig, SimReport, Simulation, SyncPath, SyncStrategy,
+};
+use histmerge::workload::generator::ScenarioParams;
+
+fn workload(seed: u64) -> ScenarioParams {
+    ScenarioParams {
+        n_vars: 64,
+        commutative_fraction: 0.5,
+        guarded_fraction: 0.15,
+        read_only_fraction: 0.1,
+        hot_fraction: 0.1,
+        hot_prob: 0.3,
+        seed,
+        ..ScenarioParams::default()
+    }
+}
+
+fn config(protocol: Protocol, seed: u64) -> SimConfig {
+    SimConfig {
+        n_mobiles: 4,
+        duration: 400,
+        base_rate: 0.25,
+        mobile_rate: 0.2,
+        connect_every: 50,
+        protocol,
+        strategy: SyncStrategy::WindowStart { window: 200 },
+        workload: workload(seed),
+        base_capacity: 120.0,
+        ..SimConfig::default()
+    }
+}
+
+/// Runs `config` through both paths and asserts the reports are identical.
+fn assert_paths_agree(mut config: SimConfig, label: &str) -> SimReport {
+    config.sync_path = SyncPath::Legacy;
+    let legacy = Simulation::new(config.clone()).run();
+    config.sync_path = SyncPath::Session;
+    config.fault = FaultPlan::none();
+    config.check_convergence = true;
+    let session = Simulation::new(config).run();
+
+    assert_eq!(legacy.final_master, session.final_master, "{label}: master state diverged");
+    assert_eq!(legacy.base_commits, session.base_commits, "{label}: commit count diverged");
+    assert_eq!(legacy.cluster, session.cluster, "{label}: cluster stats diverged");
+    // Covers every counter, cost total, and the full per-sync record list.
+    assert_eq!(
+        legacy.metrics.normalized(),
+        session.metrics.normalized(),
+        "{label}: metrics diverged"
+    );
+    // A fault-free plan must leave no trace in the fault counters.
+    assert_eq!(session.metrics.fault, FaultStats::default(), "{label}: phantom fault events");
+    let convergence = session.convergence.expect("session run checked convergence");
+    assert!(convergence.holds(), "{label}: convergence oracle failed: {convergence:?}");
+    session
+}
+
+#[test]
+fn accounting_identity_scenario_matches_legacy() {
+    for protocol in [Protocol::Reprocessing, Protocol::merging_default()] {
+        let report = assert_paths_agree(config(protocol, 5), protocol.name());
+        let m = &report.metrics;
+        let resolved = m.saved + m.backed_out + m.reprocessed;
+        assert!(resolved <= m.tentative_generated);
+        for r in &m.records {
+            assert_eq!(r.pending, r.saved + r.backed_out + r.reprocessed);
+        }
+    }
+}
+
+#[test]
+fn merging_scenario_matches_legacy_and_stays_deterministic() {
+    let a = assert_paths_agree(config(Protocol::merging_default(), 6), "merging seed 6");
+    let b = assert_paths_agree(config(Protocol::merging_default(), 6), "merging seed 6 again");
+    assert_eq!(a.final_master, b.final_master);
+    assert!(a.metrics.saved > 0, "merging engaged through the session path");
+}
+
+#[test]
+fn convergence_scenario_matches_legacy() {
+    for protocol in [Protocol::Reprocessing, Protocol::merging_default()] {
+        let report = assert_paths_agree(config(protocol, 7), protocol.name());
+        for r in &report.metrics.records {
+            assert!(r.pending > 0, "empty syncs are not recorded");
+        }
+    }
+}
+
+#[test]
+fn scaleup_scenario_matches_legacy_at_both_fleet_sizes() {
+    for n_mobiles in [4usize, 8] {
+        for protocol in [Protocol::Reprocessing, Protocol::merging_default()] {
+            let mut c = config(protocol, 8);
+            c.n_mobiles = n_mobiles;
+            assert_paths_agree(c, &format!("{} x{n_mobiles}", protocol.name()));
+        }
+    }
+}
+
+#[test]
+fn strategy_tradeoff_scenario_matches_legacy_under_both_strategies() {
+    let mut c1 = config(Protocol::merging_default(), 9);
+    c1.strategy = SyncStrategy::PerDisconnectSnapshot;
+    c1.workload.hot_prob = 0.8;
+    c1.n_mobiles = 6;
+    let s1 = assert_paths_agree(c1, "strategy1");
+
+    let mut c2 = config(Protocol::merging_default(), 9);
+    c2.strategy = SyncStrategy::WindowStart { window: 100 };
+    c2.workload.hot_prob = 0.8;
+    c2.n_mobiles = 6;
+    let s2 = assert_paths_agree(c2, "strategy2");
+
+    // The documented trade-offs survive the path switch.
+    assert_eq!(s2.metrics.merge_failures, 0);
+    assert_eq!(s1.metrics.window_misses, 0);
+}
