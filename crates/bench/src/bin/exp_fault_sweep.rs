@@ -52,6 +52,10 @@ fn config(seed: u64, fault: FaultPlan) -> SimConfig {
 }
 
 fn run_checked(seed: u64, fault: FaultPlan, label: &str) -> SimReport {
+    // Reject malformed sweep grids up front with the offending field
+    // named, instead of silently never firing (negative) or panicking
+    // deep inside the RNG (>1.0).
+    fault.rates.validate().unwrap_or_else(|err| panic!("{label}: bad sweep cell: {err}"));
     let report = Simulation::new(config(seed, fault)).run();
     let convergence = report.convergence.expect("oracle requested");
     assert!(convergence.holds(), "{label} seed {seed}: oracle failed: {convergence:?}");

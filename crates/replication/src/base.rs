@@ -32,6 +32,25 @@ impl BaseNode {
         BaseNode { epoch_state: initial.clone(), master: initial, log: Vec::new(), epoch_start: 0 }
     }
 
+    /// Rebuilds a base node from recovered durable state (checkpoint
+    /// snapshot plus replayed WAL records). Recovery-only.
+    pub(crate) fn from_parts(
+        master: DbState,
+        log: Vec<(TxnId, DbState)>,
+        epoch_start: usize,
+        epoch_state: DbState,
+    ) -> Self {
+        BaseNode { master, log, epoch_start, epoch_state }
+    }
+
+    /// Re-appends a recovered commit: the durable log stores each commit's
+    /// after state, so replay restores it directly instead of re-running
+    /// the transaction. Recovery-only.
+    pub(crate) fn restore_commit(&mut self, txn: TxnId, after: DbState) {
+        self.master = after.clone();
+        self.log.push((txn, after));
+    }
+
     /// The current master state.
     pub fn master(&self) -> &DbState {
         &self.master
@@ -45,6 +64,17 @@ impl BaseNode {
     /// Number of committed base transactions since the simulation start.
     pub fn committed(&self) -> usize {
         self.log.len()
+    }
+
+    /// The committed log since simulation start: `(txn, after state)` per
+    /// commit — the durable content a WAL checkpoint snapshots.
+    pub fn log(&self) -> &[(TxnId, DbState)] {
+        &self.log
+    }
+
+    /// Index into the committed log where the current window began.
+    pub fn epoch_start(&self) -> usize {
+        self.epoch_start
     }
 
     /// Length of the base history since the window start — the `H_b` every

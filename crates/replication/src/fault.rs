@@ -112,7 +112,48 @@ impl FaultRates {
             || self.mid_merge_disconnect > 0.0
             || self.base_crash > 0.0
     }
+
+    /// Checks every rate is a probability in `[0.0, 1.0]`. A NaN,
+    /// negative, or >1.0 rate would otherwise fail silently (a negative
+    /// rate simply never fires; a >1.0 rate would panic deep inside the
+    /// RNG mid-run) — reject it up front with the offending field named.
+    pub fn validate(&self) -> Result<(), InvalidFaultRate> {
+        let fields = [
+            ("drop", self.drop),
+            ("duplicate", self.duplicate),
+            ("reorder", self.reorder),
+            ("mid_merge_disconnect", self.mid_merge_disconnect),
+            ("base_crash", self.base_crash),
+        ];
+        for (field, value) in fields {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(InvalidFaultRate { field, value });
+            }
+        }
+        Ok(())
+    }
 }
+
+/// A fault rate that is not a probability — NaN, negative, or above 1.0.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidFaultRate {
+    /// The offending [`FaultRates`] field.
+    pub field: &'static str,
+    /// Its rejected value.
+    pub value: f64,
+}
+
+impl std::fmt::Display for InvalidFaultRate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fault rate `{}` is {} — must be a probability in [0.0, 1.0]",
+            self.field, self.value
+        )
+    }
+}
+
+impl std::error::Error for InvalidFaultRate {}
 
 /// How the transport delivered one handshake message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -249,6 +290,32 @@ mod tests {
         assert_eq!(draw(&plan), draw(&plan));
         let other = FaultPlan::seeded(10, FaultRates::uniform(0.3));
         assert_ne!(draw(&plan), draw(&other), "different seeds, different schedules");
+    }
+
+    #[test]
+    fn validate_accepts_probabilities_and_names_offenders() {
+        assert_eq!(FaultRates::zero().validate(), Ok(()));
+        assert_eq!(FaultRates::uniform(0.5).validate(), Ok(()));
+        assert_eq!(FaultRates::uniform(1.0).validate(), Ok(()));
+
+        let negative = FaultRates { drop: -0.1, ..FaultRates::zero() };
+        let err = negative.validate().unwrap_err();
+        assert_eq!(err.field, "drop");
+        assert!(err.to_string().contains("drop"), "{err}");
+
+        let too_big = FaultRates { base_crash: 1.5, ..FaultRates::zero() };
+        assert_eq!(too_big.validate().unwrap_err().field, "base_crash");
+
+        let nan = FaultRates { reorder: f64::NAN, ..FaultRates::zero() };
+        let err = nan.validate().unwrap_err();
+        assert_eq!(err.field, "reorder");
+        assert!(err.value.is_nan());
+
+        // Every field is checked, not just the first few.
+        for kind in FaultKind::ALL {
+            assert!(FaultRates::only(kind, 2.0).validate().is_err(), "{}", kind.name());
+            assert!(FaultRates::only(kind, 1.0).validate().is_ok(), "{}", kind.name());
+        }
     }
 
     #[test]

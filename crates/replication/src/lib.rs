@@ -33,6 +33,13 @@
 //! to legacy runs; faulted runs are audited by a convergence oracle
 //! ([`ConvergenceReport`]) that replays the recorded commit order through
 //! the serial path.
+//!
+//! The base tier's durable transitions can additionally be written to a
+//! real segmented, CRC32-framed write-ahead log ([`wal`]) and recovered —
+//! latest checkpoint plus log tail, torn suffixes discarded — by
+//! [`recovery`], so crash-point torture tests can kill the base at any
+//! record boundary (or mid-record, via torn writes) and assert the
+//! recovered state equals the durable prefix.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,15 +52,21 @@ mod sim;
 pub mod batch;
 pub mod fault;
 pub mod metrics;
+pub mod recovery;
 pub mod session;
 pub mod sync;
+pub mod wal;
 
 pub use base::{BaseNode, RetroPatchError};
 pub use batch::{merge_batch, BatchJob, Parallelism};
 pub use cluster::{BaseCluster, ClusterStats};
-pub use fault::{Delivery, FaultKind, FaultPlan, FaultRates};
-pub use metrics::FaultStats;
+pub use fault::{Delivery, FaultKind, FaultPlan, FaultRates, InvalidFaultRate};
+pub use metrics::{FaultStats, WalStats};
 pub use mobile::MobileNode;
+pub use recovery::{recover, Recovered, RecoveryError};
 pub use session::{SessionConfig, SessionLedger, SessionRecord, UnackedSession};
-pub use sim::{ConvergenceReport, Protocol, SimConfig, SimReport, Simulation};
+pub use sim::{ConvergenceReport, DurableReport, Protocol, SimConfig, SimReport, Simulation};
 pub use sync::{SyncPath, SyncStrategy};
+pub use wal::{
+    DurabilityConfig, Snapshot, Storage, Tail, Tear, TornStorage, VecStorage, Wal, WalRecord,
+};

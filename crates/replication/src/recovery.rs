@@ -1,0 +1,299 @@
+//! Crash recovery: rebuild the base tier from its write-ahead log.
+//!
+//! Recovery is the read side of [`crate::wal`]: decode every live
+//! segment in ascending id order, keep the longest cleanly-framed record
+//! prefix (anything after a torn or corrupt frame — including whole later
+//! segments — is discarded), locate the **latest checkpoint** in that
+//! prefix, and replay the records after it:
+//!
+//! * [`WalRecord::Commit`] re-appends the commit with its durable after
+//!   state (no re-execution — the log stores states, not programs);
+//! * [`WalRecord::WindowStart`] rolls the window and epoch counter;
+//! * [`WalRecord::RetroPatch`] replays a Strategy-1 retroactive install
+//!   (the transaction arena supplies writesets for masking — programs are
+//!   shared immutable knowledge, like application code, not crash-lost
+//!   state);
+//! * session records rebuild the ledger: installs insert, re-execution
+//!   advances move the cursor, completes mark done, prunes drop acked
+//!   rows.
+//!
+//! The resulting [`Recovered`] is exactly the durable prefix of the
+//! pre-crash run: the crash-point torture tests assert this for a crash
+//! at *every* storage operation, with and without torn tails.
+
+use histmerge_history::TxnArena;
+use histmerge_txn::TxnId;
+
+use crate::base::BaseNode;
+use crate::session::SessionLedger;
+use crate::wal::{decode_stream, Storage, Tail, WalRecord};
+
+/// The base-tier state rebuilt from the latest checkpoint plus WAL tail.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The recovered base node (master, committed log, window state).
+    pub base: BaseNode,
+    /// The recovered window (epoch) counter.
+    pub epoch: u64,
+    /// The recovered session ledger, re-execution cursors included.
+    pub ledger: SessionLedger,
+    /// Records replayed after the checkpoint the recovery started from.
+    pub records_applied: usize,
+    /// `true` when a torn or corrupt suffix was discarded (the log did not
+    /// end at a clean record boundary).
+    pub torn: bool,
+}
+
+/// Why recovery could not produce a state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// No checkpoint record survived in the readable prefix — not even
+    /// the genesis checkpoint was durable, so there is nothing to recover
+    /// from.
+    NoCheckpoint,
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::NoCheckpoint => {
+                write!(f, "no checkpoint record in the readable WAL prefix")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+/// Rebuilds the base tier from `storage`. `arena` supplies transaction
+/// writesets for retro-patch replay; it models shared immutable knowledge
+/// (the programs), not crash-lost state.
+pub fn recover(arena: &TxnArena, storage: &impl Storage) -> Result<Recovered, RecoveryError> {
+    // The readable record prefix: segments in ascending id order, stopping
+    // at the first torn tail. Later segments are unreachable after a tear
+    // — they postdate the damage and cannot be trusted to follow it.
+    let mut records: Vec<WalRecord> = Vec::new();
+    let mut torn = false;
+    for id in storage.segment_ids() {
+        let bytes = storage.segment(id).expect("listed segment exists");
+        let (mut decoded, tail) = decode_stream(bytes);
+        records.append(&mut decoded);
+        if let Tail::Torn { .. } = tail {
+            torn = true;
+            break;
+        }
+    }
+
+    // The latest checkpoint wins: everything before it was compacted away
+    // logically even if older segments still hold bytes.
+    let checkpoint_at = records
+        .iter()
+        .rposition(|r| matches!(r, WalRecord::Checkpoint(_)))
+        .ok_or(RecoveryError::NoCheckpoint)?;
+    let snapshot = match &records[checkpoint_at] {
+        WalRecord::Checkpoint(snapshot) => snapshot.as_ref(),
+        _ => unreachable!("rposition matched a checkpoint"),
+    };
+
+    let mut base = BaseNode::from_parts(
+        snapshot.master.clone(),
+        snapshot.log.clone(),
+        snapshot.epoch_start as usize,
+        snapshot.epoch_state.clone(),
+    );
+    let mut epoch = snapshot.epoch;
+    let mut ledger = SessionLedger::new();
+    for (mobile, seq, record) in &snapshot.ledger {
+        ledger.insert(*mobile as usize, *seq, record.clone());
+    }
+
+    let mut records_applied = 0usize;
+    for record in &records[checkpoint_at + 1..] {
+        match record {
+            WalRecord::Commit { txn, after } => {
+                base.restore_commit(*txn, after.clone());
+            }
+            WalRecord::WindowStart => {
+                base.start_window();
+                epoch += 1;
+            }
+            WalRecord::RetroPatch { from_index, updates } => {
+                if base.retro_patch(arena, *from_index as usize, updates).is_err() {
+                    // A patch that no longer fits the recovered log is
+                    // semantic corruption the CRC cannot see; stop at the
+                    // last coherent record, as with a torn frame.
+                    torn = true;
+                    break;
+                }
+            }
+            WalRecord::SessionInstall { mobile, seq, record } => {
+                ledger.insert(*mobile as usize, *seq, record.clone());
+            }
+            WalRecord::ReexecAdvance { mobile, seq, done } => {
+                if let Some(rec) = ledger.get_mut(*mobile as usize, *seq) {
+                    rec.reexec_done = *done as usize;
+                }
+            }
+            WalRecord::SessionComplete { mobile, seq } => {
+                if let Some(rec) = ledger.get_mut(*mobile as usize, *seq) {
+                    rec.completed = true;
+                }
+            }
+            WalRecord::SessionPrune { mobile, upto_seq } => {
+                ledger.prune_acked(*mobile as usize, *upto_seq);
+            }
+            WalRecord::Checkpoint(_) => unreachable!("checkpoint_at is the last checkpoint"),
+        }
+        records_applied += 1;
+    }
+
+    Ok(Recovered { base, epoch, ledger, records_applied, torn })
+}
+
+/// Convenience for oracle checks: the recovered committed history as
+/// transaction ids, in commit order.
+pub fn recovered_history(recovered: &Recovered) -> Vec<TxnId> {
+    recovered.base.log().iter().map(|(t, _)| *t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::{Snapshot, Tear, TornStorage, VecStorage, Wal};
+    use histmerge_txn::{DbState, VarId};
+
+    fn state(pairs: &[(u32, i64)]) -> DbState {
+        pairs.iter().map(|&(v, x)| (VarId::new(v), x)).collect()
+    }
+
+    fn wal_with_two_commits() -> Wal<VecStorage> {
+        let genesis = Snapshot::genesis(state(&[(0, 0), (1, 0)]));
+        let mut wal = Wal::new(VecStorage::new(), &genesis);
+        wal.append(&WalRecord::Commit { txn: TxnId::new(0), after: state(&[(0, 1), (1, 0)]) });
+        wal.append(&WalRecord::WindowStart);
+        wal.append(&WalRecord::Commit { txn: TxnId::new(1), after: state(&[(0, 1), (1, 5)]) });
+        wal
+    }
+
+    #[test]
+    fn recovers_commits_and_windows_from_genesis() {
+        let wal = wal_with_two_commits();
+        let arena = TxnArena::new();
+        let r = recover(&arena, wal.storage()).expect("recovers");
+        assert!(!r.torn);
+        assert_eq!(r.records_applied, 3);
+        assert_eq!(r.epoch, 1);
+        assert_eq!(r.base.committed(), 2);
+        assert_eq!(r.base.master(), &state(&[(0, 1), (1, 5)]));
+        assert_eq!(r.base.epoch_start(), 1);
+        assert_eq!(r.base.epoch_state(), &state(&[(0, 1), (1, 0)]));
+        assert_eq!(recovered_history(&r), vec![TxnId::new(0), TxnId::new(1)]);
+        assert!(r.ledger.is_empty());
+    }
+
+    #[test]
+    fn empty_storage_has_no_checkpoint() {
+        let arena = TxnArena::new();
+        assert_eq!(recover(&arena, &VecStorage::new()).unwrap_err(), RecoveryError::NoCheckpoint);
+    }
+
+    #[test]
+    fn torn_tail_recovers_the_durable_prefix() {
+        let wal = wal_with_two_commits();
+        let arena = TxnArena::new();
+        // Crash with the last append half-written: recovery must yield the
+        // state after the first two records only.
+        let ops = wal.storage().op_count();
+        let torn = TornStorage::at_crash_point(wal.storage(), ops - 1, Tear::Truncate { keep: 5 });
+        let r = recover(&arena, torn.storage()).expect("recovers prefix");
+        assert!(r.torn);
+        assert_eq!(r.base.committed(), 1);
+        assert_eq!(r.epoch, 1);
+        assert_eq!(r.base.master(), &state(&[(0, 1), (1, 0)]));
+
+        // A flipped bit in the same append: CRC catches it, same prefix.
+        let flipped =
+            TornStorage::at_crash_point(wal.storage(), ops - 1, Tear::FlipBit { byte: 12, bit: 6 });
+        let r2 = recover(&arena, flipped.storage()).expect("recovers prefix");
+        assert!(r2.torn);
+        assert_eq!(r2.base.committed(), 1);
+        assert_eq!(r2.base.master(), r.base.master());
+    }
+
+    #[test]
+    fn latest_checkpoint_wins_and_older_segments_are_ignored() {
+        let mut wal = wal_with_two_commits();
+        let snap = Snapshot {
+            log: wal_log(&wal),
+            master: state(&[(0, 1), (1, 5)]),
+            epoch_start: 1,
+            epoch_state: state(&[(0, 1), (1, 0)]),
+            epoch: 1,
+            ledger: Vec::new(),
+        };
+        wal.checkpoint(snap);
+        wal.append(&WalRecord::Commit { txn: TxnId::new(2), after: state(&[(0, 9), (1, 5)]) });
+
+        let arena = TxnArena::new();
+        let r = recover(&arena, wal.storage()).expect("recovers");
+        assert!(!r.torn);
+        assert_eq!(r.records_applied, 1, "only the post-checkpoint commit replays");
+        assert_eq!(r.base.committed(), 3);
+        assert_eq!(r.epoch, 1);
+        assert_eq!(r.base.master(), &state(&[(0, 9), (1, 5)]));
+    }
+
+    fn wal_log(_wal: &Wal<VecStorage>) -> Vec<(TxnId, DbState)> {
+        vec![(TxnId::new(0), state(&[(0, 1), (1, 0)])), (TxnId::new(1), state(&[(0, 1), (1, 5)]))]
+    }
+
+    #[test]
+    fn session_records_rebuild_the_ledger() {
+        use crate::metrics::SyncRecord;
+        use histmerge_core::merge::InstallPlan;
+        use histmerge_workload::cost::CostReport;
+
+        let record = crate::session::SessionRecord {
+            plan: InstallPlan {
+                forwarded: state(&[(0, 3)]),
+                reexecute: vec![TxnId::new(7), TxnId::new(8)],
+                saved: Vec::new(),
+            },
+            retro_from: None,
+            sync: SyncRecord {
+                tick: 1,
+                mobile: 0,
+                pending: 2,
+                hb_len: 1,
+                saved: 0,
+                backed_out: 2,
+                reprocessed: 0,
+                merge_failed: false,
+            },
+            cost: CostReport::default(),
+            reexec_done: 0,
+            completed: false,
+        };
+
+        let genesis = Snapshot::genesis(state(&[(0, 0)]));
+        let mut wal = Wal::new(VecStorage::new(), &genesis);
+        wal.append(&WalRecord::SessionInstall { mobile: 0, seq: 0, record: record.clone() });
+        wal.append(&WalRecord::ReexecAdvance { mobile: 0, seq: 0, done: 2 });
+        wal.append(&WalRecord::SessionComplete { mobile: 0, seq: 0 });
+        wal.append(&WalRecord::SessionInstall { mobile: 1, seq: 0, record });
+
+        let arena = TxnArena::new();
+        let r = recover(&arena, wal.storage()).expect("recovers");
+        assert_eq!(r.ledger.len(), 2);
+        let rec = r.ledger.get(0, 0).expect("mobile 0 session");
+        assert_eq!(rec.reexec_done, 2);
+        assert!(rec.completed);
+        assert!(!r.ledger.get(1, 0).expect("mobile 1 session").completed);
+
+        // The prune record drops the acked row on replay too.
+        wal.append(&WalRecord::SessionPrune { mobile: 0, upto_seq: 0 });
+        let r2 = recover(&arena, wal.storage()).expect("recovers");
+        assert_eq!(r2.ledger.len(), 1);
+        assert!(r2.ledger.get(0, 0).is_none());
+    }
+}

@@ -114,12 +114,14 @@ pub struct SessionRecord {
 /// The base-side durable session table: one [`SessionRecord`] per session
 /// that reached its install step, keyed by `(mobile, seq)`.
 ///
-/// Models write-ahead-logged state: it survives the (simulated) base
-/// crashes that wipe in-flight session scratch. Records are small (a
+/// Write-ahead-logged state: it survives the base crashes that wipe
+/// in-flight session scratch (and, with durability enabled, is rebuilt
+/// from the WAL by [`crate::recovery`]). Records are small (a
 /// forwarded-value map plus transaction ids) and one is written per
-/// completed sync, so the table grows with the number of syncs — a real
-/// deployment would prune records acknowledged by their mobile.
-#[derive(Debug, Clone, Default)]
+/// completed sync; [`SessionLedger::prune_acked`] drops records once
+/// their mobile acknowledges, keeping the table bounded by the number of
+/// in-flight sessions rather than the run length.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SessionLedger {
     records: BTreeMap<(usize, u64), SessionRecord>,
 }
@@ -158,6 +160,22 @@ impl SessionLedger {
                 true
             }
         }
+    }
+
+    /// Drops every record of `mobile` with `seq <= upto_seq` — the prune
+    /// step the mobile's acknowledgement licenses (an acked session can
+    /// never be queried again: sequence numbers are monotone and the
+    /// mobile's next reconnection starts a fresh session). Returns how
+    /// many records were pruned.
+    pub fn prune_acked(&mut self, mobile: usize, upto_seq: u64) -> usize {
+        let before = self.records.len();
+        self.records.retain(|&(m, seq), _| m != mobile || seq > upto_seq);
+        before - self.records.len()
+    }
+
+    /// Iterates live records as `(mobile, seq, record)`, key order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64, &SessionRecord)> {
+        self.records.iter().map(|(&(mobile, seq), record)| (mobile, seq, record))
     }
 
     /// Number of sessions that reached their install step.
@@ -231,5 +249,28 @@ mod tests {
     #[test]
     fn default_config_bounds_retries() {
         assert!(SessionConfig::default().max_retries >= 1);
+    }
+
+    #[test]
+    fn prune_acked_drops_only_the_acked_prefix_of_one_mobile() {
+        let mut ledger = SessionLedger::new();
+        for seq in 0..4 {
+            ledger.insert(0, seq, record(1));
+            ledger.insert(1, seq, record(1));
+        }
+        assert_eq!(ledger.len(), 8);
+        // Ack mobile 0 through seq 2: drops 0..=2 of mobile 0 only.
+        assert_eq!(ledger.prune_acked(0, 2), 3);
+        assert_eq!(ledger.len(), 5);
+        assert!(!ledger.contains(0, 2));
+        assert!(ledger.contains(0, 3));
+        for seq in 0..4 {
+            assert!(ledger.contains(1, seq), "mobile 1 untouched");
+        }
+        // Pruning again is a no-op.
+        assert_eq!(ledger.prune_acked(0, 2), 0);
+        // Iteration reflects the pruned view, in key order.
+        let keys: Vec<(usize, u64)> = ledger.iter().map(|(m, s, _)| (m, s)).collect();
+        assert_eq!(keys, vec![(0, 3), (1, 0), (1, 1), (1, 2), (1, 3)]);
     }
 }

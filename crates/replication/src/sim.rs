@@ -24,8 +24,10 @@ use crate::cluster::BaseCluster;
 use crate::fault::{Delivery, FaultPlan};
 use crate::metrics::{Metrics, SyncRecord};
 use crate::mobile::MobileNode;
+use crate::recovery;
 use crate::session::{SessionConfig, SessionLedger, SessionRecord};
 use crate::sync::{SyncPath, SyncStrategy};
+use crate::wal::{DurabilityConfig, Snapshot, VecStorage, Wal, WalRecord};
 
 /// Which synchronization protocol the simulation runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -116,6 +118,12 @@ pub struct SimConfig {
     /// recorded commit order is replayed through the serial path and
     /// checked against the final master.
     pub check_convergence: bool,
+    /// Durability knobs: when enabled, every durable transition of the
+    /// base tier is written to a segmented CRC32-framed write-ahead log
+    /// and the report carries a [`DurableReport`] for crash-recovery
+    /// checks. Logging is observation-only — a durability-enabled run is
+    /// byte-identical to the same run without it.
+    pub durability: DurabilityConfig,
 }
 
 impl Default for SimConfig {
@@ -139,6 +147,7 @@ impl Default for SimConfig {
             fault: FaultPlan::none(),
             session: SessionConfig::default(),
             check_convergence: false,
+            durability: DurabilityConfig::default(),
         }
     }
 }
@@ -158,6 +167,38 @@ pub struct SimReport {
     /// The convergence-oracle verdict, when
     /// [`SimConfig::check_convergence`] was set.
     pub convergence: Option<ConvergenceReport>,
+    /// Session-ledger records still live at the end of the run (the
+    /// boundedness satellite: acked sessions are pruned, so this tracks
+    /// in-flight sessions, not run length).
+    pub ledger_len: usize,
+    /// The run's durable artifacts, when [`SimConfig::durability`] was
+    /// enabled — everything a crash-recovery harness needs.
+    pub durable: Option<DurableReport>,
+}
+
+/// The durable artifacts of a durability-enabled run: the WAL's storage
+/// (with its full mutation journal, so a crash-point harness can rewind
+/// to any moment) plus the live final state recovery must reproduce.
+#[derive(Debug)]
+pub struct DurableReport {
+    /// The WAL's backing storage, journal included.
+    pub storage: VecStorage,
+    /// The live committed log at the end of the run.
+    pub log: Vec<(TxnId, DbState)>,
+    /// The live window counter at the end of the run.
+    pub epoch: u64,
+    /// The live window-start index at the end of the run.
+    pub epoch_start: usize,
+    /// The live window-start state at the end of the run.
+    pub epoch_state: DbState,
+    /// The live session ledger at the end of the run.
+    pub ledger: SessionLedger,
+    /// The transaction arena (shared immutable knowledge: recovery needs
+    /// writesets to replay retroactive patches, and oracles need programs
+    /// to replay the recovered history).
+    pub arena: TxnArena,
+    /// The initial master state (the oracle's replay origin).
+    pub initial: DbState,
 }
 
 /// The convergence oracle's verdict: after any fault schedule, the final
@@ -275,6 +316,19 @@ enum SyncDecision {
     },
 }
 
+/// A session resumption found no ledger record for `(mobile, seq)` — the
+/// structured form of what used to be a panic. The caller degrades the
+/// session to legacy reprocessing and counts the gap in
+/// [`crate::metrics::FaultStats::ledger_gaps`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LedgerGap {
+    /// The mobile whose session record is missing.
+    mobile: usize,
+    /// The missing session's sequence number.
+    #[allow(dead_code)] // diagnostic payload, read via Debug
+    seq: u64,
+}
+
 /// The simulation state. Construct with [`Simulation::new`] and consume
 /// with [`Simulation::run`].
 pub struct Simulation {
@@ -305,11 +359,25 @@ pub struct Simulation {
     resolved: BTreeSet<TxnId>,
     /// The initial master state, kept for the oracle's replay.
     initial: DbState,
+    /// The write-ahead log, when [`SimConfig::durability`] is enabled.
+    wal: Option<Wal<VecStorage>>,
+    /// How many entries of the base log are already WAL-logged as
+    /// [`WalRecord::Commit`] records.
+    logged_commits: usize,
 }
 
 impl Simulation {
     /// Creates a simulation in its initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`SimConfig::fault`] carries a rate that is not a
+    /// probability (NaN, negative, or above 1.0) — see
+    /// [`crate::fault::FaultRates::validate`].
     pub fn new(config: SimConfig) -> Self {
+        if let Err(err) = config.fault.rates.validate() {
+            panic!("invalid fault plan: {err}");
+        }
         let source = match &config.canned {
             Some(params) => TxnSource::Canned(Box::new(CannedMix::new(params.clone()))),
             None => TxnSource::Random(Box::new(TxnFactory::new(config.workload.clone()))),
@@ -331,6 +399,10 @@ impl Simulation {
             })
             .collect();
         let n = config.n_mobiles;
+        let wal = config
+            .durability
+            .enabled
+            .then(|| Wal::new(VecStorage::new(), &Snapshot::genesis(initial.clone())));
         Simulation {
             arena: TxnArena::new(),
             base,
@@ -348,6 +420,8 @@ impl Simulation {
             ledger: SessionLedger::new(),
             resolved: BTreeSet::new(),
             initial,
+            wal,
+            logged_commits: 0,
             mobiles,
             config,
         }
@@ -360,12 +434,30 @@ impl Simulation {
         }
         let convergence =
             if self.config.check_convergence { Some(self.convergence_report()) } else { None };
+        if let Some(wal) = &self.wal {
+            self.metrics.wal.records = wal.records();
+            self.metrics.wal.bytes = wal.bytes_written();
+            self.metrics.wal.checkpoints = wal.checkpoints();
+            self.metrics.wal.segments_retired = wal.segments_retired();
+        }
+        let durable = self.wal.take().map(|wal| DurableReport {
+            storage: wal.into_storage(),
+            log: self.base.base().log().to_vec(),
+            epoch: self.epoch,
+            epoch_start: self.base.base().epoch_start(),
+            epoch_state: self.base.base().epoch_state().clone(),
+            ledger: self.ledger.clone(),
+            arena: self.arena.clone(),
+            initial: self.initial.clone(),
+        });
         SimReport {
             base_commits: self.base.base().committed(),
             final_master: self.base.base().master().clone(),
             cluster: self.base.stats().clone(),
+            ledger_len: self.ledger.len(),
             metrics: self.metrics,
             convergence,
+            durable,
         }
     }
 
@@ -391,6 +483,98 @@ impl Simulation {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Write-ahead logging (SimConfig::durability). All hooks are no-ops
+    // when durability is disabled, keeping the paths byte-identical.
+    // ------------------------------------------------------------------
+
+    /// Appends one record to the WAL, if one is open.
+    fn wal_append(&mut self, record: &WalRecord) {
+        if let Some(wal) = self.wal.as_mut() {
+            wal.append(record);
+        }
+    }
+
+    /// Logs every base-log entry committed since the last call as a
+    /// [`WalRecord::Commit`]. Called after each batch of commits (own
+    /// load, installs, re-executions), so the WAL's commit order is the
+    /// base log's commit order.
+    fn wal_sync_commits(&mut self) {
+        let Some(wal) = self.wal.as_mut() else {
+            return;
+        };
+        let log = self.base.base().log();
+        for (txn, after) in &log[self.logged_commits..] {
+            wal.append(&WalRecord::Commit { txn: *txn, after: after.clone() });
+        }
+        self.logged_commits = log.len();
+    }
+
+    /// A full snapshot of the durable state, for checkpoint records.
+    fn wal_snapshot(&self) -> Snapshot {
+        let base = self.base.base();
+        Snapshot {
+            log: base.log().to_vec(),
+            master: base.master().clone(),
+            epoch_start: base.epoch_start() as u64,
+            epoch_state: base.epoch_state().clone(),
+            epoch: self.epoch,
+            ledger: self.ledger.iter().map(|(m, s, r)| (m as u64, s, r.clone())).collect(),
+        }
+    }
+
+    /// Checkpoints (snapshot + segment compaction) when enough records
+    /// accumulated since the last one. Evaluated once per tick.
+    fn wal_maybe_checkpoint(&mut self) {
+        let every = self.config.durability.checkpoint_every;
+        let due = match &self.wal {
+            Some(wal) => every > 0 && wal.since_checkpoint() >= every,
+            None => false,
+        };
+        if due {
+            let snapshot = self.wal_snapshot();
+            if let Some(wal) = self.wal.as_mut() {
+                wal.checkpoint(snapshot);
+            }
+        }
+    }
+
+    /// The in-run recovery oracle: at a simulated base crash, rebuild the
+    /// durable state from the WAL and check it matches the live state the
+    /// crash is about to resume from. Makes the WAL load-bearing inside
+    /// faulted runs, not just in post-hoc torture tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics when recovery disagrees with the live state — a durability
+    /// bug, never a legitimate simulation outcome.
+    fn shadow_recovery_check(&mut self) {
+        let Some(wal) = &self.wal else {
+            return;
+        };
+        let recovered =
+            recovery::recover(&self.arena, wal.storage()).expect("open WAL has a checkpoint");
+        assert!(!recovered.torn, "live WAL has no torn tail");
+        let base = self.base.base();
+        assert_eq!(recovered.base.log(), base.log(), "recovered log != live log");
+        assert_eq!(recovered.base.master(), base.master(), "recovered master != live master");
+        assert_eq!(recovered.base.epoch_start(), base.epoch_start());
+        assert_eq!(recovered.base.epoch_state(), base.epoch_state());
+        assert_eq!(recovered.epoch, self.epoch, "recovered epoch != live epoch");
+        assert_eq!(recovered.ledger, self.ledger, "recovered ledger != live ledger");
+        self.metrics.wal.shadow_recoveries += 1;
+    }
+
+    /// Prunes mobile `i`'s ledger records through `seq` after its ack,
+    /// logging the prune when it dropped anything.
+    fn prune_after_ack(&mut self, i: usize, seq: u64) {
+        let pruned = self.ledger.prune_acked(i, seq);
+        if pruned > 0 {
+            self.metrics.wal.pruned_records += pruned as u64;
+            self.wal_append(&WalRecord::SessionPrune { mobile: i as u64, upto_seq: seq });
+        }
+    }
+
     fn step(&mut self, tick: u64) {
         let mut tick_base_work = 0.0;
 
@@ -400,12 +584,14 @@ impl Simulation {
                 if tick > 0 && tick.is_multiple_of(window.max(1)) {
                     self.base.base_mut().start_window();
                     self.epoch += 1;
+                    self.wal_append(&WalRecord::WindowStart);
                 }
             }
             SyncStrategy::AdaptiveWindow { max_hb } => {
                 if self.base.base().epoch_len() >= max_hb.max(1) {
                     self.base.base_mut().start_window();
                     self.epoch += 1;
+                    self.wal_append(&WalRecord::WindowStart);
                 }
             }
             SyncStrategy::PerDisconnectSnapshot => {}
@@ -422,6 +608,7 @@ impl Simulation {
             tick_base_work +=
                 stmts * self.config.cost.base_query_per_stmt + self.config.cost.base_io_force;
         }
+        self.wal_sync_commits();
 
         // Mobile tier, phase 1: every mobile generates its tentative work.
         // Generation is completed for the whole tier before any sync runs,
@@ -457,6 +644,10 @@ impl Simulation {
         if tick.is_multiple_of(10) {
             self.metrics.backlog_series.push((tick, self.backlog));
         }
+
+        // Durability: checkpoint at tick boundaries once enough records
+        // accumulated.
+        self.wal_maybe_checkpoint();
     }
 
     /// Draws the next reconnection tick (jittered unless reconnects are
@@ -734,8 +925,13 @@ impl Simulation {
                 .retro_patch(&self.arena, from, &outcome.forwarded)
                 .expect("snapshot origin index lies within the base log");
             self.metrics.retro_patches += 1;
+            self.wal_append(&WalRecord::RetroPatch {
+                from_index: from as u64,
+                updates: outcome.forwarded.clone(),
+            });
         } else {
             let _ = self.base.install_updates(&mut self.arena, &outcome.forwarded);
+            self.wal_sync_commits();
         }
         for id in &outcome.saved {
             self.mark_resolved(*id);
@@ -747,6 +943,7 @@ impl Simulation {
             self.base.reexecute(&mut self.arena, *id);
             self.mark_resolved(*id);
         }
+        self.wal_sync_commits();
 
         let stats = self.merge_stats(hm, hb_len, &outcome, backed_out_stmts);
         let cost = merging_cost(&self.config.cost, &stats);
@@ -806,6 +1003,7 @@ impl Simulation {
             self.base.reexecute(&mut self.arena, *id);
             self.mark_resolved(*id);
         }
+        self.wal_sync_commits();
         let cost = reprocessing_cost(
             &self.config.cost,
             &ReprocessStats { n_txns: pending.len(), total_stmts },
@@ -920,7 +1118,7 @@ impl Simulation {
                 // installed: the durable record suppresses a second
                 // install; only whatever re-execution remains is run.
                 self.metrics.fault.ledger_resumes += 1;
-                work += self.resume_session(i, seq, tick);
+                work += self.resume_or_degrade(i, seq, tick);
             } else {
                 if decision.is_none() {
                     decision = Some(self.plan_sync(i, spec.take()));
@@ -944,14 +1142,18 @@ impl Simulation {
                             // Crash between install and re-execution: the
                             // log and ledger survive, in-flight scratch
                             // does not. The retry's offer finds the ledger
-                            // record and resumes from it.
+                            // record and resumes from it. With durability
+                            // enabled, "survive" is checked for real: the
+                            // WAL is recovered and compared to the live
+                            // state at exactly this crash point.
                             self.metrics.fault.base_crashes += 1;
+                            self.shadow_recovery_check();
                             if !self.consume_retry(&mut retries) {
                                 return self.abandon(work);
                             }
                             continue;
                         }
-                        work += self.resume_session(i, seq, tick);
+                        work += self.resume_or_degrade(i, seq, tick);
                     }
                 }
             }
@@ -972,6 +1174,7 @@ impl Simulation {
                 Delivery::Ok | Delivery::Duplicated | Delivery::Reordered => {
                     self.mobiles[i].ack_session();
                     self.refresh_origin(i);
+                    self.prune_after_ack(i, seq);
                     return work;
                 }
             }
@@ -1001,9 +1204,12 @@ impl Simulation {
             // trim_prefix marks the origin dirty and the next plan
             // reprocesses it.
             self.metrics.fault.recovered_sessions += 1;
-            *work += self.resume_session(i, unacked.seq, tick);
+            *work += self.resume_or_degrade(i, unacked.seq, tick);
             self.mobiles[i].trim_prefix(unacked.offered);
             self.metrics.fault.trimmed_txns += unacked.offered;
+            // The status exchange doubles as the lost ack: the resolved
+            // session's ledger records can go.
+            self.prune_after_ack(i, unacked.seq);
         }
         // else: nothing durable ever happened; the whole log is still
         // pending and the fresh session below covers it.
@@ -1015,24 +1221,54 @@ impl Simulation {
     /// of its plan (progress is durable per step) and emits its metrics
     /// record exactly once. Returns the base work units to account, 0.0
     /// if the session had already completed.
-    fn resume_session(&mut self, i: usize, seq: u64, tick: u64) -> f64 {
-        let record = self.ledger.get(i, seq).expect("ledger record exists").clone();
+    ///
+    /// A missing ledger record is reported as [`LedgerGap`] instead of
+    /// panicking: a record the protocol expects can be absent after a
+    /// partial recovery, and the caller degrades to legacy reprocessing
+    /// rather than aborting the run.
+    fn resume_session(&mut self, i: usize, seq: u64, tick: u64) -> Result<f64, LedgerGap> {
+        let Some(record) = self.ledger.get(i, seq).cloned() else {
+            return Err(LedgerGap { mobile: i, seq });
+        };
         if record.completed {
-            return 0.0;
+            return Ok(0.0);
         }
         for idx in record.reexec_done..record.plan.reexecute.len() {
             let id = record.plan.reexecute[idx];
             self.base.reexecute(&mut self.arena, id);
             self.mark_resolved(id);
-            self.ledger.get_mut(i, seq).expect("record present").reexec_done = idx + 1;
+            if let Some(entry) = self.ledger.get_mut(i, seq) {
+                entry.reexec_done = idx + 1;
+            }
+            self.wal_sync_commits();
+            self.wal_append(&WalRecord::ReexecAdvance {
+                mobile: i as u64,
+                seq,
+                done: (idx + 1) as u64,
+            });
         }
-        let entry = self.ledger.get_mut(i, seq).expect("record present");
-        entry.completed = true;
-        let mut sync = entry.sync;
+        if let Some(entry) = self.ledger.get_mut(i, seq) {
+            entry.completed = true;
+        }
+        self.wal_append(&WalRecord::SessionComplete { mobile: i as u64, seq });
+        let mut sync = record.sync;
         sync.tick = tick;
-        let cost = entry.cost;
-        self.metrics.record(sync, cost);
-        cost.base_cpu + cost.base_io
+        self.metrics.record(sync, record.cost);
+        Ok(record.cost.base_cpu + record.cost.base_io)
+    }
+
+    /// Runs [`Simulation::resume_session`], degrading a [`LedgerGap`] to
+    /// legacy reprocessing of the mobile's pending log: the base has no
+    /// durable memory of the session, so the safe move is the \[GHOS96\]
+    /// fallback, not a crash.
+    fn resume_or_degrade(&mut self, i: usize, seq: u64, tick: u64) -> f64 {
+        match self.resume_session(i, seq, tick) {
+            Ok(work) => work,
+            Err(gap) => {
+                self.metrics.fault.ledger_gaps += 1;
+                self.reprocess_all(gap.mobile, tick, false)
+            }
+        }
     }
 
     /// Turns a non-trivial sync decision into the durable session record
@@ -1111,12 +1347,22 @@ impl Simulation {
                 .retro_patch(&self.arena, from, &record.plan.forwarded)
                 .expect("snapshot origin index lies within the base log");
             self.metrics.retro_patches += 1;
+            self.wal_append(&WalRecord::RetroPatch {
+                from_index: from as u64,
+                updates: record.plan.forwarded.clone(),
+            });
         } else {
             let _ = self.base.install_updates(&mut self.arena, &record.plan.forwarded);
+            self.wal_sync_commits();
         }
         for idx in 0..record.plan.saved.len() {
             self.mark_resolved(record.plan.saved[idx]);
         }
+        self.wal_append(&WalRecord::SessionInstall {
+            mobile: i as u64,
+            seq,
+            record: record.clone(),
+        });
         let inserted = self.ledger.insert(i, seq, record);
         debug_assert!(inserted, "double install for session ({i}, {seq})");
         if !inserted {
@@ -1130,7 +1376,7 @@ impl Simulation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fault::FaultKind;
+    use crate::fault::{FaultKind, FaultRates};
 
     fn quiet_workload(seed: u64) -> ScenarioParams {
         ScenarioParams {
@@ -1165,6 +1411,7 @@ mod tests {
             fault: FaultPlan::none(),
             session: SessionConfig::default(),
             check_convergence: false,
+            durability: DurabilityConfig::default(),
         }
     }
 
@@ -1559,6 +1806,143 @@ mod tests {
         assert!(m.fault.retries > 0);
         assert!(report.convergence.unwrap().holds(), "{:?}", report.convergence);
         assert_eq!(m.fault.double_resolutions, 0);
+    }
+
+    #[test]
+    fn resume_of_a_missing_record_degrades_instead_of_panicking() {
+        // Regression for the old `expect("ledger record exists")` panic:
+        // a resumption aimed at a session the ledger has no record of
+        // must degrade to legacy reprocessing, not abort the run.
+        let mut sim = Simulation::new(config(
+            Protocol::merging_default(),
+            SyncStrategy::WindowStart { window: 100 },
+            57,
+        ));
+        assert_eq!(
+            sim.resume_session(0, 99, 0),
+            Err(LedgerGap { mobile: 0, seq: 99 }),
+            "missing record is a structured error"
+        );
+        assert_eq!(sim.metrics.fault.ledger_gaps, 0, "resume_session only reports");
+        let work = sim.resume_or_degrade(0, 99, 0);
+        assert_eq!(sim.metrics.fault.ledger_gaps, 1);
+        assert!(work >= 0.0);
+        // The degradation reprocessed the mobile's pending log (empty at
+        // tick 0, so the sync record shows zero transactions — but the
+        // sync did happen, through the legacy path).
+        assert_eq!(sim.metrics.syncs, 1);
+        assert_eq!(sim.metrics.records[0].reprocessed, 0);
+        assert_eq!(sim.metrics.fault.double_resolutions, 0);
+    }
+
+    #[test]
+    fn invalid_fault_rates_are_rejected_at_construction() {
+        let mut cfg =
+            config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 100 }, 3);
+        cfg.fault =
+            FaultPlan::seeded(3, crate::fault::FaultRates { drop: -0.5, ..FaultRates::zero() });
+        let result = std::panic::catch_unwind(move || {
+            let _ = Simulation::new(cfg);
+        });
+        let message = *result.expect_err("construction must panic").downcast::<String>().unwrap();
+        assert!(message.contains("drop"), "names the offending rate: {message}");
+        assert!(message.contains("invalid fault plan"), "{message}");
+    }
+
+    #[test]
+    fn acked_sessions_are_pruned_so_the_ledger_stays_bounded() {
+        // A long fault-free session run: every session acks, so every
+        // record is pruned and the ledger ends empty — bounded by
+        // in-flight sessions, not by the number of syncs.
+        let mut cfg =
+            config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 100 }, 43);
+        cfg.sync_path = SyncPath::Session;
+        cfg.duration = 600;
+        let report = Simulation::new(cfg).run();
+        assert!(report.metrics.syncs > 20, "enough sessions to matter");
+        assert_eq!(report.ledger_len, 0, "every acked session was pruned");
+        assert!(report.metrics.wal.pruned_records > 0);
+
+        // Under a heavy mixed fault schedule some sessions stay
+        // unresolved, but never more than one per mobile.
+        let mut faulted =
+            config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 100 }, 43);
+        faulted.sync_path = SyncPath::Session;
+        faulted.duration = 600;
+        faulted.fault = FaultPlan::seeded(43, crate::fault::FaultRates::uniform(0.25));
+        let report = Simulation::new(faulted).run();
+        assert!(
+            report.ledger_len <= 3,
+            "ledger bounded by in-flight sessions (n_mobiles), got {}",
+            report.ledger_len
+        );
+    }
+
+    #[test]
+    fn durability_is_observation_only() {
+        // The WAL must never change the simulation: a durability-enabled
+        // run equals the plain run everywhere but the WAL counters.
+        for sync_path in [SyncPath::Legacy, SyncPath::Session] {
+            let mut plain =
+                config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 100 }, 61);
+            plain.sync_path = sync_path;
+            plain.check_convergence = true;
+            let mut durable = plain.clone();
+            durable.durability = DurabilityConfig { enabled: true, checkpoint_every: 64 };
+            let a = Simulation::new(plain).run();
+            let b = Simulation::new(durable).run();
+            assert_eq!(a.final_master, b.final_master);
+            assert_eq!(a.base_commits, b.base_commits);
+            assert_eq!(a.cluster, b.cluster);
+            assert_eq!(a.metrics.normalized(), b.metrics.normalized());
+            assert_eq!(a.convergence, b.convergence);
+            assert!(a.durable.is_none());
+            let durable = b.durable.expect("durability enabled");
+            assert!(b.metrics.wal.records > 0);
+            assert!(b.metrics.wal.checkpoints > 0, "600+ records at interval 64");
+            assert!(b.metrics.wal.segments_retired > 0);
+            assert_eq!(durable.log.len(), b.base_commits);
+        }
+    }
+
+    #[test]
+    fn recovery_of_a_full_run_reproduces_the_live_state() {
+        let mut cfg =
+            config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 100 }, 67);
+        cfg.sync_path = SyncPath::Session;
+        cfg.durability = DurabilityConfig { enabled: true, checkpoint_every: 128 };
+        let report = Simulation::new(cfg).run();
+        let durable = report.durable.expect("durability enabled");
+        let recovered =
+            recovery::recover(&durable.arena, &durable.storage).expect("clean WAL recovers");
+        assert!(!recovered.torn);
+        assert_eq!(recovered.base.log(), durable.log.as_slice());
+        assert_eq!(recovered.base.master(), &report.final_master);
+        assert_eq!(recovered.epoch, durable.epoch);
+        assert_eq!(recovered.base.epoch_start(), durable.epoch_start);
+        assert_eq!(recovered.base.epoch_state(), &durable.epoch_state);
+        assert_eq!(recovered.ledger, durable.ledger);
+    }
+
+    #[test]
+    fn base_crashes_run_the_shadow_recovery_oracle() {
+        // Crash faults + durability: every simulated crash point triggers
+        // an in-run recovery that must match the live state (the check
+        // panics on mismatch, so this test passing IS the oracle).
+        let mut cfg =
+            config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 100 }, 19);
+        cfg.sync_path = SyncPath::Session;
+        cfg.check_convergence = true;
+        cfg.durability = DurabilityConfig { enabled: true, checkpoint_every: 64 };
+        cfg.fault =
+            FaultPlan::seeded(19, crate::fault::FaultRates::only(FaultKind::BaseCrash, 1.0));
+        let report = Simulation::new(cfg).run();
+        assert!(report.metrics.fault.base_crashes > 0);
+        assert_eq!(
+            report.metrics.wal.shadow_recoveries as usize, report.metrics.fault.base_crashes,
+            "one recovery check per crash"
+        );
+        assert!(report.convergence.unwrap().holds());
     }
 
     #[test]

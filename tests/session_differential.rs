@@ -2,11 +2,16 @@
 //! scenario from `tests/simulation.rs`, re-run through `SyncPath::Session`
 //! with `FaultPlan::none()`, must reproduce the legacy atomic handshake
 //! byte-for-byte — same final master, same commit counts, same per-sync
-//! records, same cost totals. Only `parallel_merge_ns` (wall clock) is
-//! exempt, via `Metrics::normalized`.
+//! records, same cost totals. Only `parallel_merge_ns` (wall clock) and
+//! the WAL volume counters are exempt, via `Metrics::normalized`.
+//!
+//! Each scenario is additionally run a third time with durability
+//! enabled: write-ahead logging must be observation-only, so the durable
+//! session run must equal the legacy run on exactly the same terms.
 
 use histmerge::replication::{
-    FaultPlan, FaultStats, Protocol, SimConfig, SimReport, Simulation, SyncPath, SyncStrategy,
+    DurabilityConfig, FaultPlan, FaultStats, Protocol, SimConfig, SimReport, Simulation, SyncPath,
+    SyncStrategy,
 };
 use histmerge::workload::generator::ScenarioParams;
 
@@ -38,28 +43,49 @@ fn config(protocol: Protocol, seed: u64) -> SimConfig {
     }
 }
 
-/// Runs `config` through both paths and asserts the reports are identical.
+/// Runs `config` through both paths — and the session path once more
+/// with durability enabled — and asserts the reports are identical.
 fn assert_paths_agree(mut config: SimConfig, label: &str) -> SimReport {
     config.sync_path = SyncPath::Legacy;
     let legacy = Simulation::new(config.clone()).run();
     config.sync_path = SyncPath::Session;
     config.fault = FaultPlan::none();
     config.check_convergence = true;
-    let session = Simulation::new(config).run();
+    let session = Simulation::new(config.clone()).run();
+    config.durability = DurabilityConfig { enabled: true, checkpoint_every: 96 };
+    let durable = Simulation::new(config).run();
 
-    assert_eq!(legacy.final_master, session.final_master, "{label}: master state diverged");
-    assert_eq!(legacy.base_commits, session.base_commits, "{label}: commit count diverged");
-    assert_eq!(legacy.cluster, session.cluster, "{label}: cluster stats diverged");
-    // Covers every counter, cost total, and the full per-sync record list.
-    assert_eq!(
-        legacy.metrics.normalized(),
-        session.metrics.normalized(),
-        "{label}: metrics diverged"
-    );
-    // A fault-free plan must leave no trace in the fault counters.
-    assert_eq!(session.metrics.fault, FaultStats::default(), "{label}: phantom fault events");
-    let convergence = session.convergence.expect("session run checked convergence");
-    assert!(convergence.holds(), "{label}: convergence oracle failed: {convergence:?}");
+    for (candidate, path) in [(&session, "session"), (&durable, "session+wal")] {
+        assert_eq!(
+            legacy.final_master, candidate.final_master,
+            "{label}/{path}: master state diverged"
+        );
+        assert_eq!(
+            legacy.base_commits, candidate.base_commits,
+            "{label}/{path}: commit count diverged"
+        );
+        assert_eq!(legacy.cluster, candidate.cluster, "{label}/{path}: cluster stats diverged");
+        // Covers every counter, cost total, and the full per-sync record
+        // list.
+        assert_eq!(
+            legacy.metrics.normalized(),
+            candidate.metrics.normalized(),
+            "{label}/{path}: metrics diverged"
+        );
+        // A fault-free plan must leave no trace in the fault counters.
+        assert_eq!(
+            candidate.metrics.fault,
+            FaultStats::default(),
+            "{label}/{path}: phantom fault events"
+        );
+        let convergence = candidate.convergence.expect("session run checked convergence");
+        assert!(convergence.holds(), "{label}/{path}: convergence oracle failed: {convergence:?}");
+    }
+    // The durable run actually logged, and every acked session's ledger
+    // record was pruned (the fault-free run acks everything).
+    assert!(durable.metrics.wal.records > 0, "{label}: WAL never written");
+    assert!(durable.durable.is_some(), "{label}: durable artifacts missing");
+    assert_eq!(durable.ledger_len, 0, "{label}: acked sessions left ledger records");
     session
 }
 
