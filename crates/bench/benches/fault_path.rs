@@ -44,8 +44,12 @@ fn bench_fault_path(c: &mut Criterion) {
     group.sample_size(10);
 
     // Sanity: fault-free sessions reproduce the legacy run.
-    let legacy = Simulation::new(config(SyncPath::Legacy, FaultPlan::none())).run();
-    let session = Simulation::new(config(SyncPath::Session, FaultPlan::none())).run();
+    let legacy = Simulation::new(config(SyncPath::Legacy, FaultPlan::none()))
+        .expect("valid sim config")
+        .run();
+    let session = Simulation::new(config(SyncPath::Session, FaultPlan::none()))
+        .expect("valid sim config")
+        .run();
     assert_eq!(legacy.final_master, session.final_master);
     assert_eq!(legacy.metrics.normalized(), session.metrics.normalized());
 
@@ -56,7 +60,7 @@ fn bench_fault_path(c: &mut Criterion) {
     ];
     for (label, path, fault) in variants {
         group.bench_with_input(BenchmarkId::new("run", label), &(path, fault), |b, &(p, f)| {
-            b.iter(|| black_box(Simulation::new(config(p, f)).run()));
+            b.iter(|| black_box(Simulation::new(config(p, f)).expect("valid sim config").run()));
         });
     }
     group.finish();

@@ -52,22 +52,31 @@ fn bench_wal_replay(c: &mut Criterion) {
     ];
 
     // Sanity: logging is observation-only.
-    let plain = Simulation::new(config(DurabilityConfig::default())).run();
-    let durable = Simulation::new(config(durable_cfgs[1].1)).run();
+    let plain =
+        Simulation::new(config(DurabilityConfig::default())).expect("valid sim config").run();
+    let durable = Simulation::new(config(durable_cfgs[1].1)).expect("valid sim config").run();
     assert_eq!(plain.final_master, durable.final_master);
     assert_eq!(plain.metrics.normalized(), durable.metrics.normalized());
 
     // The simulation with and without the WAL append path.
     group.bench_with_input(BenchmarkId::new("run", "plain"), &(), |b, ()| {
-        b.iter(|| black_box(Simulation::new(config(DurabilityConfig::default())).run()));
+        b.iter(|| {
+            black_box(
+                Simulation::new(config(DurabilityConfig::default()))
+                    .expect("valid sim config")
+                    .run(),
+            )
+        });
     });
     group.bench_with_input(BenchmarkId::new("run", "durable"), &(), |b, ()| {
-        b.iter(|| black_box(Simulation::new(config(durable_cfgs[1].1)).run()));
+        b.iter(|| {
+            black_box(Simulation::new(config(durable_cfgs[1].1)).expect("valid sim config").run())
+        });
     });
 
     // Recovery replay: whole-run tail vs checkpoint-bounded tail.
     for (label, durability) in durable_cfgs {
-        let report = Simulation::new(config(durability)).run();
+        let report = Simulation::new(config(durability)).expect("valid sim config").run();
         let artifacts = report.durable.expect("durability enabled");
         group.bench_with_input(BenchmarkId::new("recover", label), &artifacts, |b, d| {
             b.iter(|| black_box(recover(&d.arena, &d.storage).expect("recovers")));

@@ -60,7 +60,7 @@ fn main() {
                     seed: 200 + seed,
                 });
             }
-            let m = Simulation::new(cfg).run().metrics;
+            let m = Simulation::new(cfg).expect("valid sim config").run().metrics;
             saved += m.saved;
             backout += m.backed_out;
             tentative += m.tentative_generated;

@@ -52,7 +52,8 @@ fn main() {
     println!("E12 (extension): partitioned base tier, 8 mobiles, 500 ticks\n");
     for base_nodes in [1usize, 2, 4, 8] {
         for protocol in [Protocol::Reprocessing, Protocol::merging_default()] {
-            let report = Simulation::new(config(protocol, base_nodes)).run();
+            let report =
+                Simulation::new(config(protocol, base_nodes)).expect("valid sim config").run();
             let c = &report.cluster;
             table.row_owned(vec![
                 base_nodes.to_string(),

@@ -80,7 +80,7 @@ fn run_cell(interval: u64, baseline: &[SimReport]) -> Cell {
     };
     for seed in 0..SEEDS {
         let durability = DurabilityConfig { enabled: true, checkpoint_every: interval };
-        let report = Simulation::new(config(seed, durability)).run();
+        let report = Simulation::new(config(seed, durability)).expect("valid sim config").run();
         let convergence = report.convergence.as_ref().expect("oracle requested");
         assert!(convergence.holds(), "ckpt {interval} seed {seed}: oracle failed: {convergence:?}");
 
@@ -121,7 +121,11 @@ fn main() {
 
     // The observation-only baseline: the same runs without durability.
     let baseline: Vec<SimReport> = (0..SEEDS)
-        .map(|seed| Simulation::new(config(seed, DurabilityConfig::default())).run())
+        .map(|seed| {
+            Simulation::new(config(seed, DurabilityConfig::default()))
+                .expect("valid sim config")
+                .run()
+        })
         .collect();
 
     let mut table = Table::new(&[

@@ -56,7 +56,7 @@ fn run_checked(seed: u64, fault: FaultPlan, label: &str) -> SimReport {
     // named, instead of silently never firing (negative) or panicking
     // deep inside the RNG (>1.0).
     fault.rates.validate().unwrap_or_else(|err| panic!("{label}: bad sweep cell: {err}"));
-    let report = Simulation::new(config(seed, fault)).run();
+    let report = Simulation::new(config(seed, fault)).expect("valid sim config").run();
     let convergence = report.convergence.expect("oracle requested");
     assert!(convergence.holds(), "{label} seed {seed}: oracle failed: {convergence:?}");
     report

@@ -119,8 +119,12 @@ fn end_to_end_ab() {
     ];
     let mut histogram: BTreeMap<usize, usize> = BTreeMap::new();
     for (label, strategy) in strategies {
-        let serial = Simulation::new(ab_config(strategy, Parallelism::Serial)).run();
-        let parallel = Simulation::new(ab_config(strategy, Parallelism::Threads(4))).run();
+        let serial = Simulation::new(ab_config(strategy, Parallelism::Serial))
+            .expect("valid sim config")
+            .run();
+        let parallel = Simulation::new(ab_config(strategy, Parallelism::Threads(4)))
+            .expect("valid sim config")
+            .run();
         let equal = serial.final_master == parallel.final_master;
         table.row_owned(vec![
             label.clone(),

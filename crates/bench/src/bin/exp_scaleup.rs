@@ -50,7 +50,7 @@ fn main() {
     println!("E6: base-node load vs fleet size (fixed base capacity 120/tick)\n");
     for n in [2usize, 4, 8, 16, 32] {
         for protocol in [Protocol::Reprocessing, Protocol::merging_default()] {
-            let m = Simulation::new(config(protocol, n)).run().metrics;
+            let m = Simulation::new(config(protocol, n)).expect("valid sim config").run().metrics;
             table.row_owned(vec![
                 n.to_string(),
                 protocol.name().to_string(),

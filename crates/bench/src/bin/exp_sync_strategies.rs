@@ -60,7 +60,10 @@ fn main() {
         let mut ratio = 0.0;
         const SEEDS: u64 = 5;
         for seed in 0..SEEDS {
-            let m = Simulation::new(config(strategy, 7 + seed)).run().metrics;
+            let m = Simulation::new(config(strategy, 7 + seed))
+                .expect("valid sim config")
+                .run()
+                .metrics;
             agg[0] += m.saved;
             agg[1] += m.backed_out;
             agg[2] += m.reprocessed;

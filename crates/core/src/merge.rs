@@ -8,6 +8,7 @@ use histmerge_history::{
     AugmentedHistory, BackoutStrategy, BaseEdgeCache, PrecedenceGraph, SerialHistory,
     TwoCycleOptimal, TxnArena,
 };
+use histmerge_obs::{Phase, TraceEvent, TracerHandle};
 use histmerge_semantics::{OracleStack, SemanticOracle, StaticAnalyzer};
 use histmerge_txn::{DbState, Fix, TxnId, VarSet};
 
@@ -193,6 +194,26 @@ impl Merger {
         s0: &DbState,
         assist: MergeAssist<'_>,
     ) -> Result<MergeOutcome, CoreError> {
+        self.merge_traced(arena, hm, hb, s0, assist, &TracerHandle::noop())
+    }
+
+    /// Like [`merge_assisted`](Self::merge_assisted), but emits trace
+    /// events and per-step wall-clock spans to `tracer`. Tracing is
+    /// observation-only: the outcome is byte-identical to the untraced
+    /// merge, and a disabled tracer costs one branch per step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates history-execution, back-out, and pruning errors.
+    pub fn merge_traced(
+        &self,
+        arena: &TxnArena,
+        hm: &SerialHistory,
+        hb: &SerialHistory,
+        s0: &DbState,
+        assist: MergeAssist<'_>,
+        tracer: &TracerHandle,
+    ) -> Result<MergeOutcome, CoreError> {
         // Execute the tentative history to obtain its log (before/after
         // images and original read values). In a deployment these logs
         // already exist; re-deriving them here keeps the API
@@ -206,18 +227,29 @@ impl Merger {
         };
 
         // Step 1: the precedence graph.
+        let span = tracer.span_start();
         let graph = match assist.base_edges {
             Some(cache) => PrecedenceGraph::build_with_base_cache(arena, hm, hb, cache),
             None => PrecedenceGraph::build(arena, hm, hb),
         };
         let graph_edges = graph.edges().len();
+        tracer.span_end(Phase::GraphBuild, span);
+        tracer.emit(|| TraceEvent::GraphBuilt {
+            hm_len: hm.len(),
+            hb_len: hb.len(),
+            edges: graph_edges,
+        });
 
         // Step 2: the back-out set, weighted by reads-from closure sizes.
+        let span = tracer.span_start();
         let weight = affected_weight(arena, hm);
         let bad = self.config.backout.compute(&graph, &weight)?;
         let affected = affected_set(arena, hm, &bad);
+        tracer.span_end(Phase::Backout, span);
+        tracer.emit(|| TraceEvent::CycleBreak { backed_out: bad.len(), affected: affected.len() });
 
         // Step 3: rewrite.
+        let span = tracer.span_start();
         let rewritten = rewrite(
             arena,
             &hm_aug,
@@ -226,12 +258,20 @@ impl Merger {
             self.config.fix_mode,
             self.config.oracle.as_ref(),
         );
+        tracer.span_end(Phase::Rewrite, span);
+        tracer.emit(|| TraceEvent::Rewrite {
+            saved: rewritten.prefix().len(),
+            backed_out: rewritten.suffix().len(),
+        });
 
         // Step 4: prune.
+        let span = tracer.span_start();
         let repaired_state = match self.config.prune {
             PruneMethod::Undo => undo(arena, &hm_aug, &rewritten, &affected)?,
             PruneMethod::Compensate => compensate(arena, &hm_aug, &rewritten)?,
         };
+        tracer.span_end(Phase::Prune, span);
+        tracer.emit(|| TraceEvent::Prune { method: self.config.prune.name() });
 
         // Step 5: forward updates — only the final repaired value of each
         // item some saved transaction modified.
@@ -437,6 +477,44 @@ mod tests {
         // still be conflict-free.
         assert!(!outcome.bad.is_empty());
         assert!(outcome.merged_history.is_some());
+    }
+
+    #[test]
+    fn traced_merge_matches_untraced_and_emits_step_events() {
+        use histmerge_obs::{JsonlSink, Tracer};
+        let ex = example1();
+        let merger = Merger::new(MergeConfig::default());
+        let plain = merger.merge(&ex.arena, &ex.hm, &ex.hb, &ex.s0).unwrap();
+
+        let sink = std::sync::Arc::new(JsonlSink::new());
+        let traced = merger
+            .merge_traced(
+                &ex.arena,
+                &ex.hm,
+                &ex.hb,
+                &ex.s0,
+                MergeAssist::default(),
+                &TracerHandle::new(sink.clone()),
+            )
+            .unwrap();
+
+        // Observation-only: every outcome field agrees.
+        assert_eq!(plain.bad, traced.bad);
+        assert_eq!(plain.saved, traced.saved);
+        assert_eq!(plain.backed_out, traced.backed_out);
+        assert_eq!(plain.new_master, traced.new_master);
+        assert_eq!(plain.reexecuted, traced.reexecuted);
+        assert_eq!(plain.graph_edges, traced.graph_edges);
+
+        // Every protocol step left an event and a span.
+        let dump = sink.dump_jsonl().unwrap();
+        for needle in
+            ["graph_built", "cycle_break", "\"rewrite\"", "\"prune\"", "graph_build", "backout"]
+        {
+            assert!(dump.contains(needle), "missing {needle} in {dump}");
+        }
+        let spans = dump.lines().filter(|l| l.contains("\"type\":\"span\"")).count();
+        assert_eq!(spans, 4, "one span per merge step:\n{dump}");
     }
 
     #[test]

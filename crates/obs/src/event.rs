@@ -1,0 +1,388 @@
+//! The typed event taxonomy and its JSONL rendering.
+
+use crate::json::push_escaped;
+
+/// A named pipeline phase, for span timing. The set covers every choke
+/// point of the merge/session/WAL stack; [`Phase::ALL`] fixes the report
+/// order of per-phase breakdowns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// Step 1: building the precedence graph `G(H_m, H_b)`.
+    GraphBuild,
+    /// Step 2: computing the back-out set (cycle breaking).
+    Backout,
+    /// Step 3: rewriting the tentative history.
+    Rewrite,
+    /// Step 4: pruning (undo or compensation).
+    Prune,
+    /// The whole merge-plan computation (steps 1–4 plus execution).
+    MergePlan,
+    /// Step 5: installing forwarded updates on the base.
+    Install,
+    /// Step 6: re-executing backed-out transactions.
+    Reexecute,
+    /// One whole synchronization (a reconnection, any path).
+    Sync,
+    /// The concurrent merge phase of a reconnect batch.
+    ParallelMerge,
+    /// Framing and appending one WAL record.
+    WalAppend,
+    /// Writing a checkpoint snapshot and compacting segments.
+    Checkpoint,
+    /// Rebuilding base-tier state from the WAL.
+    Recovery,
+    /// One Strategy-2 window (virtual clock: ticks, not nanoseconds).
+    Window,
+}
+
+impl Phase {
+    /// Every phase, in report order.
+    pub const ALL: [Phase; 13] = [
+        Phase::GraphBuild,
+        Phase::Backout,
+        Phase::Rewrite,
+        Phase::Prune,
+        Phase::MergePlan,
+        Phase::Install,
+        Phase::Reexecute,
+        Phase::Sync,
+        Phase::ParallelMerge,
+        Phase::WalAppend,
+        Phase::Checkpoint,
+        Phase::Recovery,
+        Phase::Window,
+    ];
+
+    /// Stable snake-case name, used as the JSONL `phase` field and the
+    /// registry key.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Phase::GraphBuild => "graph_build",
+            Phase::Backout => "backout",
+            Phase::Rewrite => "rewrite",
+            Phase::Prune => "prune",
+            Phase::MergePlan => "merge_plan",
+            Phase::Install => "install",
+            Phase::Reexecute => "reexecute",
+            Phase::Sync => "sync",
+            Phase::ParallelMerge => "parallel_merge",
+            Phase::WalAppend => "wal_append",
+            Phase::Checkpoint => "checkpoint",
+            Phase::Recovery => "recovery",
+            Phase::Window => "window",
+        }
+    }
+
+    /// The phase's index into [`Phase::ALL`] (registry slot).
+    pub(crate) fn index(&self) -> usize {
+        Phase::ALL.iter().position(|p| p == self).expect("every phase is listed in ALL")
+    }
+}
+
+/// One step of the resumable session protocol, as observed by the base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStepKind {
+    /// The mobile's offer arrived.
+    Offer,
+    /// The base computed (or reused) the merge decision.
+    Merge,
+    /// The install committed, with the durable session record.
+    Install,
+    /// A backed-out transaction was re-executed.
+    Reexecute,
+    /// The ack reached the mobile; the session is done.
+    Ack,
+    /// A prior unacked session was resolved against the ledger.
+    Resume,
+    /// The retry budget ran out; the session was abandoned.
+    Abandon,
+}
+
+impl SessionStepKind {
+    /// Stable snake-case name for the JSONL `step` field.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SessionStepKind::Offer => "offer",
+            SessionStepKind::Merge => "merge",
+            SessionStepKind::Install => "install",
+            SessionStepKind::Reexecute => "reexecute",
+            SessionStepKind::Ack => "ack",
+            SessionStepKind::Resume => "resume",
+            SessionStepKind::Abandon => "abandon",
+        }
+    }
+}
+
+/// A structured trace event. Every variant renders as one JSONL object
+/// with a `type` discriminant; payloads are counts and names only — no
+/// histories or states, so recording is cheap and rings stay small.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// Step 1 finished: the precedence graph was built.
+    GraphBuilt {
+        /// Tentative-history length.
+        hm_len: usize,
+        /// Base-history length the merge ran against.
+        hb_len: usize,
+        /// Edges in the full graph.
+        edges: usize,
+    },
+    /// Step 2 finished: the back-out set was selected.
+    CycleBreak {
+        /// Size of the back-out set `B`.
+        backed_out: usize,
+        /// Size of the affected set `AG(B)`.
+        affected: usize,
+    },
+    /// Step 3 finished: the history was rewritten.
+    Rewrite {
+        /// Transactions the rewrite kept (work saved).
+        saved: usize,
+        /// Transactions moved to the back-out suffix.
+        backed_out: usize,
+    },
+    /// Step 4 finished: the repaired state was pruned.
+    Prune {
+        /// The pruning method ("undo" or "compensate").
+        method: &'static str,
+    },
+    /// One session-protocol step completed at the base.
+    SessionStep {
+        /// Simulation tick.
+        tick: u64,
+        /// Mobile node id.
+        mobile: usize,
+        /// Session sequence number.
+        seq: u64,
+        /// Which step.
+        step: SessionStepKind,
+    },
+    /// The fault plan injected an event into the handshake.
+    Fault {
+        /// Simulation tick.
+        tick: u64,
+        /// The fault kind's short name.
+        kind: &'static str,
+    },
+    /// One record was appended to the WAL.
+    WalAppend {
+        /// The record kind's short name.
+        kind: &'static str,
+        /// Framed bytes written.
+        bytes: usize,
+    },
+    /// A checkpoint snapshot was written.
+    WalCheckpoint {
+        /// Records appended since the previous checkpoint.
+        records: u64,
+    },
+    /// Checkpoint compaction retired old segments.
+    WalCompaction {
+        /// Segments deleted.
+        retired: u64,
+    },
+    /// Recovery replayed the WAL tail after a checkpoint.
+    RecoveryReplay {
+        /// Records replayed after the checkpoint.
+        records: usize,
+        /// `true` when a torn or corrupt suffix was discarded.
+        torn: bool,
+    },
+    /// A runtime invariant was violated (always paired with a metrics
+    /// counter — the event carries the context the counter cannot).
+    Invariant {
+        /// The invariant's stable name (e.g. `double-install`).
+        name: &'static str,
+        /// Simulation tick.
+        tick: u64,
+        /// Mobile node id.
+        mobile: usize,
+        /// Session sequence number.
+        seq: u64,
+    },
+    /// A wall-clock span: `phase` took `ns` nanoseconds.
+    Span {
+        /// The timed phase.
+        phase: Phase,
+        /// Wall-clock nanoseconds.
+        ns: u64,
+    },
+    /// A virtual-clock span: `phase` lasted `ticks` simulation ticks.
+    TickSpan {
+        /// The timed phase.
+        phase: Phase,
+        /// Simulation ticks.
+        ticks: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's `type` discriminant, as rendered in JSONL.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::GraphBuilt { .. } => "graph_built",
+            TraceEvent::CycleBreak { .. } => "cycle_break",
+            TraceEvent::Rewrite { .. } => "rewrite",
+            TraceEvent::Prune { .. } => "prune",
+            TraceEvent::SessionStep { .. } => "session_step",
+            TraceEvent::Fault { .. } => "fault",
+            TraceEvent::WalAppend { .. } => "wal_append",
+            TraceEvent::WalCheckpoint { .. } => "wal_checkpoint",
+            TraceEvent::WalCompaction { .. } => "wal_compaction",
+            TraceEvent::RecoveryReplay { .. } => "recovery_replay",
+            TraceEvent::Invariant { .. } => "invariant",
+            TraceEvent::Span { .. } => "span",
+            TraceEvent::TickSpan { .. } => "tick_span",
+        }
+    }
+
+    /// Renders the event as one JSON object (no trailing newline). Field
+    /// order is fixed per variant, so dumps diff cleanly across runs.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(64);
+        out.push_str("{\"type\":\"");
+        out.push_str(self.kind());
+        out.push('"');
+        match self {
+            TraceEvent::GraphBuilt { hm_len, hb_len, edges } => {
+                push_field_u64(&mut out, "hm_len", *hm_len as u64);
+                push_field_u64(&mut out, "hb_len", *hb_len as u64);
+                push_field_u64(&mut out, "edges", *edges as u64);
+            }
+            TraceEvent::CycleBreak { backed_out, affected } => {
+                push_field_u64(&mut out, "backed_out", *backed_out as u64);
+                push_field_u64(&mut out, "affected", *affected as u64);
+            }
+            TraceEvent::Rewrite { saved, backed_out } => {
+                push_field_u64(&mut out, "saved", *saved as u64);
+                push_field_u64(&mut out, "backed_out", *backed_out as u64);
+            }
+            TraceEvent::Prune { method } => push_field_str(&mut out, "method", method),
+            TraceEvent::SessionStep { tick, mobile, seq, step } => {
+                push_field_u64(&mut out, "tick", *tick);
+                push_field_u64(&mut out, "mobile", *mobile as u64);
+                push_field_u64(&mut out, "seq", *seq);
+                push_field_str(&mut out, "step", step.name());
+            }
+            TraceEvent::Fault { tick, kind } => {
+                push_field_u64(&mut out, "tick", *tick);
+                push_field_str(&mut out, "kind", kind);
+            }
+            TraceEvent::WalAppend { kind, bytes } => {
+                push_field_str(&mut out, "kind", kind);
+                push_field_u64(&mut out, "bytes", *bytes as u64);
+            }
+            TraceEvent::WalCheckpoint { records } => {
+                push_field_u64(&mut out, "records", *records);
+            }
+            TraceEvent::WalCompaction { retired } => {
+                push_field_u64(&mut out, "retired", *retired);
+            }
+            TraceEvent::RecoveryReplay { records, torn } => {
+                push_field_u64(&mut out, "records", *records as u64);
+                out.push_str(",\"torn\":");
+                out.push_str(if *torn { "true" } else { "false" });
+            }
+            TraceEvent::Invariant { name, tick, mobile, seq } => {
+                push_field_str(&mut out, "name", name);
+                push_field_u64(&mut out, "tick", *tick);
+                push_field_u64(&mut out, "mobile", *mobile as u64);
+                push_field_u64(&mut out, "seq", *seq);
+            }
+            TraceEvent::Span { phase, ns } => {
+                push_field_str(&mut out, "phase", phase.name());
+                push_field_u64(&mut out, "ns", *ns);
+            }
+            TraceEvent::TickSpan { phase, ticks } => {
+                push_field_str(&mut out, "phase", phase.name());
+                push_field_u64(&mut out, "ticks", *ticks);
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn push_field_u64(out: &mut String, key: &str, v: u64) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&v.to_string());
+}
+
+fn push_field_str(out: &mut String, key: &str, v: &str) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":\"");
+    push_escaped(out, v);
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate_json_line;
+
+    fn samples() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::GraphBuilt { hm_len: 4, hb_len: 2, edges: 7 },
+            TraceEvent::CycleBreak { backed_out: 1, affected: 2 },
+            TraceEvent::Rewrite { saved: 3, backed_out: 1 },
+            TraceEvent::Prune { method: "undo" },
+            TraceEvent::SessionStep { tick: 42, mobile: 1, seq: 3, step: SessionStepKind::Install },
+            TraceEvent::Fault { tick: 9, kind: "loss" },
+            TraceEvent::WalAppend { kind: "commit", bytes: 128 },
+            TraceEvent::WalCheckpoint { records: 64 },
+            TraceEvent::WalCompaction { retired: 2 },
+            TraceEvent::RecoveryReplay { records: 17, torn: true },
+            TraceEvent::Invariant { name: "double-install", tick: 5, mobile: 0, seq: 1 },
+            TraceEvent::Span { phase: Phase::Install, ns: 1234 },
+            TraceEvent::TickSpan { phase: Phase::Window, ticks: 100 },
+        ]
+    }
+
+    #[test]
+    fn every_variant_renders_valid_json_with_its_kind() {
+        for event in samples() {
+            let line = event.to_jsonl();
+            validate_json_line(&line)
+                .unwrap_or_else(|e| panic!("{}: invalid JSON {line}: {e}", event.kind()));
+            assert!(
+                line.starts_with(&format!("{{\"type\":\"{}\"", event.kind())),
+                "{line} does not lead with its discriminant"
+            );
+        }
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let kinds: std::collections::BTreeSet<&str> = samples().iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds.len(), samples().len());
+    }
+
+    #[test]
+    fn rendering_is_exact_for_pinned_variants() {
+        assert_eq!(
+            TraceEvent::SessionStep { tick: 1, mobile: 2, seq: 3, step: SessionStepKind::Ack }
+                .to_jsonl(),
+            r#"{"type":"session_step","tick":1,"mobile":2,"seq":3,"step":"ack"}"#
+        );
+        assert_eq!(
+            TraceEvent::Span { phase: Phase::WalAppend, ns: 500 }.to_jsonl(),
+            r#"{"type":"span","phase":"wal_append","ns":500}"#
+        );
+        assert_eq!(
+            TraceEvent::RecoveryReplay { records: 3, torn: false }.to_jsonl(),
+            r#"{"type":"recovery_replay","records":3,"torn":false}"#
+        );
+    }
+
+    #[test]
+    fn phase_names_are_distinct_and_indexed() {
+        let names: std::collections::BTreeSet<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), Phase::ALL.len());
+        for (i, phase) in Phase::ALL.iter().enumerate() {
+            assert_eq!(phase.index(), i);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! The flight recorder: a bounded ring of the last N events, plus the
+//! panic wrapper that turns red tests into forensic traces.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+use crate::event::TraceEvent;
+use crate::registry::{Registry, RegistrySnapshot};
+use crate::tracer::{Tracer, TracerHandle};
+
+/// A bounded ring buffer of pre-rendered JSONL event lines plus a span
+/// registry. Recording an event beyond capacity evicts the oldest line,
+/// so memory stays fixed however long the run; the dump is always the
+/// last `capacity` events, oldest first.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    inner: Mutex<Ring>,
+    registry: Registry,
+}
+
+#[derive(Debug)]
+struct Ring {
+    lines: VecDeque<String>,
+    recorded: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Ring { lines: VecDeque::new(), recorded: 0 }),
+            registry: Registry::new(),
+        }
+    }
+
+    /// The recorder wrapped in a ready-to-use [`TracerHandle`].
+    pub fn handle(capacity: usize) -> TracerHandle {
+        TracerHandle::new(std::sync::Arc::new(FlightRecorder::new(capacity)))
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently retained (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("ring lock").lines.len()
+    }
+
+    /// `true` when nothing was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.inner.lock().expect("ring lock").recorded
+    }
+}
+
+impl Tracer for FlightRecorder {
+    fn record(&self, event: &TraceEvent) {
+        if let TraceEvent::Span { phase, ns } = event {
+            self.registry.observe(*phase, *ns);
+        }
+        if let TraceEvent::TickSpan { phase, ticks } = event {
+            self.registry.observe(*phase, *ticks);
+        }
+        let line = event.to_jsonl();
+        let mut ring = self.inner.lock().expect("ring lock");
+        if ring.lines.len() == self.capacity {
+            ring.lines.pop_front();
+        }
+        ring.lines.push_back(line);
+        ring.recorded += 1;
+    }
+
+    fn dump_jsonl(&self) -> Option<String> {
+        let ring = self.inner.lock().expect("ring lock");
+        let mut out = String::new();
+        for line in &ring.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        Some(out)
+    }
+
+    fn snapshot(&self) -> Option<RegistrySnapshot> {
+        Some(self.registry.snapshot())
+    }
+}
+
+/// Runs `f`; if it panics (an oracle failure, a diverged shadow
+/// recovery, a crash-matrix assertion), writes `tracer`'s buffered
+/// events to `<dir>/<label>.jsonl` first, then re-raises the original
+/// panic — so the red test ships its trace without changing its verdict.
+pub fn dump_on_failure<T>(tracer: &TracerHandle, label: &str, f: impl FnOnce() -> T) -> T {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(value) => value,
+        Err(payload) => {
+            if let Some(path) = tracer.dump_to_dir(label) {
+                eprintln!("flight recorder dumped to {}", path.display());
+            }
+            resume_unwind(payload)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Phase;
+    use crate::json::validate_json_line;
+
+    #[test]
+    fn ring_truncates_at_capacity_keeping_the_newest() {
+        let recorder = FlightRecorder::new(3);
+        for ns in 0..10u64 {
+            recorder.record(&TraceEvent::Span { phase: Phase::Sync, ns });
+        }
+        assert_eq!(recorder.len(), 3);
+        assert_eq!(recorder.capacity(), 3);
+        assert_eq!(recorder.recorded(), 10);
+        let dump = recorder.dump_jsonl().unwrap();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Oldest first, newest last — the final three of the ten.
+        assert!(lines[0].contains("\"ns\":7"), "{lines:?}");
+        assert!(lines[2].contains("\"ns\":9"), "{lines:?}");
+        for line in lines {
+            validate_json_line(line).unwrap();
+        }
+        // The registry saw every sample, not just the retained ones.
+        let snap = recorder.snapshot().unwrap();
+        assert_eq!(snap.phase(Phase::Sync).unwrap().count, 10);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let recorder = FlightRecorder::new(0);
+        recorder.record(&TraceEvent::WalCheckpoint { records: 1 });
+        recorder.record(&TraceEvent::WalCheckpoint { records: 2 });
+        assert_eq!(recorder.len(), 1);
+        assert!(recorder.dump_jsonl().unwrap().contains("\"records\":2"));
+    }
+
+    #[test]
+    fn dump_on_failure_writes_then_rethrows() {
+        let dir = std::env::temp_dir().join("histmerge-flight-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::env::set_var("FLIGHT_RECORDER_DIR", &dir);
+        let handle = FlightRecorder::handle(16);
+        handle.emit(|| TraceEvent::Fault { tick: 3, kind: "loss" });
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            dump_on_failure(&handle, "unit test/dump", || panic!("forced failure"));
+        }));
+        std::env::remove_var("FLIGHT_RECORDER_DIR");
+        assert!(result.is_err(), "the panic must propagate");
+        let body = std::fs::read_to_string(dir.join("unit-test-dump.jsonl")).unwrap();
+        for line in body.lines() {
+            validate_json_line(line).unwrap();
+        }
+        assert!(body.contains("\"kind\":\"loss\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dump_on_failure_is_transparent_on_success() {
+        let handle = FlightRecorder::handle(4);
+        let v = dump_on_failure(&handle, "never-written", || 41 + 1);
+        assert_eq!(v, 42);
+    }
+}

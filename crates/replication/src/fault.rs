@@ -169,6 +169,19 @@ pub enum Delivery {
     Reordered,
 }
 
+impl Delivery {
+    /// Short name for trace events (`None` for the uneventful
+    /// [`Delivery::Ok`], which is not worth recording).
+    pub fn fault_name(&self) -> Option<&'static str> {
+        match self {
+            Delivery::Ok => None,
+            Delivery::Dropped => Some(FaultKind::MessageLoss.name()),
+            Delivery::Duplicated => Some(FaultKind::MessageDuplication.name()),
+            Delivery::Reordered => Some(FaultKind::MessageReorder.name()),
+        }
+    }
+}
+
 /// A deterministic fault schedule: a seed plus per-kind rates.
 ///
 /// The plan is pure configuration; the event stream is drawn from an
@@ -316,6 +329,14 @@ mod tests {
             assert!(FaultRates::only(kind, 2.0).validate().is_err(), "{}", kind.name());
             assert!(FaultRates::only(kind, 1.0).validate().is_ok(), "{}", kind.name());
         }
+    }
+
+    #[test]
+    fn delivery_fault_names_match_kinds() {
+        assert_eq!(Delivery::Ok.fault_name(), None);
+        assert_eq!(Delivery::Dropped.fault_name(), Some("loss"));
+        assert_eq!(Delivery::Duplicated.fault_name(), Some("duplication"));
+        assert_eq!(Delivery::Reordered.fault_name(), Some("reorder"));
     }
 
     #[test]

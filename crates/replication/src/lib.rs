@@ -63,7 +63,7 @@ pub use cluster::{BaseCluster, ClusterStats};
 pub use fault::{Delivery, FaultKind, FaultPlan, FaultRates, InvalidFaultRate};
 pub use metrics::{FaultStats, WalStats};
 pub use mobile::MobileNode;
-pub use recovery::{recover, Recovered, RecoveryError};
+pub use recovery::{recover, recover_traced, Recovered, RecoveryError};
 pub use session::{SessionConfig, SessionLedger, SessionRecord, UnackedSession};
 pub use sim::{ConvergenceReport, DurableReport, Protocol, SimConfig, SimReport, Simulation};
 pub use sync::{SyncPath, SyncStrategy};

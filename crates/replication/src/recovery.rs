@@ -69,6 +69,29 @@ impl std::error::Error for RecoveryError {}
 /// writesets for retro-patch replay; it models shared immutable knowledge
 /// (the programs), not crash-lost state.
 pub fn recover(arena: &TxnArena, storage: &impl Storage) -> Result<Recovered, RecoveryError> {
+    recover_traced(arena, storage, &histmerge_obs::TracerHandle::noop())
+}
+
+/// Like [`recover`], but times the whole replay as a
+/// [`histmerge_obs::Phase::Recovery`] span and emits a
+/// [`histmerge_obs::TraceEvent::RecoveryReplay`] summarizing it.
+pub fn recover_traced(
+    arena: &TxnArena,
+    storage: &impl Storage,
+    tracer: &histmerge_obs::TracerHandle,
+) -> Result<Recovered, RecoveryError> {
+    use histmerge_obs::{Phase, TraceEvent};
+    let span = tracer.span_start();
+    let recovered = recover_inner(arena, storage)?;
+    tracer.span_end(Phase::Recovery, span);
+    tracer.emit(|| TraceEvent::RecoveryReplay {
+        records: recovered.records_applied,
+        torn: recovered.torn,
+    });
+    Ok(recovered)
+}
+
+fn recover_inner(arena: &TxnArena, storage: &impl Storage) -> Result<Recovered, RecoveryError> {
     // The readable record prefix: segments in ascending id order, stopping
     // at the first torn tail. Later segments are unreachable after a tear
     // — they postdate the damage and cannot be trusted to follow it.
@@ -269,6 +292,7 @@ mod tests {
                 backed_out: 2,
                 reprocessed: 0,
                 merge_failed: false,
+                sync_ns: 0,
             },
             cost: CostReport::default(),
             reexec_done: 0,
@@ -295,5 +319,23 @@ mod tests {
         let r2 = recover(&arena, wal.storage()).expect("recovers");
         assert_eq!(r2.ledger.len(), 1);
         assert!(r2.ledger.get(0, 0).is_none());
+    }
+
+    #[test]
+    fn traced_recovery_reports_the_replay() {
+        use histmerge_obs::{JsonlSink, Phase, Tracer, TracerHandle};
+        let wal = wal_with_two_commits();
+        let arena = TxnArena::new();
+        let sink = std::sync::Arc::new(JsonlSink::new());
+        let r = recover_traced(&arena, wal.storage(), &TracerHandle::new(sink.clone()))
+            .expect("recovers");
+        assert_eq!(r.records_applied, 3);
+        let dump = sink.dump_jsonl().unwrap();
+        assert!(dump.contains(r#""type":"recovery_replay","records":3,"torn":false"#), "{dump}");
+        assert_eq!(sink.snapshot().unwrap().phase(Phase::Recovery).unwrap().count, 1);
+        // Tracing never changes the recovered state.
+        let plain = recover(&arena, wal.storage()).expect("recovers");
+        assert_eq!(plain.base.master(), r.base.master());
+        assert_eq!(plain.records_applied, r.records_applied);
     }
 }

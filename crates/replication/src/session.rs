@@ -211,6 +211,7 @@ mod tests {
                 backed_out: 0,
                 reprocessed: pending,
                 merge_failed: false,
+                sync_ns: 0,
             },
             cost: CostReport::default(),
             reexec_done: 0,

@@ -11,6 +11,7 @@ use histmerge_core::merge::{InstallPlan, MergeAssist, MergeConfig, MergeOutcome,
 use histmerge_core::prune::PruneMethod;
 use histmerge_core::rewrite::{FixMode, RewriteAlgorithm};
 use histmerge_history::{BaseEdgeCache, PrecedenceGraph, SerialHistory, TwoCycleOptimal, TxnArena};
+use histmerge_obs::{Phase, SessionStepKind, TraceEvent, TracerHandle};
 use histmerge_semantics::{OracleStack, SemanticOracle, StaticAnalyzer};
 use histmerge_txn::{DbState, TxnId, TxnKind, VarSet};
 use histmerge_workload::canned_mix::{CannedMix, CannedMixParams};
@@ -21,7 +22,7 @@ use histmerge_workload::generator::{ScenarioParams, TxnFactory};
 
 use crate::batch::{delta_invalidates, history_footprint, merge_batch, BatchJob, Parallelism};
 use crate::cluster::BaseCluster;
-use crate::fault::{Delivery, FaultPlan};
+use crate::fault::{Delivery, FaultPlan, InvalidFaultRate};
 use crate::metrics::{Metrics, SyncRecord};
 use crate::mobile::MobileNode;
 use crate::recovery;
@@ -124,6 +125,16 @@ pub struct SimConfig {
     /// checks. Logging is observation-only — a durability-enabled run is
     /// byte-identical to the same run without it.
     pub durability: DurabilityConfig,
+    /// Sample the base backlog every this many ticks into
+    /// [`Metrics::backlog_series`]. `0` disables sampling.
+    pub backlog_sample_every: u64,
+    /// The trace sink every layer of the run reports to: merge steps,
+    /// session steps, injected faults, WAL appends, recovery replays, and
+    /// phase spans. Tracing is observation-only — a traced run's
+    /// [`Metrics::normalized`] is byte-identical to the untraced run. The
+    /// default is the shared no-op tracer, which skips event construction
+    /// entirely.
+    pub tracer: TracerHandle,
 }
 
 impl Default for SimConfig {
@@ -148,6 +159,8 @@ impl Default for SimConfig {
             session: SessionConfig::default(),
             check_convergence: false,
             durability: DurabilityConfig::default(),
+            backlog_sample_every: 10,
+            tracer: TracerHandle::noop(),
         }
     }
 }
@@ -364,20 +377,22 @@ pub struct Simulation {
     /// How many entries of the base log are already WAL-logged as
     /// [`WalRecord::Commit`] records.
     logged_commits: usize,
+    /// The tick the current window opened at, for virtual-clock window
+    /// spans ([`TraceEvent::TickSpan`]).
+    last_window_tick: u64,
 }
 
 impl Simulation {
     /// Creates a simulation in its initial state.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when [`SimConfig::fault`] carries a rate that is not a
-    /// probability (NaN, negative, or above 1.0) — see
-    /// [`crate::fault::FaultRates::validate`].
-    pub fn new(config: SimConfig) -> Self {
-        if let Err(err) = config.fault.rates.validate() {
-            panic!("invalid fault plan: {err}");
-        }
+    /// Returns [`InvalidFaultRate`] when [`SimConfig::fault`] carries a
+    /// rate that is not a probability (NaN, negative, or above 1.0) — see
+    /// [`crate::fault::FaultRates::validate`]. This used to be a panic;
+    /// callers that cannot recover should `.expect("valid sim config")`.
+    pub fn new(config: SimConfig) -> Result<Self, InvalidFaultRate> {
+        config.fault.rates.validate()?;
         let source = match &config.canned {
             Some(params) => TxnSource::Canned(Box::new(CannedMix::new(params.clone()))),
             None => TxnSource::Random(Box::new(TxnFactory::new(config.workload.clone()))),
@@ -399,11 +414,11 @@ impl Simulation {
             })
             .collect();
         let n = config.n_mobiles;
-        let wal = config
-            .durability
-            .enabled
-            .then(|| Wal::new(VecStorage::new(), &Snapshot::genesis(initial.clone())));
-        Simulation {
+        let wal = config.durability.enabled.then(|| {
+            Wal::new(VecStorage::new(), &Snapshot::genesis(initial.clone()))
+                .with_tracer(config.tracer.clone())
+        });
+        Ok(Simulation {
             arena: TxnArena::new(),
             base,
             mobile_epochs: vec![0; n],
@@ -422,9 +437,10 @@ impl Simulation {
             initial,
             wal,
             logged_commits: 0,
+            last_window_tick: 0,
             mobiles,
             config,
-        }
+        })
     }
 
     /// Runs the simulation to completion.
@@ -434,6 +450,15 @@ impl Simulation {
         }
         let convergence =
             if self.config.check_convergence { Some(self.convergence_report()) } else { None };
+        if let Some(report) = &convergence {
+            if !report.holds() {
+                // The oracle failed: ship the flight recorder's last events
+                // before anyone asserts on the report.
+                if let Some(path) = self.config.tracer.dump_to_dir("convergence-failure") {
+                    eprintln!("convergence oracle failed; flight recorder at {}", path.display());
+                }
+            }
+        }
         if let Some(wal) = &self.wal {
             self.metrics.wal.records = wal.records();
             self.metrics.wal.bytes = wal.bytes_written();
@@ -552,10 +577,25 @@ impl Simulation {
         let Some(wal) = &self.wal else {
             return;
         };
-        let recovered =
-            recovery::recover(&self.arena, wal.storage()).expect("open WAL has a checkpoint");
-        assert!(!recovered.torn, "live WAL has no torn tail");
+        let recovered = recovery::recover_traced(&self.arena, wal.storage(), &self.config.tracer)
+            .expect("open WAL has a checkpoint");
         let base = self.base.base();
+        let diverged = recovered.torn
+            || recovered.base.log() != base.log()
+            || recovered.base.master() != base.master()
+            || recovered.base.epoch_start() != base.epoch_start()
+            || recovered.base.epoch_state() != base.epoch_state()
+            || recovered.epoch != self.epoch
+            || recovered.ledger != self.ledger;
+        if diverged {
+            // Dump the flight recorder before the asserts below abort the
+            // run: the last events are the forensic record of how the
+            // durable and live states drifted apart.
+            if let Some(path) = self.config.tracer.dump_to_dir("shadow-recovery-divergence") {
+                eprintln!("shadow recovery diverged; flight recorder at {}", path.display());
+            }
+        }
+        assert!(!recovered.torn, "live WAL has no torn tail");
         assert_eq!(recovered.base.log(), base.log(), "recovered log != live log");
         assert_eq!(recovered.base.master(), base.master(), "recovered master != live master");
         assert_eq!(recovered.base.epoch_start(), base.epoch_start());
@@ -585,6 +625,11 @@ impl Simulation {
                     self.base.base_mut().start_window();
                     self.epoch += 1;
                     self.wal_append(&WalRecord::WindowStart);
+                    let last = self.last_window_tick;
+                    self.config
+                        .tracer
+                        .emit(|| TraceEvent::TickSpan { phase: Phase::Window, ticks: tick - last });
+                    self.last_window_tick = tick;
                 }
             }
             SyncStrategy::AdaptiveWindow { max_hb } => {
@@ -592,6 +637,11 @@ impl Simulation {
                     self.base.base_mut().start_window();
                     self.epoch += 1;
                     self.wal_append(&WalRecord::WindowStart);
+                    let last = self.last_window_tick;
+                    self.config
+                        .tracer
+                        .emit(|| TraceEvent::TickSpan { phase: Phase::Window, ticks: tick - last });
+                    self.last_window_tick = tick;
                 }
             }
             SyncStrategy::PerDisconnectSnapshot => {}
@@ -641,7 +691,8 @@ impl Simulation {
         if self.backlog > self.metrics.peak_backlog {
             self.metrics.peak_backlog = self.backlog;
         }
-        if tick.is_multiple_of(10) {
+        let every = self.config.backlog_sample_every;
+        if every > 0 && tick.is_multiple_of(every) {
             self.metrics.backlog_series.push((tick, self.backlog));
         }
 
@@ -671,13 +722,24 @@ impl Simulation {
     fn sync_batch(&mut self, batch: &[usize], tick: u64) -> f64 {
         self.metrics.batch_sizes.push(batch.len());
         let mut speculated = self.speculate_batch(batch);
+        let tracer = self.config.tracer.clone();
         let mut work = 0.0;
         for &i in batch {
             let spec = speculated.remove(&i);
+            let before = self.metrics.records.len();
+            let span = tracer.span_start();
             work += match self.config.sync_path {
                 SyncPath::Legacy => self.sync_mobile(i, tick, spec),
                 SyncPath::Session => self.sync_session(i, tick, spec),
             };
+            let ns = tracer.span_end(Phase::Sync, span);
+            if ns > 0 {
+                // Attach the wall-clock span to the records this member
+                // emitted (normally one; recovery traffic can add more).
+                for record in &mut self.metrics.records[before..] {
+                    record.sync_ns = ns;
+                }
+            }
         }
         work
     }
@@ -737,7 +799,9 @@ impl Simulation {
             &make_merger,
             workers,
         );
-        self.metrics.parallel_merge_ns += started.elapsed().as_nanos() as u64;
+        let ns = started.elapsed().as_nanos() as u64;
+        self.metrics.parallel_merge_ns += ns;
+        self.config.tracer.emit(|| TraceEvent::Span { phase: Phase::ParallelMerge, ns });
 
         for (job, result) in jobs.into_iter().zip(results) {
             if let Ok(outcome) = result {
@@ -859,7 +923,11 @@ impl Simulation {
         let merger = self.merger(algorithm, fix_mode);
         let assist =
             MergeAssist { base_edges: Some(&self.base_edge_cache), hb_final: Some(&hb_final) };
-        match merger.merge_assisted(&self.arena, &hm, &hb, &s0, assist) {
+        let tracer = self.config.tracer.clone();
+        let span = tracer.span_start();
+        let planned = merger.merge_traced(&self.arena, &hm, &hb, &s0, assist, &tracer);
+        tracer.span_end(Phase::MergePlan, span);
+        match planned {
             Ok(outcome) => SyncDecision::Merge {
                 hb_len: hb.len(),
                 hm,
@@ -895,7 +963,12 @@ impl Simulation {
             return SyncDecision::Reprocess { merge_failed: true };
         }
         let merger = self.merger(algorithm, fix_mode);
-        match merger.merge(&self.arena, &hm, &hb, &s0) {
+        let tracer = self.config.tracer.clone();
+        let span = tracer.span_start();
+        let planned =
+            merger.merge_traced(&self.arena, &hm, &hb, &s0, MergeAssist::default(), &tracer);
+        tracer.span_end(Phase::MergePlan, span);
+        match planned {
             Ok(outcome) => SyncDecision::Merge {
                 hb_len: hb.len(),
                 hm,
@@ -917,7 +990,9 @@ impl Simulation {
         outcome: MergeOutcome,
         retroactive: bool,
     ) -> f64 {
+        let tracer = self.config.tracer.clone();
         // Step 5: install forwarded updates.
+        let install_span = tracer.span_start();
         if retroactive {
             let from = self.mobiles[i].origin_index();
             self.base
@@ -936,7 +1011,9 @@ impl Simulation {
         for id in &outcome.saved {
             self.mark_resolved(*id);
         }
+        tracer.span_end(Phase::Install, install_span);
         // Step 6: re-execute backed-out transactions as base transactions.
+        let reexec_span = tracer.span_start();
         let mut backed_out_stmts = 0usize;
         for id in &outcome.backed_out {
             backed_out_stmts += self.arena.get(*id).program().statement_count();
@@ -944,6 +1021,7 @@ impl Simulation {
             self.mark_resolved(*id);
         }
         self.wal_sync_commits();
+        tracer.span_end(Phase::Reexecute, reexec_span);
 
         let stats = self.merge_stats(hm, hb_len, &outcome, backed_out_stmts);
         let cost = merging_cost(&self.config.cost, &stats);
@@ -957,6 +1035,7 @@ impl Simulation {
                 backed_out: outcome.backed_out.len(),
                 reprocessed: 0,
                 merge_failed: false,
+                sync_ns: 0,
             },
             cost,
         );
@@ -999,11 +1078,14 @@ impl Simulation {
         let pending: Vec<TxnId> = self.mobiles[i].history().iter().collect();
         let total_stmts: usize =
             pending.iter().map(|id| self.arena.get(*id).program().statement_count()).sum();
+        let tracer = self.config.tracer.clone();
+        let span = tracer.span_start();
         for id in &pending {
             self.base.reexecute(&mut self.arena, *id);
             self.mark_resolved(*id);
         }
         self.wal_sync_commits();
+        tracer.span_end(Phase::Reexecute, span);
         let cost = reprocessing_cost(
             &self.config.cost,
             &ReprocessStats { n_txns: pending.len(), total_stmts },
@@ -1018,6 +1100,7 @@ impl Simulation {
                 backed_out: 0,
                 reprocessed: pending.len(),
                 merge_failed,
+                sync_ns: 0,
             },
             cost,
         );
@@ -1058,13 +1141,16 @@ impl Simulation {
     }
 
     /// Rolls the fate of one handshake message, counting transport faults.
-    fn roll_delivery(&mut self) -> Delivery {
+    fn roll_delivery(&mut self, tick: u64) -> Delivery {
         let delivery = self.config.fault.deliver(&mut self.fault_rng);
         match delivery {
             Delivery::Ok => {}
             Delivery::Dropped => self.metrics.fault.dropped += 1,
             Delivery::Duplicated => self.metrics.fault.duplicated += 1,
             Delivery::Reordered => self.metrics.fault.reordered += 1,
+        }
+        if let Some(kind) = delivery.fault_name() {
+            self.config.tracer.emit(|| TraceEvent::Fault { tick, kind });
         }
         delivery
     }
@@ -1083,8 +1169,14 @@ impl Simulation {
     /// Gives up on the current reconnection. The mobile keeps its
     /// persisted tentative log and its unacked-session note; the next
     /// reconnection resolves the session's fate against the ledger.
-    fn abandon(&mut self, work: f64) -> f64 {
+    fn abandon(&mut self, i: usize, tick: u64, seq: u64, work: f64) -> f64 {
         self.metrics.fault.abandoned += 1;
+        self.config.tracer.emit(|| TraceEvent::SessionStep {
+            tick,
+            mobile: i,
+            seq,
+            step: SessionStepKind::Abandon,
+        });
         work
     }
 
@@ -1098,38 +1190,61 @@ impl Simulation {
         let mut work = 0.0;
         let mut retries: u32 = 0;
         if !self.recover_unacked(i, tick, &mut retries, &mut work) {
-            return self.abandon(work); // the reconnection died mid-recovery
+            // The reconnection died mid-recovery.
+            let seq = self.mobiles[i].unacked().map_or(0, |u| u.seq);
+            return self.abandon(i, tick, seq, work);
         }
         let seq = self.mobiles[i].begin_session();
         let mut decision: Option<SyncDecision> = None;
         let mut spec = spec;
         loop {
             // Offer (mobile → base), retransmitted on loss.
-            let offer = self.roll_delivery();
+            let offer = self.roll_delivery(tick);
             if offer == Delivery::Dropped {
                 if !self.consume_retry(&mut retries) {
-                    return self.abandon(work);
+                    return self.abandon(i, tick, seq, work);
                 }
                 continue;
             }
+            self.config.tracer.emit(|| TraceEvent::SessionStep {
+                tick,
+                mobile: i,
+                seq,
+                step: SessionStepKind::Offer,
+            });
             // Base-side handling, idempotent by (mobile, seq).
             if self.ledger.contains(i, seq) {
                 // A retransmitted offer for a session that already
                 // installed: the durable record suppresses a second
                 // install; only whatever re-execution remains is run.
                 self.metrics.fault.ledger_resumes += 1;
+                self.config.tracer.emit(|| TraceEvent::SessionStep {
+                    tick,
+                    mobile: i,
+                    seq,
+                    step: SessionStepKind::Resume,
+                });
                 work += self.resume_or_degrade(i, seq, tick);
             } else {
                 if decision.is_none() {
                     decision = Some(self.plan_sync(i, spec.take()));
+                    self.config.tracer.emit(|| TraceEvent::SessionStep {
+                        tick,
+                        mobile: i,
+                        seq,
+                        step: SessionStepKind::Merge,
+                    });
                 }
                 if self.config.fault.mid_merge_disconnect(&mut self.fault_rng) {
                     // The mobile dropped while the base computed the
                     // merge; the computed decision is retained and resumed
                     // on retry without recomputation.
                     self.metrics.fault.mid_merge_disconnects += 1;
+                    self.config
+                        .tracer
+                        .emit(|| TraceEvent::Fault { tick, kind: "mid-merge-disconnect" });
                     if !self.consume_retry(&mut retries) {
-                        return self.abandon(work);
+                        return self.abandon(i, tick, seq, work);
                     }
                     continue;
                 }
@@ -1137,7 +1252,7 @@ impl Simulation {
                     SyncDecision::Refresh => {} // nothing durable to do
                     d => {
                         let record = self.build_record(i, d);
-                        self.session_install(i, seq, record);
+                        self.session_install(i, seq, record, tick);
                         if self.config.fault.base_crash(&mut self.fault_rng) {
                             // Crash between install and re-execution: the
                             // log and ledger survive, in-flight scratch
@@ -1147,9 +1262,12 @@ impl Simulation {
                             // WAL is recovered and compared to the live
                             // state at exactly this crash point.
                             self.metrics.fault.base_crashes += 1;
+                            self.config
+                                .tracer
+                                .emit(|| TraceEvent::Fault { tick, kind: "base-crash" });
                             self.shadow_recovery_check();
                             if !self.consume_retry(&mut retries) {
-                                return self.abandon(work);
+                                return self.abandon(i, tick, seq, work);
                             }
                             continue;
                         }
@@ -1165,16 +1283,22 @@ impl Simulation {
             }
             // Ack (base → mobile): ships the refreshed origin. A lost ack
             // sends the mobile back to retransmitting its offer.
-            match self.roll_delivery() {
+            match self.roll_delivery(tick) {
                 Delivery::Dropped => {
                     if !self.consume_retry(&mut retries) {
-                        return self.abandon(work);
+                        return self.abandon(i, tick, seq, work);
                     }
                 }
                 Delivery::Ok | Delivery::Duplicated | Delivery::Reordered => {
                     self.mobiles[i].ack_session();
                     self.refresh_origin(i);
                     self.prune_after_ack(i, seq);
+                    self.config.tracer.emit(|| TraceEvent::SessionStep {
+                        tick,
+                        mobile: i,
+                        seq,
+                        step: SessionStepKind::Ack,
+                    });
                     return work;
                 }
             }
@@ -1192,7 +1316,7 @@ impl Simulation {
         };
         // Status query (mobile → base), retransmitted on loss; any other
         // delivery (including duplicated or reordered copies) gets through.
-        while let Delivery::Dropped = self.roll_delivery() {
+        while let Delivery::Dropped = self.roll_delivery(tick) {
             if !self.consume_retry(retries) {
                 return false;
             }
@@ -1204,6 +1328,12 @@ impl Simulation {
             // trim_prefix marks the origin dirty and the next plan
             // reprocesses it.
             self.metrics.fault.recovered_sessions += 1;
+            self.config.tracer.emit(|| TraceEvent::SessionStep {
+                tick,
+                mobile: i,
+                seq: unacked.seq,
+                step: SessionStepKind::Resume,
+            });
             *work += self.resume_or_degrade(i, unacked.seq, tick);
             self.mobiles[i].trim_prefix(unacked.offered);
             self.metrics.fault.trimmed_txns += unacked.offered;
@@ -1233,6 +1363,8 @@ impl Simulation {
         if record.completed {
             return Ok(0.0);
         }
+        let tracer = self.config.tracer.clone();
+        let span = tracer.span_start();
         for idx in record.reexec_done..record.plan.reexecute.len() {
             let id = record.plan.reexecute[idx];
             self.base.reexecute(&mut self.arena, id);
@@ -1246,11 +1378,18 @@ impl Simulation {
                 seq,
                 done: (idx + 1) as u64,
             });
+            self.config.tracer.emit(|| TraceEvent::SessionStep {
+                tick,
+                mobile: i,
+                seq,
+                step: SessionStepKind::Reexecute,
+            });
         }
         if let Some(entry) = self.ledger.get_mut(i, seq) {
             entry.completed = true;
         }
         self.wal_append(&WalRecord::SessionComplete { mobile: i as u64, seq });
+        tracer.span_end(Phase::Reexecute, span);
         let mut sync = record.sync;
         sync.tick = tick;
         self.metrics.record(sync, record.cost);
@@ -1266,6 +1405,12 @@ impl Simulation {
             Ok(work) => work,
             Err(gap) => {
                 self.metrics.fault.ledger_gaps += 1;
+                self.config.tracer.emit(|| TraceEvent::Invariant {
+                    name: "ledger-gap",
+                    tick,
+                    mobile: gap.mobile,
+                    seq: gap.seq,
+                });
                 self.reprocess_all(gap.mobile, tick, false)
             }
         }
@@ -1296,6 +1441,7 @@ impl Simulation {
                         backed_out: outcome.backed_out.len(),
                         reprocessed: 0,
                         merge_failed: false,
+                        sync_ns: 0,
                     },
                     plan: outcome.install_plan(),
                     cost,
@@ -1321,6 +1467,7 @@ impl Simulation {
                         backed_out: 0,
                         reprocessed: pending.len(),
                         merge_failed,
+                        sync_ns: 0,
                     },
                     plan: InstallPlan {
                         forwarded: DbState::new(),
@@ -1340,7 +1487,9 @@ impl Simulation {
     /// and the durable session record in one (modeled) write-ahead
     /// transaction. An empty forwarded set (a reprocess plan) commits
     /// nothing, exactly like the legacy path.
-    fn session_install(&mut self, i: usize, seq: u64, record: SessionRecord) {
+    fn session_install(&mut self, i: usize, seq: u64, record: SessionRecord, tick: u64) {
+        let tracer = self.config.tracer.clone();
+        let span = tracer.span_start();
         if let Some(from) = record.retro_from {
             self.base
                 .base_mut()
@@ -1363,12 +1512,27 @@ impl Simulation {
             seq,
             record: record.clone(),
         });
+        tracer.span_end(Phase::Install, span);
         let inserted = self.ledger.insert(i, seq, record);
-        debug_assert!(inserted, "double install for session ({i}, {seq})");
-        if !inserted {
-            // A second install slipping past the guard would be a protocol
-            // bug; surface it through the oracle's counter.
+        if inserted {
+            self.config.tracer.emit(|| TraceEvent::SessionStep {
+                tick,
+                mobile: i,
+                seq,
+                step: SessionStepKind::Install,
+            });
+        } else {
+            // A second install slipping past the ledger guard is a protocol
+            // bug. The counter (checked in release builds too, unlike the
+            // debug assertion it replaced) surfaces it through the metrics
+            // oracle; the event carries the session id for the recorder.
             self.metrics.fault.double_resolutions += 1;
+            self.config.tracer.emit(|| TraceEvent::Invariant {
+                name: "double-install",
+                tick,
+                mobile: i,
+                seq,
+            });
         }
     }
 }
@@ -1412,6 +1576,8 @@ mod tests {
             session: SessionConfig::default(),
             check_convergence: false,
             durability: DurabilityConfig::default(),
+            backlog_sample_every: 10,
+            tracer: TracerHandle::noop(),
         }
     }
 
@@ -1422,6 +1588,7 @@ mod tests {
             SyncStrategy::WindowStart { window: 100 },
             1,
         ))
+        .expect("valid sim config")
         .run();
         let m = &report.metrics;
         assert!(m.tentative_generated > 0);
@@ -1443,6 +1610,7 @@ mod tests {
             SyncStrategy::WindowStart { window: 1000 },
             1,
         ))
+        .expect("valid sim config")
         .run();
         let m = &report.metrics;
         assert!(m.saved > 0, "merging saved nothing: {m:?}");
@@ -1459,7 +1627,7 @@ mod tests {
             cfg.workload.commutative_fraction = commutative;
             cfg.workload.guarded_fraction = 0.0;
             cfg.workload.read_only_fraction = 0.0;
-            Simulation::new(cfg).run().metrics.save_ratio()
+            Simulation::new(cfg).expect("valid sim config").run().metrics.save_ratio()
         };
         let low = run(0.0);
         let high = run(1.0);
@@ -1477,8 +1645,8 @@ mod tests {
         low.workload.commutative_fraction = 0.7;
         let mut low_m = low.clone();
         low_m.protocol = Protocol::merging_default();
-        let rep = Simulation::new(low).run();
-        let mer = Simulation::new(low_m).run();
+        let rep = Simulation::new(low).expect("valid sim config").run();
+        let mer = Simulation::new(low_m).expect("valid sim config").run();
         // Same workload seed: merging must force fewer log writes at the
         // base (one per merge vs one per transaction).
         assert!(
@@ -1498,7 +1666,7 @@ mod tests {
         cfg.workload.hot_fraction = 0.05;
         cfg.n_mobiles = 6;
         cfg.mobile_rate = 0.3;
-        let report = Simulation::new(cfg).run();
+        let report = Simulation::new(cfg).expect("valid sim config").run();
         assert!(
             report.metrics.merge_failures > 0,
             "expected Strategy-1 merge failures: {:?}",
@@ -1511,7 +1679,7 @@ mod tests {
         let mut cfg =
             config(Protocol::merging_default(), SyncStrategy::AdaptiveWindow { max_hb: 15 }, 13);
         cfg.base_rate = 0.5; // fast-growing base history
-        let report = Simulation::new(cfg).run();
+        let report = Simulation::new(cfg).expect("valid sim config").run();
         let m = &report.metrics;
         // Every merge ran against a bounded base history.
         for r in &m.records {
@@ -1528,7 +1696,7 @@ mod tests {
         let mut cfg =
             config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 20 }, 5);
         cfg.connect_every = 80;
-        let report = Simulation::new(cfg).run();
+        let report = Simulation::new(cfg).expect("valid sim config").run();
         assert!(report.metrics.window_misses > 0);
         assert!(report.metrics.reprocessed > 0);
     }
@@ -1540,12 +1708,14 @@ mod tests {
             SyncStrategy::WindowStart { window: 100 },
             9,
         ))
+        .expect("valid sim config")
         .run();
         let b = Simulation::new(config(
             Protocol::merging_default(),
             SyncStrategy::WindowStart { window: 100 },
             9,
         ))
+        .expect("valid sim config")
         .run();
         assert_eq!(a.final_master, b.final_master);
         assert_eq!(a.metrics.saved, b.metrics.saved);
@@ -1563,7 +1733,7 @@ mod tests {
             seed: 41,
             ..CannedMixParams::default()
         });
-        let report = Simulation::new(cfg).run();
+        let report = Simulation::new(cfg).expect("valid sim config").run();
         let m = &report.metrics;
         assert!(m.tentative_generated > 0);
         assert!(m.saved > 0, "canned merging saved nothing: {m:?}");
@@ -1577,7 +1747,7 @@ mod tests {
             seed: 41,
             ..CannedMixParams::default()
         });
-        let again = Simulation::new(cfg2).run();
+        let again = Simulation::new(cfg2).expect("valid sim config").run();
         assert_eq!(report.final_master, again.final_master);
     }
 
@@ -1587,7 +1757,7 @@ mod tests {
             config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 100 }, 31);
         cfg.base_nodes = 4;
         cfg.workload.writes_per_txn = 3; // multi-partition footprints
-        let report = Simulation::new(cfg).run();
+        let report = Simulation::new(cfg).expect("valid sim config").run();
         assert_eq!(report.cluster.per_node_commits.len(), 4);
         assert!(report.cluster.distributed_txns > 0, "wide transactions expected");
         assert!(report.cluster.two_pc_messages > 0);
@@ -1596,7 +1766,7 @@ mod tests {
         let mut cfg1 =
             config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 100 }, 31);
         cfg1.workload.writes_per_txn = 3;
-        let single = Simulation::new(cfg1).run();
+        let single = Simulation::new(cfg1).expect("valid sim config").run();
         assert_eq!(single.cluster.two_pc_messages, 0);
         // Partitioning does not change the outcome, only the accounting.
         assert_eq!(single.final_master, report.final_master);
@@ -1626,7 +1796,7 @@ mod tests {
             config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 50 }, 17);
         cfg.connect_every = 2;
         cfg.duration = 200;
-        let report = Simulation::new(cfg).run();
+        let report = Simulation::new(cfg).expect("valid sim config").run();
         let m = &report.metrics;
         assert!(m.syncs > 50, "tight interval should sync often: {}", m.syncs);
         // Per-mobile reconnect ticks strictly increase.
@@ -1647,7 +1817,7 @@ mod tests {
         cfg.n_mobiles = 6;
         cfg.connect_every = 25;
         cfg.duration = 200;
-        let report = Simulation::new(cfg).run();
+        let report = Simulation::new(cfg).expect("valid sim config").run();
         let m = &report.metrics;
         assert!(
             m.batch_sizes.contains(&6),
@@ -1670,8 +1840,8 @@ mod tests {
         let mut parallel_cfg = serial_cfg.clone();
         serial_cfg.parallelism = Parallelism::Serial;
         parallel_cfg.parallelism = Parallelism::Threads(4);
-        let serial = Simulation::new(serial_cfg).run();
-        let parallel = Simulation::new(parallel_cfg).run();
+        let serial = Simulation::new(serial_cfg).expect("valid sim config").run();
+        let parallel = Simulation::new(parallel_cfg).expect("valid sim config").run();
         assert_eq!(serial.final_master, parallel.final_master);
         assert_eq!(serial.metrics.saved, parallel.metrics.saved);
         assert_eq!(serial.metrics.cost.total(), parallel.metrics.cost.total());
@@ -1692,8 +1862,8 @@ mod tests {
             let mut session_cfg = legacy_cfg.clone();
             session_cfg.sync_path = SyncPath::Session;
             session_cfg.fault = FaultPlan::none();
-            let legacy = Simulation::new(legacy_cfg).run();
-            let session = Simulation::new(session_cfg).run();
+            let legacy = Simulation::new(legacy_cfg).expect("valid sim config").run();
+            let session = Simulation::new(session_cfg).expect("valid sim config").run();
             assert_eq!(legacy.final_master, session.final_master, "{}", strategy.name());
             assert_eq!(legacy.base_commits, session.base_commits);
             assert_eq!(legacy.metrics.normalized(), session.metrics.normalized());
@@ -1708,7 +1878,7 @@ mod tests {
             config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 100 }, 2);
         cfg.sync_path = SyncPath::Session;
         cfg.check_convergence = true;
-        let report = Simulation::new(cfg).run();
+        let report = Simulation::new(cfg).expect("valid sim config").run();
         let oracle = report.convergence.expect("requested");
         assert!(oracle.applicable);
         assert!(oracle.holds(), "{oracle:?}");
@@ -1730,8 +1900,8 @@ mod tests {
         crash_cfg.fault =
             FaultPlan::seeded(19, crate::fault::FaultRates::only(FaultKind::BaseCrash, 1.0));
         clean_cfg.fault = FaultPlan::none();
-        let crashed = Simulation::new(crash_cfg).run();
-        let clean = Simulation::new(clean_cfg).run();
+        let crashed = Simulation::new(crash_cfg).expect("valid sim config").run();
+        let clean = Simulation::new(clean_cfg).expect("valid sim config").run();
         assert!(crashed.metrics.fault.base_crashes > 0);
         assert!(crashed.metrics.fault.ledger_resumes > 0);
         assert_eq!(crashed.metrics.fault.abandoned, 0);
@@ -1752,7 +1922,7 @@ mod tests {
         cfg.check_convergence = true;
         cfg.fault =
             FaultPlan::seeded(23, crate::fault::FaultRates::only(FaultKind::MessageLoss, 1.0));
-        let report = Simulation::new(cfg).run();
+        let report = Simulation::new(cfg).expect("valid sim config").run();
         let m = &report.metrics;
         assert_eq!(m.syncs, 0, "no session ever completes");
         assert!(m.fault.abandoned > 0);
@@ -1771,7 +1941,7 @@ mod tests {
             29,
             crate::fault::FaultRates::only(FaultKind::MessageDuplication, 1.0),
         );
-        let report = Simulation::new(cfg).run();
+        let report = Simulation::new(cfg).expect("valid sim config").run();
         let m = &report.metrics;
         assert!(m.fault.duplicated > 0);
         assert!(
@@ -1785,7 +1955,7 @@ mod tests {
         let mut clean =
             config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 100 }, 29);
         clean.sync_path = SyncPath::Session;
-        let clean = Simulation::new(clean).run();
+        let clean = Simulation::new(clean).expect("valid sim config").run();
         assert_eq!(report.final_master, clean.final_master);
         assert_eq!(report.metrics.records, clean.metrics.records);
     }
@@ -1800,7 +1970,7 @@ mod tests {
         cfg.sync_path = SyncPath::Session;
         cfg.check_convergence = true;
         cfg.fault = FaultPlan::seeded(37, crate::fault::FaultRates::uniform(0.25));
-        let report = Simulation::new(cfg).run();
+        let report = Simulation::new(cfg).expect("valid sim config").run();
         let m = &report.metrics;
         assert!(m.syncs > 0, "some sessions still complete");
         assert!(m.fault.retries > 0);
@@ -1817,7 +1987,8 @@ mod tests {
             Protocol::merging_default(),
             SyncStrategy::WindowStart { window: 100 },
             57,
-        ));
+        ))
+        .expect("valid sim config");
         assert_eq!(
             sim.resume_session(0, 99, 0),
             Err(LedgerGap { mobile: 0, seq: 99 }),
@@ -1841,12 +2012,63 @@ mod tests {
             config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 100 }, 3);
         cfg.fault =
             FaultPlan::seeded(3, crate::fault::FaultRates { drop: -0.5, ..FaultRates::zero() });
-        let result = std::panic::catch_unwind(move || {
-            let _ = Simulation::new(cfg);
-        });
-        let message = *result.expect_err("construction must panic").downcast::<String>().unwrap();
+        let err = match Simulation::new(cfg) {
+            Err(err) => err,
+            Ok(_) => panic!("invalid rates must be a structured error"),
+        };
+        let message = err.to_string();
         assert!(message.contains("drop"), "names the offending rate: {message}");
-        assert!(message.contains("invalid fault plan"), "{message}");
+        assert!(message.contains("must be a probability"), "{message}");
+    }
+
+    #[test]
+    fn double_install_is_counted_and_traced_instead_of_asserting() {
+        use histmerge_obs::FlightRecorder;
+        use histmerge_workload::cost::CostReport;
+        // Regression for the old `debug_assert!` double-install guard:
+        // a second install of the same session must survive (in release
+        // and debug builds alike), bump the counter the convergence
+        // oracle checks, and leave a traced invariant event.
+        let ring = FlightRecorder::handle(16);
+        let mut cfg =
+            config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 100 }, 13);
+        cfg.tracer = ring.clone();
+        let mut sim = Simulation::new(cfg).expect("valid sim config");
+        let record = SessionRecord {
+            plan: InstallPlan {
+                forwarded: DbState::new(),
+                reexecute: Vec::new(),
+                saved: Vec::new(),
+            },
+            retro_from: None,
+            sync: SyncRecord {
+                tick: 0,
+                mobile: 0,
+                pending: 0,
+                hb_len: 0,
+                saved: 0,
+                backed_out: 0,
+                reprocessed: 0,
+                merge_failed: false,
+                sync_ns: 0,
+            },
+            cost: CostReport::default(),
+            reexec_done: 0,
+            completed: false,
+        };
+        sim.session_install(0, 7, record.clone(), 5);
+        assert_eq!(sim.metrics.fault.double_resolutions, 0);
+        sim.session_install(0, 7, record, 6);
+        assert_eq!(sim.metrics.fault.double_resolutions, 1);
+        let dump = ring.dump_jsonl().expect("ring retains events");
+        assert!(
+            dump.contains(
+                r#"{"type":"invariant","name":"double-install","tick":6,"mobile":0,"seq":7}"#
+            ),
+            "missing invariant event in:\n{dump}"
+        );
+        // The first, legitimate install left its session step.
+        assert!(dump.contains(r#""step":"install""#), "{dump}");
     }
 
     #[test]
@@ -1858,7 +2080,7 @@ mod tests {
             config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 100 }, 43);
         cfg.sync_path = SyncPath::Session;
         cfg.duration = 600;
-        let report = Simulation::new(cfg).run();
+        let report = Simulation::new(cfg).expect("valid sim config").run();
         assert!(report.metrics.syncs > 20, "enough sessions to matter");
         assert_eq!(report.ledger_len, 0, "every acked session was pruned");
         assert!(report.metrics.wal.pruned_records > 0);
@@ -1870,7 +2092,7 @@ mod tests {
         faulted.sync_path = SyncPath::Session;
         faulted.duration = 600;
         faulted.fault = FaultPlan::seeded(43, crate::fault::FaultRates::uniform(0.25));
-        let report = Simulation::new(faulted).run();
+        let report = Simulation::new(faulted).expect("valid sim config").run();
         assert!(
             report.ledger_len <= 3,
             "ledger bounded by in-flight sessions (n_mobiles), got {}",
@@ -1889,8 +2111,8 @@ mod tests {
             plain.check_convergence = true;
             let mut durable = plain.clone();
             durable.durability = DurabilityConfig { enabled: true, checkpoint_every: 64 };
-            let a = Simulation::new(plain).run();
-            let b = Simulation::new(durable).run();
+            let a = Simulation::new(plain).expect("valid sim config").run();
+            let b = Simulation::new(durable).expect("valid sim config").run();
             assert_eq!(a.final_master, b.final_master);
             assert_eq!(a.base_commits, b.base_commits);
             assert_eq!(a.cluster, b.cluster);
@@ -1911,7 +2133,7 @@ mod tests {
             config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 100 }, 67);
         cfg.sync_path = SyncPath::Session;
         cfg.durability = DurabilityConfig { enabled: true, checkpoint_every: 128 };
-        let report = Simulation::new(cfg).run();
+        let report = Simulation::new(cfg).expect("valid sim config").run();
         let durable = report.durable.expect("durability enabled");
         let recovered =
             recovery::recover(&durable.arena, &durable.storage).expect("clean WAL recovers");
@@ -1936,7 +2158,7 @@ mod tests {
         cfg.durability = DurabilityConfig { enabled: true, checkpoint_every: 64 };
         cfg.fault =
             FaultPlan::seeded(19, crate::fault::FaultRates::only(FaultKind::BaseCrash, 1.0));
-        let report = Simulation::new(cfg).run();
+        let report = Simulation::new(cfg).expect("valid sim config").run();
         assert!(report.metrics.fault.base_crashes > 0);
         assert_eq!(
             report.metrics.wal.shadow_recoveries as usize, report.metrics.fault.base_crashes,
@@ -1952,14 +2174,14 @@ mod tests {
                 config(Protocol::Reprocessing, SyncStrategy::WindowStart { window: 100 }, 11);
             c.n_mobiles = 2;
             c.base_capacity = 30.0;
-            Simulation::new(c).run()
+            Simulation::new(c).expect("valid sim config").run()
         };
         let large = {
             let mut c =
                 config(Protocol::Reprocessing, SyncStrategy::WindowStart { window: 100 }, 11);
             c.n_mobiles = 12;
             c.base_capacity = 30.0;
-            Simulation::new(c).run()
+            Simulation::new(c).expect("valid sim config").run()
         };
         assert!(
             large.metrics.peak_backlog > small.metrics.peak_backlog,

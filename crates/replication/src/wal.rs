@@ -214,6 +214,7 @@ fn put_sync_record(out: &mut Vec<u8>, sync: &SyncRecord) {
     put_u64(out, sync.backed_out as u64);
     put_u64(out, sync.reprocessed as u64);
     put_bool(out, sync.merge_failed);
+    put_u64(out, sync.sync_ns);
 }
 
 fn read_sync_record(r: &mut Reader<'_>) -> Option<SyncRecord> {
@@ -226,6 +227,7 @@ fn read_sync_record(r: &mut Reader<'_>) -> Option<SyncRecord> {
         backed_out: r.u64()? as usize,
         reprocessed: r.u64()? as usize,
         merge_failed: r.bool()?,
+        sync_ns: r.u64()?,
     })
 }
 
@@ -370,6 +372,22 @@ pub enum WalRecord {
     /// A full snapshot of the durable state; every segment starts with
     /// one, and recovery replays only from the latest.
     Checkpoint(Box<Snapshot>),
+}
+
+impl WalRecord {
+    /// Stable snake-case name of the record kind, for trace events.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            WalRecord::Commit { .. } => "commit",
+            WalRecord::WindowStart => "window_start",
+            WalRecord::RetroPatch { .. } => "retro_patch",
+            WalRecord::SessionInstall { .. } => "session_install",
+            WalRecord::ReexecAdvance { .. } => "reexec_advance",
+            WalRecord::SessionComplete { .. } => "session_complete",
+            WalRecord::SessionPrune { .. } => "session_prune",
+            WalRecord::Checkpoint(_) => "checkpoint",
+        }
+    }
 }
 
 const TAG_COMMIT: u8 = 1;
@@ -758,6 +776,7 @@ pub struct Wal<S: Storage = VecStorage> {
     since_checkpoint: u64,
     checkpoints: u64,
     segments_retired: u64,
+    tracer: histmerge_obs::TracerHandle,
 }
 
 impl<S: Storage> Wal<S> {
@@ -773,19 +792,37 @@ impl<S: Storage> Wal<S> {
             since_checkpoint: 0,
             checkpoints: 0,
             segments_retired: 0,
+            tracer: histmerge_obs::TracerHandle::noop(),
         };
         wal.append(&WalRecord::Checkpoint(Box::new(genesis.clone())));
         wal.since_checkpoint = 0;
         wal
     }
 
+    /// Attaches a tracer; subsequent appends and checkpoints emit
+    /// [`histmerge_obs::TraceEvent`]s and wall-clock spans. The genesis
+    /// checkpoint written by [`Wal::new`] precedes this call and is not
+    /// traced — matching [`WalStats`] which also excludes genesis from
+    /// `checkpoints`.
+    ///
+    /// [`WalStats`]: crate::metrics::WalStats
+    pub fn with_tracer(mut self, tracer: histmerge_obs::TracerHandle) -> Wal<S> {
+        self.tracer = tracer;
+        self
+    }
+
     /// Appends one framed record to the active segment.
     pub fn append(&mut self, record: &WalRecord) {
+        use histmerge_obs::{Phase, TraceEvent};
+        let span = self.tracer.span_start();
         let framed = frame(&record.encode());
         self.bytes += framed.len() as u64;
         self.storage.append(self.active, &framed);
         self.records += 1;
         self.since_checkpoint += 1;
+        self.tracer.span_end(Phase::WalAppend, span);
+        self.tracer
+            .emit(|| TraceEvent::WalAppend { kind: record.kind_name(), bytes: framed.len() });
     }
 
     /// Writes `snapshot` as the first record of a fresh segment, then
@@ -794,16 +831,24 @@ impl<S: Storage> Wal<S> {
     /// a recoverable log (the previous checkpoint still exists until the
     /// new one is fully durable).
     pub fn checkpoint(&mut self, snapshot: Snapshot) {
+        use histmerge_obs::{Phase, TraceEvent};
+        let span = self.tracer.span_start();
+        let sealed = self.since_checkpoint;
         let old = self.storage.segment_ids();
         self.active += 1;
         self.storage.create_segment(self.active);
         self.append(&WalRecord::Checkpoint(Box::new(snapshot)));
+        let mut retired = 0u64;
         for id in old {
             self.storage.delete_segment(id);
             self.segments_retired += 1;
+            retired += 1;
         }
         self.checkpoints += 1;
         self.since_checkpoint = 0;
+        self.tracer.span_end(Phase::Checkpoint, span);
+        self.tracer.emit(|| TraceEvent::WalCheckpoint { records: sealed });
+        self.tracer.emit(|| TraceEvent::WalCompaction { retired });
     }
 
     /// Records appended since the last checkpoint (the compaction
@@ -868,6 +913,7 @@ mod tests {
                 backed_out: 2,
                 reprocessed: 0,
                 merge_failed: false,
+                sync_ns: 987_654,
             },
             cost: CostReport { comm: 1.5, base_cpu: 2.25, base_io: 0.5, mobile_cpu: 0.125 },
             reexec_done: 1,
@@ -1028,5 +1074,34 @@ mod tests {
         // crash-point harness can rewind to before the compaction.
         let before = TornStorage::at_crash_point(wal.storage(), 3, Tear::Clean);
         assert_eq!(before.segment_ids(), vec![0]);
+    }
+
+    #[test]
+    fn traced_wal_emits_append_and_checkpoint_events() {
+        use histmerge_obs::{JsonlSink, Phase, Tracer, TracerHandle};
+        let sink = std::sync::Arc::new(JsonlSink::new());
+        let genesis = Snapshot::genesis(state(&[(0, 0)]));
+        let mut wal =
+            Wal::new(VecStorage::new(), &genesis).with_tracer(TracerHandle::new(sink.clone()));
+
+        wal.append(&WalRecord::WindowStart);
+        wal.checkpoint(Snapshot::genesis(state(&[(0, 1)])));
+
+        let dump = sink.dump_jsonl().unwrap();
+        assert!(dump.contains(r#""kind":"window_start""#), "{dump}");
+        assert!(dump.contains(r#""type":"wal_checkpoint","records":1"#), "{dump}");
+        assert!(dump.contains(r#""type":"wal_compaction","retired":1"#), "{dump}");
+        let snap = sink.snapshot().unwrap();
+        // Two traced appends (window start + checkpoint record) plus the
+        // checkpoint span itself.
+        assert_eq!(snap.phase(Phase::WalAppend).unwrap().count, 2);
+        assert_eq!(snap.phase(Phase::Checkpoint).unwrap().count, 1);
+    }
+
+    #[test]
+    fn record_kind_names_are_distinct() {
+        let kinds: std::collections::BTreeSet<&str> =
+            sample_records().iter().map(|r| r.kind_name()).collect();
+        assert_eq!(kinds.len(), sample_records().len());
     }
 }

@@ -48,7 +48,7 @@ fn main() {
     println!("== Field sales: 8 laptops, 600 ticks, same seeded workload ==\n");
     let mut rows = Vec::new();
     for protocol in [Protocol::Reprocessing, Protocol::merging_default()] {
-        let report = Simulation::new(config(protocol)).run();
+        let report = Simulation::new(config(protocol)).expect("valid sim config").run();
         let m = &report.metrics;
         println!("-- {} --", protocol.name());
         println!("  tentative orders taken : {}", m.tentative_generated);

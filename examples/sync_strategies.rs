@@ -56,7 +56,7 @@ fn main() {
             SyncStrategy::WindowStart { window } => format!("strategy2(window={window})"),
             SyncStrategy::AdaptiveWindow { max_hb } => format!("strategy2(adaptive hb<={max_hb})"),
         };
-        let m = Simulation::new(config(strategy)).run().metrics;
+        let m = Simulation::new(config(strategy)).expect("valid sim config").run().metrics;
         println!(
             "{:<28} {:>6} {:>8} {:>8} {:>8} {:>8} {:>8}",
             label, m.syncs, m.saved, m.backed_out, m.reprocessed, m.merge_failures, m.window_misses

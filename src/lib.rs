@@ -24,7 +24,9 @@
 //! * [`replication`] — a deterministic two-tier replication simulator with
 //!   both the reprocessing baseline and the merging protocol;
 //! * [`workload`] — canned transaction libraries, scenario generators, and
-//!   the Section 7.1 cost model.
+//!   the Section 7.1 cost model;
+//! * [`obs`] — flight-recorder tracing, phase timers, and trace-checked
+//!   invariants (dependency-free, disabled by default).
 //!
 //! # Quickstart
 //!
@@ -49,6 +51,7 @@
 
 pub use histmerge_core as core;
 pub use histmerge_history as history;
+pub use histmerge_obs as obs;
 pub use histmerge_replication as replication;
 pub use histmerge_semantics as semantics;
 pub use histmerge_txn as txn;

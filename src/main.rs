@@ -178,7 +178,7 @@ fn cmd_simulate(kvs: &[String]) -> ExitCode {
         workload: ScenarioParams { seed, ..ScenarioParams::default() },
         ..SimConfig::default()
     };
-    let report = Simulation::new(config).run();
+    let report = Simulation::new(config).expect("valid sim config").run();
     let m = &report.metrics;
     println!("protocol            : {}", protocol.name());
     println!("strategy            : {}", strategy.name());

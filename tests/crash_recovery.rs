@@ -21,6 +21,7 @@
 //! crash-recovery matrix runs the release build with a larger value.
 
 use histmerge::history::AugmentedHistory;
+use histmerge::obs::{dump_on_failure, FlightRecorder, TracerHandle};
 use histmerge::replication::wal::StorageOp;
 use histmerge::replication::{
     recover, DurabilityConfig, DurableReport, FaultPlan, FaultRates, Protocol, Recovered,
@@ -60,10 +61,20 @@ fn config(seed: u64, strategy: SyncStrategy, fault: FaultPlan) -> SimConfig {
     }
 }
 
-fn durable_run(seed: u64, strategy: SyncStrategy, fault: FaultPlan) -> DurableReport {
-    let report = Simulation::new(config(seed, strategy, fault)).run();
+/// Runs the durable scenario with a flight recorder listening, returning
+/// the durable artifacts plus the tracer so torture assertions can dump
+/// the run's tail on failure.
+fn durable_run(
+    seed: u64,
+    strategy: SyncStrategy,
+    fault: FaultPlan,
+) -> (DurableReport, TracerHandle) {
+    let tracer = FlightRecorder::handle(512);
+    let mut cfg = config(seed, strategy, fault);
+    cfg.tracer = tracer.clone();
+    let report = Simulation::new(cfg).expect("valid sim config").run();
     assert!(report.convergence.expect("oracle requested").holds());
-    report.durable.expect("durability enabled")
+    (report.durable.expect("durability enabled"), tracer)
 }
 
 /// Replaying the recovered history serially from the initial state must
@@ -182,11 +193,13 @@ fn crash_point_matrix_window_start() {
             (FaultPlan::seeded(seed, FaultRates::uniform(0.15)), "faulted"),
         ] {
             let label = format!("window-start/{kind}/seed{seed}");
-            let durable = durable_run(seed, strategy, fault);
-            assert!(durable.storage.op_count() > 8, "{label}: run too small to torture");
-            torture_clean_boundaries(&durable, true, &label);
-            torture_torn_writes(&durable, &label);
-            assert_full_recovery_is_exact(&durable, &label);
+            let (durable, tracer) = durable_run(seed, strategy, fault);
+            dump_on_failure(&tracer, &format!("crash-matrix-{kind}-seed{seed}"), || {
+                assert!(durable.storage.op_count() > 8, "{label}: run too small to torture");
+                torture_clean_boundaries(&durable, true, &label);
+                torture_torn_writes(&durable, &label);
+                assert_full_recovery_is_exact(&durable, &label);
+            });
         }
     }
 }
@@ -200,10 +213,13 @@ fn crash_point_matrix_window_start() {
 fn crash_point_matrix_per_disconnect_snapshot() {
     for seed in 0..crash_seeds() {
         let label = format!("per-disconnect/seed{seed}");
-        let durable = durable_run(seed, SyncStrategy::PerDisconnectSnapshot, FaultPlan::none());
-        torture_clean_boundaries(&durable, false, &label);
-        torture_torn_writes(&durable, &label);
-        assert_full_recovery_is_exact(&durable, &label);
+        let (durable, tracer) =
+            durable_run(seed, SyncStrategy::PerDisconnectSnapshot, FaultPlan::none());
+        dump_on_failure(&tracer, &format!("crash-matrix-per-disconnect-seed{seed}"), || {
+            torture_clean_boundaries(&durable, false, &label);
+            torture_torn_writes(&durable, &label);
+            assert_full_recovery_is_exact(&durable, &label);
+        });
     }
 }
 
@@ -212,14 +228,18 @@ fn crash_point_matrix_per_disconnect_snapshot() {
 /// durable prefix even though old segments are deleted mid-journal.
 #[test]
 fn compaction_never_loses_durable_commits() {
+    let tracer = FlightRecorder::handle(512);
     let mut cfg = config(11, SyncStrategy::WindowStart { window: 80 }, FaultPlan::none());
     cfg.durability.checkpoint_every = 16;
-    let report = Simulation::new(cfg).run();
+    cfg.tracer = tracer.clone();
+    let report = Simulation::new(cfg).expect("valid sim config").run();
     let durable = report.durable.expect("durability enabled");
-    assert!(
-        durable.storage.ops().iter().any(|op| matches!(op, StorageOp::Delete(_))),
-        "checkpoint interval 16 never compacted — the test is vacuous"
-    );
-    torture_clean_boundaries(&durable, true, "compaction");
-    assert_full_recovery_is_exact(&durable, "compaction");
+    dump_on_failure(&tracer, "crash-matrix-compaction", || {
+        assert!(
+            durable.storage.ops().iter().any(|op| matches!(op, StorageOp::Delete(_))),
+            "checkpoint interval 16 never compacted — the test is vacuous"
+        );
+        torture_clean_boundaries(&durable, true, "compaction");
+        assert_full_recovery_is_exact(&durable, "compaction");
+    });
 }

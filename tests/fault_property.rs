@@ -17,6 +17,7 @@
 
 use proptest::prelude::*;
 
+use histmerge::obs::{dump_on_failure, FlightRecorder};
 use histmerge::replication::{
     FaultKind, FaultPlan, FaultRates, FaultStats, Protocol, SimConfig, Simulation, SyncPath,
     SyncStrategy,
@@ -69,7 +70,7 @@ proptest! {
         strategy_idx in 0usize..3,
     ) {
         let fault = FaultPlan::seeded(seed, FaultRates::uniform(rate));
-        let report = Simulation::new(config(seed, STRATEGIES[strategy_idx], fault)).run();
+        let report = Simulation::new(config(seed, STRATEGIES[strategy_idx], fault)).expect("valid sim config").run();
         let convergence = report.convergence.expect("oracle requested");
         prop_assert!(
             convergence.holds(),
@@ -89,11 +90,11 @@ proptest! {
     ) {
         let strategy = STRATEGIES[strategy_idx];
         let fault = FaultPlan::seeded(seed, FaultRates::only(FaultKind::MessageDuplication, rate));
-        let faulted = Simulation::new(config(seed, strategy, fault)).run();
+        let faulted = Simulation::new(config(seed, strategy, fault)).expect("valid sim config").run();
         prop_assert_eq!(faulted.metrics.fault.double_resolutions, 0);
         prop_assert!(faulted.convergence.expect("oracle requested").holds());
 
-        let clean = Simulation::new(config(seed, strategy, FaultPlan::none())).run();
+        let clean = Simulation::new(config(seed, strategy, FaultPlan::none())).expect("valid sim config").run();
         prop_assert_eq!(&faulted.final_master, &clean.final_master);
         prop_assert_eq!(faulted.base_commits, clean.base_commits);
         prop_assert_eq!(&faulted.metrics.records, &clean.metrics.records);
@@ -109,12 +110,12 @@ proptest! {
     ) {
         let strategy = STRATEGIES[strategy_idx];
         let fault = FaultPlan::seeded(fault_seed, FaultRates::zero());
-        let session = Simulation::new(config(seed, strategy, fault)).run();
+        let session = Simulation::new(config(seed, strategy, fault)).expect("valid sim config").run();
 
         let mut legacy_config = config(seed, strategy, FaultPlan::none());
         legacy_config.sync_path = SyncPath::Legacy;
         legacy_config.check_convergence = false;
-        let legacy = Simulation::new(legacy_config).run();
+        let legacy = Simulation::new(legacy_config).expect("valid sim config").run();
 
         prop_assert_eq!(&session.final_master, &legacy.final_master);
         prop_assert_eq!(session.base_commits, legacy.base_commits);
@@ -140,14 +141,24 @@ fn seed_matrix_convergence_oracle() {
             for seed in 0..seeds {
                 let rate = RATES[(seed % RATES.len() as u64) as usize];
                 let fault = FaultPlan::seeded(seed, FaultRates::only(kind, rate));
-                let report = Simulation::new(config(seed, strategy, fault)).run();
-                let convergence = report.convergence.expect("oracle requested");
-                assert!(
-                    convergence.holds(),
-                    "oracle failed: kind {} strategy {} seed {seed} rate {rate}: {convergence:?}",
-                    kind.name(),
-                    strategy.name()
-                );
+                // Each cell runs with a flight recorder attached; a failed
+                // oracle ships the run's last events as JSONL (CI uploads
+                // the dump directory as an artifact).
+                let tracer = FlightRecorder::handle(512);
+                let mut cfg = config(seed, strategy, fault);
+                cfg.tracer = tracer.clone();
+                let label = format!("fault-matrix-{}-{}-seed{seed}", kind.name(), strategy.name());
+                dump_on_failure(&tracer, &label, || {
+                    let report = Simulation::new(cfg).expect("valid sim config").run();
+                    let convergence = report.convergence.expect("oracle requested");
+                    assert!(
+                        convergence.holds(),
+                        "oracle failed: kind {} strategy {} seed {seed} rate {rate}: \
+                         {convergence:?}",
+                        kind.name(),
+                        strategy.name()
+                    );
+                });
                 schedules += 1;
             }
         }

@@ -47,8 +47,12 @@ fn parallel_runs_match_serial_across_seeds_and_strategies() {
         for seed in [11u64, 12, 13] {
             // Threads(4), not Auto: Auto degrades to serial on a 1-CPU
             // host and would test nothing.
-            let serial = Simulation::new(config(strategy, seed, Parallelism::Serial)).run();
-            let parallel = Simulation::new(config(strategy, seed, Parallelism::Threads(4))).run();
+            let serial = Simulation::new(config(strategy, seed, Parallelism::Serial))
+                .expect("valid sim config")
+                .run();
+            let parallel = Simulation::new(config(strategy, seed, Parallelism::Threads(4)))
+                .expect("valid sim config")
+                .run();
 
             assert_eq!(
                 serial.final_master, parallel.final_master,

@@ -7,8 +7,11 @@
 //!
 //! Each scenario is additionally run a third time with durability
 //! enabled: write-ahead logging must be observation-only, so the durable
-//! session run must equal the legacy run on exactly the same terms.
+//! session run must equal the legacy run on exactly the same terms — and a
+//! fourth time with a flight-recorder ring tracer attached, because
+//! tracing must be observation-only on exactly the same terms too.
 
+use histmerge::obs::FlightRecorder;
 use histmerge::replication::{
     DurabilityConfig, FaultPlan, FaultStats, Protocol, SimConfig, SimReport, Simulation, SyncPath,
     SyncStrategy,
@@ -43,19 +46,33 @@ fn config(protocol: Protocol, seed: u64) -> SimConfig {
     }
 }
 
-/// Runs `config` through both paths — and the session path once more
-/// with durability enabled — and asserts the reports are identical.
+/// Runs `config` through both paths — and the session path twice more,
+/// with durability enabled and with a flight-recorder ring attached —
+/// and asserts the reports are identical.
 fn assert_paths_agree(mut config: SimConfig, label: &str) -> SimReport {
     config.sync_path = SyncPath::Legacy;
-    let legacy = Simulation::new(config.clone()).run();
+    let legacy = Simulation::new(config.clone()).expect("valid sim config").run();
     config.sync_path = SyncPath::Session;
     config.fault = FaultPlan::none();
     config.check_convergence = true;
-    let session = Simulation::new(config.clone()).run();
-    config.durability = DurabilityConfig { enabled: true, checkpoint_every: 96 };
-    let durable = Simulation::new(config).run();
+    let session = Simulation::new(config.clone()).expect("valid sim config").run();
+    let mut durable_config = config.clone();
+    durable_config.durability = DurabilityConfig { enabled: true, checkpoint_every: 96 };
+    let durable = Simulation::new(durable_config).expect("valid sim config").run();
+    // Fourth run: same session config with the flight recorder listening.
+    // Tracing is observation-only, so `normalized()` must stay
+    // byte-identical to the untraced runs.
+    let ring = FlightRecorder::handle(4096);
+    config.tracer = ring.clone();
+    let traced = Simulation::new(config).expect("valid sim config").run();
+    assert!(
+        ring.dump_jsonl().is_some_and(|dump| !dump.is_empty()),
+        "{label}: the traced run recorded nothing"
+    );
 
-    for (candidate, path) in [(&session, "session"), (&durable, "session+wal")] {
+    for (candidate, path) in
+        [(&session, "session"), (&durable, "session+wal"), (&traced, "session+trace")]
+    {
         assert_eq!(
             legacy.final_master, candidate.final_master,
             "{label}/{path}: master state diverged"

@@ -36,7 +36,7 @@ fn accounting_identity_holds() {
     // Every tentative transaction is eventually saved, backed out, or
     // reprocessed — or still pending at the end of the run.
     for protocol in [Protocol::Reprocessing, Protocol::merging_default()] {
-        let report = Simulation::new(config(protocol, 5)).run();
+        let report = Simulation::new(config(protocol, 5)).expect("valid sim config").run();
         let m = &report.metrics;
         let resolved = m.saved + m.backed_out + m.reprocessed;
         assert!(
@@ -62,8 +62,10 @@ fn merging_never_loses_updates_of_saved_transactions() {
     // base commits replay deterministically, which `Simulation` asserts
     // internally on every commit. Here we check end-to-end determinism
     // and that merging actually engaged.
-    let a = Simulation::new(config(Protocol::merging_default(), 6)).run();
-    let b = Simulation::new(config(Protocol::merging_default(), 6)).run();
+    let a =
+        Simulation::new(config(Protocol::merging_default(), 6)).expect("valid sim config").run();
+    let b =
+        Simulation::new(config(Protocol::merging_default(), 6)).expect("valid sim config").run();
     assert_eq!(a.final_master, b.final_master);
     assert!(a.metrics.saved > 0);
 }
@@ -74,7 +76,7 @@ fn reprocessing_and_merging_both_converge() {
     // end, the number of syncs equals the sum over mobiles of their
     // reconnect counts, and every sync resolved its pending set.
     for protocol in [Protocol::Reprocessing, Protocol::merging_default()] {
-        let report = Simulation::new(config(protocol, 7)).run();
+        let report = Simulation::new(config(protocol, 7)).expect("valid sim config").run();
         for r in &report.metrics.records {
             assert!(r.pending > 0, "empty syncs are not recorded");
         }
@@ -89,7 +91,7 @@ fn scaleup_increases_reprocessing_base_cost_linearly() {
     let run = |protocol: Protocol, n: usize| {
         let mut c = config(protocol, 8);
         c.n_mobiles = n;
-        Simulation::new(c).run().metrics
+        Simulation::new(c).expect("valid sim config").run().metrics
     };
     let rep4 = run(Protocol::Reprocessing, 4);
     let rep8 = run(Protocol::Reprocessing, 8);
@@ -106,13 +108,13 @@ fn strategy1_and_strategy2_complete_with_documented_tradeoffs() {
     c1.strategy = SyncStrategy::PerDisconnectSnapshot;
     c1.workload.hot_prob = 0.8;
     c1.n_mobiles = 6;
-    let s1 = Simulation::new(c1).run();
+    let s1 = Simulation::new(c1).expect("valid sim config").run();
 
     let mut c2 = config(Protocol::merging_default(), 9);
     c2.strategy = SyncStrategy::WindowStart { window: 100 };
     c2.workload.hot_prob = 0.8;
     c2.n_mobiles = 6;
-    let s2 = Simulation::new(c2).run();
+    let s2 = Simulation::new(c2).expect("valid sim config").run();
 
     // Strategy 2 never fails a merge; Strategy 1 never misses a window.
     assert_eq!(s2.metrics.merge_failures, 0);

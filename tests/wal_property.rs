@@ -50,6 +50,7 @@ fn session_record(seed: u64) -> SessionRecord {
             backed_out: (seed % 4) as usize,
             reprocessed: (seed % 2) as usize,
             merge_failed: seed.is_multiple_of(7),
+            sync_ns: seed.wrapping_mul(1_000_003),
         },
         cost: CostReport { comm: seed as f64 * 0.25, ..CostReport::default() },
         reexec_done: (seed % 3) as usize,
