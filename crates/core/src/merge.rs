@@ -2,15 +2,13 @@
 
 use std::collections::BTreeSet;
 
-use histmerge_history::backout::affected_weight;
-use histmerge_history::readsfrom::affected_set;
 use histmerge_history::{
-    AugmentedHistory, BackoutStrategy, BaseEdgeCache, PrecedenceGraph, SerialHistory,
-    TwoCycleOptimal, TxnArena,
+    run_to_final, AugmentedHistory, BackoutStrategy, BaseEdgeCache, ClosureScratch, ClosureTable,
+    GraphScratch, PrecedenceGraph, SerialHistory, TwoCycleOptimal, TxnArena,
 };
 use histmerge_obs::{Phase, TraceEvent, TracerHandle};
 use histmerge_semantics::{OracleStack, SemanticOracle, StaticAnalyzer};
-use histmerge_txn::{DbState, Fix, TxnId, VarSet};
+use histmerge_txn::{DbState, Fix, OverlayState, TxnId, VarSet};
 
 use crate::error::CoreError;
 use crate::prune::{compensate, undo, PruneMethod};
@@ -142,6 +140,33 @@ pub struct MergeAssist<'a> {
     pub hb_final: Option<&'a DbState>,
 }
 
+/// Reusable working memory for repeated merges (the zero-realloc hot
+/// path): precedence-graph id maps and reads-from closure buffers that
+/// would otherwise be reallocated per merge. A caller merging once per
+/// window step holds one `MergeScratch` and threads it through
+/// [`Merger::merge_scratch`]; each merge leaves the buffers grown to the
+/// high-water mark of the histories seen so far, so steady-state merges
+/// allocate nothing for these structures.
+///
+/// Reuse is observation-free: a merge through a used scratch is
+/// byte-identical to one through [`MergeScratch::new`] (the
+/// `session_differential` suite pins this).
+#[derive(Default)]
+pub struct MergeScratch {
+    /// Flat id→node map reused by [`PrecedenceGraph::build_with_scratch`].
+    pub graph: GraphScratch,
+    /// Last-writer and row buffers reused by
+    /// [`ClosureTable::build_with_scratch`].
+    pub closure: ClosureScratch,
+}
+
+impl MergeScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        MergeScratch::default()
+    }
+}
+
 /// Runs the merging protocol of Section 2.1.
 pub struct Merger {
     config: MergeConfig,
@@ -214,23 +239,71 @@ impl Merger {
         assist: MergeAssist<'_>,
         tracer: &TracerHandle,
     ) -> Result<MergeOutcome, CoreError> {
+        self.merge_traced_scratch(arena, hm, hb, s0, assist, tracer, &mut MergeScratch::new())
+    }
+
+    /// Like [`merge_assisted`](Self::merge_assisted), but reusing a
+    /// caller-held [`MergeScratch`] so repeated merges stop reallocating
+    /// their graph and closure working memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates history-execution, back-out, and pruning errors.
+    pub fn merge_scratch(
+        &self,
+        arena: &TxnArena,
+        hm: &SerialHistory,
+        hb: &SerialHistory,
+        s0: &DbState,
+        assist: MergeAssist<'_>,
+        scratch: &mut MergeScratch,
+    ) -> Result<MergeOutcome, CoreError> {
+        self.merge_traced_scratch(arena, hm, hb, s0, assist, &TracerHandle::noop(), scratch)
+    }
+
+    /// The full-control entry point: tracing and scratch reuse together.
+    /// Every other merge method delegates here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates history-execution, back-out, and pruning errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn merge_traced_scratch(
+        &self,
+        arena: &TxnArena,
+        hm: &SerialHistory,
+        hb: &SerialHistory,
+        s0: &DbState,
+        assist: MergeAssist<'_>,
+        tracer: &TracerHandle,
+        scratch: &mut MergeScratch,
+    ) -> Result<MergeOutcome, CoreError> {
         // Execute the tentative history to obtain its log (before/after
         // images and original read values). In a deployment these logs
         // already exist; re-deriving them here keeps the API
         // self-contained. The base history's final state is either lent by
         // the caller (base nodes hold it as the current master) or derived
-        // the same way.
+        // log-free: a merge only needs `hb`'s FINAL state, never its
+        // per-step images, so `run_to_final` skips the augmented log.
+        let span = tracer.span_start();
         let hm_aug = AugmentedHistory::execute(arena, hm, s0)?;
         let hb_final = match assist.hb_final {
             Some(state) => state.clone(),
-            None => AugmentedHistory::execute(arena, hb, s0)?.final_state().clone(),
+            None => run_to_final(arena, hb, s0)?,
         };
+        tracer.span_end(Phase::Exec, span);
 
         // Step 1: the precedence graph.
         let span = tracer.span_start();
         let graph = match assist.base_edges {
-            Some(cache) => PrecedenceGraph::build_with_base_cache(arena, hm, hb, cache),
-            None => PrecedenceGraph::build(arena, hm, hb),
+            Some(cache) => PrecedenceGraph::build_with_base_cache_scratch(
+                arena,
+                hm,
+                hb,
+                cache,
+                &mut scratch.graph,
+            ),
+            None => PrecedenceGraph::build_with_scratch(arena, hm, hb, &mut scratch.graph),
         };
         let graph_edges = graph.edges().len();
         tracer.span_end(Phase::GraphBuild, span);
@@ -241,10 +314,15 @@ impl Merger {
         });
 
         // Step 2: the back-out set, weighted by reads-from closure sizes.
+        // One closure-table pass serves both the back-out weights and the
+        // affected set AG(B): the seed walked the reads-from closure once
+        // per transaction for the weights and then again for AG.
         let span = tracer.span_start();
-        let weight = affected_weight(arena, hm);
+        let table = ClosureTable::build_with_scratch(arena, hm, &mut scratch.closure);
+        let weights = table.weights();
+        let weight = move |id: TxnId| weights.get(&id).copied().unwrap_or(1);
         let bad = self.config.backout.compute(&graph, &weight)?;
-        let affected = affected_set(arena, hm, &bad);
+        let affected = table.affected_of(&bad);
         tracer.span_end(Phase::Backout, span);
         tracer.emit(|| TraceEvent::CycleBreak { backed_out: bad.len(), affected: affected.len() });
 
@@ -289,20 +367,24 @@ impl Merger {
         // a re-execution fails when the transaction's declared
         // precondition does not hold on the state it now runs against
         // (e.g. a withdrawal that no longer clears), or when it cannot run
-        // at all.
+        // at all. Only the per-transaction verdicts escape this loop, so
+        // the chain runs on an overlay over the master — no state clone.
+        let span = tracer.span_start();
         let mut reexecuted = Vec::new();
-        let mut state = new_master.clone();
+        let mut view = OverlayState::new(&new_master);
         for (id, _) in rewritten.suffix() {
             let txn = arena.get(*id);
-            let precondition_ok = txn.check_precondition(&state, &Fix::empty()).unwrap_or(false);
-            match txn.execute(&state, &Fix::empty()) {
-                Ok(out) => {
-                    state = out.after;
+            let precondition_ok = txn.check_precondition_on(&view, &Fix::empty()).unwrap_or(false);
+            match txn.execute_delta(&view, &Fix::empty()) {
+                Ok(delta) => {
+                    view.apply_writes(&delta.writes);
                     reexecuted.push((*id, precondition_ok));
                 }
                 Err(_) => reexecuted.push((*id, false)),
             }
         }
+        drop(view);
+        tracer.span_end(Phase::Reexecute, span);
 
         let saved = rewritten.saved();
         let backed_out = rewritten.pruned();
@@ -508,13 +590,59 @@ mod tests {
 
         // Every protocol step left an event and a span.
         let dump = sink.dump_jsonl().unwrap();
-        for needle in
-            ["graph_built", "cycle_break", "\"rewrite\"", "\"prune\"", "graph_build", "backout"]
-        {
+        for needle in [
+            "graph_built",
+            "cycle_break",
+            "\"rewrite\"",
+            "\"prune\"",
+            "\"exec\"",
+            "graph_build",
+            "backout",
+            "reexecute",
+        ] {
             assert!(dump.contains(needle), "missing {needle} in {dump}");
         }
         let spans = dump.lines().filter(|l| l.contains("\"type\":\"span\"")).count();
-        assert_eq!(spans, 4, "one span per merge step:\n{dump}");
+        assert_eq!(spans, 6, "one span per merge phase:\n{dump}");
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_merges() {
+        // One MergeScratch threaded through repeated merges (with and
+        // without a base-edge cache) must produce outcomes identical to
+        // fresh merges — reuse is observation-free.
+        let ex = example1();
+        let merger = Merger::new(MergeConfig::default());
+        let mut scratch = MergeScratch::new();
+        let mut cache = BaseEdgeCache::new();
+        cache.sync(&ex.arena, &ex.hb);
+        let hb_final =
+            AugmentedHistory::execute(&ex.arena, &ex.hb, &ex.s0).unwrap().final_state().clone();
+        for round in 0..3 {
+            let plain = merger.merge(&ex.arena, &ex.hm, &ex.hb, &ex.s0).unwrap();
+            let assist = if round % 2 == 0 {
+                MergeAssist::default()
+            } else {
+                MergeAssist { base_edges: Some(&cache), hb_final: Some(&hb_final) }
+            };
+            let reused = merger
+                .merge_scratch(&ex.arena, &ex.hm, &ex.hb, &ex.s0, assist, &mut scratch)
+                .unwrap();
+            assert_eq!(plain.bad, reused.bad, "round {round}");
+            assert_eq!(plain.affected, reused.affected, "round {round}");
+            assert_eq!(plain.saved, reused.saved, "round {round}");
+            assert_eq!(plain.backed_out, reused.backed_out, "round {round}");
+            assert_eq!(plain.repaired_state, reused.repaired_state, "round {round}");
+            assert_eq!(plain.forwarded, reused.forwarded, "round {round}");
+            assert_eq!(plain.new_master, reused.new_master, "round {round}");
+            assert_eq!(plain.reexecuted, reused.reexecuted, "round {round}");
+            assert_eq!(plain.graph_edges, reused.graph_edges, "round {round}");
+            assert_eq!(
+                plain.merged_history.as_ref().map(|h| h.order().to_vec()),
+                reused.merged_history.as_ref().map(|h| h.order().to_vec()),
+                "round {round}"
+            );
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The compensation approach (Section 6.1).
 
 use histmerge_history::{AugmentedHistory, TxnArena};
-use histmerge_txn::DbState;
+use histmerge_txn::{DbState, OverlayState};
 
 use crate::error::CoreError;
 use crate::rewrite::RewrittenHistory;
@@ -28,7 +28,7 @@ pub fn compensate(
     original: &AugmentedHistory,
     rewritten: &RewrittenHistory,
 ) -> Result<DbState, CoreError> {
-    let mut state = original.final_state().clone();
+    let mut view = OverlayState::new(original.final_state());
     for (id, fix) in rewritten.suffix().iter().rev() {
         let txn = arena.get(*id);
         // Read-only transactions change no state: nothing to compensate.
@@ -42,12 +42,12 @@ pub fn compensate(
         if txn.inverse().is_none() {
             return Err(CoreError::MissingInverse { txn: *id });
         }
-        let outcome = txn
-            .compensate(&state, fix)
+        let delta = txn
+            .compensate_delta(&view, fix)
             .map_err(|source| CoreError::Execution { txn: *id, source })?;
-        state = outcome.after;
+        view.apply_writes(&delta.writes);
     }
-    Ok(state)
+    Ok(view.materialize())
 }
 
 #[cfg(test)]

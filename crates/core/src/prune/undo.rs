@@ -26,7 +26,8 @@ use std::collections::BTreeSet;
 
 use histmerge_history::{AugmentedHistory, TxnArena};
 use histmerge_txn::{
-    DbState, Expr, Pred, Program, ProgramBuilder, Statement, TxnId, Value, VarId, VarSet,
+    DbState, Expr, OverlayState, Pred, Program, ProgramBuilder, Statement, TxnId, Value, VarId,
+    VarSet,
 };
 
 use crate::error::CoreError;
@@ -50,7 +51,10 @@ pub fn undo(
     rewritten: &RewrittenHistory,
     affected: &BTreeSet<TxnId>,
 ) -> Result<DbState, CoreError> {
-    let mut state = original.final_state().clone();
+    // One copy-on-write overlay over the final state: restores and repairs
+    // write O(touched items) and materialize once at the end, instead of
+    // cloning the full state per repair execution.
+    let mut view = OverlayState::new(original.final_state());
     let undone: BTreeSet<TxnId> = rewritten.suffix().iter().map(|(t, _)| *t).collect();
 
     // Phase 1: restore before-images in reverse original order. The suffix
@@ -61,7 +65,7 @@ pub fn undo(
         let outcome = original.outcome(pos);
         let txn = arena.get(*id);
         for var in txn.writeset().iter() {
-            state.set(var, outcome.before_image.get(var));
+            view.set(var, outcome.before_image.get(var));
         }
     }
 
@@ -72,13 +76,17 @@ pub fn undo(
         }
         if let Some(ura) = build_undo_repair(arena, original, *id, &undone)? {
             let txn = arena.get(*id);
-            let outcome = ura
-                .execute(txn.params(), &state, &histmerge_txn::Fix::empty())
-                .map_err(|source| CoreError::Execution { txn: *id, source })?;
-            state = outcome.after;
+            let delta = histmerge_txn::exec::execute_view(
+                &ura,
+                txn.params(),
+                &view,
+                &histmerge_txn::Fix::empty(),
+            )
+            .map_err(|source| CoreError::Execution { txn: *id, source })?;
+            view.apply_writes(&delta.writes);
         }
     }
-    Ok(state)
+    Ok(view.materialize())
 }
 
 /// Builds the undo-repair action for affected transaction `ag_k`

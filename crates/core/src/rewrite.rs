@@ -133,8 +133,8 @@ impl RewrittenHistory {
 /// stated for set-level transactions that write blindly: otherwise a swap
 /// would flip which write lands last.
 fn can_follow_for_rewrite(stayer: &Transaction, mover: &Transaction) -> bool {
-    !stayer.writeset().intersects(mover.readset())
-        && !stayer.writeset().intersects(mover.writeset())
+    !stayer.write_mask().intersects(mover.read_mask())
+        && !stayer.write_mask().intersects(mover.write_mask())
 }
 
 /// Rewrites `original` (the executed tentative history) against the
@@ -210,9 +210,11 @@ pub fn rewrite(
                     continue;
                 }
                 let orig_pos = original.position(*tj).expect("stayer is in the original");
-                let before = original.before_state(orig_pos);
                 for var in pins.iter() {
-                    fixj.pin(var, before.get(var));
+                    let value = original
+                        .value_before(orig_pos, var)
+                        .expect("pinned item existed when the stayer originally ran");
+                    fixj.pin(var, value);
                 }
                 jumped.insert(*tj);
             }
@@ -232,8 +234,16 @@ pub fn rewrite(
             }
             let txn = arena.get(*tj);
             let orig_pos = original.position(*tj).expect("entry is in the original");
-            let before = original.before_state(orig_pos);
-            *fixj = txn.read_only_set().iter().map(|v| (v, before.get(v))).collect();
+            *fixj = txn
+                .read_only_set()
+                .iter()
+                .map(|v| {
+                    let value = original
+                        .value_before(orig_pos, v)
+                        .expect("read item existed when the transaction originally ran");
+                    (v, value)
+                })
+                .collect();
         }
     }
 

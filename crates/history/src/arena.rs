@@ -1,6 +1,8 @@
 //! Transaction arena: ownership and identity for transaction instances.
 
-use histmerge_txn::{Transaction, TxnId, TxnKind};
+use histmerge_txn::{Transaction, TxnId, TxnKind, VarSet};
+
+use crate::footprint::{DenseBits, VarInterner};
 
 /// Owns every transaction of a merge scenario and assigns dense [`TxnId`]s.
 ///
@@ -29,6 +31,13 @@ use histmerge_txn::{Transaction, TxnId, TxnKind};
 #[derive(Debug, Clone, Default)]
 pub struct TxnArena {
     txns: Vec<Transaction>,
+    /// Dense variable index over every footprint seen at admission.
+    interner: VarInterner,
+    /// Per-transaction read-set bitsets over the interner, parallel to
+    /// `txns`.
+    read_bits: Vec<DenseBits>,
+    /// Per-transaction write-set bitsets, parallel to `txns`.
+    write_bits: Vec<DenseBits>,
 }
 
 impl TxnArena {
@@ -38,7 +47,9 @@ impl TxnArena {
     }
 
     /// Allocates the next [`TxnId`] and stores the transaction the callback
-    /// builds for it.
+    /// builds for it, interning its read/write footprint into the arena's
+    /// dense bitset index (the merge hot path's conflict-test
+    /// representation).
     ///
     /// # Panics
     ///
@@ -48,8 +59,58 @@ impl TxnArena {
         let id = TxnId::new(self.txns.len() as u32);
         let txn = build(id);
         assert_eq!(txn.id(), id, "transaction must keep the id assigned by the arena");
+        self.read_bits.push(self.interner.intern_set(txn.readset()));
+        self.write_bits.push(self.interner.intern_set(txn.writeset()));
         self.txns.push(txn);
         id
+    }
+
+    /// The interned read-set bitset of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not allocated by this arena.
+    pub fn read_bits(&self, id: TxnId) -> &DenseBits {
+        &self.read_bits[id.index() as usize]
+    }
+
+    /// The interned write-set bitset of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not allocated by this arena.
+    pub fn write_bits(&self, id: TxnId) -> &DenseBits {
+        &self.write_bits[id.index() as usize]
+    }
+
+    /// Word-wise conflict test: `true` if `a` and `b` touch a common item
+    /// with at least one write (r/w, w/r or w/w overlap). Equivalent to
+    /// the `VarSet` test
+    /// `a.reads ∩ b.writes ∪ a.writes ∩ b.reads ∪ a.writes ∩ b.writes ≠ ∅`.
+    pub fn conflicts(&self, a: TxnId, b: TxnId) -> bool {
+        let (ai, bi) = (a.index() as usize, b.index() as usize);
+        self.read_bits[ai].intersects(&self.write_bits[bi])
+            || self.write_bits[ai].intersects(&self.read_bits[bi])
+            || self.write_bits[ai].intersects(&self.write_bits[bi])
+    }
+
+    /// Word-wise test for `reader.readset ∩ writer.writeset ≠ ∅` (the
+    /// precedence rule-3 primitive).
+    pub fn reads_overlap_writes(&self, reader: TxnId, writer: TxnId) -> bool {
+        self.read_bits[reader.index() as usize]
+            .intersects(&self.write_bits[writer.index() as usize])
+    }
+
+    /// The bitset of an arbitrary variable set over this arena's index.
+    /// Variables the arena has never seen are skipped — they cannot
+    /// overlap any admitted footprint.
+    pub fn bits_of(&self, vars: &VarSet) -> DenseBits {
+        self.interner.bits_of(vars)
+    }
+
+    /// Number of distinct variables interned across all footprints.
+    pub fn var_count(&self) -> usize {
+        self.interner.len()
     }
 
     /// Returns the transaction with the given id.
@@ -124,6 +185,44 @@ mod tests {
         let mut arena = TxnArena::new();
         let p = prog();
         arena.alloc(|_| Transaction::new(TxnId::new(99), "bad", TxnKind::Base, p, vec![]));
+    }
+
+    #[test]
+    fn footprints_interned_at_admission() {
+        use histmerge_txn::VarSet;
+        let x = VarId::new(5);
+        let y = VarId::new(9);
+        let p1 = Arc::new(
+            ProgramBuilder::new("p1")
+                .read(x)
+                .update(x, Expr::var(x) + Expr::konst(1))
+                .build()
+                .unwrap(),
+        );
+        let p2 = Arc::new(
+            ProgramBuilder::new("p2")
+                .read(y)
+                .update(y, Expr::var(y) + Expr::konst(1))
+                .build()
+                .unwrap(),
+        );
+        let mut arena = TxnArena::new();
+        let a = arena.alloc(|id| Transaction::new(id, "a", TxnKind::Base, p1.clone(), vec![]));
+        let b = arena.alloc(|id| Transaction::new(id, "b", TxnKind::Base, p2, vec![]));
+        let c = arena.alloc(|id| Transaction::new(id, "c", TxnKind::Tentative, p1, vec![]));
+        assert_eq!(arena.var_count(), 2);
+        // a and c share x: every conflict direction fires; b is disjoint.
+        assert!(arena.conflicts(a, c));
+        assert!(!arena.conflicts(a, b));
+        assert!(arena.reads_overlap_writes(a, c));
+        assert!(!arena.reads_overlap_writes(a, b));
+        assert!(arena.read_bits(a).intersects(arena.write_bits(c)));
+        // bits_of maps through the same index and skips foreign vars.
+        let probe: VarSet = [x, VarId::new(77)].into_iter().collect();
+        let bits = arena.bits_of(&probe);
+        assert_eq!(bits.count(), 1);
+        assert!(bits.intersects(arena.write_bits(a)));
+        assert!(!bits.intersects(arena.write_bits(b)));
     }
 
     #[test]

@@ -1,9 +1,20 @@
 //! Augmented histories: serial histories with explicit interleaved states.
+//!
+//! The explicit states of Section 3 (`s0 T1 s1 T2 s2 ...`) are the
+//! *semantics* of an augmented history, not its storage. Executing an
+//! `n`-transaction history used to clone a full [`DbState`] per step —
+//! O(n · |database|) — which dominated the merge hot path. The history now
+//! executes through one copy-on-write [`OverlayState`], stores the initial
+//! and final states plus a per-step [`StepRecord`] (observed reads/writes
+//! and before/after images over each transaction's static footprint), and
+//! *derives* any intermediate state on demand from a per-variable write
+//! index. Outcomes are byte-identical to the clone-per-step execution;
+//! `tests/footprint_differential.rs` holds that contract.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
-use histmerge_txn::exec::ExecOutcome;
-use histmerge_txn::{DbState, Fix, TxnError, TxnId, Value, VarId};
+use histmerge_txn::{DbState, Fix, OverlayState, TxnError, TxnId, Value, VarId, VarSet};
 
 use crate::arena::TxnArena;
 use crate::schedule::SerialHistory;
@@ -38,13 +49,47 @@ impl std::error::Error for HistoryError {
     }
 }
 
+/// The execution record of one history step: what the transaction
+/// observed and the before/after images over its static footprint —
+/// exactly the log information the undo approach of Section 6.2 needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepRecord {
+    /// The values the transaction observed for each item it read, in the
+    /// position it executed (fix values for pinned items).
+    pub reads: BTreeMap<VarId, Value>,
+    /// The values the transaction wrote.
+    pub writes: BTreeMap<VarId, Value>,
+    /// Items actually read on the taken path (⊆ static read set).
+    pub observed_readset: VarSet,
+    /// Items actually written on the taken path (⊆ static write set).
+    pub observed_writeset: VarSet,
+    /// Before image over the transaction's static read ∪ write set.
+    pub before_image: DbState,
+    /// After image over the static read ∪ write set.
+    pub after_image: DbState,
+}
+
+impl StepRecord {
+    /// Convenience: the value this step observed for `var`, if it read it.
+    pub fn read_value(&self, var: VarId) -> Option<Value> {
+        self.reads.get(&var).copied()
+    }
+
+    /// Convenience: the value this step wrote to `var`, if it wrote it.
+    pub fn written_value(&self, var: VarId) -> Option<Value> {
+        self.writes.get(&var).copied()
+    }
+}
+
 /// A serial history *augmented* with explicit database states
 /// (Section 3 of the paper: `H^s = s0 T1 s1 T2 s2 ...`).
 ///
 /// Each entry pairs a transaction with the [`Fix`] it executed under (the
-/// empty fix for an original history) and records its full
-/// [`ExecOutcome`] — observed reads/writes and before/after images — which
-/// is exactly the log information the undo approach of Section 6.2 needs.
+/// empty fix for an original history) and records its [`StepRecord`] —
+/// observed reads/writes and before/after images. Intermediate states are
+/// derived on demand (see [`AugmentedHistory::before_state`] and the
+/// cheaper [`AugmentedHistory::value_before`]); only the initial and
+/// final states are stored whole.
 ///
 /// # Example
 ///
@@ -70,10 +115,13 @@ impl std::error::Error for HistoryError {
 #[derive(Debug, Clone)]
 pub struct AugmentedHistory {
     entries: Vec<(TxnId, Fix)>,
-    /// `states[i]` is the before state of entry `i`; `states[len]` is the
-    /// final state.
-    states: Vec<DbState>,
-    outcomes: Vec<ExecOutcome>,
+    initial: DbState,
+    final_state: DbState,
+    steps: Vec<StepRecord>,
+    /// Per-variable change index: ascending `(step, value written)` pairs.
+    /// `value_before(i, var)` is a binary search here instead of a stored
+    /// state per step.
+    writes_at: BTreeMap<VarId, Vec<(u32, Value)>>,
 }
 
 impl AugmentedHistory {
@@ -98,6 +146,10 @@ impl AugmentedHistory {
     /// This is how rewritten histories (whose repositioned transactions
     /// carry non-empty fixes) are materialized and checked.
     ///
+    /// The whole history runs through one copy-on-write overlay: per step
+    /// it records O(footprint) image data and applies O(written items),
+    /// instead of cloning the full state.
+    ///
     /// # Errors
     ///
     /// Returns [`HistoryError::Execution`] if any transaction fails.
@@ -106,20 +158,37 @@ impl AugmentedHistory {
         entries: &[(TxnId, Fix)],
         initial: &DbState,
     ) -> Result<Self, HistoryError> {
-        let mut states = Vec::with_capacity(entries.len() + 1);
-        let mut outcomes = Vec::with_capacity(entries.len());
-        states.push(initial.clone());
-        let mut current = initial.clone();
-        for (id, fix) in entries {
+        let mut steps = Vec::with_capacity(entries.len());
+        let mut writes_at: BTreeMap<VarId, Vec<(u32, Value)>> = BTreeMap::new();
+        let mut view = OverlayState::new(initial);
+        for (i, (id, fix)) in entries.iter().enumerate() {
             let txn = arena.get(*id);
-            let outcome = txn
-                .execute(&current, fix)
+            let footprint = txn.footprint();
+            let before_image = view.project(footprint);
+            let delta = txn
+                .execute_delta(&view, fix)
                 .map_err(|source| HistoryError::Execution { txn: *id, source })?;
-            current = outcome.after.clone();
-            states.push(current.clone());
-            outcomes.push(outcome);
+            view.apply_writes(&delta.writes);
+            let after_image = view.project(footprint);
+            for (var, value) in &delta.writes {
+                writes_at.entry(*var).or_default().push((i as u32, *value));
+            }
+            steps.push(StepRecord {
+                reads: delta.reads,
+                writes: delta.writes,
+                observed_readset: delta.observed_readset,
+                observed_writeset: delta.observed_writeset,
+                before_image,
+                after_image,
+            });
         }
-        Ok(AugmentedHistory { entries: entries.to_vec(), states, outcomes })
+        Ok(AugmentedHistory {
+            entries: entries.to_vec(),
+            initial: initial.clone(),
+            final_state: view.materialize(),
+            steps,
+            writes_at,
+        })
     }
 
     /// The `(transaction, fix)` entries in execution order.
@@ -142,29 +211,51 @@ impl AugmentedHistory {
         self.entries.is_empty()
     }
 
-    /// The *before state* of the `i`-th transaction.
-    pub fn before_state(&self, i: usize) -> &DbState {
-        &self.states[i]
+    /// The value `var` holds just before the `i`-th transaction executes:
+    /// the latest write at a step `< i`, falling back to the initial
+    /// state. A binary search over the variable's change index — the
+    /// cheap point query the rewriting algorithms use for fix pins.
+    pub fn value_before(&self, i: usize, var: VarId) -> Option<Value> {
+        if let Some(changes) = self.writes_at.get(&var) {
+            let upto = changes.partition_point(|(step, _)| (*step as usize) < i);
+            if upto > 0 {
+                return Some(changes[upto - 1].1);
+            }
+        }
+        self.initial.try_get(var)
     }
 
-    /// The *after state* of the `i`-th transaction.
-    pub fn after_state(&self, i: usize) -> &DbState {
-        &self.states[i + 1]
+    /// Materializes the *before state* of the `i`-th transaction (the
+    /// initial state with every write at steps `< i` applied).
+    pub fn before_state(&self, i: usize) -> DbState {
+        let mut state = self.initial.clone();
+        for (var, changes) in &self.writes_at {
+            let upto = changes.partition_point(|(step, _)| (*step as usize) < i);
+            if upto > 0 {
+                state.set(*var, changes[upto - 1].1);
+            }
+        }
+        state
+    }
+
+    /// Materializes the *after state* of the `i`-th transaction.
+    pub fn after_state(&self, i: usize) -> DbState {
+        self.before_state(i + 1)
     }
 
     /// The initial state `s0`.
     pub fn initial_state(&self) -> &DbState {
-        &self.states[0]
+        &self.initial
     }
 
     /// The final state of the history.
     pub fn final_state(&self) -> &DbState {
-        self.states.last().expect("states is never empty")
+        &self.final_state
     }
 
     /// The execution record of the `i`-th transaction.
-    pub fn outcome(&self, i: usize) -> &ExecOutcome {
-        &self.outcomes[i]
+    pub fn outcome(&self, i: usize) -> &StepRecord {
+        &self.steps[i]
     }
 
     /// The position of `id` in this history, if present.
@@ -177,7 +268,7 @@ impl AugmentedHistory {
     /// read for `x_i` in the original history").
     pub fn original_read(&self, id: TxnId, var: VarId) -> Option<Value> {
         let pos = self.position(id)?;
-        self.outcomes[pos].read_value(var)
+        self.steps[pos].read_value(var)
     }
 
     /// Two augmented histories are **final state equivalent** if they are
@@ -191,6 +282,33 @@ impl AugmentedHistory {
         b.sort_unstable();
         a == b && self.final_state() == other.final_state()
     }
+}
+
+/// Executes `history` from `initial` and returns only the final state —
+/// the log-free fast path for callers that never look at intermediate
+/// states or step records (e.g. deriving `H_b`'s final state during a
+/// merge, or convergence replay checks). One overlay, no per-step images,
+/// one materialization.
+///
+/// # Errors
+///
+/// Returns [`HistoryError::Execution`] if any transaction fails, exactly
+/// as [`AugmentedHistory::execute`] would.
+pub fn run_to_final(
+    arena: &TxnArena,
+    history: &SerialHistory,
+    initial: &DbState,
+) -> Result<DbState, HistoryError> {
+    let mut view = OverlayState::new(initial);
+    let empty = Fix::empty();
+    for id in history.iter() {
+        let txn = arena.get(id);
+        let delta = txn
+            .execute_delta(&view, &empty)
+            .map_err(|source| HistoryError::Execution { txn: id, source })?;
+        view.apply_writes(&delta.writes);
+    }
+    Ok(view.materialize())
 }
 
 impl fmt::Display for AugmentedHistory {
@@ -260,6 +378,38 @@ mod tests {
         assert_eq!(h.final_state().get(v(1)), 12);
         assert_eq!(h.initial_state(), &s0);
         assert_eq!(h.before_state(1), h.after_state(0));
+    }
+
+    #[test]
+    fn derived_states_match_replayed_prefixes() {
+        let (arena, b1, g2, s0) = section3();
+        let order = SerialHistory::from_order([b1, g2, b1, g2]);
+        // b1/g2 appear twice; positions are what matters here, so build
+        // the entries directly.
+        let entries: Vec<(TxnId, Fix)> = order.iter().map(|id| (id, Fix::empty())).collect();
+        let h = AugmentedHistory::execute_with_fixes(&arena, &entries, &s0).unwrap();
+        // Every derived before/after state equals the prefix replay.
+        for i in 0..h.len() {
+            let prefix = order.prefix(i);
+            let replay = run_to_final(&arena, &prefix, &s0).unwrap();
+            assert_eq!(h.before_state(i), replay, "before_state({i})");
+            for (var, val) in replay.iter() {
+                assert_eq!(h.value_before(i, var), Some(val), "value_before({i}, {var})");
+            }
+        }
+        assert_eq!(&h.after_state(h.len() - 1), h.final_state());
+        assert_eq!(h.value_before(0, v(9)), None);
+    }
+
+    #[test]
+    fn run_to_final_matches_full_execution() {
+        let (arena, b1, g2, s0) = section3();
+        let order = SerialHistory::from_order([b1, g2]);
+        let h = AugmentedHistory::execute(&arena, &order, &s0).unwrap();
+        assert_eq!(&run_to_final(&arena, &order, &s0).unwrap(), h.final_state());
+        // And it propagates execution errors identically.
+        let empty = DbState::new();
+        assert!(run_to_final(&arena, &order, &empty).is_err());
     }
 
     #[test]

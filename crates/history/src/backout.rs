@@ -88,14 +88,7 @@ pub fn affected_weight(
     arena: &crate::TxnArena,
     hm: &crate::SerialHistory,
 ) -> impl Fn(TxnId) -> u64 + 'static {
-    let weights: std::collections::BTreeMap<TxnId, u64> = hm
-        .iter()
-        .map(|id| {
-            let bad: BTreeSet<TxnId> = [id].into_iter().collect();
-            let ag = crate::readsfrom::affected_set(arena, hm, &bad);
-            (id, 1 + ag.len() as u64)
-        })
-        .collect();
+    let weights = crate::readsfrom::ClosureTable::build(arena, hm).weights();
     move |id: TxnId| weights.get(&id).copied().unwrap_or(1)
 }
 

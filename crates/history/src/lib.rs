@@ -52,13 +52,16 @@ mod schedule;
 
 pub mod backout;
 pub mod fixtures;
+pub mod footprint;
 pub mod interleaved;
 pub mod log;
 pub mod precedence;
 pub mod readsfrom;
 
 pub use arena::TxnArena;
-pub use augmented::{AugmentedHistory, HistoryError};
+pub use augmented::{run_to_final, AugmentedHistory, HistoryError, StepRecord};
 pub use backout::{BackoutError, BackoutStrategy, ExactMinimum, GreedyScc, TwoCycleOptimal};
-pub use precedence::{BaseEdgeCache, EdgeKind, PrecedenceGraph};
+pub use footprint::{DenseBits, VarInterner};
+pub use precedence::{BaseEdgeCache, EdgeKind, GraphScratch, PrecedenceGraph};
+pub use readsfrom::{ClosureScratch, ClosureTable};
 pub use schedule::SerialHistory;

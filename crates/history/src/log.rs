@@ -243,7 +243,7 @@ mod tests {
         // Undo everything: back to s0.
         assert_eq!(log.undo_to(aug.final_state().clone(), 0), ex.s0);
         // Undo the last two (Tm3, Tm4): the state after Tm2.
-        assert_eq!(&log.undo_to(aug.final_state().clone(), 2), aug.after_state(1));
+        assert_eq!(log.undo_to(aug.final_state().clone(), 2), aug.after_state(1));
         // Undo nothing.
         assert_eq!(&log.undo_to(aug.final_state().clone(), 4), aug.final_state());
     }

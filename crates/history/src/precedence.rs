@@ -50,14 +50,50 @@ impl fmt::Display for EdgeKind {
     }
 }
 
-/// Do two transactions conflict? Both access some item, at least one
-/// writing it — the standard read/write conflict relation the graph's
-/// edges are built from.
-fn txn_conflicts(arena: &TxnArena, a: TxnId, b: TxnId) -> bool {
-    let (ta, tb) = (arena.get(a), arena.get(b));
-    ta.readset().intersects(tb.writeset())
-        || ta.writeset().intersects(tb.readset())
-        || ta.writeset().intersects(tb.writeset())
+/// Reusable scratch for repeated graph builds: the id → node-index map as
+/// a generation-stamped flat vector, so back-to-back merges over one arena
+/// stop allocating (and rebalancing) a `BTreeMap` per build.
+#[derive(Debug, Clone, Default)]
+pub struct GraphScratch {
+    /// `TxnId` slot → node index, valid only when the stamp matches the
+    /// current generation.
+    index: Vec<u32>,
+    stamp: Vec<u32>,
+    generation: u32,
+}
+
+impl GraphScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        GraphScratch::default()
+    }
+
+    /// Starts a new build over an arena with `arena_len` transactions.
+    fn begin(&mut self, arena_len: usize) {
+        if self.index.len() < arena_len {
+            self.index.resize(arena_len, 0);
+            self.stamp.resize(arena_len, 0);
+        }
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Generation counter wrapped: old stamps could collide, so
+            // reset them all once.
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.generation = 1;
+        }
+    }
+
+    fn record(&mut self, id: TxnId, node: usize) {
+        let slot = id.index() as usize;
+        self.index[slot] = node as u32;
+        self.stamp[slot] = self.generation;
+    }
+
+    fn index_of(&self, id: TxnId) -> usize {
+        let slot = id.index() as usize;
+        debug_assert_eq!(self.stamp[slot], self.generation, "node present");
+        self.index[slot] as usize
+    }
 }
 
 /// Incrementally maintained rule-2 (base-conflict) edges of one epoch's
@@ -114,7 +150,7 @@ impl BaseEdgeCache {
             let j = self.txns.len();
             self.txns.push(id);
             for (i, &earlier) in self.txns[..j].iter().enumerate() {
-                if txn_conflicts(arena, earlier, id) {
+                if arena.conflicts(earlier, id) {
                     self.pairs.push((i, j));
                 }
             }
@@ -163,8 +199,9 @@ pub struct PrecedenceGraph {
     /// Node order: `H_m` transactions first, then `H_b` transactions.
     nodes: Vec<TxnId>,
     kinds: Vec<TxnKind>,
-    /// Adjacency: `succs[i]` is the set of node indices `i` points to.
-    succs: Vec<BTreeSet<usize>>,
+    /// Adjacency: `succs[i]` holds the node indices `i` points to, sorted
+    /// ascending after the build (membership tests binary-search).
+    succs: Vec<Vec<usize>>,
     /// Every edge with its reason, for diagnostics and Figure 1 rendering.
     edges: Vec<(TxnId, TxnId, EdgeKind)>,
 }
@@ -176,7 +213,18 @@ impl PrecedenceGraph {
     /// transactions conflict on an item if both access it and at least one
     /// writes it.
     pub fn build(arena: &TxnArena, hm: &SerialHistory, hb: &SerialHistory) -> Self {
-        Self::build_inner(arena, hm, hb, Rule2::Compute)
+        Self::build_inner(arena, hm, hb, Rule2::Compute, &mut GraphScratch::new())
+    }
+
+    /// Like [`build`](Self::build), but reusing a caller-held
+    /// [`GraphScratch`] across builds (e.g. one merge per window step).
+    pub fn build_with_scratch(
+        arena: &TxnArena,
+        hm: &SerialHistory,
+        hb: &SerialHistory,
+        scratch: &mut GraphScratch,
+    ) -> Self {
+        Self::build_inner(arena, hm, hb, Rule2::Compute, scratch)
     }
 
     /// Builds the graph like [`build`](Self::build), but takes the rule-2
@@ -193,35 +241,55 @@ impl PrecedenceGraph {
         hb: &SerialHistory,
         cache: &BaseEdgeCache,
     ) -> Self {
+        Self::build_with_base_cache_scratch(arena, hm, hb, cache, &mut GraphScratch::new())
+    }
+
+    /// [`build_with_base_cache`](Self::build_with_base_cache) with a
+    /// caller-held [`GraphScratch`].
+    pub fn build_with_base_cache_scratch(
+        arena: &TxnArena,
+        hm: &SerialHistory,
+        hb: &SerialHistory,
+        cache: &BaseEdgeCache,
+        scratch: &mut GraphScratch,
+    ) -> Self {
         assert!(cache.len() >= hb.len(), "base-edge cache is behind the base history");
         debug_assert!(
             hb.iter().eq(cache.txns[..hb.len()].iter().copied()),
             "base-edge cache prefix does not match the base history"
         );
-        Self::build_inner(arena, hm, hb, Rule2::Cached(cache))
+        Self::build_inner(arena, hm, hb, Rule2::Cached(cache), scratch)
     }
 
-    fn build_inner(arena: &TxnArena, hm: &SerialHistory, hb: &SerialHistory, rule2: Rule2) -> Self {
+    fn build_inner(
+        arena: &TxnArena,
+        hm: &SerialHistory,
+        hb: &SerialHistory,
+        rule2: Rule2,
+        scratch: &mut GraphScratch,
+    ) -> Self {
         let nodes: Vec<TxnId> = hm.iter().chain(hb.iter()).collect();
         let kinds: Vec<TxnKind> = nodes.iter().map(|id| arena.get(*id).kind()).collect();
-        let index_map: std::collections::BTreeMap<TxnId, usize> =
-            nodes.iter().enumerate().map(|(i, id)| (*id, i)).collect();
-        let index_of = move |id: TxnId| *index_map.get(&id).expect("node present");
+        scratch.begin(arena.len());
+        for (i, id) in nodes.iter().enumerate() {
+            scratch.record(*id, i);
+        }
+        let index_of = |id: TxnId| scratch.index_of(id);
 
         let mut graph = PrecedenceGraph {
-            succs: vec![BTreeSet::new(); nodes.len()],
+            succs: vec![Vec::new(); nodes.len()],
             edges: Vec::new(),
             nodes,
             kinds,
         };
 
-        let conflicts = |a: TxnId, b: TxnId| -> bool { txn_conflicts(arena, a, b) };
-
         // Rule 1: order of conflicting tentative transactions in H_m.
+        // Conflicts are word-wise bitset tests over the arena's interned
+        // footprints — identical answers to the VarSet intersections.
         let hm_order: Vec<TxnId> = hm.iter().collect();
         for (i, &ti) in hm_order.iter().enumerate() {
             for &tj in &hm_order[i + 1..] {
-                if conflicts(ti, tj) {
+                if arena.conflicts(ti, tj) {
                     graph.add_edge(index_of(ti), index_of(tj), EdgeKind::MobileConflict);
                 }
             }
@@ -234,7 +302,7 @@ impl PrecedenceGraph {
             Rule2::Compute => {
                 for (i, &ti) in hb_order.iter().enumerate() {
                     for &tj in &hb_order[i + 1..] {
-                        if conflicts(ti, tj) {
+                        if arena.conflicts(ti, tj) {
                             graph.add_edge(index_of(ti), index_of(tj), EdgeKind::BaseConflict);
                         }
                     }
@@ -252,21 +320,28 @@ impl PrecedenceGraph {
         // have observed the pre-base value (and vice versa).
         for &tm in &hm_order {
             for &tb in &hb_order {
-                let (m, b) = (arena.get(tm), arena.get(tb));
-                if m.readset().intersects(b.writeset()) {
+                if arena.reads_overlap_writes(tm, tb) {
                     graph.add_edge(index_of(tm), index_of(tb), EdgeKind::MobileReadBase);
                 }
-                if b.readset().intersects(m.writeset()) {
+                if arena.reads_overlap_writes(tb, tm) {
                     graph.add_edge(index_of(tb), index_of(tm), EdgeKind::BaseReadMobile);
                 }
             }
+        }
+
+        // Sort adjacency ascending (rule-3 targets arrive out of order for
+        // base nodes) so membership binary-searches and iteration matches
+        // the former BTreeSet order.
+        for succs in &mut graph.succs {
+            succs.sort_unstable();
         }
 
         graph
     }
 
     fn add_edge(&mut self, from: usize, to: usize, kind: EdgeKind) {
-        if self.succs[from].insert(to) {
+        if !self.succs[from].contains(&to) {
+            self.succs[from].push(to);
             self.edges.push((self.nodes[from], self.nodes[to], kind));
         }
     }
@@ -284,7 +359,7 @@ impl PrecedenceGraph {
     /// Returns `true` if there is an edge `from → to`.
     pub fn has_edge(&self, from: TxnId, to: TxnId) -> bool {
         match (self.index(from), self.index(to)) {
-            (Some(f), Some(t)) => self.succs[f].contains(&t),
+            (Some(f), Some(t)) => self.succs[f].binary_search(&t).is_ok(),
             _ => false,
         }
     }
@@ -372,7 +447,7 @@ impl PrecedenceGraph {
             .filter(|scc| {
                 scc.len() > 1 || {
                     let i = self.index(scc[0]).expect("scc node");
-                    self.succs[i].contains(&i)
+                    self.succs[i].binary_search(&i).is_ok()
                 }
             })
             .collect()
@@ -389,7 +464,10 @@ impl PrecedenceGraph {
                 continue;
             }
             for &j in succs {
-                if j > i && !removed.contains(&self.nodes[j]) && self.succs[j].contains(&i) {
+                if j > i
+                    && !removed.contains(&self.nodes[j])
+                    && self.succs[j].binary_search(&i).is_ok()
+                {
                     out.push((self.nodes[i], self.nodes[j]));
                 }
             }
@@ -477,7 +555,9 @@ impl PrecedenceGraph {
             .succs
             .iter()
             .enumerate()
-            .filter(|(j, succs)| !removed.contains(&self.nodes[*j]) && succs.contains(&i))
+            .filter(|(j, succs)| {
+                !removed.contains(&self.nodes[*j]) && succs.binary_search(&i).is_ok()
+            })
             .count();
         out + inn
     }
@@ -689,6 +769,40 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.edge_count(6), 0);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_builds() {
+        let ex = crate::fixtures::example1();
+        let mut cache = BaseEdgeCache::new();
+        cache.sync(&ex.arena, &ex.hb);
+        let mut scratch = GraphScratch::new();
+        // Reuse one scratch across from-scratch, cached, and shrunk builds;
+        // every graph must match its fresh-scratch twin edge-for-edge.
+        for _ in 0..3 {
+            let fresh = PrecedenceGraph::build(&ex.arena, &ex.hm, &ex.hb);
+            let reused =
+                PrecedenceGraph::build_with_scratch(&ex.arena, &ex.hm, &ex.hb, &mut scratch);
+            assert_eq!(fresh.edges(), reused.edges());
+            assert_eq!(fresh.nodes(), reused.nodes());
+            let cached = PrecedenceGraph::build_with_base_cache_scratch(
+                &ex.arena,
+                &ex.hm,
+                &ex.hb,
+                &cache,
+                &mut scratch,
+            );
+            assert_eq!(fresh.edges(), cached.edges());
+            // A smaller build right after must not see stale entries.
+            let small = PrecedenceGraph::build_with_scratch(
+                &ex.arena,
+                &SerialHistory::from_order([ex.m[0]]),
+                &SerialHistory::new(),
+                &mut scratch,
+            );
+            assert!(small.edges().is_empty());
+            assert_eq!(small.nodes(), &[ex.m[0]]);
+        }
     }
 
     #[test]

@@ -56,7 +56,10 @@ pub fn reads_from_facts(arena: &TxnArena, history: &SerialHistory) -> Vec<ReadsF
 ///
 /// A single forward scan suffices for a serial history: a transaction is
 /// affected as soon as it reads any item whose latest writer is in
-/// `bad ∪ AG-so-far`.
+/// `bad ∪ AG-so-far`. The taint map is a word-wise bitset over the arena's
+/// dense variable index: per step one AND-any test against the read
+/// footprint, then `tainted = (tainted & !writes) | (taints ? writes : 0)`
+/// — identical answers to the per-variable `BTreeMap` scan.
 ///
 /// # Example
 ///
@@ -67,22 +70,154 @@ pub fn affected_set(
     history: &SerialHistory,
     bad: &BTreeSet<TxnId>,
 ) -> BTreeSet<TxnId> {
-    let mut tainted_writer: std::collections::BTreeMap<VarId, bool> = Default::default();
+    let mut tainted = vec![0u64; arena.var_count().div_ceil(64)];
     let mut affected = BTreeSet::new();
     for id in history.iter() {
-        let txn = arena.get(id);
         let is_bad = bad.contains(&id);
         let reads_tainted = !is_bad
-            && txn.readset().iter().any(|var| tainted_writer.get(&var).copied().unwrap_or(false));
+            && arena.read_bits(id).words().iter().zip(tainted.iter()).any(|(r, t)| r & t != 0);
         if reads_tainted {
             affected.insert(id);
         }
-        let taints = is_bad || affected.contains(&id);
-        for var in txn.writeset().iter() {
-            tainted_writer.insert(var, taints);
+        let taints = is_bad || reads_tainted;
+        for (k, w) in arena.write_bits(id).words().iter().enumerate() {
+            if taints {
+                tainted[k] |= w;
+            } else {
+                tainted[k] &= !w;
+            }
         }
     }
     affected
+}
+
+/// Reusable buffers for [`ClosureTable`] builds.
+#[derive(Debug, Clone, Default)]
+pub struct ClosureScratch {
+    /// Last-writer position per dense variable index (`usize::MAX` = none).
+    last_writer: Vec<usize>,
+    /// One row of taint words, accumulated before committing to the table.
+    row: Vec<u64>,
+}
+
+impl ClosureScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        ClosureScratch::default()
+    }
+}
+
+/// Per-position reads-from closures of one history, all at once.
+///
+/// The back-out weight needs `|AG({t})|` for *every* tentative transaction,
+/// and merge step 2 then needs `AG(B)` for the chosen set — the seed walked
+/// the forward-scan closure once per transaction, an `O(n² · sets)` pattern.
+/// One table build is a single forward pass: row `i` is the bitset of
+/// positions whose back-out would taint transaction `i`
+/// (`T[i] = bit(i) ∪ ⋃_{v ∈ reads(i)} T[lastwriter(v)]`). Then
+///
+/// * `weight(p) = 1 + |{i ≠ p : p ∈ T[i]}|` — a column count, and
+/// * `AG(P) = {i ∉ P : T[i] ∩ P ≠ ∅}` — one AND-any per row,
+///
+/// both byte-identical to the per-call [`affected_set`] answers (the
+/// union-of-singleton-closures identity `AG(B) = (⋃_{b∈B} AG({b})) \ B`
+/// holds because taint propagation is monotone and per-item last-writer
+/// chains don't depend on which set is backed out).
+#[derive(Debug, Clone)]
+pub struct ClosureTable {
+    order: Vec<TxnId>,
+    stride: usize,
+    /// `order.len()` rows of `stride` words each.
+    taint: Vec<u64>,
+}
+
+impl ClosureTable {
+    /// Builds the closure table for `history` over `arena`.
+    pub fn build(arena: &TxnArena, history: &SerialHistory) -> Self {
+        Self::build_with_scratch(arena, history, &mut ClosureScratch::new())
+    }
+
+    /// [`build`](Self::build) with caller-held reusable buffers.
+    pub fn build_with_scratch(
+        arena: &TxnArena,
+        history: &SerialHistory,
+        scratch: &mut ClosureScratch,
+    ) -> Self {
+        let order: Vec<TxnId> = history.iter().collect();
+        let n = order.len();
+        let stride = n.div_ceil(64).max(1);
+        let mut taint = vec![0u64; n * stride];
+        let lw = &mut scratch.last_writer;
+        lw.clear();
+        lw.resize(arena.var_count(), usize::MAX);
+        let row = &mut scratch.row;
+        row.clear();
+        row.resize(stride, 0);
+        for (i, &id) in order.iter().enumerate() {
+            row.fill(0);
+            for var in arena.read_bits(id).iter() {
+                let w = lw[var as usize];
+                if w != usize::MAX {
+                    let src = &taint[w * stride..(w + 1) * stride];
+                    for (acc, word) in row.iter_mut().zip(src) {
+                        *acc |= word;
+                    }
+                }
+            }
+            row[i / 64] |= 1u64 << (i % 64);
+            taint[i * stride..(i + 1) * stride].copy_from_slice(row);
+            for var in arena.write_bits(id).iter() {
+                lw[var as usize] = i;
+            }
+        }
+        ClosureTable { order, stride, taint }
+    }
+
+    /// The history order the table was built over.
+    pub fn order(&self) -> &[TxnId] {
+        &self.order
+    }
+
+    /// The back-out weight `1 + |AG({order[p]})|` of the transaction at
+    /// position `p` — a column count over the taint rows.
+    pub fn weight_of_position(&self, p: usize) -> u64 {
+        let word = p / 64;
+        let bit = 1u64 << (p % 64);
+        let mut count = 0u64;
+        for i in 0..self.order.len() {
+            if i != p && self.taint[i * self.stride + word] & bit != 0 {
+                count += 1;
+            }
+        }
+        1 + count
+    }
+
+    /// All back-out weights, keyed by transaction.
+    pub fn weights(&self) -> std::collections::BTreeMap<TxnId, u64> {
+        self.order.iter().enumerate().map(|(p, id)| (*id, self.weight_of_position(p))).collect()
+    }
+
+    /// The affected set `AG(bad)`: one AND-any per row against the mask of
+    /// `bad` positions. Equals [`affected_set`] on the same inputs.
+    pub fn affected_of(&self, bad: &BTreeSet<TxnId>) -> BTreeSet<TxnId> {
+        let mut mask = vec![0u64; self.stride];
+        for (i, id) in self.order.iter().enumerate() {
+            if bad.contains(id) {
+                mask[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        let mut affected = BTreeSet::new();
+        for (i, id) in self.order.iter().enumerate() {
+            if bad.contains(id) {
+                continue;
+            }
+            let row = &self.taint[i * self.stride..(i + 1) * self.stride];
+            if row.iter().zip(mask.iter()).any(|(a, b)| a & b != 0) {
+                affected.insert(*id);
+            }
+        }
+        affected
+    }
 }
 
 #[cfg(test)]
@@ -177,5 +312,52 @@ mod tests {
         let h = SerialHistory::from_order([b1, b2]);
         let bad: BTreeSet<TxnId> = [b1, b2].into_iter().collect();
         assert!(affected_set(&arena, &h, &bad).is_empty());
+    }
+
+    #[test]
+    fn closure_table_matches_affected_set_on_every_subset() {
+        let ex = crate::fixtures::example1();
+        let table = ClosureTable::build(&ex.arena, &ex.hm);
+        assert_eq!(table.order(), ex.hm.order());
+        // All 16 subsets of {Tm1..Tm4}: one table serves every query the
+        // per-call forward scan answers.
+        for mask in 0u32..16 {
+            let bad: BTreeSet<TxnId> =
+                ex.m.iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, id)| *id)
+                    .collect();
+            assert_eq!(
+                table.affected_of(&bad),
+                affected_set(&ex.arena, &ex.hm, &bad),
+                "subset mask {mask}"
+            );
+        }
+        // Weights are 1 + singleton-closure sizes (Example 1: 4/3/2/1).
+        for (p, id) in ex.m.iter().enumerate() {
+            let singleton: BTreeSet<TxnId> = [*id].into_iter().collect();
+            let ag = affected_set(&ex.arena, &ex.hm, &singleton);
+            assert_eq!(table.weight_of_position(p), 1 + ag.len() as u64);
+        }
+        assert_eq!(table.weights()[&ex.m[0]], 4);
+    }
+
+    #[test]
+    fn closure_table_scratch_reuse_is_identical() {
+        let ex = crate::fixtures::example1();
+        let mut scratch = ClosureScratch::new();
+        let fresh = ClosureTable::build(&ex.arena, &ex.hm);
+        for _ in 0..3 {
+            let reused = ClosureTable::build_with_scratch(&ex.arena, &ex.hm, &mut scratch);
+            assert_eq!(reused.weights(), fresh.weights());
+            // A shorter history right after must not see stale last-writers.
+            let one = ClosureTable::build_with_scratch(
+                &ex.arena,
+                &SerialHistory::from_order([ex.m[3]]),
+                &mut scratch,
+            );
+            assert_eq!(one.weight_of_position(0), 1);
+        }
     }
 }

@@ -7,6 +7,9 @@ use crate::json::push_escaped;
 /// order of per-phase breakdowns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Phase {
+    /// Executing histories (deriving `H_m`'s log and `H_b`'s final state)
+    /// before step 1.
+    Exec,
     /// Step 1: building the precedence graph `G(H_m, H_b)`.
     GraphBuild,
     /// Step 2: computing the back-out set (cycle breaking).
@@ -37,7 +40,8 @@ pub enum Phase {
 
 impl Phase {
     /// Every phase, in report order.
-    pub const ALL: [Phase; 13] = [
+    pub const ALL: [Phase; 14] = [
+        Phase::Exec,
         Phase::GraphBuild,
         Phase::Backout,
         Phase::Rewrite,
@@ -57,6 +61,7 @@ impl Phase {
     /// registry key.
     pub fn name(&self) -> &'static str {
         match self {
+            Phase::Exec => "exec",
             Phase::GraphBuild => "graph_build",
             Phase::Backout => "backout",
             Phase::Rewrite => "rewrite",

@@ -26,7 +26,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use histmerge_core::merge::{MergeAssist, MergeOutcome, Merger};
+use histmerge_core::merge::{MergeAssist, MergeOutcome, MergeScratch, Merger};
 use histmerge_core::CoreError;
 use histmerge_history::{BaseEdgeCache, SerialHistory, TxnArena};
 use histmerge_txn::{DbState, TxnId, VarSet};
@@ -92,7 +92,11 @@ pub fn merge_batch(
     let assist = MergeAssist { base_edges: Some(cache), hb_final: Some(hb_final) };
     if workers <= 1 || jobs.len() <= 1 {
         let merger = make_merger();
-        return jobs.iter().map(|j| merger.merge_assisted(arena, &j.hm, hb, s0, assist)).collect();
+        let mut scratch = MergeScratch::new();
+        return jobs
+            .iter()
+            .map(|j| merger.merge_scratch(arena, &j.hm, hb, s0, assist, &mut scratch))
+            .collect();
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Result<MergeOutcome, CoreError>>>> =
@@ -101,12 +105,16 @@ pub fn merge_batch(
         for _ in 0..workers.min(jobs.len()) {
             scope.spawn(|| {
                 let merger = make_merger();
+                // Per-worker scratch: buffers live as long as the worker
+                // and serve every job it claims.
+                let mut scratch = MergeScratch::new();
                 loop {
                     let k = next.fetch_add(1, Ordering::Relaxed);
                     if k >= jobs.len() {
                         break;
                     }
-                    let out = merger.merge_assisted(arena, &jobs[k].hm, hb, s0, assist);
+                    let out =
+                        merger.merge_scratch(arena, &jobs[k].hm, hb, s0, assist, &mut scratch);
                     *slots[k].lock().expect("result slot") = Some(out);
                 }
             });
@@ -148,9 +156,17 @@ pub fn delta_invalidates(
     reads: &VarSet,
     writes: &VarSet,
 ) -> bool {
+    if delta.is_empty() {
+        return false;
+    }
+    // Intern the footprint once, then test each delta transaction against
+    // its admission-time bitsets — a few word-wise ANDs per transaction
+    // instead of BTreeSet intersections. Every footprint variable comes
+    // from an arena transaction, so interning is lossless here.
+    let read_bits = arena.bits_of(reads);
+    let write_bits = arena.bits_of(writes);
     delta.iter().any(|&d| {
-        let t = arena.get(d);
-        t.writeset().intersects(reads) || t.readset().intersects(writes)
+        arena.write_bits(d).intersects(&read_bits) || arena.read_bits(d).intersects(&write_bits)
     })
 }
 

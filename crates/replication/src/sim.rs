@@ -7,7 +7,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 
-use histmerge_core::merge::{InstallPlan, MergeAssist, MergeConfig, MergeOutcome, Merger};
+use histmerge_core::merge::{
+    InstallPlan, MergeAssist, MergeConfig, MergeOutcome, MergeScratch, Merger,
+};
 use histmerge_core::prune::PruneMethod;
 use histmerge_core::rewrite::{FixMode, RewriteAlgorithm};
 use histmerge_history::{BaseEdgeCache, PrecedenceGraph, SerialHistory, TwoCycleOptimal, TxnArena};
@@ -135,6 +137,12 @@ pub struct SimConfig {
     /// default is the shared no-op tracer, which skips event construction
     /// entirely.
     pub tracer: TracerHandle,
+    /// When `true`, the simulation holds one [`MergeScratch`] and threads
+    /// it through every serial merge plan, so repeated window merges reuse
+    /// their graph and closure working memory instead of reallocating.
+    /// Observation-free: a run with reuse enabled is byte-identical to the
+    /// same run without it (the `session_differential` suite pins this).
+    pub reuse_merge_scratch: bool,
 }
 
 impl Default for SimConfig {
@@ -161,6 +169,7 @@ impl Default for SimConfig {
             durability: DurabilityConfig::default(),
             backlog_sample_every: 10,
             tracer: TracerHandle::noop(),
+            reuse_merge_scratch: false,
         }
     }
 }
@@ -380,6 +389,9 @@ pub struct Simulation {
     /// The tick the current window opened at, for virtual-clock window
     /// spans ([`TraceEvent::TickSpan`]).
     last_window_tick: u64,
+    /// Reusable merge working memory, threaded through serial merge plans
+    /// when [`SimConfig::reuse_merge_scratch`] is set.
+    merge_scratch: MergeScratch,
 }
 
 impl Simulation {
@@ -438,6 +450,7 @@ impl Simulation {
             wal,
             logged_commits: 0,
             last_window_tick: 0,
+            merge_scratch: MergeScratch::new(),
             mobiles,
             config,
         })
@@ -495,9 +508,8 @@ impl Simulation {
         let full = self.base.base().full_history();
         let commits = full.len();
         let converged = applicable
-            && match histmerge_history::AugmentedHistory::execute(&self.arena, &full, &self.initial)
-            {
-                Ok(aug) => aug.final_state() == self.base.base().master(),
+            && match histmerge_history::run_to_final(&self.arena, &full, &self.initial) {
+                Ok(state) => &state == self.base.base().master(),
                 Err(_) => false,
             };
         ConvergenceReport {
@@ -925,7 +937,19 @@ impl Simulation {
             MergeAssist { base_edges: Some(&self.base_edge_cache), hb_final: Some(&hb_final) };
         let tracer = self.config.tracer.clone();
         let span = tracer.span_start();
-        let planned = merger.merge_traced(&self.arena, &hm, &hb, &s0, assist, &tracer);
+        let planned = if self.config.reuse_merge_scratch {
+            merger.merge_traced_scratch(
+                &self.arena,
+                &hm,
+                &hb,
+                &s0,
+                assist,
+                &tracer,
+                &mut self.merge_scratch,
+            )
+        } else {
+            merger.merge_traced(&self.arena, &hm, &hb, &s0, assist, &tracer)
+        };
         tracer.span_end(Phase::MergePlan, span);
         match planned {
             Ok(outcome) => SyncDecision::Merge {
@@ -953,10 +977,11 @@ impl Simulation {
         let full = self.base.base().full_history();
         let hb: SerialHistory = full.order()[origin_index..].iter().copied().collect();
         // Validity: replaying the suffix from the snapshot must reproduce
-        // the current master. Retro-patched installs from other mobiles'
-        // merges break this — the Strategy-1 failure mode.
-        let valid = match histmerge_history::AugmentedHistory::execute(&self.arena, &hb, &s0) {
-            Ok(aug) => aug.final_state() == self.base.base().master(),
+        // the current master. Only the final state matters, so the replay
+        // skips the augmented log. Retro-patched installs from other
+        // mobiles' merges break this — the Strategy-1 failure mode.
+        let valid = match histmerge_history::run_to_final(&self.arena, &hb, &s0) {
+            Ok(state) => &state == self.base.base().master(),
             Err(_) => false,
         };
         if !valid {
@@ -965,8 +990,19 @@ impl Simulation {
         let merger = self.merger(algorithm, fix_mode);
         let tracer = self.config.tracer.clone();
         let span = tracer.span_start();
-        let planned =
-            merger.merge_traced(&self.arena, &hm, &hb, &s0, MergeAssist::default(), &tracer);
+        let planned = if self.config.reuse_merge_scratch {
+            merger.merge_traced_scratch(
+                &self.arena,
+                &hm,
+                &hb,
+                &s0,
+                MergeAssist::default(),
+                &tracer,
+                &mut self.merge_scratch,
+            )
+        } else {
+            merger.merge_traced(&self.arena, &hm, &hb, &s0, MergeAssist::default(), &tracer)
+        };
         tracer.span_end(Phase::MergePlan, span);
         match planned {
             Ok(outcome) => SyncDecision::Merge {
@@ -1578,6 +1614,7 @@ mod tests {
             durability: DurabilityConfig::default(),
             backlog_sample_every: 10,
             tracer: TracerHandle::noop(),
+            reuse_merge_scratch: false,
         }
     }
 

@@ -15,8 +15,11 @@ use histmerge_txn::Transaction;
 
 /// Returns `true` if `t` can follow the single transaction `r`
 /// (Definition 3 with a one-element sequence).
+///
+/// Tested on the precomputed footprint masks: one `u64` AND answers the
+/// common disjoint case, with an exact sorted-merge confirming collisions.
 pub fn can_follow(t: &Transaction, r: &Transaction) -> bool {
-    !t.writeset().intersects(r.readset())
+    !t.write_mask().intersects(r.read_mask())
 }
 
 /// Returns `true` if `t` can follow the sequence `r` (Definition 3).

@@ -21,6 +21,14 @@ use histmerge_txn::{Transaction, VarSet};
 /// break Lemma 3's fix bookkeeping (and "usually can not result in the same
 /// final state", as the paper notes).
 pub fn satisfies_property1(t_j: &Transaction, t_i: &Transaction, fix: &VarSet) -> bool {
+    // Mask fast path: pure reads are subsets of the read sets, so if
+    // neither transaction's reads touch the other's writes at all, both
+    // conditions hold without building any difference set.
+    if !t_i.read_mask().intersects(t_j.write_mask())
+        && !t_j.read_mask().intersects(t_i.write_mask())
+    {
+        return true;
+    }
     let i_pure_reads = t_i.readset().difference(t_i.writeset()).difference(fix);
     if i_pure_reads.intersects(t_j.writeset()) {
         return false;

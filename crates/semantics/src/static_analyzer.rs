@@ -70,9 +70,16 @@ impl StaticAnalyzer {
             return true;
         }
 
+        // Disjoint rule, mask fast path first: R1F ⊆ R1, so footprint
+        // masks that never collide prove disjointness without building the
+        // difference set. Only a mask collision pays for the exact check.
+        let masks_disjoint = !t2.write_mask().intersects(t1.read_mask())
+            && !t2.write_mask().intersects(t1.write_mask())
+            && !t1.write_mask().intersects(t2.read_mask());
+        if masks_disjoint {
+            return true;
+        }
         let r1f = r1.difference(fix_vars);
-
-        // Disjoint rule.
         let disjoint = !w2.intersects(&r1f) && !w2.intersects(w1) && !w1.intersects(r2);
         if disjoint {
             return true;

@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 use crate::error::TxnError;
 use crate::fix::Fix;
 use crate::program::{Program, Statement};
-use crate::state::DbState;
+use crate::state::{DbState, StateRead};
 use crate::value::{Value, VarId, VarSet};
 
 /// The result of executing a program once.
@@ -50,6 +50,57 @@ impl ExecOutcome {
     }
 }
 
+/// The *delta* of one execution: everything [`execute`] records except the
+/// materialized after state and the before/after images.
+///
+/// Produced by [`execute_view`], which runs against any [`StateRead`] —
+/// in particular a copy-on-write
+/// [`OverlayState`](crate::OverlayState) — so history execution can apply
+/// the writes to an overlay instead of cloning a full state per step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecDelta {
+    /// The values the transaction observed for each item it read.
+    pub reads: BTreeMap<VarId, Value>,
+    /// The values the transaction wrote.
+    pub writes: BTreeMap<VarId, Value>,
+    /// Items actually read on the taken path (⊆ static read set).
+    pub observed_readset: VarSet,
+    /// Items actually written on the taken path (⊆ static write set).
+    pub observed_writeset: VarSet,
+}
+
+/// Executes `program` against a read-only state view, returning the
+/// execution delta. Semantics are identical to [`execute`]; only the
+/// output shape differs (no state copies are made).
+///
+/// # Errors
+///
+/// Same as [`execute`].
+pub fn execute_view(
+    program: &Program,
+    params: &[Value],
+    state: &dyn StateRead,
+    fix: &Fix,
+) -> Result<ExecDelta, TxnError> {
+    let mut interp = Interp {
+        env: BTreeMap::new(),
+        reads: BTreeMap::new(),
+        writes: BTreeMap::new(),
+        observed_readset: VarSet::new(),
+        observed_writeset: VarSet::new(),
+        state,
+        fix,
+        params,
+    };
+    interp.run_block(program.statements())?;
+    Ok(ExecDelta {
+        reads: interp.reads,
+        writes: interp.writes,
+        observed_readset: interp.observed_readset,
+        observed_writeset: interp.observed_writeset,
+    })
+}
+
 /// Executes `program` on `state` with `params` and `fix`.
 ///
 /// Reads of items pinned in `fix` observe the pinned value; all other reads
@@ -68,32 +119,22 @@ pub fn execute(
     state: &DbState,
     fix: &Fix,
 ) -> Result<ExecOutcome, TxnError> {
-    let mut interp = Interp {
-        env: BTreeMap::new(),
-        reads: BTreeMap::new(),
-        writes: BTreeMap::new(),
-        observed_readset: VarSet::new(),
-        observed_writeset: VarSet::new(),
-        state,
-        fix,
-        params,
-    };
-    interp.run_block(program.statements())?;
+    let delta = execute_view(program, params, state, fix)?;
 
-    let footprint = program.readset().union(program.writeset());
-    let before_image = state.project(&footprint);
+    let footprint = program.footprint();
+    let before_image = state.project(footprint);
     let mut after = state.clone();
-    for (var, value) in &interp.writes {
+    for (var, value) in &delta.writes {
         after.set(*var, *value);
     }
-    let after_image = after.project(&footprint);
+    let after_image = after.project(footprint);
 
     Ok(ExecOutcome {
         after,
-        reads: interp.reads,
-        writes: interp.writes,
-        observed_readset: interp.observed_readset,
-        observed_writeset: interp.observed_writeset,
+        reads: delta.reads,
+        writes: delta.writes,
+        observed_readset: delta.observed_readset,
+        observed_writeset: delta.observed_writeset,
         before_image,
         after_image,
     })
@@ -106,7 +147,7 @@ struct Interp<'a> {
     writes: BTreeMap<VarId, Value>,
     observed_readset: VarSet,
     observed_writeset: VarSet,
-    state: &'a DbState,
+    state: &'a dyn StateRead,
     fix: &'a Fix,
     params: &'a [Value],
 }
@@ -150,7 +191,7 @@ impl Interp<'_> {
         }
         let value = match self.fix.get(var) {
             Some(pinned) => pinned,
-            None => self.state.try_get(var).ok_or(TxnError::MissingVariable { var })?,
+            None => self.state.read(var).ok_or(TxnError::MissingVariable { var })?,
         };
         self.env.insert(var, value);
         self.reads.insert(var, value);
@@ -348,6 +389,29 @@ mod tests {
         assert_eq!(out.after.get(v(0)), 5);
         assert_eq!(out.read_value(v(0)), None);
         assert!(out.observed_writeset.contains(v(0)));
+    }
+
+    #[test]
+    fn execute_view_matches_execute_through_an_overlay() {
+        use crate::state::OverlayState;
+        // Run H1 = s0 B1 s1 G2 s2 both ways: clone-per-step via execute(),
+        // and through one overlay via execute_view(). Same states, same
+        // observations.
+        let (b1p, g2p, s) = (b1(), g2(), s0());
+        let r1 = execute(&b1p, &[], &s, &Fix::empty()).unwrap();
+        let r2 = execute(&g2p, &[], &r1.after, &Fix::empty()).unwrap();
+
+        let mut view = OverlayState::new(&s);
+        let d1 = execute_view(&b1p, &[], &view, &Fix::empty()).unwrap();
+        assert_eq!(d1.reads, r1.reads);
+        assert_eq!(d1.writes, r1.writes);
+        assert_eq!(d1.observed_readset, r1.observed_readset);
+        assert_eq!(d1.observed_writeset, r1.observed_writeset);
+        view.apply_writes(&d1.writes);
+        let d2 = execute_view(&g2p, &[], &view, &Fix::empty()).unwrap();
+        assert_eq!(d2.writes, r2.writes);
+        view.apply_writes(&d2.writes);
+        assert_eq!(view.materialize(), r2.after);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::exec::{self, ExecOutcome};
 use crate::expr::{Expr, Pred};
 use crate::fix::Fix;
 use crate::state::DbState;
-use crate::value::{Value, VarId, VarSet};
+use crate::value::{Value, VarId, VarMask, VarSet};
 
 /// One statement of a transaction program.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -80,6 +80,10 @@ pub struct Program {
     stmts: Vec<Statement>,
     readset: VarSet,
     writeset: VarSet,
+    /// `readset ∪ writeset`, precomputed so executions stop re-deriving it.
+    footprint: VarSet,
+    read_mask: VarMask,
+    write_mask: VarMask,
     n_params: usize,
 }
 
@@ -115,6 +119,22 @@ impl Program {
     /// Static write set: every data item updated on any execution path.
     pub fn writeset(&self) -> &VarSet {
         &self.writeset
+    }
+
+    /// Static footprint `readset ∪ writeset`, precomputed at build time
+    /// (it is the projection domain of every before/after image).
+    pub fn footprint(&self) -> &VarSet {
+        &self.footprint
+    }
+
+    /// Overlap-test mask of the static read set (see [`VarMask`]).
+    pub fn read_mask(&self) -> &VarMask {
+        &self.read_mask
+    }
+
+    /// Overlap-test mask of the static write set (see [`VarMask`]).
+    pub fn write_mask(&self) -> &VarMask {
+        &self.write_mask
     }
 
     /// Number of parameters the program expects (highest index + 1).
@@ -280,7 +300,19 @@ impl ProgramBuilder {
             &mut writeset,
             &mut n_params,
         )?;
-        Ok(Program { name: self.name, stmts: self.stmts, readset, writeset, n_params })
+        let footprint = readset.union(&writeset);
+        let read_mask = VarMask::from_set(&readset);
+        let write_mask = VarMask::from_set(&writeset);
+        Ok(Program {
+            name: self.name,
+            stmts: self.stmts,
+            readset,
+            writeset,
+            footprint,
+            read_mask,
+            write_mask,
+            n_params,
+        })
     }
 
     /// Walks `stmts` with the set of variables available (read or already
@@ -571,6 +603,23 @@ mod tests {
             .build()
             .unwrap();
         assert!(!p.has_blind_writes());
+    }
+
+    #[test]
+    fn footprint_and_masks_match_static_sets() {
+        let p = ProgramBuilder::new("t")
+            .read(v(0))
+            .branch(
+                Expr::var(v(0)).gt(Expr::konst(0)),
+                |b| b.read(v(1)).update(v(1), Expr::var(v(1)) + Expr::konst(1)),
+                |b| b.read(v(2)).update(v(2), Expr::var(v(2)) - Expr::konst(1)),
+            )
+            .build()
+            .unwrap();
+        assert_eq!(p.footprint(), &p.readset().union(p.writeset()));
+        assert!(p.read_mask().contains(v(2)));
+        assert!(!p.write_mask().contains(v(0)));
+        assert!(p.read_mask().intersects(p.write_mask()));
     }
 
     #[test]

@@ -135,6 +135,99 @@ impl FromIterator<(VarId, Value)> for DbState {
     }
 }
 
+/// Read access to a database state, without committing to a representation.
+///
+/// The interpreter only ever *reads* the state it executes against; the
+/// writes come back as a delta. Abstracting the read side lets history
+/// execution run against a copy-on-write [`OverlayState`] — one base state
+/// plus the accumulated writes — instead of cloning a full [`DbState`]
+/// per transaction.
+pub trait StateRead {
+    /// Returns the value of `var`, or `None` if it is not present.
+    fn read(&self, var: VarId) -> Option<Value>;
+}
+
+impl StateRead for DbState {
+    fn read(&self, var: VarId) -> Option<Value> {
+        self.try_get(var)
+    }
+}
+
+/// A copy-on-write view: a borrowed base state plus an overlay of writes.
+///
+/// Reads consult the overlay first and fall back to the base; writes land
+/// in the overlay only. Executing an `n`-transaction history through one
+/// overlay costs O(items touched), where the naive
+/// clone-per-step execution costs O(n · |database|).
+///
+/// # Example
+///
+/// ```rust
+/// use histmerge_txn::{DbState, OverlayState, StateRead, VarId};
+///
+/// let x = VarId::new(0);
+/// let base: DbState = [(x, 1)].into_iter().collect();
+/// let mut view = OverlayState::new(&base);
+/// assert_eq!(view.read(x), Some(1));
+/// view.set(x, 42);
+/// assert_eq!(view.read(x), Some(42));
+/// assert_eq!(base.get(x), 1); // base untouched
+/// assert_eq!(view.materialize().get(x), 42);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OverlayState<'a> {
+    base: &'a DbState,
+    overlay: BTreeMap<VarId, Value>,
+}
+
+impl<'a> OverlayState<'a> {
+    /// Creates a view over `base` with an empty overlay.
+    pub fn new(base: &'a DbState) -> Self {
+        OverlayState { base, overlay: BTreeMap::new() }
+    }
+
+    /// Writes `value` to `var` in the overlay.
+    pub fn set(&mut self, var: VarId, value: Value) {
+        self.overlay.insert(var, value);
+    }
+
+    /// Applies a write delta (e.g. [`ExecDelta::writes`](crate::exec::ExecDelta))
+    /// to the overlay.
+    pub fn apply_writes(&mut self, writes: &BTreeMap<VarId, Value>) {
+        for (var, value) in writes {
+            self.overlay.insert(*var, *value);
+        }
+    }
+
+    /// Number of overlaid (written) items.
+    pub fn overlay_len(&self) -> usize {
+        self.overlay.len()
+    }
+
+    /// The restriction of the current view to `vars` (the overlay-aware
+    /// analogue of [`DbState::project`]).
+    pub fn project(&self, vars: &VarSet) -> DbState {
+        vars.iter().filter_map(|v| self.read(v).map(|val| (v, val))).collect()
+    }
+
+    /// Materializes the view into an owned state: a clone of the base with
+    /// the overlay applied. One full-state copy for the entire history,
+    /// instead of one per step.
+    pub fn materialize(&self) -> DbState {
+        let mut state = self.base.clone();
+        for (var, value) in &self.overlay {
+            state.set(*var, *value);
+        }
+        state
+    }
+}
+
+impl StateRead for OverlayState<'_> {
+    fn read(&self, var: VarId) -> Option<Value> {
+        self.overlay.get(&var).copied().or_else(|| self.base.try_get(var))
+    }
+}
+
 impl fmt::Display for DbState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
@@ -222,5 +315,27 @@ mod tests {
         s.set(v(1), 2);
         s.set(v(0), 1);
         assert_eq!(s.to_string(), "{d0=1; d1=2}");
+    }
+
+    #[test]
+    fn overlay_reads_through_and_materializes() {
+        let base = DbState::uniform(3, 10);
+        let mut view = OverlayState::new(&base);
+        assert_eq!(view.read(v(1)), Some(10));
+        assert_eq!(view.read(v(9)), None);
+        view.set(v(1), 99);
+        view.apply_writes(&[(v(2), 50)].into_iter().collect());
+        assert_eq!(view.read(v(1)), Some(99));
+        assert_eq!(view.read(v(0)), Some(10));
+        assert_eq!(view.overlay_len(), 2);
+        let vars: VarSet = [v(0), v(1), v(7)].into_iter().collect();
+        let proj = view.project(&vars);
+        assert_eq!(proj.try_get(v(1)), Some(99));
+        assert_eq!(proj.try_get(v(0)), Some(10));
+        assert!(!proj.contains(v(7)));
+        let full = view.materialize();
+        assert_eq!(full.get(v(1)), 99);
+        assert_eq!(full.get(v(2)), 50);
+        assert_eq!(base.get(v(1)), 10);
     }
 }

@@ -4,12 +4,12 @@ use std::fmt;
 use std::sync::Arc;
 
 use crate::error::TxnError;
-use crate::exec::ExecOutcome;
+use crate::exec::{self, ExecDelta, ExecOutcome};
 use crate::fix::Fix;
 use crate::program::Program;
 use crate::registry::TxnTypeId;
-use crate::state::DbState;
-use crate::value::{Value, VarSet};
+use crate::state::{DbState, StateRead};
+use crate::value::{Value, VarMask, VarSet};
 
 /// Identifier of a transaction within a history arena.
 ///
@@ -146,12 +146,27 @@ impl Transaction {
         state: &DbState,
         fix: &crate::fix::Fix,
     ) -> Result<bool, TxnError> {
+        self.check_precondition_on(state, fix)
+    }
+
+    /// [`Transaction::check_precondition`] against any [`StateRead`] view
+    /// (e.g. a copy-on-write [`OverlayState`](crate::OverlayState)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxnError::MissingVariable`] if the view lacks a
+    /// precondition variable.
+    pub fn check_precondition_on(
+        &self,
+        state: &dyn StateRead,
+        fix: &crate::fix::Fix,
+    ) -> Result<bool, TxnError> {
         match &self.precondition {
             None => Ok(true),
             Some(pred) => {
                 let mut lookup = |var| {
                     fix.get(var)
-                        .or_else(|| state.try_get(var))
+                        .or_else(|| state.read(var))
                         .ok_or(TxnError::MissingVariable { var })
                 };
                 pred.eval_with(&mut lookup, &self.params)
@@ -237,6 +252,22 @@ impl Transaction {
         self.program.writeset()
     }
 
+    /// Static footprint `readset ∪ writeset` (delegates to the program).
+    pub fn footprint(&self) -> &VarSet {
+        self.program.footprint()
+    }
+
+    /// Overlap-test mask of the static read set (delegates to the program).
+    pub fn read_mask(&self) -> &VarMask {
+        self.program.read_mask()
+    }
+
+    /// Overlap-test mask of the static write set (delegates to the
+    /// program).
+    pub fn write_mask(&self) -> &VarMask {
+        self.program.write_mask()
+    }
+
     /// `readset − writeset`: the items read but never written. Lemma 2
     /// shows this set (with original read values) is always a sufficient
     /// fix.
@@ -251,6 +282,36 @@ impl Transaction {
     /// See [`Program::execute`].
     pub fn execute(&self, state: &DbState, fix: &Fix) -> Result<ExecOutcome, TxnError> {
         self.program.execute(&self.params, state, fix)
+    }
+
+    /// Executes the forward program against any [`StateRead`] view,
+    /// returning the write delta instead of a materialized after state
+    /// (the copy-on-write execution path; see [`exec::execute_view`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Program::execute`].
+    pub fn execute_delta(&self, state: &dyn StateRead, fix: &Fix) -> Result<ExecDelta, TxnError> {
+        exec::execute_view(&self.program, &self.params, state, fix)
+    }
+
+    /// Executes the compensating program against any [`StateRead`] view,
+    /// returning the write delta (the copy-on-write analogue of
+    /// [`Transaction::compensate`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxnError::UnknownTxnType`] if no inverse was declared,
+    /// otherwise see [`Program::execute`].
+    pub fn compensate_delta(
+        &self,
+        state: &dyn StateRead,
+        fix: &Fix,
+    ) -> Result<ExecDelta, TxnError> {
+        let inverse = self.inverse.as_ref().ok_or_else(|| TxnError::UnknownTxnType {
+            name: format!("{} (no compensating program)", self.name),
+        })?;
+        exec::execute_view(inverse, &self.params, state, fix)
     }
 
     /// Executes the compensating program on `state` with `fix` (the *fixed

@@ -139,6 +139,81 @@ impl FromIterator<VarId> for VarSet {
     }
 }
 
+/// A flat, overlap-test-optimized view of a [`VarSet`].
+///
+/// The merge hot path asks one question about read/write sets over and
+/// over: *do these two sets share a variable?* A `VarMask` answers it with
+/// a single 64-bit summary AND (each variable hashes to bit `index % 64`)
+/// that rejects most disjoint pairs in one instruction, falling back to a
+/// linear merge over the sorted indices only when the summaries collide.
+/// The answer is always exact — the summary is a filter, not the verdict.
+///
+/// Masks are precomputed once per [`Program`](crate::Program) at build
+/// time, so conflict tests on the merge path allocate nothing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VarMask {
+    /// Bit `i % 64` is set for every member with index `i`.
+    summary: u64,
+    /// Member indices in ascending order.
+    sorted: Vec<u32>,
+}
+
+impl VarMask {
+    /// Builds the mask of a variable set.
+    pub fn from_set(set: &VarSet) -> Self {
+        let sorted: Vec<u32> = set.iter().map(VarId::index).collect();
+        let mut summary = 0u64;
+        for i in &sorted {
+            summary |= 1u64 << (i % 64);
+        }
+        VarMask { summary, sorted }
+    }
+
+    /// Returns `true` if the mask has no members.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Exact membership test.
+    pub fn contains(&self, var: VarId) -> bool {
+        let i = var.index();
+        self.summary & (1u64 << (i % 64)) != 0 && self.sorted.binary_search(&i).is_ok()
+    }
+
+    /// Exact overlap test, equivalent to [`VarSet::intersects`] on the
+    /// originating sets.
+    pub fn intersects(&self, other: &VarMask) -> bool {
+        if self.summary & other.summary == 0 {
+            return false;
+        }
+        // Summaries collide: confirm with a linear merge of the sorted
+        // index lists.
+        let (mut a, mut b) = (self.sorted.iter().peekable(), other.sorted.iter().peekable());
+        while let (Some(x), Some(y)) = (a.peek(), b.peek()) {
+            match x.cmp(y) {
+                std::cmp::Ordering::Less => {
+                    a.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    b.next();
+                }
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// Iterates the member indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.sorted.iter().map(|i| VarId::new(*i))
+    }
+}
+
 impl Extend<VarId> for VarSet {
     fn extend<I: IntoIterator<Item = VarId>>(&mut self, iter: I) {
         self.0.extend(iter);
@@ -223,5 +298,35 @@ mod tests {
         assert!(v(1) < v(2));
         assert_eq!(VarId::from(4u32), v(4));
         assert_eq!(v(4).index(), 4);
+    }
+
+    #[test]
+    fn varmask_matches_varset_semantics() {
+        let a: VarSet = [v(1), v(2), v(3)].into_iter().collect();
+        let b: VarSet = [v(3), v(4)].into_iter().collect();
+        let c: VarSet = [v(7), v(9)].into_iter().collect();
+        let (ma, mb, mc) = (VarMask::from_set(&a), VarMask::from_set(&b), VarMask::from_set(&c));
+        assert_eq!(ma.intersects(&mb), a.intersects(&b));
+        assert_eq!(ma.intersects(&mc), a.intersects(&c));
+        assert!(ma.contains(v(2)));
+        assert!(!ma.contains(v(4)));
+        assert_eq!(ma.len(), 3);
+        assert!(!ma.is_empty());
+        assert!(VarMask::from_set(&VarSet::new()).is_empty());
+        assert_eq!(ma.iter().collect::<Vec<_>>(), vec![v(1), v(2), v(3)]);
+    }
+
+    #[test]
+    fn varmask_summary_collisions_stay_exact() {
+        // 1 and 65 share summary bit 1 but are different variables: the
+        // sorted-scan fallback must still answer "disjoint".
+        let a: VarSet = [v(1)].into_iter().collect();
+        let b: VarSet = [v(65)].into_iter().collect();
+        let (ma, mb) = (VarMask::from_set(&a), VarMask::from_set(&b));
+        assert!(!ma.intersects(&mb));
+        assert!(!ma.contains(v(65)));
+        // And a genuine overlap past the collision is found.
+        let c: VarSet = [v(65), v(1)].into_iter().collect();
+        assert!(ma.intersects(&VarMask::from_set(&c)));
     }
 }

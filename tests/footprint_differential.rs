@@ -1,0 +1,176 @@
+//! Differential tests of the hot-path data layout: the interned footprint
+//! bitsets, the closure table, and copy-on-write history execution must
+//! give byte-identical answers to the slow, obviously-correct set-based
+//! formulations they replaced. Every reference implementation here is
+//! written against `VarSet`/`BTreeMap` primitives only, so a bug in the
+//! word-wise layout cannot hide in a shared helper.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use histmerge::history::readsfrom::affected_set;
+use histmerge::history::{run_to_final, AugmentedHistory, ClosureTable, SerialHistory, TxnArena};
+use histmerge::txn::{DbState, Fix, TxnId, VarId, VarMask};
+use histmerge::workload::generator::{generate, ScenarioParams};
+
+fn arb_params() -> impl Strategy<Value = ScenarioParams> {
+    (
+        0u64..5000,  // seed
+        4u32..48,    // n_vars
+        2usize..16,  // n_tentative
+        0usize..10,  // n_base
+        0.0f64..1.0, // commutative fraction
+        0.0f64..0.5, // guarded fraction
+        0.0f64..0.4, // read-only fraction
+        0.1f64..0.9, // hot prob
+    )
+        .prop_map(|(seed, n_vars, n_tentative, n_base, cf, gf, rof, hot_prob)| {
+            ScenarioParams {
+                n_vars,
+                n_tentative,
+                n_base,
+                commutative_fraction: cf,
+                guarded_fraction: gf * (1.0 - cf),
+                read_only_fraction: rof * (1.0 - cf) * 0.5,
+                hot_fraction: 0.2,
+                hot_prob,
+                reads_per_txn: 2,
+                writes_per_txn: 2,
+                seed,
+            }
+        })
+}
+
+/// Every transaction id in a scenario, in history order.
+fn all_ids(hm: &SerialHistory, hb: &SerialHistory) -> Vec<TxnId> {
+    hm.iter().chain(hb.iter()).collect()
+}
+
+/// The affected set computed the slow way: a forward scan over a
+/// per-variable taint set, `VarSet` membership tests only.
+fn reference_affected(
+    arena: &TxnArena,
+    hm: &SerialHistory,
+    bad: &BTreeSet<TxnId>,
+) -> BTreeSet<TxnId> {
+    let mut tainted: BTreeSet<VarId> = BTreeSet::new();
+    let mut affected = BTreeSet::new();
+    for id in hm.iter() {
+        let txn = arena.get(id);
+        let is_bad = bad.contains(&id);
+        let reads_tainted = !is_bad && txn.readset().iter().any(|v| tainted.contains(&v));
+        if reads_tainted {
+            affected.insert(id);
+        }
+        let taints = is_bad || reads_tainted;
+        for v in txn.writeset().iter() {
+            if taints {
+                tainted.insert(v);
+            } else {
+                tainted.remove(&v);
+            }
+        }
+    }
+    affected
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Admission-time bitsets answer every pairwise conflict question
+    /// exactly as the `VarSet` intersections they interned.
+    #[test]
+    fn bitset_conflicts_match_varset_answers(params in arb_params()) {
+        let sc = generate(&params);
+        let ids = all_ids(&sc.hm, &sc.hb);
+        for &a in &ids {
+            for &b in &ids {
+                let (ta, tb) = (sc.arena.get(a), sc.arena.get(b));
+                let set_conflict = ta.readset().intersects(tb.writeset())
+                    || ta.writeset().intersects(tb.readset())
+                    || ta.writeset().intersects(tb.writeset());
+                prop_assert_eq!(sc.arena.conflicts(a, b), set_conflict, "{a:?} vs {b:?}");
+                prop_assert_eq!(
+                    sc.arena.reads_overlap_writes(a, b),
+                    ta.readset().intersects(tb.writeset()),
+                    "{a:?} reads vs {b:?} writes"
+                );
+            }
+        }
+    }
+
+    /// Program footprint masks agree with the originating `VarSet`s on
+    /// membership and pairwise overlap.
+    #[test]
+    fn footprint_masks_match_varsets(params in arb_params()) {
+        let sc = generate(&params);
+        let ids = all_ids(&sc.hm, &sc.hb);
+        for &a in &ids {
+            let ta = sc.arena.get(a);
+            prop_assert_eq!(ta.read_mask(), &VarMask::from_set(ta.readset()));
+            prop_assert_eq!(ta.write_mask(), &VarMask::from_set(ta.writeset()));
+            for &b in &ids {
+                let tb = sc.arena.get(b);
+                prop_assert_eq!(
+                    ta.write_mask().intersects(tb.read_mask()),
+                    ta.writeset().intersects(tb.readset())
+                );
+                prop_assert_eq!(
+                    ta.write_mask().intersects(tb.write_mask()),
+                    ta.writeset().intersects(tb.writeset())
+                );
+            }
+        }
+    }
+
+    /// The closure table's weights and affected sets equal the reference
+    /// forward scan — per singleton, and for composite back-out sets.
+    #[test]
+    fn closure_table_matches_reference_scan(params in arb_params()) {
+        let sc = generate(&params);
+        let table = ClosureTable::build(&sc.arena, &sc.hm);
+        let weights = table.weights();
+        let order: Vec<TxnId> = sc.hm.iter().collect();
+        for &id in &order {
+            let singleton: BTreeSet<TxnId> = [id].into_iter().collect();
+            let expect = reference_affected(&sc.arena, &sc.hm, &singleton);
+            prop_assert_eq!(
+                weights.get(&id).copied().unwrap_or(1),
+                1 + expect.len() as u64,
+                "weight of {id:?}"
+            );
+            prop_assert_eq!(&table.affected_of(&singleton), &expect, "AG({id:?})");
+            prop_assert_eq!(&affected_set(&sc.arena, &sc.hm, &singleton), &expect);
+        }
+        // Composite sets: every third transaction, and the full history.
+        let every_third: BTreeSet<TxnId> = order.iter().step_by(3).copied().collect();
+        let everything: BTreeSet<TxnId> = order.iter().copied().collect();
+        for bad in [every_third, everything] {
+            let expect = reference_affected(&sc.arena, &sc.hm, &bad);
+            prop_assert_eq!(&table.affected_of(&bad), &expect);
+            prop_assert_eq!(&affected_set(&sc.arena, &sc.hm, &bad), &expect);
+        }
+    }
+
+    /// Copy-on-write history execution matches a clone-per-step replay
+    /// state-for-state: every intermediate state, every final state, and
+    /// the log-free `run_to_final` fast path.
+    #[test]
+    fn cow_execution_matches_clone_execution(params in arb_params()) {
+        let sc = generate(&params);
+        for history in [&sc.hm, &sc.hb] {
+            let aug = AugmentedHistory::execute(&sc.arena, history, &sc.s0).unwrap();
+            // The reference replay: clone the full state at every step.
+            let mut state: DbState = sc.s0.clone();
+            for (i, id) in history.iter().enumerate() {
+                prop_assert_eq!(&aug.before_state(i), &state, "state before step {i}");
+                let out = sc.arena.get(id).execute(&state, &Fix::empty()).unwrap();
+                state = out.after;
+                prop_assert_eq!(&aug.after_state(i), &state, "state after step {i}");
+            }
+            prop_assert_eq!(aug.final_state(), &state);
+            prop_assert_eq!(&run_to_final(&sc.arena, history, &sc.s0).unwrap(), &state);
+        }
+    }
+}

@@ -9,7 +9,9 @@
 //! enabled: write-ahead logging must be observation-only, so the durable
 //! session run must equal the legacy run on exactly the same terms — and a
 //! fourth time with a flight-recorder ring tracer attached, because
-//! tracing must be observation-only on exactly the same terms too.
+//! tracing must be observation-only on exactly the same terms too. A fifth
+//! run enables `reuse_merge_scratch`, pinning that carrying merge working
+//! memory across windows never changes an outcome.
 
 use histmerge::obs::FlightRecorder;
 use histmerge::replication::{
@@ -46,9 +48,10 @@ fn config(protocol: Protocol, seed: u64) -> SimConfig {
     }
 }
 
-/// Runs `config` through both paths — and the session path twice more,
-/// with durability enabled and with a flight-recorder ring attached —
-/// and asserts the reports are identical.
+/// Runs `config` through both paths — and the session path three times
+/// more, with durability enabled, with a flight-recorder ring attached,
+/// and with merge-scratch reuse across windows — and asserts the reports
+/// are identical.
 fn assert_paths_agree(mut config: SimConfig, label: &str) -> SimReport {
     config.sync_path = SyncPath::Legacy;
     let legacy = Simulation::new(config.clone()).expect("valid sim config").run();
@@ -59,6 +62,12 @@ fn assert_paths_agree(mut config: SimConfig, label: &str) -> SimReport {
     let mut durable_config = config.clone();
     durable_config.durability = DurabilityConfig { enabled: true, checkpoint_every: 96 };
     let durable = Simulation::new(durable_config).expect("valid sim config").run();
+    // Fifth run: one MergeScratch carried across every window merge.
+    // Scratch reuse is observation-free, so `normalized()` must stay
+    // byte-identical to the fresh-buffers runs.
+    let mut scratch_config = config.clone();
+    scratch_config.reuse_merge_scratch = true;
+    let scratched = Simulation::new(scratch_config).expect("valid sim config").run();
     // Fourth run: same session config with the flight recorder listening.
     // Tracing is observation-only, so `normalized()` must stay
     // byte-identical to the untraced runs.
@@ -70,9 +79,12 @@ fn assert_paths_agree(mut config: SimConfig, label: &str) -> SimReport {
         "{label}: the traced run recorded nothing"
     );
 
-    for (candidate, path) in
-        [(&session, "session"), (&durable, "session+wal"), (&traced, "session+trace")]
-    {
+    for (candidate, path) in [
+        (&session, "session"),
+        (&durable, "session+wal"),
+        (&traced, "session+trace"),
+        (&scratched, "session+scratch"),
+    ] {
         assert_eq!(
             legacy.final_master, candidate.final_master,
             "{label}/{path}: master state diverged"
