@@ -1,0 +1,248 @@
+//! The per-PR perf-trajectory gate over the committed `BENCH_pr6.json`.
+//!
+//! Two modes:
+//!
+//! * `bench_trajectory --write [--out PATH]` — combine the freshly
+//!   emitted `BENCH_hotpath.json` (E18) and `BENCH_scale.json` (E19)
+//!   artifacts from `$EXPERIMENTS_DIR` (default `target/experiments`)
+//!   into one trajectory document, written to `PATH` (default
+//!   `BENCH_pr6.json`). Run from the repo root to refresh the committed
+//!   baseline.
+//! * `bench_trajectory --check BASELINE [--out PATH]` — combine the
+//!   fresh artifacts the same way (written to `PATH` for CI upload),
+//!   then compare every **throughput metric** — a column whose name
+//!   contains `per_sec` or `speedup` — present in *both* the baseline
+//!   and the fresh document. Rows are matched by table name plus the
+//!   row's first (key) column, so a full-mode baseline gates a
+//!   smoke-mode run on the rows they share. The gate fails (exit 1) if
+//!   any fresh metric falls below `(1 - tolerance) x baseline`;
+//!   `tolerance` is 0.25, overridable via `BENCH_TRAJECTORY_TOLERANCE`.
+//!
+//! Absolute `per_sec` numbers shift with the hardware profile, which is
+//! why the band is wide and one-sided (only regressions fail, speedups
+//! never do) and why the baseline should be refreshed from the CI
+//! artifact after a runner-profile change — see README.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use histmerge_bench::json::{metric_number, parse, JsonVal};
+
+/// The artifacts a trajectory document combines, in document order.
+const ARTIFACTS: [&str; 2] = ["BENCH_hotpath", "BENCH_scale"];
+
+fn artifacts_dir() -> PathBuf {
+    std::env::var_os("EXPERIMENTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/experiments"))
+}
+
+/// Reads and validates one emitted artifact, returning its raw JSON text.
+fn read_artifact(name: &str) -> Result<String, String> {
+    let path = artifacts_dir().join(format!("{name}.json"));
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!("cannot read {} (run exp_hotpath and exp_scale first): {e}", path.display())
+    })?;
+    parse(&text).map_err(|e| format!("{}: invalid JSON: {e}", path.display()))?;
+    Ok(text)
+}
+
+/// Combines the per-experiment artifacts into the trajectory document.
+/// The payloads are already-validated JSON, so assembly is textual.
+fn combine() -> Result<String, String> {
+    let mut entries = Vec::new();
+    for name in ARTIFACTS {
+        entries.push(format!("\"{name}\":{}", read_artifact(name)?));
+    }
+    Ok(format!("{{\"bench\":\"trajectory\",\"artifacts\":{{{}}}}}", entries.join(",")))
+}
+
+/// Flattens a trajectory document into its throughput metrics:
+/// `artifact/table[row-key].column -> value` for every column whose name
+/// contains `per_sec` or `speedup`. The row key is the row's first
+/// column (artifact rows always lead with one — fleet size, mobile
+/// count), which keeps the mapping stable when a smoke run emits a
+/// subset of the baseline's rows.
+fn throughput_metrics(doc: &JsonVal) -> BTreeMap<String, f64> {
+    let mut metrics = BTreeMap::new();
+    let Some(artifacts) = doc.get("artifacts").and_then(JsonVal::as_obj) else {
+        return metrics;
+    };
+    for (artifact, body) in artifacts {
+        let Some(tables) = body.get("tables").and_then(JsonVal::as_obj) else { continue };
+        for (table, rows) in tables {
+            for row in rows.as_arr().unwrap_or(&[]) {
+                let Some(members) = row.as_obj() else { continue };
+                let Some((key_col, key_val)) = members.first() else { continue };
+                let row_key = format!("{key_col}={}", key_val.as_str().unwrap_or("?"));
+                for (column, value) in members {
+                    if !column.contains("per_sec") && !column.contains("speedup") {
+                        continue;
+                    }
+                    if let Some(v) = value.as_str().and_then(metric_number) {
+                        metrics.insert(format!("{artifact}/{table}[{row_key}].{column}"), v);
+                    }
+                }
+            }
+        }
+    }
+    metrics
+}
+
+fn tolerance() -> f64 {
+    std::env::var("BENCH_TRAJECTORY_TOLERANCE")
+        .ok()
+        .and_then(|t| t.parse::<f64>().ok())
+        .filter(|t| (0.0..1.0).contains(t))
+        .unwrap_or(0.25)
+}
+
+/// Gates `fresh` against `baseline`. Returns the number of failures.
+fn check(baseline: &JsonVal, fresh: &JsonVal) -> usize {
+    let tolerance = tolerance();
+    let base = throughput_metrics(baseline);
+    let new = throughput_metrics(fresh);
+    let floor = 1.0 - tolerance;
+    let mut failures = 0;
+    let mut compared = 0;
+    println!("trajectory gate: fresh >= {floor:.2} x baseline on shared throughput metrics\n");
+    for (name, &b) in &base {
+        let Some(&f) = new.get(name) else {
+            println!("  skip  {name} (not in fresh run)");
+            continue;
+        };
+        compared += 1;
+        let ratio = if b > 0.0 { f / b } else { 1.0 };
+        let ok = f >= floor * b;
+        if !ok {
+            failures += 1;
+        }
+        println!(
+            "  {}  {name}: baseline {b:.1}, fresh {f:.1} ({ratio:.2}x)",
+            if ok { "ok  " } else { "FAIL" }
+        );
+    }
+    for name in new.keys().filter(|n| !base.contains_key(*n)) {
+        println!("  new   {name} (no baseline yet)");
+    }
+    println!(
+        "\n{compared} metric(s) compared, {failures} regression(s) beyond the {:.0}% band",
+        tolerance * 100.0
+    );
+    failures
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode = None;
+    let mut baseline_path = None;
+    let mut out = PathBuf::from("BENCH_pr6.json");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--write" => mode = Some("write"),
+            "--check" => {
+                mode = Some("check");
+                baseline_path = it.next().cloned();
+            }
+            "--out" => {
+                if let Some(p) = it.next() {
+                    out = PathBuf::from(p);
+                }
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let combined = match combine() {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("bench_trajectory: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match mode {
+        Some("write") => {
+            std::fs::write(&out, &combined).expect("write trajectory document");
+            println!("wrote {}", out.display());
+            ExitCode::SUCCESS
+        }
+        Some("check") => {
+            let Some(baseline_path) = baseline_path else {
+                eprintln!("usage: bench_trajectory --check BASELINE [--out PATH]");
+                return ExitCode::FAILURE;
+            };
+            let baseline_text = match std::fs::read_to_string(&baseline_path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read baseline {baseline_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let baseline = match parse(&baseline_text) {
+                Ok(doc) => doc,
+                Err(e) => {
+                    eprintln!("baseline {baseline_path} is invalid JSON: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            // Keep the fresh combined document for the CI artifact upload.
+            std::fs::write(&out, &combined).expect("write trajectory document");
+            println!("wrote fresh trajectory to {}\n", out.display());
+            let fresh = parse(&combined).expect("combined document is valid");
+            if check(&baseline, &fresh) == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!("usage: bench_trajectory (--write | --check BASELINE) [--out PATH]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(scale_rows: &str) -> JsonVal {
+        parse(&format!(
+            "{{\"bench\":\"trajectory\",\"artifacts\":{{\
+             \"BENCH_scale\":{{\"experiment\":\"exp_scale\",\"tables\":{{\
+             \"scale\":[{scale_rows}]}}}}}}}}"
+        ))
+        .unwrap()
+    }
+
+    fn row(fleet: &str, mps: &str) -> String {
+        format!("{{\"fleet\":\"{fleet}\",\"merges_per_sec\":\"{mps}\",\"wall_ms\":\"9\"}}")
+    }
+
+    #[test]
+    fn extracts_only_throughput_columns_keyed_by_first_column() {
+        let metrics = throughput_metrics(&doc(&row("10000", "123.4")));
+        assert_eq!(
+            metrics,
+            BTreeMap::from([("BENCH_scale/scale[fleet=10000].merges_per_sec".to_string(), 123.4)])
+        );
+    }
+
+    #[test]
+    fn gate_passes_within_band_and_fails_beyond_it() {
+        let baseline = doc(&format!("{},{}", row("10000", "100"), row("1000000", "80")));
+        // Within the 25% band, and the 1M baseline row absent from the
+        // fresh (smoke) run is skipped, not failed.
+        assert_eq!(check(&baseline, &doc(&row("10000", "76"))), 0);
+        // Beyond the band: one failure.
+        assert_eq!(check(&baseline, &doc(&row("10000", "74"))), 1);
+        // Speedups never fail the gate.
+        assert_eq!(check(&baseline, &doc(&row("10000", "500"))), 0);
+    }
+}

@@ -10,6 +10,8 @@
 
 use std::time::Instant;
 
+pub mod json;
+
 /// A simple aligned table printer for experiment output.
 ///
 /// # Example

@@ -36,11 +36,14 @@ pub enum Phase {
     Recovery,
     /// One Strategy-2 window (virtual clock: ticks, not nanoseconds).
     Window,
+    /// Draining the event queue and dispatching a tick's scheduled mobile
+    /// work (event-driven scheduler only).
+    Scheduler,
 }
 
 impl Phase {
     /// Every phase, in report order.
-    pub const ALL: [Phase; 14] = [
+    pub const ALL: [Phase; 15] = [
         Phase::Exec,
         Phase::GraphBuild,
         Phase::Backout,
@@ -55,6 +58,7 @@ impl Phase {
         Phase::Checkpoint,
         Phase::Recovery,
         Phase::Window,
+        Phase::Scheduler,
     ];
 
     /// Stable snake-case name, used as the JSONL `phase` field and the
@@ -75,6 +79,7 @@ impl Phase {
             Phase::Checkpoint => "checkpoint",
             Phase::Recovery => "recovery",
             Phase::Window => "window",
+            Phase::Scheduler => "scheduler",
         }
     }
 

@@ -24,12 +24,33 @@ pub struct BaseNode {
     /// this window uses (Section 2.2, Strategy 2).
     epoch_start: usize,
     epoch_state: DbState,
+    /// When `true`, commits record only transaction ids in the log — the
+    /// per-commit after states stay empty. Scale mode: a million-mobile
+    /// run cannot afford one full-state clone per commit, and nothing in
+    /// the Strategy-2 window protocol reads them (merges need ids and the
+    /// window-start state only). Incompatible with durability (WAL
+    /// snapshots ship after states) and Strategy-1 retro-patching (which
+    /// edits them); [`Simulation::new`] rejects those combinations.
+    ///
+    /// [`Simulation::new`]: crate::Simulation::new
+    lean: bool,
 }
 
 impl BaseNode {
     /// Creates a base node owning `initial` as the master state.
     pub fn new(initial: DbState) -> Self {
-        BaseNode { epoch_state: initial.clone(), master: initial, log: Vec::new(), epoch_start: 0 }
+        BaseNode::with_lean(initial, false)
+    }
+
+    /// Creates a base node, optionally with the lean (id-only) commit log.
+    pub fn with_lean(initial: DbState, lean: bool) -> Self {
+        BaseNode {
+            epoch_state: initial.clone(),
+            master: initial,
+            log: Vec::new(),
+            epoch_start: 0,
+            lean,
+        }
     }
 
     /// Rebuilds a base node from recovered durable state (checkpoint
@@ -40,7 +61,7 @@ impl BaseNode {
         epoch_start: usize,
         epoch_state: DbState,
     ) -> Self {
-        BaseNode { master, log, epoch_start, epoch_state }
+        BaseNode { master, log, epoch_start, epoch_state, lean: false }
     }
 
     /// Re-appends a recovered commit: the durable log stores each commit's
@@ -93,6 +114,14 @@ impl BaseNode {
         self.log.iter().map(|(t, _)| *t).collect()
     }
 
+    /// The committed transaction ids from log index `from` to the end —
+    /// the delta a speculative merge is validated against. O(suffix),
+    /// where materializing [`BaseNode::full_history`] and slicing it was
+    /// O(total log) per sync (quadratic over a run).
+    pub fn history_suffix(&self, from: usize) -> Vec<TxnId> {
+        self.log[from..].iter().map(|(t, _)| *t).collect()
+    }
+
     /// The after state of the `i`-th committed transaction (0-based), or
     /// the initial state for `i == log length` counting from the back...
     /// use [`BaseNode::master`] for the latest state.
@@ -111,7 +140,8 @@ impl BaseNode {
         let txn = arena.get(id);
         let out = txn.execute(&self.master, &Fix::empty()).expect("base transaction executes");
         self.master = out.after;
-        self.log.push((id, self.master.clone()));
+        let after = if self.lean { DbState::new() } else { self.master.clone() };
+        self.log.push((id, after));
     }
 
     /// Installs forwarded updates (protocol step 5) as a single *install*
@@ -274,6 +304,22 @@ mod tests {
         assert_eq!(base.committed(), 1);
         assert_eq!(base.state_after(0).get(v(0)), 5);
         assert_eq!(base.full_history().order(), &[t]);
+    }
+
+    #[test]
+    fn lean_log_keeps_ids_but_no_after_states() {
+        let mut arena = TxnArena::new();
+        let mut base = BaseNode::with_lean(DbState::uniform(2, 0), true);
+        let t = inc(&mut arena, "t", 0, 5);
+        base.commit(&arena, t);
+        assert_eq!(base.master().get(v(0)), 5, "master still advances");
+        assert_eq!(base.full_history().order(), &[t]);
+        assert!(base.state_after(0).is_empty(), "lean log records no after state");
+        let t2 = inc(&mut arena, "u", 1, 2);
+        base.commit(&arena, t2);
+        assert_eq!(base.history_suffix(1), vec![t2]);
+        assert_eq!(base.history_suffix(0), base.full_history().order().to_vec());
+        assert_eq!(base.history_suffix(2), Vec::new());
     }
 
     #[test]

@@ -23,9 +23,6 @@
 //! runs (a recovered session may trim the already-committed prefix of the
 //! persisted log).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
 use histmerge_core::merge::{MergeAssist, MergeOutcome, MergeScratch, Merger};
 use histmerge_core::CoreError;
 use histmerge_history::{BaseEdgeCache, SerialHistory, TxnArena};
@@ -69,10 +66,13 @@ pub struct BatchJob {
 /// epoch's base-conflict edges). Returns one result per job, in job order.
 ///
 /// With `workers <= 1` (or a single job) everything runs on the calling
-/// thread; otherwise a scoped thread pool claims jobs from a shared
-/// counter. Each worker builds its [`Merger`] once and reuses it — its
-/// oracle and back-out strategy act as the worker's scratch arena — which
-/// is why [`histmerge_semantics::SemanticOracle`] and
+/// thread; otherwise each of `W` scoped workers owns the strided queue of
+/// jobs `w, w + W, w + 2W, …` — a static partition with no shared claim
+/// counter or per-slot locks; workers return `(index, result)` pairs that
+/// are scattered back into job order at join. Each worker builds its
+/// [`Merger`] once and reuses it — its oracle and back-out strategy act as
+/// the worker's scratch arena — which is why
+/// [`histmerge_semantics::SemanticOracle`] and
 /// [`histmerge_history::BackoutStrategy`] require `Send + Sync`.
 ///
 /// The per-job computation is identical to
@@ -98,32 +98,34 @@ pub fn merge_batch(
             .map(|j| merger.merge_scratch(arena, &j.hm, hb, s0, assist, &mut scratch))
             .collect();
     }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<MergeOutcome, CoreError>>>> =
-        jobs.iter().map(|_| Mutex::new(None)).collect();
+    let n_workers = workers.min(jobs.len());
+    let mut out: Vec<Option<Result<MergeOutcome, CoreError>>> = jobs.iter().map(|_| None).collect();
     std::thread::scope(|scope| {
-        for _ in 0..workers.min(jobs.len()) {
-            scope.spawn(|| {
-                let merger = make_merger();
-                // Per-worker scratch: buffers live as long as the worker
-                // and serve every job it claims.
-                let mut scratch = MergeScratch::new();
-                loop {
-                    let k = next.fetch_add(1, Ordering::Relaxed);
-                    if k >= jobs.len() {
-                        break;
-                    }
-                    let out =
-                        merger.merge_scratch(arena, &jobs[k].hm, hb, s0, assist, &mut scratch);
-                    *slots[k].lock().expect("result slot") = Some(out);
-                }
-            });
+        let handles: Vec<_> = (0..n_workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let merger = make_merger();
+                    // Per-worker scratch: buffers live as long as the
+                    // worker and serve every job on its queue.
+                    let mut scratch = MergeScratch::new();
+                    jobs.iter()
+                        .enumerate()
+                        .skip(w)
+                        .step_by(n_workers)
+                        .map(|(k, job)| {
+                            (k, merger.merge_scratch(arena, &job.hm, hb, s0, assist, &mut scratch))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (k, result) in handle.join().expect("merge worker panicked") {
+                out[k] = Some(result);
+            }
         }
     });
-    slots
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("result slot").expect("every job merged"))
-        .collect()
+    out.into_iter().map(|slot| slot.expect("every job merged")).collect()
 }
 
 /// The read and write footprint of a tentative history, for delta

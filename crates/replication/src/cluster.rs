@@ -58,9 +58,15 @@ pub struct BaseCluster {
 impl BaseCluster {
     /// Creates a cluster of `n_nodes` partitions (min 1) over `initial`.
     pub fn new(initial: DbState, n_nodes: usize) -> Self {
+        BaseCluster::with_lean(initial, n_nodes, false)
+    }
+
+    /// Creates a cluster whose unified base tier optionally keeps the
+    /// lean (id-only) commit log — see [`BaseNode::with_lean`].
+    pub fn with_lean(initial: DbState, n_nodes: usize, lean: bool) -> Self {
         let n_nodes = n_nodes.max(1);
         BaseCluster {
-            inner: BaseNode::new(initial),
+            inner: BaseNode::with_lean(initial, lean),
             stats: ClusterStats { per_node_commits: vec![0; n_nodes], ..ClusterStats::default() },
             n_nodes,
         }

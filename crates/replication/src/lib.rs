@@ -21,7 +21,11 @@
 //! phase; [`metrics`] aggregates counts and Section 7.1 cost reports. The
 //! simulation is a discrete-time loop, deterministic for a given
 //! [`SimConfig`] (seeded RNG) regardless of the configured
-//! [`Parallelism`].
+//! [`Parallelism`] — and regardless of the configured [`SchedulerMode`]:
+//! each tick's due mobile work can be found by scanning the fleet or by
+//! popping timestamped events from a deterministic priority queue
+//! ([`sched`]), byte-identically, which is what lets the scale harness
+//! (E19) run million-mobile fleets without paying O(fleet) per tick.
 //!
 //! Reconnections can run through two interchangeable paths
 //! ([`SyncPath`]): the legacy atomic in-process handshake, or the
@@ -53,6 +57,7 @@ pub mod batch;
 pub mod fault;
 pub mod metrics;
 pub mod recovery;
+pub mod sched;
 pub mod session;
 pub mod sync;
 pub mod wal;
@@ -61,11 +66,14 @@ pub use base::{BaseNode, RetroPatchError};
 pub use batch::{merge_batch, BatchJob, Parallelism};
 pub use cluster::{BaseCluster, ClusterStats};
 pub use fault::{Delivery, FaultKind, FaultPlan, FaultRates, InvalidFaultRate};
-pub use metrics::{FaultStats, WalStats};
+pub use metrics::{FaultStats, SchedStats, WalStats};
 pub use mobile::MobileNode;
 pub use recovery::{recover, recover_traced, Recovered, RecoveryError};
+pub use sched::{fork_rng, Event, EventKind, EventQueue, SchedulerMode};
 pub use session::{SessionConfig, SessionLedger, SessionRecord, UnackedSession};
-pub use sim::{ConvergenceReport, DurableReport, Protocol, SimConfig, SimReport, Simulation};
+pub use sim::{
+    ConvergenceReport, DurableReport, Protocol, SimConfig, SimConfigError, SimReport, Simulation,
+};
 pub use sync::{SyncPath, SyncStrategy};
 pub use wal::{
     DurabilityConfig, Snapshot, Storage, Tail, Tear, TornStorage, VecStorage, Wal, WalRecord,

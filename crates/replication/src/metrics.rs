@@ -69,6 +69,25 @@ pub struct WalStats {
     pub shadow_recoveries: u64,
 }
 
+/// Scheduler counters: how the per-tick mobile work was driven. Purely
+/// mechanical — the two [`SchedulerMode`]s produce byte-identical
+/// simulations and differ only here, so [`Metrics::normalized`] zeroes
+/// the whole block. The scheduler-invariant regression test reads the raw
+/// values: event mode must show zero fleet scans and a live queue.
+///
+/// [`SchedulerMode`]: crate::sched::SchedulerMode
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct SchedStats {
+    /// Full-fleet traversals performed (two per tick under the legacy
+    /// tick scan: one generation pass, one connect filter; zero under the
+    /// event queue).
+    pub fleet_scans: u64,
+    /// Events scheduled on the event queue.
+    pub events_pushed: u64,
+    /// Events popped off the event queue.
+    pub events_popped: u64,
+}
+
 /// One synchronization event (a reconnection), for time-series plots.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct SyncRecord {
@@ -147,6 +166,10 @@ pub struct Metrics {
     /// Write-ahead-log counters (durability enabled only). Volume-only —
     /// excluded from determinism comparisons.
     pub wal: WalStats,
+    /// Scheduler counters. Mechanism-only — excluded from determinism
+    /// comparisons (the tick scan and the event queue must produce the
+    /// same simulation while differing exactly here).
+    pub sched: SchedStats,
 }
 
 impl Metrics {
@@ -176,13 +199,18 @@ impl Metrics {
     }
 
     /// A copy suitable for byte-for-byte run comparisons:
-    /// [`Metrics::parallel_merge_ns`] is wall-clock timing and
-    /// [`Metrics::wal`] is log volume — both orthogonal to the logical
-    /// outcome of a run (a durability-enabled run must equal the legacy
-    /// run everywhere else) and zeroed out here.
+    /// [`Metrics::parallel_merge_ns`] is wall-clock timing,
+    /// [`Metrics::wal`] is log volume, and [`Metrics::sched`] is
+    /// scheduling mechanism — all orthogonal to the logical outcome of a
+    /// run (a durability-enabled or event-scheduled run must equal the
+    /// legacy run everywhere else) and zeroed out here.
     pub fn normalized(&self) -> Metrics {
-        let mut normalized =
-            Metrics { parallel_merge_ns: 0, wal: WalStats::default(), ..self.clone() };
+        let mut normalized = Metrics {
+            parallel_merge_ns: 0,
+            wal: WalStats::default(),
+            sched: SchedStats::default(),
+            ..self.clone()
+        };
         for record in &mut normalized.records {
             record.sync_ns = 0;
         }
@@ -247,6 +275,11 @@ impl Metrics {
             w.segments_retired,
             w.pruned_records,
             w.shadow_recoveries
+        ));
+        let s = &self.sched;
+        out.push_str(&format!(
+            ",\"sched\":{{\"fleet_scans\":{},\"events_pushed\":{},\"events_popped\":{}}}",
+            s.fleet_scans, s.events_pushed, s.events_popped
         ));
         out.push('}');
         out
@@ -379,5 +412,21 @@ mod tests {
         };
         assert_ne!(legacy, durable);
         assert_eq!(legacy.normalized(), durable.normalized());
+    }
+
+    #[test]
+    fn normalized_strips_scheduler_mechanism() {
+        // A tick-scan run and an event-queue run differ only in the sched
+        // block; normalization must erase exactly that difference.
+        let scanned = Metrics {
+            sched: SchedStats { fleet_scans: 800, events_pushed: 0, events_popped: 0 },
+            ..Metrics::default()
+        };
+        let evented = Metrics {
+            sched: SchedStats { fleet_scans: 0, events_pushed: 40, events_popped: 36 },
+            ..Metrics::default()
+        };
+        assert_ne!(scanned, evented);
+        assert_eq!(scanned.normalized(), evented.normalized());
     }
 }

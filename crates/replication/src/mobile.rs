@@ -1,20 +1,34 @@
 //! The mobile tier: disconnected nodes running tentative transactions.
 
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
 use histmerge_history::{SerialHistory, TxnArena};
-use histmerge_txn::{DbState, Fix, TxnId};
+use histmerge_txn::{DbState, Fix, StateRead, TxnId, Value, VarId};
 
 use crate::session::UnackedSession;
 
 /// A mobile node: a local tentative copy of the database plus the tentative
 /// history accumulated since the node last synchronized.
+///
+/// The local copy is stored compactly: a shared, immutable origin snapshot
+/// (under Strategy 2, every mobile in a window points at the *same*
+/// window-start state) plus a sparse patch of the items the node's own
+/// tentative transactions wrote. A fleet of a million mostly-idle mobiles
+/// costs a million `Arc` pointers and their (tiny) write patches, not a
+/// million full database clones — the representation the scale harness
+/// (E19) depends on.
 #[derive(Debug, Clone)]
 pub struct MobileNode {
     /// Stable identifier (index in the simulation).
     id: usize,
-    /// The original state the current tentative history began from.
-    origin: DbState,
-    /// The local tentative state (origin + tentative updates).
-    tentative: DbState,
+    /// The original state the current tentative history began from,
+    /// shared with the base tier (and, under Strategy 2, with every other
+    /// mobile resynchronized in the same window).
+    origin: Arc<DbState>,
+    /// Writes accumulated by the tentative history since `origin`: the
+    /// local tentative state is `origin` overlaid with this patch.
+    patch: BTreeMap<VarId, Value>,
     /// The tentative history since the last synchronization.
     history: SerialHistory,
     /// For Strategy 1: the base-log index the origin snapshot was taken at.
@@ -33,13 +47,26 @@ pub struct MobileNode {
     dirty_origin: bool,
 }
 
+/// Read view of a mobile's tentative state: its write patch over the
+/// shared origin snapshot.
+struct PatchView<'a> {
+    origin: &'a DbState,
+    patch: &'a BTreeMap<VarId, Value>,
+}
+
+impl StateRead for PatchView<'_> {
+    fn read(&self, var: VarId) -> Option<Value> {
+        self.patch.get(&var).copied().or_else(|| self.origin.try_get(var))
+    }
+}
+
 impl MobileNode {
-    /// Creates a mobile node with the given origin snapshot.
-    pub fn new(id: usize, origin: DbState, origin_index: usize, next_connect: u64) -> Self {
+    /// Creates a mobile node with the given (shared) origin snapshot.
+    pub fn new(id: usize, origin: Arc<DbState>, origin_index: usize, next_connect: u64) -> Self {
         MobileNode {
             id,
-            tentative: origin.clone(),
             origin,
+            patch: BTreeMap::new(),
             history: SerialHistory::new(),
             origin_index,
             next_connect,
@@ -64,9 +91,20 @@ impl MobileNode {
         self.origin_index
     }
 
-    /// The current tentative state.
-    pub fn tentative_state(&self) -> &DbState {
-        &self.tentative
+    /// The current tentative state, materialized (origin plus the node's
+    /// write patch). Test/diagnostic accessor — the hot path never needs
+    /// the full state.
+    pub fn tentative_state(&self) -> DbState {
+        let mut state = (*self.origin).clone();
+        for (var, value) in &self.patch {
+            state.set(*var, *value);
+        }
+        state
+    }
+
+    /// Number of items the tentative history has written locally.
+    pub fn patch_len(&self) -> usize {
+        self.patch.len()
     }
 
     /// The tentative history since last synchronization.
@@ -89,7 +127,8 @@ impl MobileNode {
         self.next_connect = tick;
     }
 
-    /// Runs a tentative transaction against the local copy.
+    /// Runs a tentative transaction against the local copy: executes it
+    /// against the patched view and folds its write delta into the patch.
     ///
     /// # Panics
     ///
@@ -97,19 +136,21 @@ impl MobileNode {
     /// workload's variable space).
     pub fn run_tentative(&mut self, arena: &TxnArena, id: TxnId) {
         let txn = arena.get(id);
-        let out = txn
-            .execute(&self.tentative, &Fix::empty())
+        let delta = txn
+            .execute_delta(&PatchView { origin: &self.origin, patch: &self.patch }, &Fix::empty())
             .expect("tentative transaction executes locally");
-        self.tentative = out.after;
+        for (var, value) in delta.writes {
+            self.patch.insert(var, value);
+        }
         self.history.push(id);
     }
 
     /// Resets the node after a synchronization: the new tentative history
-    /// starts from `origin` (under Strategy 2, the window-start state; under
-    /// Strategy 1, the current master snapshot).
-    pub fn resync(&mut self, origin: DbState, origin_index: usize) {
-        self.tentative = origin.clone();
+    /// starts from `origin` (under Strategy 2, the shared window-start
+    /// state; under Strategy 1, the current master snapshot).
+    pub fn resync(&mut self, origin: Arc<DbState>, origin_index: usize) {
         self.origin = origin;
+        self.patch.clear();
         self.origin_index = origin_index;
         self.history = SerialHistory::new();
         self.dirty_origin = false;
@@ -138,8 +179,9 @@ impl MobileNode {
 
     /// Drops the first `n` pending transactions — a recovered session
     /// proved the base already committed them. The surviving suffix was
-    /// executed from a state that included the trimmed prefix, so its
-    /// origin is marked dirty (forcing reprocessing at the next sync).
+    /// executed from a state that included the trimmed prefix (the write
+    /// patch keeps the prefix's effects), so its origin is marked dirty
+    /// (forcing reprocessing at the next sync).
     pub fn trim_prefix(&mut self, n: usize) {
         self.history = self.history.iter().skip(n).collect();
         self.dirty_origin = true;
@@ -155,8 +197,7 @@ impl MobileNode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use histmerge_txn::{Expr, Program, ProgramBuilder, Transaction, TxnKind, VarId};
-    use std::sync::Arc;
+    use histmerge_txn::{Expr, Program, ProgramBuilder, Transaction, TxnKind};
 
     fn v(i: u32) -> VarId {
         VarId::new(i)
@@ -176,7 +217,7 @@ mod tests {
             arena.alloc(|id| Transaction::new(id, "t1", TxnKind::Tentative, p.clone(), vec![]));
         let t2 =
             arena.alloc(|id| Transaction::new(id, "t2", TxnKind::Tentative, p.clone(), vec![]));
-        let origin = DbState::uniform(1, 10);
+        let origin = Arc::new(DbState::uniform(1, 10));
         let mut node = MobileNode::new(3, origin.clone(), 0, 5);
         assert_eq!(node.id(), 3);
         assert_eq!(node.next_connect(), 5);
@@ -184,16 +225,61 @@ mod tests {
         node.run_tentative(&arena, t2);
         assert_eq!(node.pending(), 2);
         assert_eq!(node.tentative_state().get(v(0)), 12);
-        assert_eq!(node.origin(), &origin);
+        assert_eq!(node.patch_len(), 1, "one written item, not a full clone");
+        assert_eq!(node.origin(), &*origin, "origin snapshot untouched");
         assert_eq!(node.history().order(), &[t1, t2]);
 
-        let new_origin = DbState::uniform(1, 99);
+        let new_origin = Arc::new(DbState::uniform(1, 99));
         node.resync(new_origin.clone(), 7);
         assert_eq!(node.pending(), 0);
-        assert_eq!(node.tentative_state(), &new_origin);
+        assert_eq!(node.patch_len(), 0);
+        assert_eq!(node.tentative_state(), *new_origin);
         assert_eq!(node.origin_index(), 7);
         node.set_next_connect(20);
         assert_eq!(node.next_connect(), 20);
+    }
+
+    #[test]
+    fn patched_view_matches_full_execution() {
+        // The compact representation must read exactly like the owned
+        // tentative state the node used to carry: a chain of dependent
+        // transactions through the patch equals executing them against
+        // materialized full states.
+        let mut arena = TxnArena::new();
+        let double: Arc<Program> = Arc::new(
+            ProgramBuilder::new("double")
+                .read(v(0))
+                .update(v(0), Expr::var(v(0)) + Expr::var(v(0)))
+                .build()
+                .unwrap(),
+        );
+        let carry: Arc<Program> = Arc::new(
+            ProgramBuilder::new("carry")
+                .read(v(0))
+                .read(v(1))
+                .update(v(1), Expr::var(v(0)) + Expr::var(v(1)))
+                .build()
+                .unwrap(),
+        );
+        let ids: Vec<TxnId> = [double.clone(), carry.clone(), double]
+            .iter()
+            .enumerate()
+            .map(|(k, p)| {
+                let p = p.clone();
+                arena.alloc(move |id| {
+                    Transaction::new(id, format!("t{k}"), TxnKind::Tentative, p, vec![])
+                })
+            })
+            .collect();
+        let origin = DbState::uniform(2, 3);
+        let mut node = MobileNode::new(0, Arc::new(origin.clone()), 0, 1);
+        let mut reference = origin;
+        for id in &ids {
+            node.run_tentative(&arena, *id);
+            let out = arena.get(*id).execute(&reference, &Fix::empty()).unwrap();
+            reference = out.after;
+        }
+        assert_eq!(node.tentative_state(), reference);
     }
 
     #[test]
@@ -213,7 +299,7 @@ mod tests {
                 })
             })
             .collect();
-        let mut node = MobileNode::new(0, DbState::uniform(1, 0), 0, 1);
+        let mut node = MobileNode::new(0, Arc::new(DbState::uniform(1, 0)), 0, 1);
         assert!(node.unacked().is_none());
         assert!(!node.dirty_origin());
         for id in &ids {
@@ -237,7 +323,8 @@ mod tests {
         assert_eq!(node.pending(), 1);
         assert_eq!(node.history().order(), &ids[2..]);
         assert!(node.dirty_origin());
-        node.resync(DbState::uniform(1, 5), 0);
+        assert_eq!(node.patch_len(), 1, "trim keeps the prefix's local effects");
+        node.resync(Arc::new(DbState::uniform(1, 5)), 0);
         assert!(!node.dirty_origin());
         assert_eq!(node.pending(), 0);
         // Sequence numbers never reset.

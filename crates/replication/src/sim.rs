@@ -1,6 +1,7 @@
 //! The discrete-time two-tier replication simulation.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -28,6 +29,7 @@ use crate::fault::{Delivery, FaultPlan, InvalidFaultRate};
 use crate::metrics::{Metrics, SyncRecord};
 use crate::mobile::MobileNode;
 use crate::recovery;
+use crate::sched::{Event, EventKind, EventQueue, SchedulerMode};
 use crate::session::{SessionConfig, SessionLedger, SessionRecord};
 use crate::sync::{SyncPath, SyncStrategy};
 use crate::wal::{DurabilityConfig, Snapshot, VecStorage, Wal, WalRecord};
@@ -143,6 +145,21 @@ pub struct SimConfig {
     /// Observation-free: a run with reuse enabled is byte-identical to the
     /// same run without it (the `session_differential` suite pins this).
     pub reuse_merge_scratch: bool,
+    /// How each tick finds the mobiles with due work: the legacy O(fleet)
+    /// scan, or the event-driven scheduler that pops exactly the due
+    /// events from a priority queue. The simulation outcome is
+    /// byte-identical for both (the `session_differential` suite pins
+    /// this); only the per-tick cost changes — the difference between a
+    /// 4-mobile demo and the million-mobile scale harness (E19).
+    pub scheduler: SchedulerMode,
+    /// When `true`, the base tier's commit log keeps transaction ids but
+    /// not per-commit after-states (see
+    /// [`crate::base::BaseNode::with_lean`]) — O(1) instead of O(items)
+    /// memory per commit. Only the Strategy-1 snapshot path and the
+    /// durability layer read historical after-states, so lean logging is
+    /// rejected at construction for those configurations and
+    /// observation-free everywhere else.
+    pub lean_base_log: bool,
 }
 
 impl Default for SimConfig {
@@ -170,7 +187,49 @@ impl Default for SimConfig {
             backlog_sample_every: 10,
             tracer: TracerHandle::noop(),
             reuse_merge_scratch: false,
+            scheduler: SchedulerMode::default(),
+            lean_base_log: false,
         }
+    }
+}
+
+/// A [`SimConfig`] rejected by [`Simulation::new`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimConfigError {
+    /// A fault rate is not a probability — see
+    /// [`crate::fault::FaultRates::validate`].
+    InvalidFaultRate(InvalidFaultRate),
+    /// [`SimConfig::lean_base_log`] with durability enabled: WAL
+    /// checkpoints snapshot the commit log's after-states, which a lean
+    /// log does not keep.
+    LeanLogNeedsNoDurability,
+    /// [`SimConfig::lean_base_log`] under
+    /// [`SyncStrategy::PerDisconnectSnapshot`]: Strategy-1 validity checks
+    /// and retroactive patches replay historical after-states, which a
+    /// lean log does not keep.
+    LeanLogNeedsWindowStrategy,
+}
+
+impl std::fmt::Display for SimConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimConfigError::InvalidFaultRate(e) => e.fmt(f),
+            SimConfigError::LeanLogNeedsNoDurability => {
+                write!(f, "lean_base_log keeps no after-states — incompatible with durability")
+            }
+            SimConfigError::LeanLogNeedsWindowStrategy => write!(
+                f,
+                "lean_base_log keeps no after-states — incompatible with PerDisconnectSnapshot"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimConfigError {}
+
+impl From<InvalidFaultRate> for SimConfigError {
+    fn from(e: InvalidFaultRate) -> Self {
+        SimConfigError::InvalidFaultRate(e)
     }
 }
 
@@ -392,6 +451,20 @@ pub struct Simulation {
     /// Reusable merge working memory, threaded through serial merge plans
     /// when [`SimConfig::reuse_merge_scratch`] is set.
     merge_scratch: MergeScratch,
+    /// The event queue driving [`SchedulerMode::EventQueue`] ticks. Empty
+    /// (and untouched) under [`SchedulerMode::TickScan`].
+    events: EventQueue,
+    /// Fleet-shared generation accumulator (event mode). Every mobile's
+    /// legacy accumulator starts at 0.0, adds the same `mobile_rate`, and
+    /// never resets — the trajectories are identical, so ONE accumulator
+    /// (with the exact same per-tick arithmetic) replays all of them.
+    gen_acc: f64,
+    /// Tentative transactions each mobile generates at the next scheduled
+    /// [`EventKind::Generate`] event.
+    gen_count: u64,
+    /// The current window-start state, shared with every Strategy-2 mobile
+    /// resynchronized in this window (refreshed at each window rollover).
+    epoch_state_arc: Arc<DbState>,
 }
 
 impl Simulation {
@@ -399,12 +472,23 @@ impl Simulation {
     ///
     /// # Errors
     ///
-    /// Returns [`InvalidFaultRate`] when [`SimConfig::fault`] carries a
-    /// rate that is not a probability (NaN, negative, or above 1.0) — see
-    /// [`crate::fault::FaultRates::validate`]. This used to be a panic;
-    /// callers that cannot recover should `.expect("valid sim config")`.
-    pub fn new(config: SimConfig) -> Result<Self, InvalidFaultRate> {
+    /// Returns [`SimConfigError`] when [`SimConfig::fault`] carries a rate
+    /// that is not a probability (NaN, negative, or above 1.0 — see
+    /// [`crate::fault::FaultRates::validate`]), or when
+    /// [`SimConfig::lean_base_log`] is combined with a configuration that
+    /// reads historical after-states (durability, Strategy 1). These used
+    /// to be panics; callers that cannot recover should
+    /// `.expect("valid sim config")`.
+    pub fn new(config: SimConfig) -> Result<Self, SimConfigError> {
         config.fault.rates.validate()?;
+        if config.lean_base_log {
+            if config.durability.enabled {
+                return Err(SimConfigError::LeanLogNeedsNoDurability);
+            }
+            if matches!(config.strategy, SyncStrategy::PerDisconnectSnapshot) {
+                return Err(SimConfigError::LeanLogNeedsWindowStrategy);
+            }
+        }
         let source = match &config.canned {
             Some(params) => TxnSource::Canned(Box::new(CannedMix::new(params.clone()))),
             None => TxnSource::Random(Box::new(TxnFactory::new(config.workload.clone()))),
@@ -413,8 +497,9 @@ impl Simulation {
             TxnSource::Canned(mix) => mix.initial_state(),
             TxnSource::Random(_) => histmerge_workload::generator::initial_state(&config.workload),
         };
-        let base = BaseCluster::new(initial.clone(), config.base_nodes);
+        let base = BaseCluster::with_lean(initial.clone(), config.base_nodes, config.lean_base_log);
         let mut rng = StdRng::seed_from_u64(config.workload.seed ^ 0x5151_5151);
+        let initial_arc = Arc::new(initial.clone());
         let mobiles: Vec<MobileNode> = (0..config.n_mobiles)
             .map(|i| {
                 let first = if config.synchronized_reconnects {
@@ -422,7 +507,7 @@ impl Simulation {
                 } else {
                     1 + rng.gen_range(0..config.connect_every.max(1))
                 };
-                MobileNode::new(i, initial.clone(), 0, first)
+                MobileNode::new(i, initial_arc.clone(), 0, first)
             })
             .collect();
         let n = config.n_mobiles;
@@ -430,7 +515,7 @@ impl Simulation {
             Wal::new(VecStorage::new(), &Snapshot::genesis(initial.clone()))
                 .with_tracer(config.tracer.clone())
         });
-        Ok(Simulation {
+        let mut sim = Simulation {
             arena: TxnArena::new(),
             base,
             mobile_epochs: vec![0; n],
@@ -451,9 +536,24 @@ impl Simulation {
             logged_commits: 0,
             last_window_tick: 0,
             merge_scratch: MergeScratch::new(),
+            events: EventQueue::new(),
+            gen_acc: 0.0,
+            gen_count: 0,
+            epoch_state_arc: initial_arc,
             mobiles,
             config,
-        })
+        };
+        if sim.config.scheduler == SchedulerMode::EventQueue {
+            for i in 0..sim.mobiles.len() {
+                sim.events.push(Event {
+                    time: sim.mobiles[i].next_connect(),
+                    kind: EventKind::Connect,
+                    mobile: i,
+                });
+            }
+            sim.schedule_next_generate(0);
+        }
+        Ok(sim)
     }
 
     /// Runs the simulation to completion.
@@ -478,6 +578,8 @@ impl Simulation {
             self.metrics.wal.checkpoints = wal.checkpoints();
             self.metrics.wal.segments_retired = wal.segments_retired();
         }
+        self.metrics.sched.events_pushed = self.events.pushed();
+        self.metrics.sched.events_popped = self.events.popped();
         let durable = self.wal.take().map(|wal| DurableReport {
             storage: wal.into_storage(),
             log: self.base.base().log().to_vec(),
@@ -631,32 +733,23 @@ impl Simulation {
         let mut tick_base_work = 0.0;
 
         // Window boundary (Strategy 2, fixed or adaptive).
-        match self.config.strategy {
-            SyncStrategy::WindowStart { window } => {
-                if tick > 0 && tick.is_multiple_of(window.max(1)) {
-                    self.base.base_mut().start_window();
-                    self.epoch += 1;
-                    self.wal_append(&WalRecord::WindowStart);
-                    let last = self.last_window_tick;
-                    self.config
-                        .tracer
-                        .emit(|| TraceEvent::TickSpan { phase: Phase::Window, ticks: tick - last });
-                    self.last_window_tick = tick;
-                }
-            }
+        let rolled = match self.config.strategy {
+            SyncStrategy::WindowStart { window } => tick > 0 && tick.is_multiple_of(window.max(1)),
             SyncStrategy::AdaptiveWindow { max_hb } => {
-                if self.base.base().epoch_len() >= max_hb.max(1) {
-                    self.base.base_mut().start_window();
-                    self.epoch += 1;
-                    self.wal_append(&WalRecord::WindowStart);
-                    let last = self.last_window_tick;
-                    self.config
-                        .tracer
-                        .emit(|| TraceEvent::TickSpan { phase: Phase::Window, ticks: tick - last });
-                    self.last_window_tick = tick;
-                }
+                self.base.base().epoch_len() >= max_hb.max(1)
             }
-            SyncStrategy::PerDisconnectSnapshot => {}
+            SyncStrategy::PerDisconnectSnapshot => false,
+        };
+        if rolled {
+            self.base.base_mut().start_window();
+            self.epoch_state_arc = Arc::new(self.base.base().epoch_state().clone());
+            self.epoch += 1;
+            self.wal_append(&WalRecord::WindowStart);
+            let last = self.last_window_tick;
+            self.config
+                .tracer
+                .emit(|| TraceEvent::TickSpan { phase: Phase::Window, ticks: tick - last });
+            self.last_window_tick = tick;
         }
 
         // Base tier's own load.
@@ -672,31 +765,13 @@ impl Simulation {
         }
         self.wal_sync_commits();
 
-        // Mobile tier, phase 1: every mobile generates its tentative work.
-        // Generation is completed for the whole tier before any sync runs,
-        // so transaction identities are allocated in one canonical order
-        // regardless of how the sync phase below is scheduled.
-        for i in 0..self.mobiles.len() {
-            self.mobile_accum[i] += self.config.mobile_rate;
-            while self.mobile_accum[i] >= 1.0 {
-                self.mobile_accum[i] -= 1.0;
-                let id = self.source.next_txn(&mut self.arena, TxnKind::Tentative);
-                self.mobiles[i].run_tentative(&self.arena, id);
-                self.metrics.tentative_generated += 1;
-            }
-        }
-
-        // Mobile tier, phase 2: the tick's reconnect batch, merged (maybe
-        // concurrently) and installed in mobile-id order.
-        let batch: Vec<usize> =
-            (0..self.mobiles.len()).filter(|&i| self.mobiles[i].next_connect() == tick).collect();
-        if !batch.is_empty() {
-            tick_base_work += self.sync_batch(&batch, tick);
-            for &i in &batch {
-                let next = self.schedule_next_connect(tick);
-                self.mobiles[i].set_next_connect(next);
-            }
-        }
+        // Mobile tier: generation then the tick's reconnect batch, found
+        // either by scanning the fleet or by popping the tick's scheduled
+        // events — same work, same order, different cost.
+        tick_base_work += match self.config.scheduler {
+            SchedulerMode::TickScan => self.step_fleet_scan(tick),
+            SchedulerMode::EventQueue => self.step_events(tick),
+        };
 
         // Backlog accounting.
         self.backlog = (self.backlog + tick_base_work - self.config.base_capacity).max(0.0);
@@ -711,6 +786,109 @@ impl Simulation {
         // Durability: checkpoint at tick boundaries once enough records
         // accumulated.
         self.wal_maybe_checkpoint();
+    }
+
+    /// The legacy tick body: two O(fleet) traversals, one for generation
+    /// and one for the reconnect filter. Returns base work units.
+    fn step_fleet_scan(&mut self, tick: u64) -> f64 {
+        // Phase 1: every mobile generates its tentative work. Generation
+        // is completed for the whole tier before any sync runs, so
+        // transaction identities are allocated in one canonical order
+        // regardless of how the sync phase below is scheduled.
+        self.metrics.sched.fleet_scans += 1;
+        for i in 0..self.mobiles.len() {
+            self.mobile_accum[i] += self.config.mobile_rate;
+            while self.mobile_accum[i] >= 1.0 {
+                self.mobile_accum[i] -= 1.0;
+                let id = self.source.next_txn(&mut self.arena, TxnKind::Tentative);
+                self.mobiles[i].run_tentative(&self.arena, id);
+                self.metrics.tentative_generated += 1;
+            }
+        }
+
+        // Phase 2: the tick's reconnect batch, merged (maybe concurrently)
+        // and installed in mobile-id order.
+        self.metrics.sched.fleet_scans += 1;
+        let batch: Vec<usize> =
+            (0..self.mobiles.len()).filter(|&i| self.mobiles[i].next_connect() == tick).collect();
+        let mut work = 0.0;
+        if !batch.is_empty() {
+            work += self.sync_batch(&batch, tick);
+            for &i in &batch {
+                let next = self.schedule_next_connect(tick);
+                self.mobiles[i].set_next_connect(next);
+            }
+        }
+        work
+    }
+
+    /// The event-driven tick body: pops exactly the events due at `tick` —
+    /// the fleet-wide generation event (if generation fires this tick) and
+    /// the reconnecting mobiles' connect events. The pop order (generation
+    /// before connects, connects in mobile-id order) reproduces the legacy
+    /// scan's phase and id order, so the simulation is byte-identical; the
+    /// cost drops from O(fleet) per tick to O(due events). Returns base
+    /// work units.
+    fn step_events(&mut self, tick: u64) -> f64 {
+        let mut batch: Vec<usize> = Vec::new();
+        let mut popped_any = false;
+        let tracer = self.config.tracer.clone();
+        let span = tracer.span_start();
+        while let Some(event) = self.events.pop_at(tick) {
+            popped_any = true;
+            match event.kind {
+                EventKind::Generate => {
+                    // One event stands for the whole tier: every legacy
+                    // accumulator follows the same trajectory, so every
+                    // mobile generates the same count on the same ticks.
+                    for i in 0..self.mobiles.len() {
+                        for _ in 0..self.gen_count {
+                            let id = self.source.next_txn(&mut self.arena, TxnKind::Tentative);
+                            self.mobiles[i].run_tentative(&self.arena, id);
+                            self.metrics.tentative_generated += 1;
+                        }
+                    }
+                    self.schedule_next_generate(tick + 1);
+                }
+                EventKind::Connect => batch.push(event.mobile),
+            }
+        }
+        if popped_any {
+            // Span only on active ticks, so idle ticks stay free and the
+            // flight recorder isn't flooded with empty drains.
+            tracer.span_end(Phase::Scheduler, span);
+        }
+        let mut work = 0.0;
+        if !batch.is_empty() {
+            work += self.sync_batch(&batch, tick);
+            for &i in &batch {
+                let next = self.schedule_next_connect(tick);
+                self.mobiles[i].set_next_connect(next);
+                self.events.push(Event { time: next, kind: EventKind::Connect, mobile: i });
+            }
+        }
+        work
+    }
+
+    /// Advances the shared generation accumulator tick by tick from `from`
+    /// (the exact arithmetic of the legacy per-mobile accumulators) until
+    /// it finds the next tick where generation fires, and schedules that
+    /// tick's [`EventKind::Generate`] event carrying the per-mobile count.
+    /// Total work across a run is O(duration), independent of fleet size.
+    fn schedule_next_generate(&mut self, from: u64) {
+        for t in from..self.config.duration {
+            self.gen_acc += self.config.mobile_rate;
+            let mut count = 0u64;
+            while self.gen_acc >= 1.0 {
+                self.gen_acc -= 1.0;
+                count += 1;
+            }
+            if count > 0 {
+                self.gen_count = count;
+                self.events.push(Event { time: t, kind: EventKind::Generate, mobile: 0 });
+                return;
+            }
+        }
     }
 
     /// Draws the next reconnection tick (jittered unless reconnects are
@@ -833,8 +1011,7 @@ impl Simulation {
     /// falls through to the live serial decision.
     fn plan_sync(&mut self, i: usize, spec: Option<Speculative>) -> SyncDecision {
         if let Some(spec) = spec {
-            let delta: Vec<TxnId> =
-                self.base.base().full_history().order()[spec.log_len..].to_vec();
+            let delta: Vec<TxnId> = self.base.base().history_suffix(spec.log_len);
             if delta_invalidates(&self.arena, &delta, &spec.reads, &spec.writes) {
                 self.metrics.speculative_retries += 1;
             } else {
@@ -1149,14 +1326,14 @@ impl Simulation {
         match self.config.strategy {
             SyncStrategy::WindowStart { .. } | SyncStrategy::AdaptiveWindow { .. } => {
                 // Strategy 2: new tentative histories within the window
-                // keep the window-start state as their origin.
-                let origin = self.base.base().epoch_state().clone();
-                self.mobiles[i].resync(origin, 0);
+                // keep the window-start state as their origin — one shared
+                // snapshot, an Arc clone per resync.
+                self.mobiles[i].resync(self.epoch_state_arc.clone(), 0);
                 self.mobile_epochs[i] = self.epoch;
             }
             SyncStrategy::PerDisconnectSnapshot => {
                 // Strategy 1: snapshot the current master.
-                let origin = self.base.base().master().clone();
+                let origin = Arc::new(self.base.base().master().clone());
                 let index = self.base.base().committed();
                 self.mobiles[i].resync(origin, index);
             }
@@ -1615,6 +1792,8 @@ mod tests {
             backlog_sample_every: 10,
             tracer: TracerHandle::noop(),
             reuse_merge_scratch: false,
+            scheduler: SchedulerMode::EventQueue,
+            lean_base_log: false,
         }
     }
 
@@ -2202,6 +2381,97 @@ mod tests {
             "one recovery check per crash"
         );
         assert!(report.convergence.unwrap().holds());
+    }
+
+    #[test]
+    fn event_queue_and_tick_scan_runs_are_byte_identical() {
+        for strategy in [
+            SyncStrategy::WindowStart { window: 100 },
+            SyncStrategy::AdaptiveWindow { max_hb: 20 },
+            SyncStrategy::PerDisconnectSnapshot,
+        ] {
+            let mut event_cfg = config(Protocol::merging_default(), strategy, 71);
+            event_cfg.check_convergence = true;
+            let mut scan_cfg = event_cfg.clone();
+            event_cfg.scheduler = SchedulerMode::EventQueue;
+            scan_cfg.scheduler = SchedulerMode::TickScan;
+            let event = Simulation::new(event_cfg).expect("valid sim config").run();
+            let scan = Simulation::new(scan_cfg).expect("valid sim config").run();
+            assert_eq!(event.final_master, scan.final_master, "{}", strategy.name());
+            assert_eq!(event.base_commits, scan.base_commits);
+            assert_eq!(event.cluster, scan.cluster);
+            assert_eq!(event.metrics.normalized(), scan.metrics.normalized());
+            assert_eq!(event.convergence, scan.convergence);
+        }
+    }
+
+    #[test]
+    fn event_mode_never_scans_the_fleet() {
+        // The tentpole's regression guard: under the event scheduler, the
+        // queue's pops are the ONLY way per-tick mobile work is found — no
+        // code path falls back to an O(fleet) traversal.
+        let cfg = config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 100 }, 9);
+        let duration = cfg.duration;
+        let event = Simulation::new(cfg.clone()).expect("valid sim config").run();
+        assert_eq!(event.metrics.sched.fleet_scans, 0, "event mode must not scan the fleet");
+        assert!(event.metrics.sched.events_popped > 0, "the queue drove the run");
+        assert!(
+            event.metrics.sched.events_pushed >= event.metrics.sched.events_popped,
+            "pops never exceed pushes: {:?}",
+            event.metrics.sched
+        );
+
+        let mut scan_cfg = cfg;
+        scan_cfg.scheduler = SchedulerMode::TickScan;
+        let scan = Simulation::new(scan_cfg).expect("valid sim config").run();
+        assert_eq!(
+            scan.metrics.sched.fleet_scans,
+            2 * duration,
+            "legacy mode scans twice per tick (generation + reconnect filter)"
+        );
+        assert_eq!(scan.metrics.sched.events_pushed, 0);
+        assert_eq!(scan.metrics.sched.events_popped, 0);
+    }
+
+    #[test]
+    fn lean_base_log_is_observation_free() {
+        for scheduler in [SchedulerMode::EventQueue, SchedulerMode::TickScan] {
+            let mut full_cfg = config(
+                Protocol::merging_default(),
+                SyncStrategy::AdaptiveWindow { max_hb: 20 },
+                77,
+            );
+            full_cfg.scheduler = scheduler;
+            full_cfg.check_convergence = true;
+            let mut lean_cfg = full_cfg.clone();
+            lean_cfg.lean_base_log = true;
+            let full = Simulation::new(full_cfg).expect("valid sim config").run();
+            let lean = Simulation::new(lean_cfg).expect("valid sim config").run();
+            assert_eq!(full.final_master, lean.final_master);
+            assert_eq!(full.base_commits, lean.base_commits);
+            assert_eq!(full.cluster, lean.cluster);
+            assert_eq!(full.metrics.normalized(), lean.metrics.normalized());
+            // The convergence oracle replays ids only, so it still holds
+            // over a lean log.
+            assert!(lean.convergence.expect("requested").holds());
+        }
+    }
+
+    #[test]
+    fn lean_base_log_rejects_after_state_readers() {
+        let mut durable =
+            config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 100 }, 5);
+        durable.lean_base_log = true;
+        durable.durability = DurabilityConfig { enabled: true, checkpoint_every: 64 };
+        assert_eq!(Simulation::new(durable).err(), Some(SimConfigError::LeanLogNeedsNoDurability));
+
+        let mut snapshot =
+            config(Protocol::merging_default(), SyncStrategy::PerDisconnectSnapshot, 5);
+        snapshot.lean_base_log = true;
+        assert_eq!(
+            Simulation::new(snapshot).err(),
+            Some(SimConfigError::LeanLogNeedsWindowStrategy)
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use histmerge::obs::validate_json_line;
 use histmerge::replication::metrics::{Metrics, SyncRecord};
-use histmerge::replication::{FaultStats, WalStats};
+use histmerge::replication::{FaultStats, SchedStats, WalStats};
 use histmerge::workload::cost::CostReport;
 
 fn populated_metrics() -> Metrics {
@@ -45,6 +45,7 @@ fn populated_metrics() -> Metrics {
             pruned_records: 11,
             shadow_recoveries: 1,
         },
+        sched: SchedStats { fleet_scans: 800, events_pushed: 96, events_popped: 90 },
         ..Metrics::default()
     };
     m.record(
@@ -98,7 +99,8 @@ fn metrics_json_shape_is_pinned() {
             "\"recovered_sessions\":2,\"trimmed_txns\":6,\"double_resolutions\":0,",
             "\"ledger_gaps\":1},",
             "\"wal\":{\"records\":200,\"bytes\":8192,\"checkpoints\":3,",
-            "\"segments_retired\":2,\"pruned_records\":11,\"shadow_recoveries\":1}}"
+            "\"segments_retired\":2,\"pruned_records\":11,\"shadow_recoveries\":1},",
+            "\"sched\":{\"fleet_scans\":800,\"events_pushed\":96,\"events_popped\":90}}"
         )
     );
 }
@@ -110,5 +112,6 @@ fn default_metrics_json_is_all_zeroes_and_valid() {
     assert!(json.starts_with("{\"tentative_generated\":0,"));
     assert!(json.contains("\"fault\":{\"dropped\":0,"));
     assert!(json.contains("\"wal\":{\"records\":0,"));
-    assert!(json.ends_with("\"shadow_recoveries\":0}}"));
+    assert!(json.contains("\"sched\":{\"fleet_scans\":0,"));
+    assert!(json.ends_with("\"events_popped\":0}}"));
 }

@@ -11,12 +11,16 @@
 //! fourth time with a flight-recorder ring tracer attached, because
 //! tracing must be observation-only on exactly the same terms too. A fifth
 //! run enables `reuse_merge_scratch`, pinning that carrying merge working
-//! memory across windows never changes an outcome.
+//! memory across windows never changes an outcome. A sixth run flips the
+//! reference's event-driven scheduler back to the legacy per-tick fleet
+//! scan (`SchedulerMode::TickScan`), pinning the PR-6 tentpole claim: how
+//! a tick *finds* its due mobiles (O(fleet) scan vs popping a priority
+//! queue) never changes what the simulation *does*.
 
 use histmerge::obs::FlightRecorder;
 use histmerge::replication::{
-    DurabilityConfig, FaultPlan, FaultStats, Protocol, SimConfig, SimReport, Simulation, SyncPath,
-    SyncStrategy,
+    DurabilityConfig, FaultPlan, FaultStats, Protocol, SchedulerMode, SimConfig, SimReport,
+    Simulation, SyncPath, SyncStrategy,
 };
 use histmerge::workload::generator::ScenarioParams;
 
@@ -50,11 +54,22 @@ fn config(protocol: Protocol, seed: u64) -> SimConfig {
 
 /// Runs `config` through both paths — and the session path three times
 /// more, with durability enabled, with a flight-recorder ring attached,
-/// and with merge-scratch reuse across windows — and asserts the reports
-/// are identical.
+/// and with merge-scratch reuse across windows — plus a sixth run on the
+/// legacy tick-scan scheduler, and asserts the reports are identical.
 fn assert_paths_agree(mut config: SimConfig, label: &str) -> SimReport {
     config.sync_path = SyncPath::Legacy;
     let legacy = Simulation::new(config.clone()).expect("valid sim config").run();
+    // Sixth run: the legacy path again, but with the per-tick fleet scan
+    // instead of the (default) event queue. The scheduler is pure
+    // mechanism, so everything but the normalized-away scheduler counters
+    // must match the reference byte-for-byte.
+    let mut tickscan_config = config.clone();
+    tickscan_config.scheduler = SchedulerMode::TickScan;
+    tickscan_config.check_convergence = true;
+    let tickscan = Simulation::new(tickscan_config).expect("valid sim config").run();
+    assert_eq!(tickscan.metrics.sched.events_popped, 0, "{label}: tick scan used the queue");
+    assert!(legacy.metrics.sched.events_popped > 0, "{label}: reference never popped events");
+    assert_eq!(legacy.metrics.sched.fleet_scans, 0, "{label}: event mode scanned the fleet");
     config.sync_path = SyncPath::Session;
     config.fault = FaultPlan::none();
     config.check_convergence = true;
@@ -84,6 +99,7 @@ fn assert_paths_agree(mut config: SimConfig, label: &str) -> SimReport {
         (&durable, "session+wal"),
         (&traced, "session+trace"),
         (&scratched, "session+scratch"),
+        (&tickscan, "legacy+tickscan"),
     ] {
         assert_eq!(
             legacy.final_master, candidate.final_master,

@@ -129,6 +129,55 @@ impl_tuple_strategy!(A, B, C, D, E, F, G, H);
 impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
 impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
 
+/// Strategies over collections, mirroring `proptest::collection`.
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// The result of [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// A strategy producing `Vec`s of `element` values, with a length
+    /// drawn uniformly from `len`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies, mirroring `proptest::bool`.
+pub mod bool {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// The type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniformly random booleans — the `prop::bool::ANY` strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rng.gen_range(0u32..2) == 1
+        }
+    }
+}
+
 /// Runs `body` for each case of a property, with deterministic seeding.
 /// Used by the [`proptest!`] expansion; not part of the public proptest API.
 pub fn run_property<F: FnMut(&mut StdRng, u64)>(config: &ProptestConfig, name: &str, mut body: F) {
@@ -205,6 +254,12 @@ macro_rules! proptest {
 /// The usual wildcard import, mirroring `proptest::prelude::*`.
 pub mod prelude {
     pub use crate::{prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy};
+
+    /// The `prop::` path alias the upstream prelude provides, so tests
+    /// can write `prop::collection::vec(..)` / `prop::bool::ANY`.
+    pub mod prop {
+        pub use crate::{bool, collection};
+    }
 }
 
 #[cfg(test)]
