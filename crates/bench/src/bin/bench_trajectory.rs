@@ -1,13 +1,13 @@
-//! The per-PR perf-trajectory gate over the committed `BENCH_pr6.json`.
+//! The per-PR perf-trajectory gate over the committed `BENCH_pr7.json`.
 //!
 //! Two modes:
 //!
 //! * `bench_trajectory --write [--out PATH]` — combine the freshly
-//!   emitted `BENCH_hotpath.json` (E18) and `BENCH_scale.json` (E19)
-//!   artifacts from `$EXPERIMENTS_DIR` (default `target/experiments`)
-//!   into one trajectory document, written to `PATH` (default
-//!   `BENCH_pr6.json`). Run from the repo root to refresh the committed
-//!   baseline.
+//!   emitted `BENCH_hotpath.json` (E18), `BENCH_scale.json` (E19) and
+//!   `BENCH_compaction.json` (E20) artifacts from `$EXPERIMENTS_DIR`
+//!   (default `target/experiments`) into one trajectory document,
+//!   written to `PATH` (default `BENCH_pr7.json`). Run from the repo
+//!   root to refresh the committed baseline.
 //! * `bench_trajectory --check BASELINE [--out PATH]` — combine the
 //!   fresh artifacts the same way (written to `PATH` for CI upload),
 //!   then compare every **throughput metric** — a column whose name
@@ -30,7 +30,7 @@ use std::process::ExitCode;
 use histmerge_bench::json::{metric_number, parse, JsonVal};
 
 /// The artifacts a trajectory document combines, in document order.
-const ARTIFACTS: [&str; 2] = ["BENCH_hotpath", "BENCH_scale"];
+const ARTIFACTS: [&str; 3] = ["BENCH_hotpath", "BENCH_scale", "BENCH_compaction"];
 
 fn artifacts_dir() -> PathBuf {
     std::env::var_os("EXPERIMENTS_DIR")
@@ -42,7 +42,10 @@ fn artifacts_dir() -> PathBuf {
 fn read_artifact(name: &str) -> Result<String, String> {
     let path = artifacts_dir().join(format!("{name}.json"));
     let text = std::fs::read_to_string(&path).map_err(|e| {
-        format!("cannot read {} (run exp_hotpath and exp_scale first): {e}", path.display())
+        format!(
+            "cannot read {} (run exp_hotpath, exp_scale and exp_compaction first): {e}",
+            path.display()
+        )
     })?;
     parse(&text).map_err(|e| format!("{}: invalid JSON: {e}", path.display()))?;
     Ok(text)
@@ -137,7 +140,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut mode = None;
     let mut baseline_path = None;
-    let mut out = PathBuf::from("BENCH_pr6.json");
+    let mut out = PathBuf::from("BENCH_pr7.json");
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {

@@ -39,11 +39,14 @@ pub enum Phase {
     /// Draining the event queue and dispatching a tick's scheduled mobile
     /// work (event-driven scheduler only).
     Scheduler,
+    /// The pre-merge semantic compaction pass over a pending tentative
+    /// history (enabled runs only).
+    Compact,
 }
 
 impl Phase {
     /// Every phase, in report order.
-    pub const ALL: [Phase; 15] = [
+    pub const ALL: [Phase; 16] = [
         Phase::Exec,
         Phase::GraphBuild,
         Phase::Backout,
@@ -59,6 +62,7 @@ impl Phase {
         Phase::Recovery,
         Phase::Window,
         Phase::Scheduler,
+        Phase::Compact,
     ];
 
     /// Stable snake-case name, used as the JSONL `phase` field and the
@@ -80,6 +84,7 @@ impl Phase {
             Phase::Recovery => "recovery",
             Phase::Window => "window",
             Phase::Scheduler => "scheduler",
+            Phase::Compact => "compact",
         }
     }
 

@@ -66,7 +66,7 @@ pub use base::{BaseNode, RetroPatchError};
 pub use batch::{merge_batch, BatchJob, Parallelism};
 pub use cluster::{BaseCluster, ClusterStats};
 pub use fault::{Delivery, FaultKind, FaultPlan, FaultRates, InvalidFaultRate};
-pub use metrics::{FaultStats, SchedStats, WalStats};
+pub use metrics::{CompactionStats, FaultStats, SchedStats, WalStats};
 pub use mobile::MobileNode;
 pub use recovery::{recover, recover_traced, Recovered, RecoveryError};
 pub use sched::{fork_rng, Event, EventKind, EventQueue, SchedulerMode};

@@ -88,6 +88,21 @@ pub struct SchedStats {
     pub events_popped: u64,
 }
 
+/// Pre-merge compaction counters: how much of each pending history the
+/// semantic squash pass collapsed before the merge ran. Planning
+/// mechanism only — a compacted run commits the same base state as the
+/// uncompacted run (the `session_differential` suite pins this), so
+/// [`Metrics::normalized`] zeroes the whole block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct CompactionStats {
+    /// Tentative transactions entering the compaction pass.
+    pub txns_in: u64,
+    /// Transactions leaving the pass (composites count once).
+    pub txns_out: u64,
+    /// Runs of two or more transactions squashed into a composite.
+    pub runs_squashed: u64,
+}
+
 /// One synchronization event (a reconnection), for time-series plots.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct SyncRecord {
@@ -170,6 +185,10 @@ pub struct Metrics {
     /// comparisons (the tick scan and the event queue must produce the
     /// same simulation while differing exactly here).
     pub sched: SchedStats,
+    /// Pre-merge compaction counters. Planning mechanism only — excluded
+    /// from determinism comparisons (a compacted run commits the same
+    /// base state while differing exactly here).
+    pub compaction: CompactionStats,
 }
 
 impl Metrics {
@@ -209,6 +228,7 @@ impl Metrics {
             parallel_merge_ns: 0,
             wal: WalStats::default(),
             sched: SchedStats::default(),
+            compaction: CompactionStats::default(),
             ..self.clone()
         };
         for record in &mut normalized.records {
@@ -280,6 +300,11 @@ impl Metrics {
         out.push_str(&format!(
             ",\"sched\":{{\"fleet_scans\":{},\"events_pushed\":{},\"events_popped\":{}}}",
             s.fleet_scans, s.events_pushed, s.events_popped
+        ));
+        let c = &self.compaction;
+        out.push_str(&format!(
+            ",\"compaction\":{{\"txns_in\":{},\"txns_out\":{},\"runs_squashed\":{}}}",
+            c.txns_in, c.txns_out, c.runs_squashed
         ));
         out.push('}');
         out
@@ -412,6 +437,21 @@ mod tests {
         };
         assert_ne!(legacy, durable);
         assert_eq!(legacy.normalized(), durable.normalized());
+    }
+
+    #[test]
+    fn normalized_strips_compaction_mechanism() {
+        // A compaction-enabled run and a plain run differ only in the
+        // compaction block; normalization must erase exactly that
+        // difference.
+        let plain = Metrics::default();
+        let compacted = Metrics {
+            compaction: CompactionStats { txns_in: 40, txns_out: 25, runs_squashed: 6 },
+            ..Metrics::default()
+        };
+        assert_ne!(plain, compacted);
+        assert_eq!(plain.normalized(), compacted.normalized());
+        assert!(compacted.to_json().contains("\"compaction\":{\"txns_in\":40"));
     }
 
     #[test]

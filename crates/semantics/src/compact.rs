@@ -1,0 +1,604 @@
+//! Pre-sync compaction of tentative histories.
+//!
+//! The merge protocol's reprocessing bill is paid *per tentative
+//! transaction*: every pending transaction is graph-inserted, weighed,
+//! possibly backed out, and re-validated at synchronization time. This
+//! module squashes groups of pending transactions into one composite
+//! transaction each **before** the history is offered to the base, so the
+//! precedence graph, back-out weights and session records all shrink —
+//! without changing a single committed byte.
+//!
+//! # When is squashing safe?
+//!
+//! Compaction partitions the tentative history `H_m` into *conflict
+//! clusters*: connected components of the symmetric conflict relation
+//! (`r∩w ∪ w∩r ∪ w∩w`, answered by the arena's admission-time bitsets).
+//! Two transactions in different clusters never conflict, so any
+//! reordering of `H_m` that preserves the relative order *within* each
+//! cluster is execution-equivalent — same observed reads, same final
+//! state. Gathering a cluster's members to the position of its first
+//! member is such a reordering, and once gathered, adjacent members
+//! compose exactly: [`Program::sequenced`] concatenates the statement
+//! lists (with parameter indices shifted), and the interpreter's read
+//! environment persists across the concatenation, so the composite's
+//! effect on any state is the constituents' sequential effect.
+//!
+//! The composite must also be invisible to the *merge*. A squashed group
+//! is only formed from clusters that are **isolated from the concurrent
+//! base history**: no member reads anything the base wrote, writes
+//! anything the base read, or writes anything the base wrote. An isolated
+//! cluster acquires no cross precedence edges, is never backed out, and
+//! every member is saved verbatim — individually in the legacy run, as
+//! one composite in the compacted run — so the values forwarded to the
+//! base are identical and the committed base state is byte-identical
+//! (the differential suite pins this on every scenario).
+//!
+//! Members carrying a *precondition* (withdraw, transfer, sell, reserve)
+//! are never absorbed into a composite: a composite reports one aggregate
+//! success, which would erase the per-transaction failure reporting of
+//! protocol step 6. They stay in place as singletons, and because moving
+//! a later cluster member past them would reorder the cluster, they also
+//! split their cluster's squash runs.
+//!
+//! # Modes
+//!
+//! [`CompactionMode::Adjacent`] squashes only *contiguous* runs of
+//! squashable transactions — the conservative form app-side transaction
+//! merging takes when it can only see neighbouring requests.
+//! [`CompactionMode::Gather`] (the default) additionally gathers
+//! non-contiguous members of the same cluster across unrelated
+//! transactions, which is where most of the win is on workloads whose
+//! conflict hot spots are interleaved with independent traffic.
+//!
+//! An optional [`SemanticOracle`] widens gathering further
+//! ([`compact_with_oracle`]): a same-cluster transaction blocking a
+//! gather may be jumped when the oracle proves the pair commutes. That
+//! preserves final-state equivalence (property-tested) but *not* the
+//! byte-identical merge trace, so the simulator never enables it by
+//! default.
+
+use histmerge_history::{SerialHistory, TxnArena};
+use histmerge_txn::{Program, Transaction, TxnId, TxnKind, Value, VarSet};
+use std::sync::Arc;
+
+use crate::canfollow::can_follow;
+use crate::oracle::SemanticOracle;
+
+/// How aggressively the compactor may reorder while grouping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompactionMode {
+    /// Squash only contiguous runs of squashable transactions.
+    Adjacent,
+    /// Also gather non-contiguous members of one conflict cluster to the
+    /// first member's position (legal: members of other clusters never
+    /// conflict, so the within-cluster order is all that matters).
+    Gather,
+}
+
+/// Configuration of the pre-sync compaction pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionConfig {
+    /// Master switch; `false` makes [`compact`] the identity.
+    pub enabled: bool,
+    /// Grouping aggressiveness.
+    pub mode: CompactionMode,
+    /// Minimum group size worth a composite (clamped to at least 2).
+    pub min_run: usize,
+}
+
+impl Default for CompactionConfig {
+    fn default() -> Self {
+        CompactionConfig { enabled: false, mode: CompactionMode::Gather, min_run: 2 }
+    }
+}
+
+impl CompactionConfig {
+    /// The default configuration with the master switch on.
+    pub fn enabled() -> Self {
+        CompactionConfig { enabled: true, ..CompactionConfig::default() }
+    }
+}
+
+/// The result of one compaction pass.
+#[derive(Debug, Clone)]
+pub struct CompactionOutcome {
+    /// The compacted history: composites at their group anchors, every
+    /// other transaction untouched and in its original relative order.
+    pub history: SerialHistory,
+    /// Each composite's id with its constituents in execution order.
+    pub composites: Vec<(TxnId, Vec<TxnId>)>,
+    /// Transactions offered to the pass (`hm.len()`).
+    pub txns_in: usize,
+    /// Transactions in the compacted history.
+    pub txns_out: usize,
+    /// Number of composites formed.
+    pub runs_squashed: usize,
+}
+
+impl CompactionOutcome {
+    /// The identity outcome: nothing squashed.
+    fn identity(hm: &SerialHistory) -> Self {
+        CompactionOutcome {
+            history: hm.clone(),
+            composites: Vec::new(),
+            txns_in: hm.len(),
+            txns_out: hm.len(),
+            runs_squashed: 0,
+        }
+    }
+}
+
+/// Compacts `hm` against the concurrent base footprint (`hb_reads`,
+/// `hb_writes`), allocating composite transactions in `arena`. Mask-only:
+/// no semantic oracle is consulted, so the compacted history is
+/// merge-equivalent to the original (see the module docs).
+pub fn compact(
+    arena: &mut TxnArena,
+    hm: &SerialHistory,
+    hb_reads: &VarSet,
+    hb_writes: &VarSet,
+    config: &CompactionConfig,
+) -> CompactionOutcome {
+    compact_with_oracle(arena, hm, hb_reads, hb_writes, config, None)
+}
+
+/// [`compact`] with an optional semantic widener: a same-cluster
+/// transaction blocking a gather may be jumped when `oracle` proves the
+/// pair commutes. Final-state equivalent, but the merge trace may differ
+/// from the uncompacted run's — keep it off where byte-identity matters.
+pub fn compact_with_oracle(
+    arena: &mut TxnArena,
+    hm: &SerialHistory,
+    hb_reads: &VarSet,
+    hb_writes: &VarSet,
+    config: &CompactionConfig,
+    oracle: Option<&dyn SemanticOracle>,
+) -> CompactionOutcome {
+    let min_run = config.min_run.max(2);
+    let n = hm.len();
+    if !config.enabled || n < min_run {
+        return CompactionOutcome::identity(hm);
+    }
+    let ids: Vec<TxnId> = hm.iter().collect();
+
+    // A transaction is *quiet* when its footprint cannot interact with the
+    // concurrent base history in any direction. A cluster is isolated iff
+    // every member is quiet (the union overlaps iff some member does).
+    let quiet: Vec<bool> = ids
+        .iter()
+        .map(|&id| {
+            let t = arena.get(id);
+            !t.readset().intersects(hb_writes)
+                && !t.writeset().intersects(hb_reads)
+                && !t.writeset().intersects(hb_writes)
+        })
+        .collect();
+
+    // Conflict clusters via union-find over the arena's bitset conflicts.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], i: usize) -> usize {
+        let mut root = i;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cur = i;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if arena.conflicts(ids[i], ids[j]) {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[rj] = ri;
+                }
+            }
+        }
+    }
+    let root: Vec<usize> = (0..n).map(|i| find(&mut parent, i)).collect();
+    let mut cluster_isolated = vec![true; n];
+    for i in 0..n {
+        if !quiet[i] {
+            cluster_isolated[root[i]] = false;
+        }
+    }
+
+    // A squash candidate sits in an isolated cluster and reports no
+    // per-transaction precondition outcome the composite would swallow.
+    let candidate: Vec<bool> = (0..n)
+        .map(|i| cluster_isolated[root[i]] && arena.get(ids[i]).precondition().is_none())
+        .collect();
+
+    // Greedy grouping, one open group per cluster, members in history
+    // order. A member may join the open group iff every transaction
+    // strictly between the group anchor and the member can be passed on
+    // the way back: mask-independent (exactly "not in this cluster" —
+    // checked with the can-follow masks rather than assumed), or proven
+    // commuting by the oracle.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut open_of: Vec<Option<usize>> = vec![None; n]; // cluster root -> open group
+    let mut grouped: Vec<Option<usize>> = vec![None; n]; // position -> group index
+    for i in 0..n {
+        let r = root[i];
+        if !candidate[i] {
+            // Not groupable itself, but it does not force the cluster's
+            // open group shut: whether later members can still be gathered
+            // past it is decided by the join check below.
+            continue;
+        }
+        let joined = match open_of[r] {
+            None => None,
+            Some(g) => {
+                let ok = match config.mode {
+                    // Contiguous only: the member must directly extend the
+                    // group's last position.
+                    CompactionMode::Adjacent => *groups[g].last().unwrap() + 1 == i,
+                    CompactionMode::Gather => {
+                        let anchor = groups[g][0];
+                        let t_i = arena.get(ids[i]);
+                        (anchor + 1..i).filter(|j| grouped[*j] != Some(g)).all(|j| {
+                            let t_j = arena.get(ids[j]);
+                            let independent = can_follow(t_i, t_j)
+                                && can_follow(t_j, t_i)
+                                && !t_i.write_mask().intersects(t_j.write_mask());
+                            independent
+                                || oracle
+                                    .map(|o| o.commutes_backward_through(t_i, t_j))
+                                    .unwrap_or(false)
+                        })
+                    }
+                };
+                if ok {
+                    groups[g].push(i);
+                    grouped[i] = Some(g);
+                    Some(g)
+                } else {
+                    None
+                }
+            }
+        };
+        if joined.is_none() {
+            groups.push(vec![i]);
+            grouped[i] = Some(groups.len() - 1);
+            open_of[r] = Some(groups.len() - 1);
+        }
+    }
+
+    // Dissolve groups below the squash threshold.
+    for g in &mut groups {
+        if g.len() < min_run {
+            for &i in g.iter() {
+                grouped[i] = None;
+            }
+            g.clear();
+        }
+    }
+
+    // Materialize one composite transaction per surviving group.
+    let mut composite_at: Vec<Option<TxnId>> = vec![None; n];
+    let mut composites = Vec::new();
+    let mut runs_squashed = 0usize;
+    for group in groups.iter().filter(|g| !g.is_empty()) {
+        let members: Vec<&Transaction> = group.iter().map(|&i| arena.get(ids[i])).collect();
+        let name = members.iter().map(|t| t.name()).collect::<Vec<_>>().join("+").replace(' ', "_");
+        let name = format!("sq({name})");
+        let parts: Vec<&Program> = members.iter().map(|t| t.program().as_ref()).collect();
+        let forward = Arc::new(Program::sequenced(&name, &parts));
+        let params: Vec<Value> = members.iter().flat_map(|t| t.params().iter().copied()).collect();
+        // The composite undoes by running the constituents' inverses in
+        // reverse order, each reading its slice of the forward parameter
+        // vector — only constructible when every constituent declared one.
+        let inverse = if members.iter().all(|t| t.inverse().is_some()) {
+            let mut offsets = Vec::with_capacity(members.len());
+            let mut offset = 0usize;
+            for t in &members {
+                offsets.push(offset);
+                offset += t.params().len().max(t.program().n_params());
+            }
+            let placed: Vec<(&Program, usize)> = members
+                .iter()
+                .zip(&offsets)
+                .rev()
+                .map(|(t, &at)| (t.inverse().unwrap().as_ref(), at))
+                .collect();
+            Some(Arc::new(Program::sequenced_with_offsets(format!("{name}^-1"), &placed)))
+        } else {
+            None
+        };
+        let member_ids: Vec<TxnId> = group.iter().map(|&i| ids[i]).collect();
+        let cid = arena.alloc(|id| {
+            let t = Transaction::new(id, name.clone(), TxnKind::Tentative, forward.clone(), params);
+            match &inverse {
+                Some(inv) => t.with_inverse(inv.clone()),
+                None => t,
+            }
+        });
+        composite_at[group[0]] = Some(cid);
+        composites.push((cid, member_ids));
+        runs_squashed += 1;
+    }
+
+    if runs_squashed == 0 {
+        return CompactionOutcome::identity(hm);
+    }
+    let mut history = SerialHistory::new();
+    for i in 0..n {
+        if let Some(cid) = composite_at[i] {
+            history.push(cid);
+        } else if grouped[i].is_none() {
+            history.push(ids[i]);
+        }
+    }
+    let txns_out = history.len();
+    CompactionOutcome { history, composites, txns_in: n, txns_out, runs_squashed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histmerge_history::run_to_final;
+    use histmerge_txn::{DbState, VarId};
+
+    fn v(i: u32) -> VarId {
+        VarId::new(i)
+    }
+
+    fn deposit(arena: &mut TxnArena, acct: VarId, amt: Value) -> TxnId {
+        use histmerge_txn::{Expr, ProgramBuilder};
+        let fwd: Arc<Program> = Arc::new(
+            ProgramBuilder::new(format!("dep{}+{amt}", acct))
+                .read(acct)
+                .update(acct, Expr::var(acct) + Expr::konst(amt))
+                .build()
+                .unwrap(),
+        );
+        let inv: Arc<Program> = Arc::new(
+            ProgramBuilder::new(format!("dep{}-{amt}", acct))
+                .read(acct)
+                .update(acct, Expr::var(acct) - Expr::konst(amt))
+                .build()
+                .unwrap(),
+        );
+        arena.alloc(|id| {
+            Transaction::new(id, format!("d{id}"), TxnKind::Tentative, fwd.clone(), vec![])
+                .with_inverse(inv.clone())
+        })
+    }
+
+    fn withdraw(arena: &mut TxnArena, acct: VarId, amt: Value) -> TxnId {
+        use histmerge_txn::{Expr, ProgramBuilder};
+        let fwd: Arc<Program> = Arc::new(
+            ProgramBuilder::new(format!("wd{}-{amt}", acct))
+                .read(acct)
+                .branch(
+                    Expr::var(acct).ge(Expr::konst(amt)),
+                    |b| b.update(acct, Expr::var(acct) - Expr::konst(amt)),
+                    |b| b,
+                )
+                .build()
+                .unwrap(),
+        );
+        arena.alloc(|id| {
+            Transaction::new(id, format!("w{id}"), TxnKind::Tentative, fwd.clone(), vec![])
+                .with_precondition(Expr::var(acct).ge(Expr::konst(amt)))
+        })
+    }
+
+    fn state(n: u32, val: Value) -> DbState {
+        DbState::uniform(n, val)
+    }
+
+    #[test]
+    fn gather_squashes_same_account_deposits_across_noise() {
+        let mut arena = TxnArena::new();
+        // d(a0) d(a1) d(a0) d(a2) d(a0): the a0 cluster has 3 members
+        // interleaved with unrelated deposits.
+        let order = [
+            deposit(&mut arena, v(0), 10),
+            deposit(&mut arena, v(1), 5),
+            deposit(&mut arena, v(0), 20),
+            deposit(&mut arena, v(2), 7),
+            deposit(&mut arena, v(0), 40),
+        ];
+        let hm = SerialHistory::from_order(order);
+        let empty = VarSet::new();
+        let out = compact(&mut arena, &hm, &empty, &empty, &CompactionConfig::enabled());
+        assert_eq!(out.txns_in, 5);
+        assert_eq!(out.txns_out, 3, "three a0 deposits collapse into one");
+        assert_eq!(out.runs_squashed, 1);
+        assert_eq!(out.composites.len(), 1);
+        let (cid, members) = &out.composites[0];
+        assert_eq!(members, &[order[0], order[2], order[4]]);
+        // Composite anchored at the first member's position.
+        assert_eq!(out.history.order()[0], *cid);
+        // Masks are exactly the union of the constituents'.
+        let c = arena.get(*cid);
+        let mut union = VarSet::new();
+        for m in members {
+            union.extend_from(arena.get(*m).footprint());
+        }
+        assert_eq!(c.footprint(), &union);
+        // Final state unchanged.
+        let s0 = state(3, 100);
+        let legacy = run_to_final(&arena, &hm, &s0).unwrap();
+        let compacted = run_to_final(&arena, &out.history, &s0).unwrap();
+        assert_eq!(legacy, compacted);
+        // The composite inherits an inverse (every deposit has one).
+        assert!(c.inverse().is_some());
+    }
+
+    #[test]
+    fn adjacent_mode_only_takes_contiguous_runs() {
+        let mut arena = TxnArena::new();
+        let order = [
+            deposit(&mut arena, v(0), 10),
+            deposit(&mut arena, v(1), 5),
+            deposit(&mut arena, v(0), 20),
+            deposit(&mut arena, v(0), 40),
+        ];
+        let hm = SerialHistory::from_order(order);
+        let empty = VarSet::new();
+        let cfg = CompactionConfig { enabled: true, mode: CompactionMode::Adjacent, min_run: 2 };
+        let out = compact(&mut arena, &hm, &empty, &empty, &cfg);
+        // Only the contiguous pair at positions 2..4 squashes.
+        assert_eq!(out.txns_out, 3);
+        assert_eq!(out.composites[0].1, &order[2..4]);
+        let s0 = state(2, 50);
+        assert_eq!(
+            run_to_final(&arena, &hm, &s0).unwrap(),
+            run_to_final(&arena, &out.history, &s0).unwrap()
+        );
+    }
+
+    #[test]
+    fn preconditioned_member_splits_its_cluster() {
+        let mut arena = TxnArena::new();
+        // d(a0) w(a0) d(a0): the withdraw is a cluster member the deposits
+        // may not be gathered across, and is itself never absorbed.
+        let order = [
+            deposit(&mut arena, v(0), 10),
+            withdraw(&mut arena, v(0), 5),
+            deposit(&mut arena, v(0), 20),
+        ];
+        let hm = SerialHistory::from_order(order);
+        let empty = VarSet::new();
+        let out = compact(&mut arena, &hm, &empty, &empty, &CompactionConfig::enabled());
+        assert_eq!(out.txns_out, 3, "nothing squashable around the withdraw");
+        assert_eq!(out.runs_squashed, 0);
+        assert_eq!(out.history.order(), hm.order());
+    }
+
+    #[test]
+    fn base_conflict_disables_the_whole_cluster() {
+        let mut arena = TxnArena::new();
+        let order = [
+            deposit(&mut arena, v(0), 10),
+            deposit(&mut arena, v(0), 20),
+            deposit(&mut arena, v(1), 5),
+            deposit(&mut arena, v(1), 15),
+        ];
+        let hm = SerialHistory::from_order(order);
+        // The base wrote account 0: that cluster is not isolated; the
+        // account-1 cluster still squashes.
+        let hb_writes: VarSet = [v(0)].into_iter().collect();
+        let hb_reads = hb_writes.clone();
+        let out = compact(&mut arena, &hm, &hb_reads, &hb_writes, &CompactionConfig::enabled());
+        assert_eq!(out.runs_squashed, 1);
+        assert_eq!(out.composites[0].1, &order[2..4]);
+        assert_eq!(out.txns_out, 3);
+    }
+
+    #[test]
+    fn compaction_is_idempotent() {
+        let mut arena = TxnArena::new();
+        let order = [
+            deposit(&mut arena, v(0), 1),
+            deposit(&mut arena, v(1), 2),
+            deposit(&mut arena, v(0), 3),
+            withdraw(&mut arena, v(1), 1),
+            deposit(&mut arena, v(1), 4),
+        ];
+        let hm = SerialHistory::from_order(order);
+        let empty = VarSet::new();
+        let cfg = CompactionConfig::enabled();
+        let once = compact(&mut arena, &hm, &empty, &empty, &cfg);
+        let twice = compact(&mut arena, &once.history, &empty, &empty, &cfg);
+        assert_eq!(twice.history.order(), once.history.order());
+        assert_eq!(twice.runs_squashed, 0);
+        assert_eq!(twice.txns_in, twice.txns_out);
+    }
+
+    #[test]
+    fn disabled_or_short_histories_are_identity() {
+        let mut arena = TxnArena::new();
+        let order = [deposit(&mut arena, v(0), 1), deposit(&mut arena, v(0), 2)];
+        let hm = SerialHistory::from_order(order);
+        let empty = VarSet::new();
+        let off = compact(&mut arena, &hm, &empty, &empty, &CompactionConfig::default());
+        assert_eq!(off.history.order(), hm.order());
+        assert_eq!(off.runs_squashed, 0);
+        let one = SerialHistory::from_order([order[0]]);
+        let short = compact(&mut arena, &one, &empty, &empty, &CompactionConfig::enabled());
+        assert_eq!(short.history.order(), one.order());
+    }
+
+    #[test]
+    fn composite_compensation_equals_reverse_constituent_compensation() {
+        use histmerge_txn::Fix;
+        let mut arena = TxnArena::new();
+        let order = [
+            deposit(&mut arena, v(0), 10),
+            deposit(&mut arena, v(0), 25),
+            deposit(&mut arena, v(0), 40),
+        ];
+        let hm = SerialHistory::from_order(order);
+        let empty = VarSet::new();
+        let out = compact(&mut arena, &hm, &empty, &empty, &CompactionConfig::enabled());
+        assert_eq!(out.runs_squashed, 1);
+        let cid = out.composites[0].0;
+        let s0 = state(1, 500);
+        let after = run_to_final(&arena, &out.history, &s0).unwrap();
+        // Composite compensation in one shot …
+        let undone = arena.get(cid).compensate(&after, &Fix::empty()).unwrap().after;
+        // … equals compensating the constituents in reverse.
+        let mut manual = after.clone();
+        for id in order.iter().rev() {
+            manual = arena.get(*id).compensate(&manual, &Fix::empty()).unwrap().after;
+        }
+        assert_eq!(undone, manual);
+        assert_eq!(undone, s0);
+    }
+
+    #[test]
+    fn semantic_oracle_widens_gathering_past_blockers() {
+        use crate::static_analyzer::StaticAnalyzer;
+        use histmerge_txn::{Expr, ProgramBuilder};
+        let mut arena = TxnArena::new();
+        // d(+10) [if flag > 0 then acct += 5] d(+20): the guarded bonus is
+        // a same-cluster member (it writes the account) with a
+        // precondition, so it is never absorbed and blocks the mask-only
+        // gather. It *commutes* with plain deposits — its guard reads only
+        // the untouched flag — which the static analyzer proves, letting
+        // the oracle-widened pass jump it.
+        let acct = v(0);
+        let flag = v(1);
+        let bonus = {
+            let fwd: Arc<Program> = Arc::new(
+                ProgramBuilder::new("bonus")
+                    .read(flag)
+                    .read(acct)
+                    .branch(
+                        Expr::var(flag).gt(Expr::konst(0)),
+                        |b| b.update(acct, Expr::var(acct) + Expr::konst(5)),
+                        |b| b,
+                    )
+                    .build()
+                    .unwrap(),
+            );
+            arena.alloc(|id| {
+                Transaction::new(id, "bonus", TxnKind::Tentative, fwd.clone(), vec![])
+                    .with_precondition(Expr::var(flag).gt(Expr::konst(0)))
+            })
+        };
+        let order = [deposit(&mut arena, acct, 10), bonus, deposit(&mut arena, acct, 20)];
+        let hm = SerialHistory::from_order(order);
+        let empty = VarSet::new();
+        let cfg = CompactionConfig::enabled();
+        let masked = compact(&mut arena, &hm, &empty, &empty, &cfg);
+        assert_eq!(masked.runs_squashed, 0, "mask-only cannot jump the bonus");
+        let oracle = StaticAnalyzer::new();
+        let widened = compact_with_oracle(&mut arena, &hm, &empty, &empty, &cfg, Some(&oracle));
+        assert_eq!(widened.runs_squashed, 1, "deposits commute past the bonus");
+        assert_eq!(widened.composites[0].1, vec![order[0], order[2]]);
+        // Final state still equals the original order's.
+        let s0 = state(2, 7);
+        assert_eq!(
+            run_to_final(&arena, &hm, &s0).unwrap(),
+            run_to_final(&arena, &widened.history, &s0).unwrap()
+        );
+    }
+}

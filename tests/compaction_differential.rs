@@ -1,0 +1,168 @@
+//! Differential tests of the pre-sync compaction pass: squashing runs of
+//! tentative transactions into composite programs must be invisible to
+//! execution. Every property here is checked against the slow, obviously
+//! correct formulation — replaying the uncompacted history, unioning
+//! constituent footprints by hand, compensating constituents one by one —
+//! over the same generated scenarios the footprint differential uses.
+
+use proptest::prelude::*;
+
+use histmerge::history::{run_to_final, SerialHistory, TxnArena};
+use histmerge::semantics::{compact, CompactionConfig, CompactionMode};
+use histmerge::txn::{Fix, TxnId, VarSet};
+use histmerge::workload::generator::{generate, ScenarioParams};
+
+fn arb_params() -> impl Strategy<Value = ScenarioParams> {
+    (
+        0u64..5000,  // seed
+        4u32..48,    // n_vars
+        2usize..16,  // n_tentative
+        0usize..10,  // n_base
+        0.0f64..1.0, // commutative fraction
+        0.0f64..0.5, // guarded fraction
+        0.0f64..0.4, // read-only fraction
+        0.1f64..0.9, // hot prob
+    )
+        .prop_map(|(seed, n_vars, n_tentative, n_base, cf, gf, rof, hot_prob)| {
+            ScenarioParams {
+                n_vars,
+                n_tentative,
+                n_base,
+                commutative_fraction: cf,
+                guarded_fraction: gf * (1.0 - cf),
+                read_only_fraction: rof * (1.0 - cf) * 0.5,
+                hot_fraction: 0.2,
+                hot_prob,
+                reads_per_txn: 2,
+                writes_per_txn: 2,
+                seed,
+            }
+        })
+}
+
+fn arb_mode() -> impl Strategy<Value = CompactionMode> {
+    // The vendored proptest has no `prop_oneof`; a bool draw covers both.
+    (0u8..2).prop_map(|g| if g == 0 { CompactionMode::Adjacent } else { CompactionMode::Gather })
+}
+
+/// The concurrent base footprint, unioned the slow way.
+fn base_footprint(arena: &TxnArena, hb: &SerialHistory) -> (VarSet, VarSet) {
+    let mut reads = VarSet::new();
+    let mut writes = VarSet::new();
+    for id in hb.iter() {
+        let t = arena.get(id);
+        reads.extend_from(t.readset());
+        writes.extend_from(t.writeset());
+    }
+    (reads, writes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (a) Executing the compacted history from a fresh state produces the
+    /// same final state as the uncompacted history — composites compose
+    /// their constituents exactly, and gathering only reorders across
+    /// conflict-free pairs.
+    #[test]
+    fn compacted_execution_matches_uncompacted(params in arb_params(), mode in arb_mode()) {
+        let mut sc = generate(&params);
+        let (hb_reads, hb_writes) = base_footprint(&sc.arena, &sc.hb);
+        let config = CompactionConfig { mode, ..CompactionConfig::enabled() };
+        let out = compact(&mut sc.arena, &sc.hm, &hb_reads, &hb_writes, &config);
+        let legacy = run_to_final(&sc.arena, &sc.hm, &sc.s0).ok();
+        let squashed = run_to_final(&sc.arena, &out.history, &sc.s0).ok();
+        prop_assert_eq!(legacy, squashed, "compaction changed the executed final state");
+    }
+
+    /// (b) Compaction is idempotent: a second pass over compacted output
+    /// squashes nothing further and returns the history unchanged.
+    #[test]
+    fn compaction_is_idempotent(params in arb_params(), mode in arb_mode()) {
+        let mut sc = generate(&params);
+        let (hb_reads, hb_writes) = base_footprint(&sc.arena, &sc.hb);
+        let config = CompactionConfig { mode, ..CompactionConfig::enabled() };
+        let once = compact(&mut sc.arena, &sc.hm, &hb_reads, &hb_writes, &config);
+        let twice = compact(&mut sc.arena, &once.history, &hb_reads, &hb_writes, &config);
+        prop_assert_eq!(twice.runs_squashed, 0, "second pass found new runs");
+        prop_assert_eq!(twice.txns_out, twice.txns_in);
+        let a: Vec<TxnId> = once.history.iter().collect();
+        let b: Vec<TxnId> = twice.history.iter().collect();
+        prop_assert_eq!(a, b, "second pass reordered the history");
+    }
+
+    /// (c) Accounting and footprints: the pass never grows the history,
+    /// shrinks it by exactly the absorbed constituents, and every
+    /// composite's masks and sets are exactly the union of its members'.
+    #[test]
+    fn composite_footprints_are_member_unions(params in arb_params(), mode in arb_mode()) {
+        let mut sc = generate(&params);
+        let (hb_reads, hb_writes) = base_footprint(&sc.arena, &sc.hb);
+        let config = CompactionConfig { mode, ..CompactionConfig::enabled() };
+        let out = compact(&mut sc.arena, &sc.hm, &hb_reads, &hb_writes, &config);
+        prop_assert_eq!(out.txns_in, sc.hm.len());
+        prop_assert_eq!(out.txns_out, out.history.len());
+        prop_assert!(out.txns_out <= out.txns_in);
+        let absorbed: usize = out.composites.iter().map(|(_, m)| m.len() - 1).sum();
+        prop_assert_eq!(out.txns_out, out.txns_in - absorbed);
+        prop_assert_eq!(out.runs_squashed, out.composites.len());
+        for (composite, members) in &out.composites {
+            prop_assert!(members.len() >= 2, "degenerate composite {composite:?}");
+            let mut reads = VarSet::new();
+            let mut writes = VarSet::new();
+            for &m in members {
+                let t = sc.arena.get(m);
+                reads.extend_from(t.readset());
+                writes.extend_from(t.writeset());
+                prop_assert!(sc.hm.contains(m), "absorbed a non-member {m:?}");
+            }
+            let c = sc.arena.get(*composite);
+            prop_assert_eq!(c.readset(), &reads, "composite readset");
+            prop_assert_eq!(c.writeset(), &writes, "composite writeset");
+            prop_assert!(!c.read_mask().intersects(&histmerge::txn::VarMask::from_set(&hb_writes)));
+            prop_assert!(!c.write_mask().intersects(&histmerge::txn::VarMask::from_set(&hb_reads)));
+            prop_assert!(!c.write_mask().intersects(&histmerge::txn::VarMask::from_set(&hb_writes)));
+        }
+    }
+
+    /// (d) A composite's compensation undoes exactly what compensating its
+    /// constituents in reverse order would: starting from the state the
+    /// composite produced, both paths land on the same state.
+    #[test]
+    fn composite_compensation_matches_reverse_constituents(params in arb_params(), mode in arb_mode()) {
+        let mut sc = generate(&params);
+        let (hb_reads, hb_writes) = base_footprint(&sc.arena, &sc.hb);
+        let config = CompactionConfig { mode, ..CompactionConfig::enabled() };
+        let out = compact(&mut sc.arena, &sc.hm, &hb_reads, &hb_writes, &config);
+        for (composite, members) in &out.composites {
+            let c = sc.arena.get(*composite);
+            if c.inverse().is_none() {
+                // Some constituent has no compensating program; the
+                // composite correctly declines to invent one.
+                prop_assert!(members.iter().any(|&m| sc.arena.get(m).inverse().is_none()));
+                continue;
+            }
+            let Ok(forward) = c.execute(&sc.s0, &Fix::empty()) else { continue };
+            let via_composite = c.compensate(&forward.after, &Fix::empty());
+            prop_assert!(via_composite.is_ok(), "composite inverse failed to run");
+            let mut state = forward.after.clone();
+            for &m in members.iter().rev() {
+                state = sc.arena.get(m).compensate(&state, &Fix::empty()).unwrap().after;
+            }
+            prop_assert_eq!(&via_composite.unwrap().after, &state);
+        }
+    }
+
+    /// Disabled configuration is the identity, whatever the scenario.
+    #[test]
+    fn disabled_compaction_is_identity(params in arb_params()) {
+        let mut sc = generate(&params);
+        let (hb_reads, hb_writes) = base_footprint(&sc.arena, &sc.hb);
+        let out = compact(&mut sc.arena, &sc.hm, &hb_reads, &hb_writes, &CompactionConfig::default());
+        prop_assert_eq!(out.runs_squashed, 0);
+        prop_assert!(out.composites.is_empty());
+        let a: Vec<TxnId> = sc.hm.iter().collect();
+        let b: Vec<TxnId> = out.history.iter().collect();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -7,7 +7,7 @@
 
 use histmerge::obs::validate_json_line;
 use histmerge::replication::metrics::{Metrics, SyncRecord};
-use histmerge::replication::{FaultStats, SchedStats, WalStats};
+use histmerge::replication::{CompactionStats, FaultStats, SchedStats, WalStats};
 use histmerge::workload::cost::CostReport;
 
 fn populated_metrics() -> Metrics {
@@ -46,6 +46,7 @@ fn populated_metrics() -> Metrics {
             shadow_recoveries: 1,
         },
         sched: SchedStats { fleet_scans: 800, events_pushed: 96, events_popped: 90 },
+        compaction: CompactionStats { txns_in: 9, txns_out: 6, runs_squashed: 2 },
         ..Metrics::default()
     };
     m.record(
@@ -100,7 +101,8 @@ fn metrics_json_shape_is_pinned() {
             "\"ledger_gaps\":1},",
             "\"wal\":{\"records\":200,\"bytes\":8192,\"checkpoints\":3,",
             "\"segments_retired\":2,\"pruned_records\":11,\"shadow_recoveries\":1},",
-            "\"sched\":{\"fleet_scans\":800,\"events_pushed\":96,\"events_popped\":90}}"
+            "\"sched\":{\"fleet_scans\":800,\"events_pushed\":96,\"events_popped\":90},",
+            "\"compaction\":{\"txns_in\":9,\"txns_out\":6,\"runs_squashed\":2}}"
         )
     );
 }
@@ -113,5 +115,16 @@ fn default_metrics_json_is_all_zeroes_and_valid() {
     assert!(json.contains("\"fault\":{\"dropped\":0,"));
     assert!(json.contains("\"wal\":{\"records\":0,"));
     assert!(json.contains("\"sched\":{\"fleet_scans\":0,"));
-    assert!(json.ends_with("\"events_popped\":0}}"));
+    assert!(json.ends_with("\"compaction\":{\"txns_in\":0,\"txns_out\":0,\"runs_squashed\":0}}"));
+}
+
+/// `normalized()` is unchanged when compaction is off: a run with the
+/// knob disabled carries an all-zero block, so pre-compaction comparison
+/// baselines keep working untouched.
+#[test]
+fn normalized_is_unchanged_when_compaction_is_off() {
+    let mut m = populated_metrics();
+    m.compaction = CompactionStats::default();
+    assert_eq!(m.normalized(), populated_metrics().normalized());
+    assert_eq!(m.normalized().compaction, CompactionStats::default());
 }

@@ -15,13 +15,21 @@
 //! reference's event-driven scheduler back to the legacy per-tick fleet
 //! scan (`SchedulerMode::TickScan`), pinning the PR-6 tentpole claim: how
 //! a tick *finds* its due mobiles (O(fleet) scan vs popping a priority
-//! queue) never changes what the simulation *does*.
+//! queue) never changes what the simulation *does*. A seventh run enables
+//! the pre-merge compactor: squashing pending runs into composites
+//! changes what a merge *costs* (fewer, fatter transactions), but not one
+//! committed byte — so that run is compared with the cost-model outputs
+//! (cost totals, backlog trajectory) masked out and everything else held
+//! to the same byte-identity bar.
 
 use histmerge::obs::FlightRecorder;
+use histmerge::replication::metrics::Metrics;
 use histmerge::replication::{
     DurabilityConfig, FaultPlan, FaultStats, Protocol, SchedulerMode, SimConfig, SimReport,
     Simulation, SyncPath, SyncStrategy,
 };
+use histmerge::semantics::CompactionConfig;
+use histmerge::workload::cost::CostReport;
 use histmerge::workload::generator::ScenarioParams;
 
 fn workload(seed: u64) -> ScenarioParams {
@@ -83,6 +91,11 @@ fn assert_paths_agree(mut config: SimConfig, label: &str) -> SimReport {
     let mut scratch_config = config.clone();
     scratch_config.reuse_merge_scratch = true;
     let scratched = Simulation::new(scratch_config).expect("valid sim config").run();
+    // Seventh run: the pre-merge compactor squashes pending histories
+    // before they are planned.
+    let mut squash_config = config.clone();
+    squash_config.compaction = CompactionConfig::enabled();
+    let squashed = Simulation::new(squash_config).expect("valid sim config").run();
     // Fourth run: same session config with the flight recorder listening.
     // Tracing is observation-only, so `normalized()` must stay
     // byte-identical to the untraced runs.
@@ -126,6 +139,28 @@ fn assert_paths_agree(mut config: SimConfig, label: &str) -> SimReport {
         let convergence = candidate.convergence.expect("session run checked convergence");
         assert!(convergence.holds(), "{label}/{path}: convergence oracle failed: {convergence:?}");
     }
+    // The compacted run holds to the same bar with the cost model masked
+    // out: planning against squashed histories legitimately changes cost
+    // totals and the backlog trajectory derived from them, but must not
+    // change one committed byte, a single per-sync record (kept in
+    // original-transaction units), or any other counter.
+    assert_eq!(legacy.final_master, squashed.final_master, "{label}/compaction: master diverged");
+    assert_eq!(legacy.base_commits, squashed.base_commits, "{label}/compaction: commits diverged");
+    assert_eq!(legacy.cluster, squashed.cluster, "{label}/compaction: cluster stats diverged");
+    let mask_cost = |m: &Metrics| {
+        let mut m = m.normalized();
+        m.cost = CostReport::default();
+        m.peak_backlog = 0.0;
+        m.backlog_series.clear();
+        m
+    };
+    assert_eq!(
+        mask_cost(&legacy.metrics),
+        mask_cost(&squashed.metrics),
+        "{label}/compaction: metrics diverged beyond the cost model"
+    );
+    let convergence = squashed.convergence.expect("compacted run checked convergence");
+    assert!(convergence.holds(), "{label}/compaction: convergence oracle failed: {convergence:?}");
     // The durable run actually logged, and every acked session's ledger
     // record was pruned (the fault-free run acks everything).
     assert!(durable.metrics.wal.records > 0, "{label}: WAL never written");
