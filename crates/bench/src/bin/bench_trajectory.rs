@@ -1,13 +1,14 @@
-//! The per-PR perf-trajectory gate over the committed `BENCH_pr7.json`.
+//! The per-PR perf-trajectory gate over the committed `BENCH_pr8.json`.
 //!
 //! Two modes:
 //!
 //! * `bench_trajectory --write [--out PATH]` — combine the freshly
-//!   emitted `BENCH_hotpath.json` (E18), `BENCH_scale.json` (E19) and
-//!   `BENCH_compaction.json` (E20) artifacts from `$EXPERIMENTS_DIR`
-//!   (default `target/experiments`) into one trajectory document,
-//!   written to `PATH` (default `BENCH_pr7.json`). Run from the repo
-//!   root to refresh the committed baseline.
+//!   emitted `BENCH_hotpath.json` (E18), `BENCH_scale.json` (E19),
+//!   `BENCH_compaction.json` (E20) and `BENCH_storm.json` (E21)
+//!   artifacts from `$EXPERIMENTS_DIR` (default `target/experiments`)
+//!   into one trajectory document, written to `PATH` (default
+//!   `BENCH_pr8.json`). Run from the repo root to refresh the committed
+//!   baseline.
 //! * `bench_trajectory --check BASELINE [--out PATH]` — combine the
 //!   fresh artifacts the same way (written to `PATH` for CI upload),
 //!   then compare every **throughput metric** — a column whose name
@@ -30,7 +31,7 @@ use std::process::ExitCode;
 use histmerge_bench::json::{metric_number, parse, JsonVal};
 
 /// The artifacts a trajectory document combines, in document order.
-const ARTIFACTS: [&str; 3] = ["BENCH_hotpath", "BENCH_scale", "BENCH_compaction"];
+const ARTIFACTS: [&str; 4] = ["BENCH_hotpath", "BENCH_scale", "BENCH_compaction", "BENCH_storm"];
 
 fn artifacts_dir() -> PathBuf {
     std::env::var_os("EXPERIMENTS_DIR")
@@ -43,7 +44,7 @@ fn read_artifact(name: &str) -> Result<String, String> {
     let path = artifacts_dir().join(format!("{name}.json"));
     let text = std::fs::read_to_string(&path).map_err(|e| {
         format!(
-            "cannot read {} (run exp_hotpath, exp_scale and exp_compaction first): {e}",
+            "cannot read {} (run exp_hotpath, exp_scale, exp_compaction and exp_storm first): {e}",
             path.display()
         )
     })?;
@@ -140,7 +141,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut mode = None;
     let mut baseline_path = None;
-    let mut out = PathBuf::from("BENCH_pr7.json");
+    let mut out = PathBuf::from("BENCH_pr8.json");
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {

@@ -12,7 +12,7 @@
 
 use histmerge_bench::{fmt, Table};
 use histmerge_replication::{Protocol, SimConfig, Simulation, SyncStrategy};
-use histmerge_workload::canned_mix::CannedMixParams;
+use histmerge_workload::canned_mix::{CannedFlavor, CannedMixParams};
 use histmerge_workload::generator::ScenarioParams;
 
 fn main() {
@@ -58,6 +58,7 @@ fn main() {
                     withdraw_frac: 0.1,
                     bonus_frac: 0.3,
                     seed: 200 + seed,
+                    flavor: CannedFlavor::BankPromo,
                 });
             }
             let m = Simulation::new(cfg).expect("valid sim config").run().metrics;

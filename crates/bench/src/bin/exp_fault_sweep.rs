@@ -94,7 +94,7 @@ fn sweep_cell(rates: FaultRates, label: &str) -> Cell {
         cell.save_ratio += m.save_ratio() / SEEDS as f64;
         cell.saved += m.saved;
         cell.reprocessed += m.reprocessed;
-        cell.abandoned += m.fault.abandoned;
+        cell.abandoned += m.fault.abandoned_sessions;
         cell.recovered += m.fault.recovered_sessions;
         cell.retries += m.fault.retries;
         cell.ledger_resumes += m.fault.ledger_resumes;

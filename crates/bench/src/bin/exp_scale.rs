@@ -26,6 +26,12 @@
 //!   quadratic in the cohort and the honest reason the saving regime
 //!   does not extend to million-mobile reconnect storms.
 //!
+//! Every `scale` row is a **multi-seed** measurement: the sweep runs
+//! three workload seeds per fleet size, reports the per-seed minimum
+//! throughput (the conservative headline), and asserts the cross-seed
+//! spread stays under 15% — the scaling claim is a property of the
+//! harness, not of one lucky workload.
+//!
 //! `EXP_SCALE_SMOKE=1` drops the 1M row — the CI `bench-trajectory` job
 //! runs that smoke mode on every PR and gates on the emitted
 //! `BENCH_scale.json` (see `bench_trajectory`).
@@ -53,7 +59,11 @@ fn peak_rss_kb() -> u64 {
         .unwrap_or(0)
 }
 
-fn workload() -> ScenarioParams {
+/// The seeds the headline sweep averages over. Three distinct workloads
+/// per fleet size: the scaling claim must not hinge on one lucky seed.
+const SEEDS: [u64; 3] = [1906, 2718, 3141];
+
+fn workload_seeded(seed: u64) -> ScenarioParams {
     ScenarioParams {
         n_vars: 256,
         commutative_fraction: 0.7,
@@ -61,16 +71,20 @@ fn workload() -> ScenarioParams {
         read_only_fraction: 0.1,
         hot_fraction: 0.05,
         hot_prob: 0.05,
-        seed: 1906,
+        seed,
         ..ScenarioParams::default()
     }
+}
+
+fn workload() -> ScenarioParams {
+    workload_seeded(SEEDS[0])
 }
 
 /// The headline sweep: short horizon, one generation burst per mobile,
 /// lean base log, linear reprocessing. Everything here is O(due events)
 /// per tick — the fleet size only shows up in init, the generation burst,
 /// and the reconnect volume.
-fn scale_config(fleet: usize) -> SimConfig {
+fn scale_config(fleet: usize, seed: u64) -> SimConfig {
     SimConfig {
         n_mobiles: fleet,
         duration: 40,
@@ -81,7 +95,7 @@ fn scale_config(fleet: usize) -> SimConfig {
         connect_every: 16,
         protocol: Protocol::Reprocessing,
         strategy: SyncStrategy::AdaptiveWindow { max_hb: 64 },
-        workload: workload(),
+        workload: workload_seeded(seed),
         base_capacity: 10_000.0,
         scheduler: SchedulerMode::EventQueue,
         lean_base_log: true,
@@ -114,14 +128,22 @@ fn merge_config(fleet: usize) -> SimConfig {
     }
 }
 
-/// Runs `config` three times and keeps the fastest wall clock (the same
-/// min-of-reps discipline as E18 — the runs are deterministic, so the
-/// reports are identical and only the timing varies).
+/// Runs `config` at least three times and keeps the fastest wall clock
+/// (the same min-of-reps discipline as E18 — the runs are deterministic,
+/// so the reports are identical and only the timing varies). Short runs
+/// keep repeating (up to 12 reps) until ~750ms of samples have been
+/// taken: the cross-seed spread assertion compares these minima, and a
+/// 66ms fleet would otherwise measure scheduler jitter, not workload.
 fn run(config: SimConfig) -> (SimReport, f64) {
     let mut best: Option<(SimReport, f64)> = None;
-    for _ in 0..3 {
+    let mut total = 0.0;
+    for rep in 0..12 {
+        if rep >= 3 && total >= 750.0 {
+            break;
+        }
         let (report, ms) =
             timed(|| Simulation::new(config.clone()).expect("valid sim config").run());
+        total += ms;
         if best.as_ref().is_none_or(|(_, b)| ms < *b) {
             best = Some((report, ms));
         }
@@ -145,18 +167,68 @@ fn main() {
         "reprocessed",
         "ticks_per_sec",
         "syncs_per_sec",
+        "seed_spread",
         "events_pushed",
         "events_popped",
         "peak_rss_mb",
         "wall_ms",
     ]);
     for &fleet in fleets {
-        let (report, ms) = run(scale_config(fleet));
+        // One untimed warm-up per fleet size: the first run at a new
+        // scale pays the process's heap growth to that footprint
+        // (seen as up to ~50% extra wall on the 100k row), which would
+        // otherwise land entirely on whichever seed happens to run
+        // first and dominate the cross-seed spread.
+        let _ = Simulation::new(scale_config(fleet, SEEDS[0])).expect("valid sim config").run();
+        // Three workloads per fleet size; the row reports the *slowest*
+        // seed (the conservative headline) and the relative cross-seed
+        // throughput spread, asserted under 15%: the scaling claim is a
+        // property of the harness, not of one lucky workload. The seeds
+        // are timed in *interleaved rounds* (seed A, B, C, then A, B, C
+        // again …) with the per-seed minimum kept, so a machine-load
+        // drift across the measurement lands on every seed instead of
+        // masquerading as workload variance.
+        let mut mins = [f64::INFINITY; SEEDS.len()];
+        let mut reports: Vec<Option<SimReport>> = SEEDS.iter().map(|_| None).collect();
+        let mut total = 0.0;
+        for round in 0..12 {
+            if round >= 3 && total >= 750.0 {
+                break;
+            }
+            for (i, &seed) in SEEDS.iter().enumerate() {
+                let (report, ms) = timed(|| {
+                    Simulation::new(scale_config(fleet, seed)).expect("valid sim config").run()
+                });
+                total += ms;
+                mins[i] = mins[i].min(ms);
+                let m = &report.metrics;
+                assert!(
+                    m.tentative_generated >= fleet,
+                    "seed {seed}: generation burst never fired"
+                );
+                assert!(m.syncs > 0, "seed {seed}: no mobile ever synced pending work");
+                assert_eq!(m.sched.fleet_scans, 0, "seed {seed}: event mode scanned the fleet");
+                reports[i].get_or_insert(report);
+            }
+        }
+        for (i, &seed) in SEEDS.iter().enumerate() {
+            eprintln!("  fleet {fleet} seed {seed}: min {:.1} ms", mins[i]);
+        }
+        let slowest = (0..SEEDS.len())
+            .max_by(|&a, &b| mins[a].total_cmp(&mins[b]))
+            .expect("at least one seed ran");
+        let (report, ms) = (reports[slowest].take().expect("seed ran"), mins[slowest]);
+        let spread = {
+            let (best, worst) = (
+                mins.iter().cloned().fold(f64::INFINITY, f64::min),
+                mins.iter().cloned().fold(0.0, f64::max),
+            );
+            // Wall-clock ratio == throughput ratio (fixed 40-tick horizon).
+            (worst - best) / worst
+        };
+        assert!(spread < 0.15, "fleet {fleet}: cross-seed throughput spread {spread:.3} >= 15%");
         let m = &report.metrics;
         let secs = ms / 1e3;
-        assert!(m.tentative_generated >= fleet, "generation burst never fired");
-        assert!(m.syncs > 0, "no mobile ever synced pending work");
-        assert_eq!(m.sched.fleet_scans, 0, "event mode scanned the fleet");
         scale.row_owned(vec![
             fleet.to_string(),
             m.tentative_generated.to_string(),
@@ -164,6 +236,7 @@ fn main() {
             m.reprocessed.to_string(),
             fmt(40.0 / secs, 1),
             fmt(m.syncs as f64 / secs, 1),
+            fmt(spread, 3),
             m.sched.events_pushed.to_string(),
             m.sched.events_popped.to_string(),
             fmt(peak_rss_kb() as f64 / 1024.0, 1),

@@ -111,6 +111,9 @@ pub enum SessionStepKind {
     Resume,
     /// The retry budget ran out; the session was abandoned.
     Abandon,
+    /// An abandoned mobile's next attempt was rescheduled early on the
+    /// capped exponential backoff ladder.
+    Backoff,
 }
 
 impl SessionStepKind {
@@ -124,6 +127,7 @@ impl SessionStepKind {
             SessionStepKind::Ack => "ack",
             SessionStepKind::Resume => "resume",
             SessionStepKind::Abandon => "abandon",
+            SessionStepKind::Backoff => "backoff",
         }
     }
 }
@@ -215,6 +219,21 @@ pub enum TraceEvent {
         /// Session sequence number.
         seq: u64,
     },
+    /// The admission controller resolved one tick's reconnect cohort:
+    /// how many mobiles it admitted (deferred-queue drains first, then
+    /// fresh arrivals) and how many it shed. Emitted only on ticks where
+    /// the controller actually deferred or drained, so unbounded runs
+    /// record nothing.
+    Admission {
+        /// Simulation tick.
+        tick: u64,
+        /// Mobiles admitted to this tick's merge cohort.
+        admitted: usize,
+        /// Fresh reconnects shed into the deferred queue this tick.
+        shed: usize,
+        /// Deferred-queue length after this tick's admissions.
+        deferred: usize,
+    },
     /// A wall-clock span: `phase` took `ns` nanoseconds.
     Span {
         /// The timed phase.
@@ -246,6 +265,7 @@ impl TraceEvent {
             TraceEvent::WalCompaction { .. } => "wal_compaction",
             TraceEvent::RecoveryReplay { .. } => "recovery_replay",
             TraceEvent::Invariant { .. } => "invariant",
+            TraceEvent::Admission { .. } => "admission",
             TraceEvent::Span { .. } => "span",
             TraceEvent::TickSpan { .. } => "tick_span",
         }
@@ -304,6 +324,12 @@ impl TraceEvent {
                 push_field_u64(&mut out, "mobile", *mobile as u64);
                 push_field_u64(&mut out, "seq", *seq);
             }
+            TraceEvent::Admission { tick, admitted, shed, deferred } => {
+                push_field_u64(&mut out, "tick", *tick);
+                push_field_u64(&mut out, "admitted", *admitted as u64);
+                push_field_u64(&mut out, "shed", *shed as u64);
+                push_field_u64(&mut out, "deferred", *deferred as u64);
+            }
             TraceEvent::Span { phase, ns } => {
                 push_field_str(&mut out, "phase", phase.name());
                 push_field_u64(&mut out, "ns", *ns);
@@ -351,6 +377,7 @@ mod tests {
             TraceEvent::WalCompaction { retired: 2 },
             TraceEvent::RecoveryReplay { records: 17, torn: true },
             TraceEvent::Invariant { name: "double-install", tick: 5, mobile: 0, seq: 1 },
+            TraceEvent::Admission { tick: 80, admitted: 8, shed: 3, deferred: 11 },
             TraceEvent::Span { phase: Phase::Install, ns: 1234 },
             TraceEvent::TickSpan { phase: Phase::Window, ticks: 100 },
         ]
@@ -389,6 +416,15 @@ mod tests {
         assert_eq!(
             TraceEvent::RecoveryReplay { records: 3, torn: false }.to_jsonl(),
             r#"{"type":"recovery_replay","records":3,"torn":false}"#
+        );
+        assert_eq!(
+            TraceEvent::Admission { tick: 80, admitted: 8, shed: 3, deferred: 11 }.to_jsonl(),
+            r#"{"type":"admission","tick":80,"admitted":8,"shed":3,"deferred":11}"#
+        );
+        assert_eq!(
+            TraceEvent::SessionStep { tick: 4, mobile: 0, seq: 2, step: SessionStepKind::Backoff }
+                .to_jsonl(),
+            r#"{"type":"session_step","tick":4,"mobile":0,"seq":2,"step":"backoff"}"#
         );
     }
 

@@ -104,6 +104,23 @@ impl FaultRates {
         rates
     }
 
+    /// Every rate multiplied by `factor` and clamped to 1.0 — the
+    /// trace-conditioned burst a connectivity model applies during
+    /// handoff windows and post-outage surges. A factor of exactly 1.0
+    /// returns the rates bit-identical (IEEE 754 multiplication by 1.0 is
+    /// the identity on finite values), so unconditioned ticks draw the
+    /// exact same fault stream.
+    pub fn scaled(&self, factor: f64) -> FaultRates {
+        let scale = |rate: f64| (rate * factor).min(1.0);
+        FaultRates {
+            drop: scale(self.drop),
+            duplicate: scale(self.duplicate),
+            reorder: scale(self.reorder),
+            mid_merge_disconnect: scale(self.mid_merge_disconnect),
+            base_crash: scale(self.base_crash),
+        }
+    }
+
     /// `true` when at least one rate is positive.
     pub fn any(&self) -> bool {
         self.drop > 0.0
@@ -248,6 +265,13 @@ impl FaultPlan {
     pub fn base_crash(&self, rng: &mut StdRng) -> bool {
         self.rates.base_crash > 0.0 && rng.gen_bool(self.rates.base_crash)
     }
+
+    /// The plan with every rate scaled by `factor` (clamped to 1.0). The
+    /// seed is unchanged: a connectivity model conditions the *rates*
+    /// tick by tick, while the event stream stays one seeded sequence.
+    pub fn scaled(&self, factor: f64) -> FaultPlan {
+        FaultPlan { seed: self.seed, rates: self.rates.scaled(factor) }
+    }
 }
 
 #[cfg(test)]
@@ -329,6 +353,25 @@ mod tests {
             assert!(FaultRates::only(kind, 2.0).validate().is_err(), "{}", kind.name());
             assert!(FaultRates::only(kind, 1.0).validate().is_ok(), "{}", kind.name());
         }
+    }
+
+    #[test]
+    fn scaling_clamps_and_identity_preserves_bits() {
+        let rates = FaultRates::uniform(0.3);
+        // Identity scale is bit-exact — the byte-identity lever behind
+        // trace-conditioned faults.
+        assert_eq!(rates.scaled(1.0), rates);
+        let boosted = rates.scaled(2.0);
+        assert_eq!(boosted.drop, 0.6);
+        assert!(boosted.validate().is_ok());
+        // Boosts clamp at certainty instead of producing invalid rates.
+        assert_eq!(rates.scaled(100.0), FaultRates::uniform(1.0));
+        assert_eq!(FaultRates::zero().scaled(100.0), FaultRates::zero());
+        // A suppressing scale (link calm) lowers the rates.
+        assert_eq!(rates.scaled(0.0), FaultRates::zero());
+        let plan = FaultPlan::seeded(4, rates);
+        assert_eq!(plan.scaled(2.0).seed, plan.seed);
+        assert_eq!(plan.scaled(2.0).rates, boosted);
     }
 
     #[test]

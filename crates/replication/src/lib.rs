@@ -54,6 +54,7 @@ mod mobile;
 mod sim;
 
 pub mod batch;
+pub mod connectivity;
 pub mod fault;
 pub mod metrics;
 pub mod recovery;
@@ -65,12 +66,13 @@ pub mod wal;
 pub use base::{BaseNode, RetroPatchError};
 pub use batch::{merge_batch, BatchJob, Parallelism};
 pub use cluster::{BaseCluster, ClusterStats};
+pub use connectivity::{AdmissionConfig, ConnectivityModel, InvalidConnectivity, LinkTrace};
 pub use fault::{Delivery, FaultKind, FaultPlan, FaultRates, InvalidFaultRate};
-pub use metrics::{CompactionStats, FaultStats, SchedStats, WalStats};
+pub use metrics::{CompactionStats, FaultStats, SchedStats, StormStats, WalStats};
 pub use mobile::MobileNode;
 pub use recovery::{recover, recover_traced, Recovered, RecoveryError};
 pub use sched::{fork_rng, Event, EventKind, EventQueue, SchedulerMode};
-pub use session::{SessionConfig, SessionLedger, SessionRecord, UnackedSession};
+pub use session::{RetryBackoff, SessionConfig, SessionLedger, SessionRecord, UnackedSession};
 pub use sim::{
     ConvergenceReport, DurableReport, Protocol, SimConfig, SimConfigError, SimReport, Simulation,
 };

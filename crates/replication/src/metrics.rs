@@ -25,8 +25,11 @@ pub struct FaultStats {
     ///
     /// [`SessionConfig::max_retries`]: crate::session::SessionConfig::max_retries
     pub retries: usize,
-    /// Sessions abandoned after exhausting their retry budget.
-    pub abandoned: usize,
+    /// Sessions abandoned after exhausting their retry budget. Never
+    /// silent: each abandon also emits a `session-abandoned` invariant
+    /// trace event, and the mobile's persisted log converges at its next
+    /// reconnection (regression-tested in `tests/fault_property.rs`).
+    pub abandoned_sessions: usize,
     /// Retransmitted offers absorbed by the session ledger (the install
     /// already committed; only re-execution and the ack were replayed).
     pub ledger_resumes: usize,
@@ -101,6 +104,33 @@ pub struct CompactionStats {
     pub txns_out: u64,
     /// Runs of two or more transactions squashed into a composite.
     pub runs_squashed: u64,
+}
+
+/// Storm-robustness counters: what the admission controller and the
+/// retry backoff did. All zero with admission control disabled and
+/// backoff off (the defaults), so the differential suites are untouched;
+/// with them on, these are *behavioral* counters (deferral changes when
+/// each mobile merges), so [`Metrics::normalized`] keeps them — two runs
+/// that defer differently are genuinely different runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct StormStats {
+    /// Reconnects shed past the per-tick admission cap into the deferred
+    /// queue.
+    pub shed: u64,
+    /// Admissions served from the deferred queue (equals `shed` once the
+    /// queue fully drained).
+    pub deferred_drained: u64,
+    /// Peak length of the deferred queue — the storm's high-water mark.
+    pub deferred_peak: u64,
+    /// Total ticks deferred mobiles waited between arrival and admission.
+    pub defer_wait_ticks: u64,
+    /// The longest single deferral, in ticks.
+    pub defer_wait_max: u64,
+    /// Reconnections rescheduled early by the capped exponential backoff
+    /// after an abandoned session.
+    pub backoff_reschedules: u64,
+    /// Total backoff delay scheduled, in ticks (jitter included).
+    pub backoff_delay_ticks: u64,
 }
 
 /// One synchronization event (a reconnection), for time-series plots.
@@ -189,6 +219,14 @@ pub struct Metrics {
     /// from determinism comparisons (a compacted run commits the same
     /// base state while differing exactly here).
     pub compaction: CompactionStats,
+    /// Admission-control and retry-backoff counters. Behavioral (not
+    /// mechanism-only): kept by [`Metrics::normalized`], and all zero
+    /// with admission and backoff at their defaults.
+    pub storm: StormStats,
+    /// Per-deferral wait in ticks, one entry per admission served from
+    /// the deferred queue, in admission order — the series behind E21's
+    /// p99 sync-latency figure (non-deferred syncs wait 0 ticks).
+    pub defer_waits: Vec<u64>,
 }
 
 impl Metrics {
@@ -268,7 +306,7 @@ impl Metrics {
         out.push_str(&format!(
             ",\"fault\":{{\"dropped\":{},\"duplicated\":{},\"reordered\":{},\
              \"mid_merge_disconnects\":{},\"base_crashes\":{},\"retries\":{},\
-             \"abandoned\":{},\"ledger_resumes\":{},\"duplicate_installs_suppressed\":{},\
+             \"abandoned_sessions\":{},\"ledger_resumes\":{},\"duplicate_installs_suppressed\":{},\
              \"recovered_sessions\":{},\"trimmed_txns\":{},\"double_resolutions\":{},\
              \"ledger_gaps\":{}}}",
             f.dropped,
@@ -277,7 +315,7 @@ impl Metrics {
             f.mid_merge_disconnects,
             f.base_crashes,
             f.retries,
-            f.abandoned,
+            f.abandoned_sessions,
             f.ledger_resumes,
             f.duplicate_installs_suppressed,
             f.recovered_sessions,
@@ -305,6 +343,19 @@ impl Metrics {
         out.push_str(&format!(
             ",\"compaction\":{{\"txns_in\":{},\"txns_out\":{},\"runs_squashed\":{}}}",
             c.txns_in, c.txns_out, c.runs_squashed
+        ));
+        let st = &self.storm;
+        out.push_str(&format!(
+            ",\"storm\":{{\"shed\":{},\"deferred_drained\":{},\"deferred_peak\":{},\
+             \"defer_wait_ticks\":{},\"defer_wait_max\":{},\"backoff_reschedules\":{},\
+             \"backoff_delay_ticks\":{}}}",
+            st.shed,
+            st.deferred_drained,
+            st.deferred_peak,
+            st.defer_wait_ticks,
+            st.defer_wait_max,
+            st.backoff_reschedules,
+            st.backoff_delay_ticks
         ));
         out.push('}');
         out
@@ -452,6 +503,21 @@ mod tests {
         assert_ne!(plain, compacted);
         assert_eq!(plain.normalized(), compacted.normalized());
         assert!(compacted.to_json().contains("\"compaction\":{\"txns_in\":40"));
+    }
+
+    #[test]
+    fn normalized_keeps_storm_behavior() {
+        // Admission control changes *when* mobiles merge — deferral is
+        // behavior, not mechanism — so normalization must NOT erase the
+        // storm block: an admission-bounded run is a different run.
+        let calm = Metrics::default();
+        let stormy = Metrics {
+            storm: StormStats { shed: 12, deferred_drained: 12, ..StormStats::default() },
+            defer_waits: vec![1, 1, 2],
+            ..Metrics::default()
+        };
+        assert_ne!(calm.normalized(), stormy.normalized());
+        assert!(stormy.to_json().contains("\"storm\":{\"shed\":12"));
     }
 
     #[test]

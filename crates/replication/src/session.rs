@@ -48,11 +48,55 @@ pub struct SessionConfig {
     /// the session is abandoned and the mobile falls back to its persisted
     /// tentative log at the next reconnection.
     pub max_retries: u32,
+    /// What happens *after* an abandon: with backoff disabled (the
+    /// default, byte-identical to the pre-backoff simulator) the mobile
+    /// silently waits out its full reconnect cadence; enabled, its next
+    /// attempt is rescheduled on a capped exponential delay with seeded
+    /// jitter, so a transient fault burst is retried promptly instead of
+    /// costing a whole cadence period per strike.
+    pub backoff: RetryBackoff,
 }
 
 impl Default for SessionConfig {
     fn default() -> Self {
-        SessionConfig { max_retries: 3 }
+        SessionConfig { max_retries: 3, backoff: RetryBackoff::disabled() }
+    }
+}
+
+/// Capped exponential backoff for reconnections whose session was
+/// abandoned: after `n` consecutive abandons the next attempt runs
+/// `min(base_ticks · 2^(n-1), cap_ticks)` ticks later (plus up to 25%
+/// seeded jitter to de-synchronize a storm of failing mobiles), never
+/// later than the regular cadence would have retried anyway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct RetryBackoff {
+    /// Master switch; `false` reproduces the flat cadence wait.
+    pub enabled: bool,
+    /// Delay after the first abandon, in ticks (>= 1 when enabled).
+    pub base_ticks: u64,
+    /// Ceiling of the exponential ladder, in ticks.
+    pub cap_ticks: u64,
+}
+
+impl RetryBackoff {
+    /// Backoff off: an abandoned mobile waits out its normal cadence.
+    pub fn disabled() -> RetryBackoff {
+        RetryBackoff { enabled: false, base_ticks: 2, cap_ticks: 64 }
+    }
+
+    /// Backoff on with the default ladder (2, 4, 8, … capped at 64).
+    pub fn enabled() -> RetryBackoff {
+        RetryBackoff { enabled: true, ..RetryBackoff::disabled() }
+    }
+
+    /// The un-jittered delay after `strikes` consecutive abandons
+    /// (`strikes >= 1`): `min(base · 2^(strikes-1), cap)`, saturating.
+    pub fn delay(&self, strikes: u32) -> u64 {
+        let doublings = strikes.saturating_sub(1).min(63);
+        self.base_ticks
+            .max(1)
+            .saturating_mul(1u64.checked_shl(doublings).unwrap_or(u64::MAX))
+            .min(self.cap_ticks.max(1))
     }
 }
 
@@ -250,6 +294,23 @@ mod tests {
     #[test]
     fn default_config_bounds_retries() {
         assert!(SessionConfig::default().max_retries >= 1);
+        // Backoff defaults off — the pre-backoff simulator byte-for-byte.
+        assert!(!SessionConfig::default().backoff.enabled);
+    }
+
+    #[test]
+    fn backoff_ladder_doubles_and_caps() {
+        let b = RetryBackoff { enabled: true, base_ticks: 2, cap_ticks: 64 };
+        assert_eq!(b.delay(1), 2);
+        assert_eq!(b.delay(2), 4);
+        assert_eq!(b.delay(3), 8);
+        assert_eq!(b.delay(6), 64);
+        assert_eq!(b.delay(7), 64, "capped");
+        assert_eq!(b.delay(200), 64, "no overflow deep into the ladder");
+        // Degenerate parameters stay sane instead of panicking.
+        let zero = RetryBackoff { enabled: true, base_ticks: 0, cap_ticks: 0 };
+        assert_eq!(zero.delay(1), 1);
+        assert_eq!(zero.delay(50), 1);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The discrete-time two-tier replication simulation.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -25,6 +25,7 @@ use histmerge_workload::generator::{ScenarioParams, TxnFactory};
 
 use crate::batch::{delta_invalidates, history_footprint, merge_batch, BatchJob, Parallelism};
 use crate::cluster::BaseCluster;
+use crate::connectivity::{AdmissionConfig, ConnectivityModel, InvalidConnectivity, LinkTrace};
 use crate::fault::{Delivery, FaultPlan, InvalidFaultRate};
 use crate::metrics::{Metrics, SyncRecord};
 use crate::mobile::MobileNode;
@@ -169,6 +170,20 @@ pub struct SimConfig {
     /// commits the same base state as the plain run (the
     /// `session_differential` suite pins this byte-identity).
     pub compaction: CompactionConfig,
+    /// The structured connectivity model shaping each mobile's link
+    /// trace: reconnections drawn into a down-link epoch slide to the
+    /// next up tick, and the model's trace-conditioned factor scales the
+    /// fault rates tick by tick (handoff windows, post-outage surges).
+    /// The default [`ConnectivityModel::AlwaysOn`] reproduces the legacy
+    /// jittered cadence byte-for-byte (pinned by the eighth
+    /// `session_differential` run).
+    pub connectivity: ConnectivityModel,
+    /// Base-side admission control: the per-tick cap on the reconnect
+    /// merge cohort. Excess arrivals are shed into a deterministic FIFO
+    /// deferred queue drained ahead of fresh arrivals each tick. The
+    /// default is unbounded — byte-identical to the pre-admission
+    /// scheduler.
+    pub admission: AdmissionConfig,
 }
 
 impl Default for SimConfig {
@@ -199,6 +214,8 @@ impl Default for SimConfig {
             scheduler: SchedulerMode::default(),
             lean_base_log: false,
             compaction: CompactionConfig::default(),
+            connectivity: ConnectivityModel::AlwaysOn,
+            admission: AdmissionConfig::unbounded(),
         }
     }
 }
@@ -209,6 +226,9 @@ pub enum SimConfigError {
     /// A fault rate is not a probability — see
     /// [`crate::fault::FaultRates::validate`].
     InvalidFaultRate(InvalidFaultRate),
+    /// A connectivity-model parameter is out of range — see
+    /// [`ConnectivityModel::validate`].
+    InvalidConnectivity(InvalidConnectivity),
     /// [`SimConfig::lean_base_log`] with durability enabled: WAL
     /// checkpoints snapshot the commit log's after-states, which a lean
     /// log does not keep.
@@ -224,6 +244,7 @@ impl std::fmt::Display for SimConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimConfigError::InvalidFaultRate(e) => e.fmt(f),
+            SimConfigError::InvalidConnectivity(e) => e.fmt(f),
             SimConfigError::LeanLogNeedsNoDurability => {
                 write!(f, "lean_base_log keeps no after-states — incompatible with durability")
             }
@@ -240,6 +261,12 @@ impl std::error::Error for SimConfigError {}
 impl From<InvalidFaultRate> for SimConfigError {
     fn from(e: InvalidFaultRate) -> Self {
         SimConfigError::InvalidFaultRate(e)
+    }
+}
+
+impl From<InvalidConnectivity> for SimConfigError {
+    fn from(e: InvalidConnectivity) -> Self {
+        SimConfigError::InvalidConnectivity(e)
     }
 }
 
@@ -480,6 +507,20 @@ pub struct Simulation {
     /// expand through this registry so every externally visible count
     /// stays in original-transaction units.
     composites: BTreeMap<TxnId, Vec<TxnId>>,
+    /// Reconnects shed by admission control, as `(mobile, arrival_tick)`
+    /// in arrival order. Drained FIFO ahead of fresh arrivals each tick,
+    /// so every deferred mobile is admitted within
+    /// `⌈queue / max_batch⌉` ticks. Always empty with admission control
+    /// disabled.
+    deferred: VecDeque<(usize, u64)>,
+    /// Consecutive abandoned sessions per mobile — the rung each mobile
+    /// occupies on the retry-backoff ladder. Reset by a successful ack.
+    backoff_level: Vec<u32>,
+    /// The backoff-jitter stream. Only drawn from when a backoff
+    /// reschedule actually fires, so runs without abandons (and all runs
+    /// with backoff disabled) are byte-identical to the pre-backoff
+    /// simulator.
+    backoff_rng: StdRng,
 }
 
 impl Simulation {
@@ -496,6 +537,7 @@ impl Simulation {
     /// `.expect("valid sim config")`.
     pub fn new(config: SimConfig) -> Result<Self, SimConfigError> {
         config.fault.rates.validate()?;
+        config.connectivity.validate()?;
         if config.lean_base_log {
             if config.durability.enabled {
                 return Err(SimConfigError::LeanLogNeedsNoDurability);
@@ -522,6 +564,9 @@ impl Simulation {
                 } else {
                     1 + rng.gen_range(0..config.connect_every.max(1))
                 };
+                // A first connect drawn into a down-link epoch slides to
+                // the next up tick (identity under AlwaysOn).
+                let first = config.connectivity.next_up(i, first).max(1);
                 MobileNode::new(i, initial_arc.clone(), 0, first)
             })
             .collect();
@@ -556,6 +601,9 @@ impl Simulation {
             gen_count: 0,
             epoch_state_arc: initial_arc,
             composites: BTreeMap::new(),
+            deferred: VecDeque::new(),
+            backoff_level: vec![0; n],
+            backoff_rng: StdRng::seed_from_u64(config.workload.seed ^ 0xBAC0_0FF5_BAC0_0FF5),
             mobiles,
             config,
         };
@@ -825,13 +873,14 @@ impl Simulation {
         // Phase 2: the tick's reconnect batch, merged (maybe concurrently)
         // and installed in mobile-id order.
         self.metrics.sched.fleet_scans += 1;
-        let batch: Vec<usize> =
+        let fresh: Vec<usize> =
             (0..self.mobiles.len()).filter(|&i| self.mobiles[i].next_connect() == tick).collect();
+        let batch = self.admit_batch(fresh, tick);
         let mut work = 0.0;
         if !batch.is_empty() {
             work += self.sync_batch(&batch, tick);
             for &i in &batch {
-                let next = self.schedule_next_connect(tick);
+                let next = self.schedule_reconnect(i, tick);
                 self.mobiles[i].set_next_connect(next);
             }
         }
@@ -874,11 +923,12 @@ impl Simulation {
             // flight recorder isn't flooded with empty drains.
             tracer.span_end(Phase::Scheduler, span);
         }
+        let batch = self.admit_batch(batch, tick);
         let mut work = 0.0;
         if !batch.is_empty() {
             work += self.sync_batch(&batch, tick);
             for &i in &batch {
-                let next = self.schedule_next_connect(tick);
+                let next = self.schedule_reconnect(i, tick);
                 self.mobiles[i].set_next_connect(next);
                 self.events.push(Event { time: next, kind: EventKind::Connect, mobile: i });
             }
@@ -917,6 +967,106 @@ impl Simulation {
         let jitter = self.config.connect_every / 4;
         let draw = if jitter > 0 { self.rng.gen_range(0..=2 * jitter) } else { 0 };
         jittered_next_connect(tick, every, jitter, draw)
+    }
+
+    /// The next reconnection tick for mobile `i` after its sync at
+    /// `tick`: the legacy cadence draw, pulled *earlier* by the retry
+    /// backoff when the mobile's session was just abandoned (capped
+    /// exponential delay plus seeded jitter, replacing the flat
+    /// wait-out-the-cadence abandon), then pushed *later* to the next
+    /// tick the connectivity model has the link up. With the default
+    /// configuration every adjustment is the identity, and the cadence
+    /// draw itself always happens — the shared RNG stream stays aligned
+    /// across configurations.
+    fn schedule_reconnect(&mut self, i: usize, tick: u64) -> u64 {
+        let cadence = self.schedule_next_connect(tick);
+        let backoff = self.config.session.backoff;
+        let target = if backoff.enabled && self.backoff_level[i] > 0 {
+            let delay = backoff.delay(self.backoff_level[i]);
+            // Up to 25% seeded jitter de-synchronizes a cohort of mobiles
+            // failing (and therefore backing off) in lockstep.
+            let jitter_span = delay / 4;
+            let jitter =
+                if jitter_span > 0 { self.backoff_rng.gen_range(0..=jitter_span) } else { 0 };
+            let early = tick.saturating_add(delay).saturating_add(jitter);
+            if early < cadence {
+                self.metrics.storm.backoff_reschedules += 1;
+                self.metrics.storm.backoff_delay_ticks += early - tick;
+                let seq = self.mobiles[i].unacked().map_or(0, |u| u.seq);
+                self.config.tracer.emit(|| TraceEvent::SessionStep {
+                    tick,
+                    mobile: i,
+                    seq,
+                    step: SessionStepKind::Backoff,
+                });
+            }
+            early.min(cadence)
+        } else {
+            cadence
+        };
+        self.config.connectivity.next_up(i, target).max(tick + 1)
+    }
+
+    /// Applies the admission cap to this tick's reconnect cohort: the
+    /// deferred queue is drained first (FIFO — no mobile starves), then
+    /// fresh arrivals fill the remaining slots and the excess is shed to
+    /// the back of the queue. With the cap disabled (the default) this
+    /// is the identity and the queue stays empty.
+    fn admit_batch(&mut self, fresh: Vec<usize>, tick: u64) -> Vec<usize> {
+        let cap = self.config.admission.max_batch;
+        if cap == 0 {
+            debug_assert!(self.deferred.is_empty(), "nothing defers without a cap");
+            return fresh;
+        }
+        let mut admitted = Vec::with_capacity(cap.min(self.deferred.len() + fresh.len()));
+        let mut drained = 0u64;
+        while admitted.len() < cap {
+            let Some((i, arrived)) = self.deferred.pop_front() else { break };
+            let waited = tick - arrived;
+            self.metrics.storm.defer_wait_ticks += waited;
+            self.metrics.storm.defer_wait_max = self.metrics.storm.defer_wait_max.max(waited);
+            self.metrics.defer_waits.push(waited);
+            drained += 1;
+            admitted.push(i);
+        }
+        self.metrics.storm.deferred_drained += drained;
+        let mut shed = 0usize;
+        for i in fresh {
+            if admitted.len() < cap {
+                admitted.push(i);
+            } else {
+                self.deferred.push_back((i, tick));
+                shed += 1;
+            }
+        }
+        self.metrics.storm.shed += shed as u64;
+        self.metrics.storm.deferred_peak =
+            self.metrics.storm.deferred_peak.max(self.deferred.len() as u64);
+        if shed > 0 || drained > 0 {
+            let (admitted_len, deferred_len) = (admitted.len(), self.deferred.len());
+            self.config.tracer.emit(|| TraceEvent::Admission {
+                tick,
+                admitted: admitted_len,
+                shed,
+                deferred: deferred_len,
+            });
+        }
+        admitted
+    }
+
+    /// The fault plan in effect for a handshake of mobile `i` at `tick`:
+    /// the configured rates scaled by the connectivity model's
+    /// trace-conditioned factor — correlated bursts during handoff
+    /// windows and post-outage surges. Unconditioned ticks (factor
+    /// exactly 1.0) return the plan untouched, so the fault stream is
+    /// bit-identical to the unconditioned run outside burst windows.
+    fn effective_fault(&self, i: usize, tick: u64) -> FaultPlan {
+        let scale = self.config.connectivity.fault_scale(i, tick);
+        if scale == 1.0 {
+            self.config.fault
+        } else {
+            self.config.fault.scaled(scale)
+        }
     }
 
     /// Synchronizes every member of a reconnect batch, installing results
@@ -1430,9 +1580,13 @@ impl Simulation {
         }
     }
 
-    /// Rolls the fate of one handshake message, counting transport faults.
-    fn roll_delivery(&mut self, tick: u64) -> Delivery {
-        let delivery = self.config.fault.deliver(&mut self.fault_rng);
+    /// Rolls the fate of one handshake message of mobile `i`, counting
+    /// transport faults. The rates are trace-conditioned: during the
+    /// connectivity model's burst windows (cell handoff, post-outage
+    /// surge) they are scaled up, turning i.i.d. per-message faults into
+    /// correlated bursts.
+    fn roll_delivery(&mut self, i: usize, tick: u64) -> Delivery {
+        let delivery = self.effective_fault(i, tick).deliver(&mut self.fault_rng);
         match delivery {
             Delivery::Ok => {}
             Delivery::Dropped => self.metrics.fault.dropped += 1,
@@ -1458,14 +1612,25 @@ impl Simulation {
 
     /// Gives up on the current reconnection. The mobile keeps its
     /// persisted tentative log and its unacked-session note; the next
-    /// reconnection resolves the session's fate against the ledger.
+    /// reconnection (pulled earlier when retry backoff is enabled)
+    /// resolves the session's fate against the ledger. Never silent: the
+    /// abandon is counted, stepped, *and* reported as an
+    /// invariant-adjacent event — an abandoned session is protocol-legal
+    /// but always worth a post-mortem look.
     fn abandon(&mut self, i: usize, tick: u64, seq: u64, work: f64) -> f64 {
-        self.metrics.fault.abandoned += 1;
+        self.metrics.fault.abandoned_sessions += 1;
+        self.backoff_level[i] = self.backoff_level[i].saturating_add(1);
         self.config.tracer.emit(|| TraceEvent::SessionStep {
             tick,
             mobile: i,
             seq,
             step: SessionStepKind::Abandon,
+        });
+        self.config.tracer.emit(|| TraceEvent::Invariant {
+            name: "session-abandoned",
+            tick,
+            mobile: i,
+            seq,
         });
         work
     }
@@ -1489,7 +1654,7 @@ impl Simulation {
         let mut spec = spec;
         loop {
             // Offer (mobile → base), retransmitted on loss.
-            let offer = self.roll_delivery(tick);
+            let offer = self.roll_delivery(i, tick);
             if offer == Delivery::Dropped {
                 if !self.consume_retry(&mut retries) {
                     return self.abandon(i, tick, seq, work);
@@ -1525,7 +1690,7 @@ impl Simulation {
                         step: SessionStepKind::Merge,
                     });
                 }
-                if self.config.fault.mid_merge_disconnect(&mut self.fault_rng) {
+                if self.effective_fault(i, tick).mid_merge_disconnect(&mut self.fault_rng) {
                     // The mobile dropped while the base computed the
                     // merge; the computed decision is retained and resumed
                     // on retry without recomputation.
@@ -1543,7 +1708,7 @@ impl Simulation {
                     d => {
                         let record = self.build_record(i, d);
                         self.session_install(i, seq, record, tick);
-                        if self.config.fault.base_crash(&mut self.fault_rng) {
+                        if self.effective_fault(i, tick).base_crash(&mut self.fault_rng) {
                             // Crash between install and re-execution: the
                             // log and ledger survive, in-flight scratch
                             // does not. The retry's offer finds the ledger
@@ -1573,13 +1738,16 @@ impl Simulation {
             }
             // Ack (base → mobile): ships the refreshed origin. A lost ack
             // sends the mobile back to retransmitting its offer.
-            match self.roll_delivery(tick) {
+            match self.roll_delivery(i, tick) {
                 Delivery::Dropped => {
                     if !self.consume_retry(&mut retries) {
                         return self.abandon(i, tick, seq, work);
                     }
                 }
                 Delivery::Ok | Delivery::Duplicated | Delivery::Reordered => {
+                    // A completed session steps the mobile off the
+                    // backoff ladder.
+                    self.backoff_level[i] = 0;
                     self.mobiles[i].ack_session();
                     self.refresh_origin(i);
                     self.prune_after_ack(i, seq);
@@ -1606,7 +1774,7 @@ impl Simulation {
         };
         // Status query (mobile → base), retransmitted on loss; any other
         // delivery (including duplicated or reordered copies) gets through.
-        while let Delivery::Dropped = self.roll_delivery(tick) {
+        while let Delivery::Dropped = self.roll_delivery(i, tick) {
             if !self.consume_retry(retries) {
                 return false;
             }
@@ -1831,6 +1999,7 @@ impl Simulation {
 mod tests {
     use super::*;
     use crate::fault::{FaultKind, FaultRates};
+    use crate::metrics::StormStats;
 
     fn quiet_workload(seed: u64) -> ScenarioParams {
         ScenarioParams {
@@ -1872,6 +2041,8 @@ mod tests {
             scheduler: SchedulerMode::EventQueue,
             lean_base_log: false,
             compaction: CompactionConfig::default(),
+            connectivity: ConnectivityModel::AlwaysOn,
+            admission: AdmissionConfig::unbounded(),
         }
     }
 
@@ -2042,6 +2213,30 @@ mod tests {
             ..CannedMixParams::default()
         });
         let again = Simulation::new(cfg2).expect("valid sim config").run();
+        assert_eq!(report.final_master, again.final_master);
+    }
+
+    #[test]
+    fn inventory_canned_simulation_merges_compensable_bookings() {
+        use histmerge_workload::canned_mix::{CannedFlavor, CannedMixParams};
+        let make = || {
+            let mut cfg =
+                config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 200 }, 43);
+            cfg.canned = Some(CannedMixParams {
+                n_accounts: 12,
+                n_prices: 6,
+                flavor: CannedFlavor::Inventory,
+                seed: 43,
+                ..CannedMixParams::default()
+            });
+            cfg
+        };
+        let report = Simulation::new(make()).expect("valid sim config").run();
+        let m = &report.metrics;
+        assert!(m.tentative_generated > 0);
+        assert!(m.saved > 0, "inventory merging saved nothing: {m:?}");
+        assert_eq!(m.merge_failures, 0);
+        let again = Simulation::new(make()).expect("valid sim config").run();
         assert_eq!(report.final_master, again.final_master);
     }
 
@@ -2235,7 +2430,7 @@ mod tests {
         let clean = Simulation::new(clean_cfg).expect("valid sim config").run();
         assert!(crashed.metrics.fault.base_crashes > 0);
         assert!(crashed.metrics.fault.ledger_resumes > 0);
-        assert_eq!(crashed.metrics.fault.abandoned, 0);
+        assert_eq!(crashed.metrics.fault.abandoned_sessions, 0);
         assert_eq!(crashed.final_master, clean.final_master);
         assert_eq!(crashed.metrics.records, clean.metrics.records);
         assert!(crashed.convergence.unwrap().holds());
@@ -2256,8 +2451,8 @@ mod tests {
         let report = Simulation::new(cfg).expect("valid sim config").run();
         let m = &report.metrics;
         assert_eq!(m.syncs, 0, "no session ever completes");
-        assert!(m.fault.abandoned > 0);
-        assert!(m.fault.dropped > m.fault.abandoned, "each abandonment took retries");
+        assert!(m.fault.abandoned_sessions > 0);
+        assert!(m.fault.dropped > m.fault.abandoned_sessions, "each abandonment took retries");
         assert_eq!(report.base_commits, m.base_generated);
         assert!(report.convergence.unwrap().holds());
     }
@@ -2611,5 +2806,169 @@ mod tests {
             large.metrics.peak_backlog,
             small.metrics.peak_backlog
         );
+    }
+
+    #[test]
+    fn saturated_duty_cycle_is_byte_identical_to_always_on() {
+        // A duty cycle with the link up for the whole period is AlwaysOn
+        // spelled differently: every next_up call is the identity, every
+        // fault_scale is 1.0, so the run must match byte for byte — the
+        // connectivity layer is pure adjustment, never an extra RNG draw.
+        let base =
+            config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 100 }, 41);
+        let mut duty = base.clone();
+        duty.connectivity = ConnectivityModel::DutyCycle { period: 8, on_ticks: 8, seed: 7 };
+        let always = Simulation::new(base).expect("valid sim config").run();
+        let duty = Simulation::new(duty).expect("valid sim config").run();
+        assert_eq!(always.final_master, duty.final_master);
+        assert_eq!(always.base_commits, duty.base_commits);
+        assert_eq!(always.metrics.normalized(), duty.metrics.normalized());
+        assert_eq!(duty.metrics.storm, StormStats::default());
+    }
+
+    #[test]
+    fn duty_cycle_only_syncs_on_up_ticks() {
+        let mut cfg =
+            config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 100 }, 43);
+        let model = ConnectivityModel::DutyCycle { period: 10, on_ticks: 3, seed: 5 };
+        cfg.connectivity = model;
+        let report = Simulation::new(cfg).expect("valid sim config").run();
+        assert!(report.metrics.syncs > 0, "duty-cycled mobiles still sync");
+        for r in &report.metrics.records {
+            assert!(
+                model.link_up(r.mobile, r.tick),
+                "mobile {} synced at tick {} with its link down",
+                r.mobile,
+                r.tick
+            );
+        }
+    }
+
+    #[test]
+    fn admission_cap_bounds_every_batch_and_drains_the_queue() {
+        let mut cfg =
+            config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 100 }, 47);
+        cfg.synchronized_reconnects = true; // cohorts of all 3 mobiles
+        cfg.check_convergence = true;
+        let unbounded = Simulation::new(cfg.clone()).expect("valid sim config").run();
+        assert!(unbounded.metrics.batch_sizes.iter().any(|&b| b > 2));
+        assert_eq!(unbounded.metrics.storm, StormStats::default());
+
+        cfg.admission = AdmissionConfig::bounded(2);
+        let bounded = Simulation::new(cfg).expect("valid sim config").run();
+        assert!(bounded.metrics.batch_sizes.iter().all(|&b| b <= 2), "cap violated");
+        let storm = bounded.metrics.storm;
+        assert!(storm.shed > 0, "saturated cohorts must shed");
+        assert_eq!(storm.shed, storm.deferred_drained, "queue must drain to empty");
+        assert!(storm.deferred_peak >= 1);
+        assert!(storm.defer_wait_max >= 1, "a deferred mobile waits at least a tick");
+        assert_eq!(bounded.metrics.defer_waits.len() as u64, storm.deferred_drained);
+        assert!(bounded.convergence.unwrap().holds());
+        // Shedding reshapes cohorts, never loses work: same tentative load.
+        assert_eq!(bounded.metrics.tentative_generated, unbounded.metrics.tentative_generated);
+    }
+
+    #[test]
+    fn scheduler_modes_agree_under_storm_and_admission() {
+        // The deferred queue is FIFO over the same deterministic arrival
+        // order in both schedulers, so the byte-identity contract between
+        // TickScan and EventQueue survives admission control and storms.
+        let mut cfg =
+            config(Protocol::merging_default(), SyncStrategy::AdaptiveWindow { max_hb: 24 }, 53);
+        cfg.connectivity = ConnectivityModel::OutageStorm {
+            start: 100,
+            outage_ticks: 30,
+            surge_ticks: 20,
+            fault_boost: 4.0,
+        };
+        cfg.admission = AdmissionConfig::bounded(2);
+        cfg.scheduler = SchedulerMode::TickScan;
+        let scan = Simulation::new(cfg.clone()).expect("valid sim config").run();
+        cfg.scheduler = SchedulerMode::EventQueue;
+        let events = Simulation::new(cfg).expect("valid sim config").run();
+        assert_eq!(scan.final_master, events.final_master);
+        assert_eq!(scan.base_commits, events.base_commits);
+        assert_eq!(scan.metrics.normalized(), events.metrics.normalized());
+        assert_eq!(scan.metrics.storm, events.metrics.storm);
+    }
+
+    #[test]
+    fn outage_storm_silences_the_window_then_recovers() {
+        let mut cfg =
+            config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 100 }, 59);
+        cfg.connectivity = ConnectivityModel::OutageStorm {
+            start: 120,
+            outage_ticks: 40,
+            surge_ticks: 10,
+            fault_boost: 1.0,
+        };
+        cfg.check_convergence = true;
+        let report = Simulation::new(cfg).expect("valid sim config").run();
+        assert!(report.metrics.syncs > 0);
+        assert!(
+            report.metrics.records.iter().all(|r| !(120..160).contains(&r.tick)),
+            "no sync can land inside the outage window"
+        );
+        assert!(
+            report.metrics.records.iter().any(|r| r.tick >= 160),
+            "the fleet reconnects after the outage"
+        );
+        assert!(report.convergence.unwrap().holds());
+    }
+
+    #[test]
+    fn retry_backoff_reconnects_abandoned_sessions_earlier() {
+        // Under total message loss every session abandons. Without backoff
+        // the mobile waits out its full jittered cadence; with backoff it
+        // comes back after min(2^strikes, cap) ticks, so the same horizon
+        // fits strictly more attempts — and the storm counters see them.
+        let mut cfg =
+            config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 100 }, 61);
+        cfg.sync_path = SyncPath::Session;
+        cfg.fault =
+            FaultPlan::seeded(61, crate::fault::FaultRates::only(FaultKind::MessageLoss, 1.0));
+        let flat = Simulation::new(cfg.clone()).expect("valid sim config").run();
+        assert_eq!(flat.metrics.storm.backoff_reschedules, 0);
+
+        cfg.session.backoff = crate::session::RetryBackoff::enabled();
+        let backoff = Simulation::new(cfg).expect("valid sim config").run();
+        let storm = backoff.metrics.storm;
+        assert!(storm.backoff_reschedules > 0, "backoff never engaged");
+        assert!(storm.backoff_delay_ticks > 0);
+        assert!(
+            backoff.metrics.fault.abandoned_sessions > flat.metrics.fault.abandoned_sessions,
+            "earlier reconnects must fit more attempts: {} !> {}",
+            backoff.metrics.fault.abandoned_sessions,
+            flat.metrics.fault.abandoned_sessions
+        );
+    }
+
+    #[test]
+    fn backoff_under_transient_faults_still_converges() {
+        // Moderate loss: sessions abandon, back off, reconnect early, and
+        // eventually succeed — the success resets the ladder, and the
+        // convergence oracle must hold over the mixed schedule.
+        let mut cfg =
+            config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 150 }, 67);
+        cfg.sync_path = SyncPath::Session;
+        cfg.check_convergence = true;
+        cfg.fault = FaultPlan::seeded(67, crate::fault::FaultRates::uniform(0.25));
+        cfg.session.backoff = crate::session::RetryBackoff::enabled();
+        let report = Simulation::new(cfg).expect("valid sim config").run();
+        assert!(report.metrics.syncs > 0, "sessions complete despite faults");
+        assert!(report.convergence.unwrap().holds(), "{:?}", report.convergence);
+        assert_eq!(report.metrics.fault.double_resolutions, 0);
+    }
+
+    #[test]
+    fn invalid_connectivity_is_rejected_at_construction() {
+        let mut cfg =
+            config(Protocol::merging_default(), SyncStrategy::WindowStart { window: 100 }, 71);
+        cfg.connectivity = ConnectivityModel::DutyCycle { period: 4, on_ticks: 0, seed: 1 };
+        match Simulation::new(cfg) {
+            Err(SimConfigError::InvalidConnectivity(_)) => {}
+            Err(other) => panic!("expected InvalidConnectivity, got {other}"),
+            Ok(_) => panic!("expected InvalidConnectivity, got a valid simulation"),
+        }
     }
 }

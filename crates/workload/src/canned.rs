@@ -209,6 +209,7 @@ impl Bank {
 pub struct Inventory {
     registry: TypeRegistry,
     restock: TxnTypeId,
+    sell: TxnTypeId,
     cap: TxnTypeId,
 }
 
@@ -229,8 +230,9 @@ impl Inventory {
     /// [`Bank::register_in`]).
     pub fn register_in(registry: &mut TypeRegistry) -> Self {
         let restock = registry.register("inv.restock");
+        let sell = registry.register("inv.sell");
         let cap = registry.register("inv.cap");
-        Inventory { registry: registry.clone(), restock, cap }
+        Inventory { registry: registry.clone(), restock, sell, cap }
     }
 
     /// The type registry.
@@ -280,6 +282,7 @@ impl Inventory {
                 .expect("sell is well formed"),
         );
         Transaction::new(id, name, TxnKind::Tentative, fwd, vec![])
+            .with_type(self.sell)
             .with_precondition(Expr::var(item).ge(Expr::konst(n)))
     }
 
@@ -386,10 +389,15 @@ impl Promotions {
 }
 
 /// The reservation library: flights hold free-seat counts and booking
-/// tallies.
+/// tallies, and every booking movement declares its compensation — the
+/// cancel path is the paper's Section 6.1 compensation-heavy setting,
+/// where pruning a tentative reservation means running its declared
+/// inverse rather than undo/redo.
 #[derive(Debug, Clone)]
 pub struct Reservations {
     registry: TypeRegistry,
+    reserve: TxnTypeId,
+    cancel: TxnTypeId,
 }
 
 impl Default for Reservations {
@@ -399,12 +407,18 @@ impl Default for Reservations {
 }
 
 impl Reservations {
-    /// Creates the library.
+    /// Creates the library with a private registry.
     pub fn new() -> Self {
         let mut registry = TypeRegistry::new();
-        registry.register("res.reserve");
-        registry.register("res.cancel");
-        Reservations { registry }
+        Self::register_in(&mut registry)
+    }
+
+    /// Registers the library's types in a shared registry (see
+    /// [`Bank::register_in`]).
+    pub fn register_in(registry: &mut TypeRegistry) -> Self {
+        let reserve = registry.register("res.reserve");
+        let cancel = registry.register("res.cancel");
+        Reservations { registry: registry.clone(), reserve, cancel }
     }
 
     /// The type registry.
@@ -412,45 +426,60 @@ impl Reservations {
         &self.registry
     }
 
-    /// `reserve(seats, booked)`: `if seats > 0 then seats -= 1, booked += 1`.
-    pub fn reserve(&self, id: TxnId, name: &str, seats: VarId, booked: VarId) -> Transaction {
-        let fwd: Arc<Program> = Arc::new(
+    /// The offline-verified relation table: same-type pairs commute (two
+    /// reserves, or two cancels, run the identical guarded movement, so
+    /// either order reaches the same state — verified for the library's
+    /// var layout, where a flight's `(seats, booked)` pair is private to
+    /// the flight). Reserve/cancel pairs are NOT declared: each guards on
+    /// the counter the other writes.
+    pub fn declared_relations(&self) -> DeclaredTable {
+        DeclaredTable::new()
+            .declare_commuting_pair(self.reserve, self.reserve, CanPrecedePolicy::Always)
+            .declare_commuting_pair(self.cancel, self.cancel, CanPrecedePolicy::Always)
+    }
+
+    /// The guarded seat movement shared by both directions: `if guard > 0
+    /// then guard -= 1, other += 1`.
+    fn movement(name: &str, guard: VarId, other: VarId) -> Arc<Program> {
+        Arc::new(
             ProgramBuilder::new(name)
-                .read(seats)
-                .read(booked)
+                .read(guard)
+                .read(other)
                 .branch(
-                    Expr::var(seats).gt(Expr::konst(0)),
+                    Expr::var(guard).gt(Expr::konst(0)),
                     |b| {
-                        b.update(seats, Expr::var(seats) - Expr::konst(1))
-                            .update(booked, Expr::var(booked) + Expr::konst(1))
+                        b.update(guard, Expr::var(guard) - Expr::konst(1))
+                            .update(other, Expr::var(other) + Expr::konst(1))
                     },
                     |b| b,
                 )
                 .build()
-                .expect("reserve is well formed"),
-        );
+                .expect("seat movement is well formed"),
+        )
+    }
+
+    /// `reserve(seats, booked)`: `if seats > 0 then seats -= 1, booked += 1`.
+    /// Inverse: the cancel movement (correct under the same fix, or
+    /// immediately after the forward run — see [`Bank::withdraw`]).
+    pub fn reserve(&self, id: TxnId, name: &str, seats: VarId, booked: VarId) -> Transaction {
+        let fwd = Self::movement(name, seats, booked);
+        let inv = Self::movement(&format!("{name}^-1"), booked, seats);
         Transaction::new(id, name, TxnKind::Tentative, fwd, vec![])
+            .with_inverse(inv)
+            .with_type(self.reserve)
             .with_precondition(Expr::var(seats).gt(Expr::konst(0)))
     }
 
     /// `cancel(seats, booked)`: `if booked > 0 then seats += 1, booked -= 1`.
+    /// Inverse: the reserve movement — cancels are compensations, and
+    /// compensations compensate back.
     pub fn cancel(&self, id: TxnId, name: &str, seats: VarId, booked: VarId) -> Transaction {
-        let fwd: Arc<Program> = Arc::new(
-            ProgramBuilder::new(name)
-                .read(seats)
-                .read(booked)
-                .branch(
-                    Expr::var(booked).gt(Expr::konst(0)),
-                    |b| {
-                        b.update(seats, Expr::var(seats) + Expr::konst(1))
-                            .update(booked, Expr::var(booked) - Expr::konst(1))
-                    },
-                    |b| b,
-                )
-                .build()
-                .expect("cancel is well formed"),
-        );
+        let fwd = Self::movement(name, booked, seats);
+        let inv = Self::movement(&format!("{name}^-1"), seats, booked);
         Transaction::new(id, name, TxnKind::Tentative, fwd, vec![])
+            .with_inverse(inv)
+            .with_type(self.cancel)
+            .with_precondition(Expr::var(booked).gt(Expr::konst(0)))
     }
 }
 
@@ -576,6 +605,32 @@ mod tests {
     }
 
     #[test]
+    fn reservations_compensate_and_commute_same_type() {
+        let res = Reservations::new();
+        let s: DbState = [(v(0), 3), (v(1), 2)].into_iter().collect();
+        // The declared inverse undoes a fired reservation...
+        let reserve = res.reserve(t(0), "r", v(0), v(1));
+        let after = reserve.execute(&s, &Fix::empty()).unwrap().after;
+        assert_eq!(reserve.compensate(&after, &Fix::empty()).unwrap().after, s);
+        // ...and a fired cancel.
+        let cancel = res.cancel(t(1), "c", v(0), v(1));
+        let after = cancel.execute(&s, &Fix::empty()).unwrap().after;
+        assert_eq!(cancel.compensate(&after, &Fix::empty()).unwrap().after, s);
+        // Same-type pairs are declared and dynamically confirmed, even on
+        // the same flight (the movement is identical, so order is moot).
+        let table = res.declared_relations();
+        let tester = RandomizedTester::with_config(128, 500, 17);
+        let r2 = res.reserve(t(2), "r2", v(0), v(1));
+        assert!(table.commutes_backward_through(&reserve, &r2));
+        assert!(tester.commutes_backward_through(&reserve, &r2), "declared pair refuted");
+        let c2 = res.cancel(t(3), "c2", v(0), v(1));
+        assert!(table.commutes_backward_through(&cancel, &c2));
+        assert!(tester.commutes_backward_through(&cancel, &c2), "declared pair refuted");
+        // Reserve/cancel is NOT declared: each guards the other's write.
+        assert!(!table.commutes_backward_through(&reserve, &cancel));
+    }
+
+    #[test]
     fn promotions_commute_via_correlated_guards() {
         let promo = Promotions::new();
         let table = promo.declared_relations();
@@ -620,6 +675,6 @@ mod tests {
         assert!(audit.writeset().is_empty());
         assert_eq!(audit.readset().len(), 2);
         let inv = Inventory::new();
-        assert_eq!(inv.registry().len(), 2);
+        assert_eq!(inv.registry().len(), 3);
     }
 }

@@ -7,7 +7,7 @@
 
 use histmerge::obs::validate_json_line;
 use histmerge::replication::metrics::{Metrics, SyncRecord};
-use histmerge::replication::{CompactionStats, FaultStats, SchedStats, WalStats};
+use histmerge::replication::{CompactionStats, FaultStats, SchedStats, StormStats, WalStats};
 use histmerge::workload::cost::CostReport;
 
 fn populated_metrics() -> Metrics {
@@ -29,7 +29,7 @@ fn populated_metrics() -> Metrics {
             mid_merge_disconnects: 2,
             base_crashes: 1,
             retries: 9,
-            abandoned: 1,
+            abandoned_sessions: 1,
             ledger_resumes: 2,
             duplicate_installs_suppressed: 1,
             recovered_sessions: 2,
@@ -47,6 +47,15 @@ fn populated_metrics() -> Metrics {
         },
         sched: SchedStats { fleet_scans: 800, events_pushed: 96, events_popped: 90 },
         compaction: CompactionStats { txns_in: 9, txns_out: 6, runs_squashed: 2 },
+        storm: StormStats {
+            shed: 7,
+            deferred_drained: 7,
+            deferred_peak: 4,
+            defer_wait_ticks: 12,
+            defer_wait_max: 3,
+            backoff_reschedules: 2,
+            backoff_delay_ticks: 10,
+        },
         ..Metrics::default()
     };
     m.record(
@@ -96,13 +105,16 @@ fn metrics_json_shape_is_pinned() {
             "\"retro_patches\":4,",
             "\"fault\":{\"dropped\":5,\"duplicated\":4,\"reordered\":3,",
             "\"mid_merge_disconnects\":2,\"base_crashes\":1,\"retries\":9,",
-            "\"abandoned\":1,\"ledger_resumes\":2,\"duplicate_installs_suppressed\":1,",
+            "\"abandoned_sessions\":1,\"ledger_resumes\":2,\"duplicate_installs_suppressed\":1,",
             "\"recovered_sessions\":2,\"trimmed_txns\":6,\"double_resolutions\":0,",
             "\"ledger_gaps\":1},",
             "\"wal\":{\"records\":200,\"bytes\":8192,\"checkpoints\":3,",
             "\"segments_retired\":2,\"pruned_records\":11,\"shadow_recoveries\":1},",
             "\"sched\":{\"fleet_scans\":800,\"events_pushed\":96,\"events_popped\":90},",
-            "\"compaction\":{\"txns_in\":9,\"txns_out\":6,\"runs_squashed\":2}}"
+            "\"compaction\":{\"txns_in\":9,\"txns_out\":6,\"runs_squashed\":2},",
+            "\"storm\":{\"shed\":7,\"deferred_drained\":7,\"deferred_peak\":4,",
+            "\"defer_wait_ticks\":12,\"defer_wait_max\":3,",
+            "\"backoff_reschedules\":2,\"backoff_delay_ticks\":10}}"
         )
     );
 }
@@ -115,7 +127,12 @@ fn default_metrics_json_is_all_zeroes_and_valid() {
     assert!(json.contains("\"fault\":{\"dropped\":0,"));
     assert!(json.contains("\"wal\":{\"records\":0,"));
     assert!(json.contains("\"sched\":{\"fleet_scans\":0,"));
-    assert!(json.ends_with("\"compaction\":{\"txns_in\":0,\"txns_out\":0,\"runs_squashed\":0}}"));
+    assert!(json.contains("\"compaction\":{\"txns_in\":0,\"txns_out\":0,\"runs_squashed\":0}"));
+    assert!(json.ends_with(
+        "\"storm\":{\"shed\":0,\"deferred_drained\":0,\"deferred_peak\":0,\
+         \"defer_wait_ticks\":0,\"defer_wait_max\":0,\
+         \"backoff_reschedules\":0,\"backoff_delay_ticks\":0}}"
+    ));
 }
 
 /// `normalized()` is unchanged when compaction is off: a run with the

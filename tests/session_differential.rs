@@ -20,13 +20,18 @@
 //! changes what a merge *costs* (fewer, fatter transactions), but not one
 //! committed byte — so that run is compared with the cost-model outputs
 //! (cost totals, backlog trajectory) masked out and everything else held
-//! to the same byte-identity bar.
+//! to the same byte-identity bar. An eighth run pins the PR-8 structured
+//! connectivity layer: an explicit `ConnectivityModel::AlwaysOn` with
+//! unbounded admission AND a saturated duty cycle (`on_ticks == period`,
+//! exercising the non-trivial trace arithmetic) must both be the
+//! identity — the connectivity model adjusts schedules *after* the legacy
+//! cadence draws, it never consumes or adds randomness.
 
 use histmerge::obs::FlightRecorder;
 use histmerge::replication::metrics::Metrics;
 use histmerge::replication::{
-    DurabilityConfig, FaultPlan, FaultStats, Protocol, SchedulerMode, SimConfig, SimReport,
-    Simulation, SyncPath, SyncStrategy,
+    AdmissionConfig, ConnectivityModel, DurabilityConfig, FaultPlan, FaultStats, Protocol,
+    SchedulerMode, SimConfig, SimReport, Simulation, SyncPath, SyncStrategy,
 };
 use histmerge::semantics::CompactionConfig;
 use histmerge::workload::cost::CostReport;
@@ -96,6 +101,18 @@ fn assert_paths_agree(mut config: SimConfig, label: &str) -> SimReport {
     let mut squash_config = config.clone();
     squash_config.compaction = CompactionConfig::enabled();
     let squashed = Simulation::new(squash_config).expect("valid sim config").run();
+    // Eighth run: the structured connectivity layer spelled out
+    // explicitly — AlwaysOn + unbounded admission (the defaults, made
+    // loud) and a saturated duty cycle whose every `next_up` is the
+    // identity. Neither may move a single byte.
+    let mut explicit_config = config.clone();
+    explicit_config.connectivity = ConnectivityModel::AlwaysOn;
+    explicit_config.admission = AdmissionConfig::unbounded();
+    let explicit = Simulation::new(explicit_config).expect("valid sim config").run();
+    let mut saturated_config = config.clone();
+    saturated_config.connectivity =
+        ConnectivityModel::DutyCycle { period: 16, on_ticks: 16, seed: 1717 };
+    let saturated = Simulation::new(saturated_config).expect("valid sim config").run();
     // Fourth run: same session config with the flight recorder listening.
     // Tracing is observation-only, so `normalized()` must stay
     // byte-identical to the untraced runs.
@@ -113,6 +130,8 @@ fn assert_paths_agree(mut config: SimConfig, label: &str) -> SimReport {
         (&traced, "session+trace"),
         (&scratched, "session+scratch"),
         (&tickscan, "legacy+tickscan"),
+        (&explicit, "session+always-on"),
+        (&saturated, "session+saturated-duty"),
     ] {
         assert_eq!(
             legacy.final_master, candidate.final_master,
