@@ -152,6 +152,18 @@ pub fn write_artifact(name: &str, json: &str) -> std::path::PathBuf {
     path
 }
 
+/// The path `<dir>/<filename>` under the experiments artifact directory
+/// (`$EXPERIMENTS_DIR` or `target/experiments`, created if missing) —
+/// for non-JSON artifacts ([`write_artifact`] handles the `.json` ones):
+/// Prometheus dumps, trace JSONL, HTML reports.
+pub fn experiments_path(filename: &str) -> std::path::PathBuf {
+    let dir = std::env::var_os("EXPERIMENTS_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("target/experiments"));
+    std::fs::create_dir_all(&dir).expect("create experiments dir");
+    dir.join(filename)
+}
+
 /// Times a closure, returning `(result, milliseconds)`.
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();

@@ -63,5 +63,5 @@ pub use augmented::{run_to_final, AugmentedHistory, HistoryError, StepRecord};
 pub use backout::{BackoutError, BackoutStrategy, ExactMinimum, GreedyScc, TwoCycleOptimal};
 pub use footprint::{DenseBits, VarInterner};
 pub use precedence::{BaseEdgeCache, EdgeKind, GraphScratch, PrecedenceGraph};
-pub use readsfrom::{ClosureScratch, ClosureTable};
+pub use readsfrom::{closure_weights_for, ClosureScratch, ClosureTable};
 pub use schedule::SerialHistory;

@@ -38,15 +38,22 @@ pub enum EdgeKind {
     BaseReadMobile,
 }
 
-impl fmt::Display for EdgeKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+impl EdgeKind {
+    /// The rule's stable label, as rendered in traces and merge
+    /// autopsies.
+    pub fn name(self) -> &'static str {
+        match self {
             EdgeKind::MobileConflict => "mobile-conflict",
             EdgeKind::BaseConflict => "base-conflict",
             EdgeKind::MobileReadBase => "mobile-read-base",
             EdgeKind::BaseReadMobile => "base-read-mobile",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl fmt::Display for EdgeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 

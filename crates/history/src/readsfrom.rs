@@ -220,6 +220,89 @@ impl ClosureTable {
     }
 }
 
+/// The back-out weights of just the transactions in `subset` — the same
+/// `1 + |AG({t})|` numbers [`ClosureTable::weights`] reports, computed by
+/// one forward pass that tracks taint for only the subset's columns:
+/// `O(n · ⌈|subset|/64⌉)` words instead of the full table's
+/// `O(n · ⌈n/64⌉)`. The merge-autopsy emitter uses this to re-derive the
+/// weight charged to each backed-out transaction without rebuilding the
+/// planner's whole closure table.
+pub fn closure_weights_for(
+    arena: &TxnArena,
+    history: &SerialHistory,
+    subset: &BTreeSet<TxnId>,
+) -> std::collections::BTreeMap<TxnId, u64> {
+    let order: Vec<TxnId> = history.iter().collect();
+    let cols: Vec<usize> =
+        order.iter().enumerate().filter(|(_, id)| subset.contains(id)).map(|(i, _)| i).collect();
+    if cols.is_empty() {
+        return std::collections::BTreeMap::new();
+    }
+    let stride = cols.len().div_ceil(64);
+    let mut col_of = vec![usize::MAX; order.len()];
+    for (j, &p) in cols.iter().enumerate() {
+        col_of[p] = j;
+    }
+    let mut taint = vec![0u64; order.len() * stride];
+    let mut lw = vec![usize::MAX; arena.var_count()];
+    let mut row = vec![0u64; stride];
+    let mut counts = vec![0u64; cols.len()];
+    for (i, &id) in order.iter().enumerate() {
+        row.fill(0);
+        for var in arena.read_bits(id).iter() {
+            let w = lw[var as usize];
+            if w != usize::MAX {
+                let src = &taint[w * stride..(w + 1) * stride];
+                for (acc, word) in row.iter_mut().zip(src) {
+                    *acc |= word;
+                }
+            }
+        }
+        if col_of[i] != usize::MAX {
+            row[col_of[i] / 64] |= 1u64 << (col_of[i] % 64);
+        }
+        for (w, &word) in row.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let j = w * 64 + bits.trailing_zeros() as usize;
+                if cols[j] != i {
+                    counts[j] += 1;
+                }
+                bits &= bits - 1;
+            }
+        }
+        taint[i * stride..(i + 1) * stride].copy_from_slice(&row);
+        for var in arena.write_bits(id).iter() {
+            lw[var as usize] = i;
+        }
+    }
+    cols.iter().zip(counts).map(|(&p, c)| (order[p], 1 + c)).collect()
+}
+
+#[cfg(test)]
+mod closure_subset_tests {
+    use super::*;
+
+    #[test]
+    fn subset_weights_match_the_full_table() {
+        let ex = crate::fixtures::example1();
+        let full = ClosureTable::build(&ex.arena, &ex.hm).weights();
+        for id in ex.hm.iter() {
+            let subset: BTreeSet<TxnId> = [id].into_iter().collect();
+            let partial = closure_weights_for(&ex.arena, &ex.hm, &subset);
+            assert_eq!(partial.get(&id), full.get(&id), "weight mismatch for {id:?}");
+        }
+        let all: BTreeSet<TxnId> = ex.hm.iter().collect();
+        assert_eq!(closure_weights_for(&ex.arena, &ex.hm, &all), full);
+    }
+
+    #[test]
+    fn empty_subset_is_empty() {
+        let ex = crate::fixtures::example1();
+        assert!(closure_weights_for(&ex.arena, &ex.hm, &BTreeSet::new()).is_empty());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -132,6 +132,10 @@ impl SessionStepKind {
     }
 }
 
+/// Sentinel partner id for autopsy events that found no concrete
+/// conflict edge: `lost_to` is this value and `rule` is `"none"`.
+pub const NO_PARTNER: u64 = u64::MAX;
+
 /// A structured trace event. Every variant renders as one JSONL object
 /// with a `type` discriminant; payloads are counts and names only — no
 /// histories or states, so recording is cheap and rings stay small.
@@ -234,6 +238,80 @@ pub enum TraceEvent {
         /// Deferred-queue length after this tick's admissions.
         deferred: usize,
     },
+    /// Merge autopsy: one transaction was backed out, and this is the
+    /// precedence edge that doomed it — the rule that drew the edge, both
+    /// footprint summary masks, the base/bad partner it lost to, and the
+    /// reads-from weight the cycle breaker charged for it.
+    BackoutEdge {
+        /// Simulation tick of the merge.
+        tick: u64,
+        /// Mobile node id.
+        mobile: usize,
+        /// The backed-out transaction's raw id.
+        txn: u64,
+        /// The partner transaction's raw id ([`NO_PARTNER`] when the
+        /// attribution found no single edge to pin it on).
+        lost_to: u64,
+        /// The precedence rule that drew the edge (`mobile-conflict`,
+        /// `base-conflict`, `mobile-read-base`, `base-read-mobile`, or
+        /// `none`).
+        rule: &'static str,
+        /// The backed-out transaction's read|write summary mask.
+        txn_mask: u64,
+        /// The partner's read|write summary mask (0 when none).
+        other_mask: u64,
+        /// The reads-from closure weight that decided the back-out.
+        weight: u64,
+    },
+    /// Merge autopsy: one pending transaction was reprocessed wholesale
+    /// (no merge ran, or the merge failed), with the decision cause and —
+    /// when one exists — the concrete base commit it conflicts with.
+    ReprocessCause {
+        /// Simulation tick of the sync.
+        tick: u64,
+        /// Mobile node id.
+        mobile: usize,
+        /// The reprocessed transaction's raw id.
+        txn: u64,
+        /// Why the whole history was reprocessed (`dirty-origin`,
+        /// `protocol-reprocessing`, `window-miss`, `merge-failed`,
+        /// `ledger-gap`).
+        cause: &'static str,
+        /// The conflicting base commit's raw id ([`NO_PARTNER`] when no
+        /// base commit overlaps this transaction's footprint).
+        lost_to: u64,
+        /// The conflict rule relating them (`none` when no partner).
+        rule: &'static str,
+        /// The reprocessed transaction's read|write summary mask.
+        txn_mask: u64,
+        /// The partner's read|write summary mask (0 when none).
+        other_mask: u64,
+    },
+    /// Merge autopsy: the per-sync summary closing the preceding
+    /// [`TraceEvent::BackoutEdge`]/[`TraceEvent::ReprocessCause`] run.
+    /// Counts are in original-transaction units (composites expanded),
+    /// matching `Metrics`.
+    MergeSummary {
+        /// Simulation tick.
+        tick: u64,
+        /// Mobile node id.
+        mobile: usize,
+        /// Pending tentative transactions offered.
+        pending: usize,
+        /// Transactions saved from reprocessing.
+        saved: usize,
+        /// Transactions backed out and re-executed.
+        backed_out: usize,
+        /// Transactions reprocessed wholesale.
+        reprocessed: usize,
+        /// Precedence clusters the planner saw (0 when no merge ran).
+        clusters: usize,
+        /// Composite transactions the pre-merge compactor squashed in.
+        squashed: usize,
+        /// Wall-clock nanoseconds of the merge-plan span (0 when no plan
+        /// was computed — speculative hits and plain reprocessing).
+        plan_ns: u64,
+    },
     /// A wall-clock span: `phase` took `ns` nanoseconds.
     Span {
         /// The timed phase.
@@ -266,6 +344,9 @@ impl TraceEvent {
             TraceEvent::RecoveryReplay { .. } => "recovery_replay",
             TraceEvent::Invariant { .. } => "invariant",
             TraceEvent::Admission { .. } => "admission",
+            TraceEvent::BackoutEdge { .. } => "backout_edge",
+            TraceEvent::ReprocessCause { .. } => "reprocess_cause",
+            TraceEvent::MergeSummary { .. } => "merge_summary",
             TraceEvent::Span { .. } => "span",
             TraceEvent::TickSpan { .. } => "tick_span",
         }
@@ -330,6 +411,65 @@ impl TraceEvent {
                 push_field_u64(&mut out, "shed", *shed as u64);
                 push_field_u64(&mut out, "deferred", *deferred as u64);
             }
+            TraceEvent::BackoutEdge {
+                tick,
+                mobile,
+                txn,
+                lost_to,
+                rule,
+                txn_mask,
+                other_mask,
+                weight,
+            } => {
+                push_field_u64(&mut out, "tick", *tick);
+                push_field_u64(&mut out, "mobile", *mobile as u64);
+                push_field_u64(&mut out, "txn", *txn);
+                push_field_u64(&mut out, "lost_to", *lost_to);
+                push_field_str(&mut out, "rule", rule);
+                push_field_u64(&mut out, "txn_mask", *txn_mask);
+                push_field_u64(&mut out, "other_mask", *other_mask);
+                push_field_u64(&mut out, "weight", *weight);
+            }
+            TraceEvent::ReprocessCause {
+                tick,
+                mobile,
+                txn,
+                cause,
+                lost_to,
+                rule,
+                txn_mask,
+                other_mask,
+            } => {
+                push_field_u64(&mut out, "tick", *tick);
+                push_field_u64(&mut out, "mobile", *mobile as u64);
+                push_field_u64(&mut out, "txn", *txn);
+                push_field_str(&mut out, "cause", cause);
+                push_field_u64(&mut out, "lost_to", *lost_to);
+                push_field_str(&mut out, "rule", rule);
+                push_field_u64(&mut out, "txn_mask", *txn_mask);
+                push_field_u64(&mut out, "other_mask", *other_mask);
+            }
+            TraceEvent::MergeSummary {
+                tick,
+                mobile,
+                pending,
+                saved,
+                backed_out,
+                reprocessed,
+                clusters,
+                squashed,
+                plan_ns,
+            } => {
+                push_field_u64(&mut out, "tick", *tick);
+                push_field_u64(&mut out, "mobile", *mobile as u64);
+                push_field_u64(&mut out, "pending", *pending as u64);
+                push_field_u64(&mut out, "saved", *saved as u64);
+                push_field_u64(&mut out, "backed_out", *backed_out as u64);
+                push_field_u64(&mut out, "reprocessed", *reprocessed as u64);
+                push_field_u64(&mut out, "clusters", *clusters as u64);
+                push_field_u64(&mut out, "squashed", *squashed as u64);
+                push_field_u64(&mut out, "plan_ns", *plan_ns);
+            }
             TraceEvent::Span { phase, ns } => {
                 push_field_str(&mut out, "phase", phase.name());
                 push_field_u64(&mut out, "ns", *ns);
@@ -378,6 +518,37 @@ mod tests {
             TraceEvent::RecoveryReplay { records: 17, torn: true },
             TraceEvent::Invariant { name: "double-install", tick: 5, mobile: 0, seq: 1 },
             TraceEvent::Admission { tick: 80, admitted: 8, shed: 3, deferred: 11 },
+            TraceEvent::BackoutEdge {
+                tick: 90,
+                mobile: 2,
+                txn: 17,
+                lost_to: 4,
+                rule: "mobile-read-base",
+                txn_mask: 0b1010,
+                other_mask: 0b0010,
+                weight: 3,
+            },
+            TraceEvent::ReprocessCause {
+                tick: 91,
+                mobile: 3,
+                txn: 21,
+                cause: "window-miss",
+                lost_to: NO_PARTNER,
+                rule: "none",
+                txn_mask: 0b100,
+                other_mask: 0,
+            },
+            TraceEvent::MergeSummary {
+                tick: 92,
+                mobile: 2,
+                pending: 6,
+                saved: 4,
+                backed_out: 2,
+                reprocessed: 0,
+                clusters: 3,
+                squashed: 1,
+                plan_ns: 4321,
+            },
             TraceEvent::Span { phase: Phase::Install, ns: 1234 },
             TraceEvent::TickSpan { phase: Phase::Window, ticks: 100 },
         ]
@@ -425,6 +596,53 @@ mod tests {
             TraceEvent::SessionStep { tick: 4, mobile: 0, seq: 2, step: SessionStepKind::Backoff }
                 .to_jsonl(),
             r#"{"type":"session_step","tick":4,"mobile":0,"seq":2,"step":"backoff"}"#
+        );
+        assert_eq!(
+            TraceEvent::BackoutEdge {
+                tick: 7,
+                mobile: 1,
+                txn: 9,
+                lost_to: 2,
+                rule: "base-conflict",
+                txn_mask: 5,
+                other_mask: 4,
+                weight: 6,
+            }
+            .to_jsonl(),
+            "{\"type\":\"backout_edge\",\"tick\":7,\"mobile\":1,\"txn\":9,\"lost_to\":2,\
+             \"rule\":\"base-conflict\",\"txn_mask\":5,\"other_mask\":4,\"weight\":6}"
+        );
+        assert_eq!(
+            TraceEvent::ReprocessCause {
+                tick: 8,
+                mobile: 0,
+                txn: 3,
+                cause: "merge-failed",
+                lost_to: 1,
+                rule: "mobile-read-base",
+                txn_mask: 2,
+                other_mask: 3,
+            }
+            .to_jsonl(),
+            "{\"type\":\"reprocess_cause\",\"tick\":8,\"mobile\":0,\"txn\":3,\
+             \"cause\":\"merge-failed\",\"lost_to\":1,\"rule\":\"mobile-read-base\",\
+             \"txn_mask\":2,\"other_mask\":3}"
+        );
+        assert_eq!(
+            TraceEvent::MergeSummary {
+                tick: 9,
+                mobile: 4,
+                pending: 5,
+                saved: 3,
+                backed_out: 1,
+                reprocessed: 1,
+                clusters: 2,
+                squashed: 0,
+                plan_ns: 77,
+            }
+            .to_jsonl(),
+            "{\"type\":\"merge_summary\",\"tick\":9,\"mobile\":4,\"pending\":5,\"saved\":3,\
+             \"backed_out\":1,\"reprocessed\":1,\"clusters\":2,\"squashed\":0,\"plan_ns\":77}"
         );
     }
 

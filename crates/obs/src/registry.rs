@@ -77,6 +77,15 @@ impl Registry {
         hists[phase.index()].observe(value);
     }
 
+    /// One phase's `(p50_bound, p99_bound)` without allocating a
+    /// snapshot — two bucket scans under the lock. `None` when the phase
+    /// has no samples.
+    pub fn phase_quantiles(&self, phase: Phase) -> Option<(u64, u64)> {
+        let hists = self.hists.lock().expect("registry lock");
+        let h = &hists[phase.index()];
+        (h.count > 0).then(|| (h.quantile_bound(0.50), h.quantile_bound(0.99)))
+    }
+
     /// An immutable snapshot of every phase with at least one sample.
     pub fn snapshot(&self) -> RegistrySnapshot {
         let hists = self.hists.lock().expect("registry lock");

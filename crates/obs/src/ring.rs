@@ -5,14 +5,22 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 
-use crate::event::TraceEvent;
+use crate::autopsy::{AutopsyEdge, MergeAutopsy};
+use crate::event::{Phase, TraceEvent};
 use crate::registry::{Registry, RegistrySnapshot};
 use crate::tracer::{Tracer, TracerHandle};
 
-/// A bounded ring buffer of pre-rendered JSONL event lines plus a span
-/// registry. Recording an event beyond capacity evicts the oldest line,
-/// so memory stays fixed however long the run; the dump is always the
-/// last `capacity` events, oldest first.
+/// A bounded ring buffer of the last N events plus a span registry.
+/// Recording an event beyond capacity evicts the oldest, so memory
+/// stays fixed however long the run; the dump renders the retained
+/// events to JSONL lazily (recording stores the event value itself —
+/// rendering on the hot path would pay a string allocation per event,
+/// most of which are evicted unseen), oldest first.
+///
+/// The recorder additionally reassembles autopsy event runs
+/// ([`TraceEvent::BackoutEdge`] / [`TraceEvent::ReprocessCause`] closed
+/// by a [`TraceEvent::MergeSummary`]) into structured [`MergeAutopsy`]
+/// values, retained on the same capacity bound.
 #[derive(Debug)]
 pub struct FlightRecorder {
     capacity: usize,
@@ -22,8 +30,10 @@ pub struct FlightRecorder {
 
 #[derive(Debug)]
 struct Ring {
-    lines: VecDeque<String>,
+    events: VecDeque<TraceEvent>,
     recorded: u64,
+    pending_edges: Vec<AutopsyEdge>,
+    autopsies: VecDeque<MergeAutopsy>,
 }
 
 impl FlightRecorder {
@@ -31,7 +41,12 @@ impl FlightRecorder {
     pub fn new(capacity: usize) -> FlightRecorder {
         FlightRecorder {
             capacity: capacity.max(1),
-            inner: Mutex::new(Ring { lines: VecDeque::new(), recorded: 0 }),
+            inner: Mutex::new(Ring {
+                events: VecDeque::new(),
+                recorded: 0,
+                pending_edges: Vec::new(),
+                autopsies: VecDeque::new(),
+            }),
             registry: Registry::new(),
         }
     }
@@ -48,7 +63,7 @@ impl FlightRecorder {
 
     /// Events currently retained (≤ capacity).
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("ring lock").lines.len()
+        self.inner.lock().expect("ring lock").events.len()
     }
 
     /// `true` when nothing was recorded yet.
@@ -60,6 +75,12 @@ impl FlightRecorder {
     pub fn recorded(&self) -> u64 {
         self.inner.lock().expect("ring lock").recorded
     }
+
+    /// The merge autopsies assembled so far, oldest first. Bounded by the
+    /// ring capacity: the oldest autopsy is evicted past it.
+    pub fn autopsies(&self) -> Vec<MergeAutopsy> {
+        self.inner.lock().expect("ring lock").autopsies.iter().cloned().collect()
+    }
 }
 
 impl Tracer for FlightRecorder {
@@ -70,20 +91,64 @@ impl Tracer for FlightRecorder {
         if let TraceEvent::TickSpan { phase, ticks } = event {
             self.registry.observe(*phase, *ticks);
         }
-        let line = event.to_jsonl();
         let mut ring = self.inner.lock().expect("ring lock");
-        if ring.lines.len() == self.capacity {
-            ring.lines.pop_front();
+        match *event {
+            TraceEvent::BackoutEdge {
+                txn, lost_to, rule, txn_mask, other_mask, weight, ..
+            } => {
+                ring.pending_edges.push(AutopsyEdge::from_backout(
+                    txn, lost_to, rule, txn_mask, other_mask, weight,
+                ));
+            }
+            TraceEvent::ReprocessCause {
+                txn, cause, lost_to, rule, txn_mask, other_mask, ..
+            } => {
+                ring.pending_edges.push(AutopsyEdge::from_reprocess(
+                    txn, cause, lost_to, rule, txn_mask, other_mask,
+                ));
+            }
+            TraceEvent::MergeSummary {
+                tick,
+                mobile,
+                pending,
+                saved,
+                backed_out,
+                reprocessed,
+                clusters,
+                squashed,
+                plan_ns,
+            } => {
+                let edges = std::mem::take(&mut ring.pending_edges);
+                if ring.autopsies.len() == self.capacity {
+                    ring.autopsies.pop_front();
+                }
+                ring.autopsies.push_back(MergeAutopsy {
+                    tick,
+                    mobile,
+                    pending,
+                    saved,
+                    backed_out,
+                    reprocessed,
+                    clusters,
+                    squashed,
+                    plan_ns,
+                    edges,
+                });
+            }
+            _ => {}
         }
-        ring.lines.push_back(line);
+        if ring.events.len() == self.capacity {
+            ring.events.pop_front();
+        }
+        ring.events.push_back(event.clone());
         ring.recorded += 1;
     }
 
     fn dump_jsonl(&self) -> Option<String> {
         let ring = self.inner.lock().expect("ring lock");
         let mut out = String::new();
-        for line in &ring.lines {
-            out.push_str(line);
+        for event in &ring.events {
+            out.push_str(&event.to_jsonl());
             out.push('\n');
         }
         Some(out)
@@ -91,6 +156,10 @@ impl Tracer for FlightRecorder {
 
     fn snapshot(&self) -> Option<RegistrySnapshot> {
         Some(self.registry.snapshot())
+    }
+
+    fn phase_quantiles(&self, phase: Phase) -> Option<(u64, u64)> {
+        self.registry.phase_quantiles(phase)
     }
 }
 
@@ -149,6 +218,87 @@ mod tests {
     }
 
     #[test]
+    fn autopsy_runs_assemble_under_their_summary() {
+        let recorder = FlightRecorder::new(64);
+        recorder.record(&TraceEvent::BackoutEdge {
+            tick: 40,
+            mobile: 1,
+            txn: 7,
+            lost_to: 2,
+            rule: "mobile-read-base",
+            txn_mask: 3,
+            other_mask: 2,
+            weight: 5,
+        });
+        recorder.record(&TraceEvent::ReprocessCause {
+            tick: 40,
+            mobile: 1,
+            txn: 9,
+            cause: "merge-failed",
+            lost_to: crate::event::NO_PARTNER,
+            rule: "none",
+            txn_mask: 4,
+            other_mask: 0,
+        });
+        recorder.record(&TraceEvent::MergeSummary {
+            tick: 40,
+            mobile: 1,
+            pending: 4,
+            saved: 2,
+            backed_out: 1,
+            reprocessed: 1,
+            clusters: 2,
+            squashed: 0,
+            plan_ns: 11,
+        });
+        // A second, edge-free sync closes with an empty autopsy.
+        recorder.record(&TraceEvent::MergeSummary {
+            tick: 55,
+            mobile: 0,
+            pending: 3,
+            saved: 3,
+            backed_out: 0,
+            reprocessed: 0,
+            clusters: 1,
+            squashed: 0,
+            plan_ns: 7,
+        });
+        let autopsies = recorder.autopsies();
+        assert_eq!(autopsies.len(), 2);
+        assert_eq!(autopsies[0].tick, 40);
+        assert_eq!(autopsies[0].edges.len(), 2);
+        assert_eq!(autopsies[0].edges[0].lost_to, Some(2));
+        assert_eq!(autopsies[0].edges[1].cause, "merge-failed");
+        assert_eq!(autopsies[0].edges[1].lost_to, None);
+        assert!(autopsies[1].edges.is_empty());
+        // The JSONL lines are still recorded verbatim alongside.
+        assert_eq!(recorder.recorded(), 4);
+        assert!(recorder.dump_jsonl().unwrap().contains("\"type\":\"merge_summary\""));
+    }
+
+    #[test]
+    fn autopsies_are_bounded_by_capacity() {
+        let recorder = FlightRecorder::new(2);
+        for tick in 0..5u64 {
+            recorder.record(&TraceEvent::MergeSummary {
+                tick,
+                mobile: 0,
+                pending: 1,
+                saved: 1,
+                backed_out: 0,
+                reprocessed: 0,
+                clusters: 1,
+                squashed: 0,
+                plan_ns: 0,
+            });
+        }
+        let autopsies = recorder.autopsies();
+        assert_eq!(autopsies.len(), 2);
+        assert_eq!(autopsies[0].tick, 3);
+        assert_eq!(autopsies[1].tick, 4);
+    }
+
+    #[test]
     fn dump_on_failure_writes_then_rethrows() {
         let dir = std::env::temp_dir().join("histmerge-flight-test");
         let _ = std::fs::remove_dir_all(&dir);
@@ -165,6 +315,10 @@ mod tests {
             validate_json_line(line).unwrap();
         }
         assert!(body.contains("\"kind\":\"loss\""));
+        // The registry snapshot rides along for `if: failure()` uploads.
+        let registry = std::fs::read_to_string(dir.join("unit-test-dump.registry.json")).unwrap();
+        validate_json_line(&registry).unwrap();
+        assert!(registry.starts_with("{\"phases\":["), "{registry}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

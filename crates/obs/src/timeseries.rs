@@ -1,0 +1,244 @@
+//! A bounded per-tick gauge/counter collector.
+//!
+//! The simulator samples fleet-level gauges (backlog depth, defer-queue
+//! depth, session counts, cumulative save/redo totals, WAL volume) on a
+//! configurable tick stride. The collector is observation-only by the
+//! same contract as the tracers: the simulation hands it values it
+//! already computed, and nothing flows back. Capacity is fixed: when the
+//! sample buffer fills, every other sample is dropped and the stride
+//! doubles, so a million-tick run costs the same memory as a thousand-
+//! tick run and the retained samples stay evenly spaced.
+
+use std::sync::Mutex;
+
+/// One sampled tick. Cumulative fields (`saved`, `redone`) carry
+/// run-so-far totals; the JSON dump derives windowed rates from
+/// consecutive deltas, so downsampling never skews them.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TickSample {
+    /// Simulation tick the sample was taken at.
+    pub tick: u64,
+    /// Base-tier backlog depth (cost units queued).
+    pub backlog: f64,
+    /// Admission-controller defer-queue length.
+    pub deferred: u64,
+    /// Sessions currently open in the ledger.
+    pub active_sessions: u64,
+    /// Sessions abandoned so far (cumulative).
+    pub abandoned_sessions: u64,
+    /// Transactions saved from reprocessing so far (cumulative).
+    pub saved: u64,
+    /// Transactions redone so far — backed out + reprocessed (cumulative).
+    pub redone: u64,
+    /// WAL bytes written so far (cumulative; 0 when durability is off).
+    pub wal_bytes: u64,
+    /// Mobiles synced on this tick (the merge cohort).
+    pub cohort: u64,
+    /// Median admission defer wait so far, in ticks (exact).
+    pub defer_wait_p50: u64,
+    /// 99th-percentile admission defer wait so far, in ticks (exact).
+    pub defer_wait_p99: u64,
+    /// Merge-plan span p50 bucket bound so far, in ns (0 untraced).
+    pub merge_plan_p50: u64,
+    /// Merge-plan span p99 bucket bound so far, in ns (0 untraced).
+    pub merge_plan_p99: u64,
+}
+
+#[derive(Debug)]
+struct Series {
+    stride: u64,
+    samples: Vec<TickSample>,
+}
+
+/// The bounded collector. Shared `Arc`-style between the caller that
+/// configures a run and the simulation that feeds it, so results survive
+/// the simulation being dropped.
+#[derive(Debug)]
+pub struct TimeSeries {
+    capacity: usize,
+    inner: Mutex<Series>,
+}
+
+impl TimeSeries {
+    /// A collector sampling every `stride` ticks (minimum 1), retaining
+    /// at most `capacity` samples (minimum 2) before downsampling.
+    pub fn new(stride: u64, capacity: usize) -> TimeSeries {
+        TimeSeries {
+            capacity: capacity.max(2),
+            inner: Mutex::new(Series { stride: stride.max(1), samples: Vec::new() }),
+        }
+    }
+
+    /// Records the sample produced by `make` when `tick` lands on the
+    /// current stride; skipped ticks never construct the sample. At
+    /// capacity, the stride doubles and off-stride retained samples are
+    /// dropped — deterministic, order-independent of wall clock.
+    pub fn record(&self, tick: u64, make: impl FnOnce() -> TickSample) {
+        let mut series = self.inner.lock().expect("timeseries lock");
+        if !tick.is_multiple_of(series.stride) {
+            return;
+        }
+        let sample = make();
+        if series.samples.len() >= self.capacity {
+            let doubled = series.stride.saturating_mul(2);
+            series.stride = doubled;
+            series.samples.retain(|s| s.tick.is_multiple_of(doubled));
+        }
+        if tick.is_multiple_of(series.stride) {
+            series.samples.push(sample);
+        }
+    }
+
+    /// Samples retained so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("timeseries lock").samples.len()
+    }
+
+    /// `true` when nothing was sampled yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The current stride (grows by doubling under capacity pressure).
+    pub fn stride(&self) -> u64 {
+        self.inner.lock().expect("timeseries lock").stride
+    }
+
+    /// The configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// A copy of the retained samples, oldest first.
+    pub fn samples(&self) -> Vec<TickSample> {
+        self.inner.lock().expect("timeseries lock").samples.clone()
+    }
+
+    /// Renders the series as one JSON object with a stable key order.
+    /// Each sample additionally carries `save_ratio`: saved / (saved +
+    /// redone) over the window since the previous retained sample (0.0
+    /// where the window resolved nothing).
+    pub fn to_json(&self) -> String {
+        let series = self.inner.lock().expect("timeseries lock");
+        let mut out = String::with_capacity(64 + series.samples.len() * 160);
+        out.push_str("{\"stride\":");
+        out.push_str(&series.stride.to_string());
+        out.push_str(",\"capacity\":");
+        out.push_str(&self.capacity.to_string());
+        out.push_str(",\"samples\":[");
+        let mut prev: Option<&TickSample> = None;
+        for (i, s) in series.samples.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let (base_saved, base_redone) = prev.map(|p| (p.saved, p.redone)).unwrap_or((0, 0));
+            let d_saved = s.saved.saturating_sub(base_saved);
+            let d_redone = s.redone.saturating_sub(base_redone);
+            let resolved = d_saved + d_redone;
+            let ratio = if resolved == 0 { 0.0 } else { d_saved as f64 / resolved as f64 };
+            push_sample(&mut out, s, ratio);
+            prev = Some(s);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn push_sample(out: &mut String, s: &TickSample, save_ratio: f64) {
+    out.push_str("{\"tick\":");
+    out.push_str(&s.tick.to_string());
+    out.push_str(",\"backlog\":");
+    out.push_str(&format!("{:.3}", s.backlog));
+    push_u64(out, "deferred", s.deferred);
+    push_u64(out, "active_sessions", s.active_sessions);
+    push_u64(out, "abandoned_sessions", s.abandoned_sessions);
+    push_u64(out, "saved", s.saved);
+    push_u64(out, "redone", s.redone);
+    out.push_str(",\"save_ratio\":");
+    out.push_str(&format!("{save_ratio:.3}"));
+    push_u64(out, "wal_bytes", s.wal_bytes);
+    push_u64(out, "cohort", s.cohort);
+    push_u64(out, "defer_wait_p50", s.defer_wait_p50);
+    push_u64(out, "defer_wait_p99", s.defer_wait_p99);
+    push_u64(out, "merge_plan_p50", s.merge_plan_p50);
+    push_u64(out, "merge_plan_p99", s.merge_plan_p99);
+    out.push('}');
+}
+
+fn push_u64(out: &mut String, key: &str, v: u64) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&v.to_string());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate_json_line;
+
+    fn sample(tick: u64, saved: u64, redone: u64) -> TickSample {
+        TickSample { tick, saved, redone, backlog: tick as f64 / 2.0, ..TickSample::default() }
+    }
+
+    #[test]
+    fn stride_skips_off_cycle_ticks_without_building_samples() {
+        let ts = TimeSeries::new(10, 100);
+        let mut built = 0;
+        for tick in 0..35 {
+            ts.record(tick, || {
+                built += 1;
+                sample(tick, 0, 0)
+            });
+        }
+        assert_eq!(built, 4, "ticks 0,10,20,30");
+        assert_eq!(ts.len(), 4);
+        assert_eq!(ts.stride(), 10);
+    }
+
+    #[test]
+    fn capacity_pressure_doubles_stride_and_keeps_even_spacing() {
+        let ts = TimeSeries::new(1, 8);
+        for tick in 0..64 {
+            ts.record(tick, || sample(tick, tick, 0));
+        }
+        assert!(ts.len() <= ts.capacity(), "{} > {}", ts.len(), ts.capacity());
+        let stride = ts.stride();
+        assert!(stride > 1, "stride never grew");
+        for s in ts.samples() {
+            assert!(s.tick.is_multiple_of(stride), "tick {} off stride {stride}", s.tick);
+        }
+        // The retained samples are still strictly increasing in tick.
+        let ticks: Vec<u64> = ts.samples().iter().map(|s| s.tick).collect();
+        let mut sorted = ticks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(ticks, sorted);
+    }
+
+    #[test]
+    fn json_dump_is_valid_with_windowed_save_ratio() {
+        let ts = TimeSeries::new(10, 100);
+        ts.record(0, || sample(0, 0, 0));
+        ts.record(10, || sample(10, 3, 1));
+        ts.record(20, || sample(20, 3, 3));
+        let json = ts.to_json();
+        validate_json_line(&json).unwrap_or_else(|e| panic!("invalid JSON {json}: {e}"));
+        assert!(json.starts_with("{\"stride\":10,\"capacity\":100,\"samples\":["), "{json}");
+        // Window 0→10 resolved 4 (3 saved), window 10→20 resolved 2 (0 saved).
+        assert!(json.contains("\"tick\":10,\"backlog\":5.000"), "{json}");
+        assert!(json.contains("\"saved\":3,\"redone\":1,\"save_ratio\":0.750"), "{json}");
+        assert!(json.contains("\"saved\":3,\"redone\":3,\"save_ratio\":0.000"), "{json}");
+    }
+
+    #[test]
+    fn dump_length_stays_bounded_however_long_the_run() {
+        let ts = TimeSeries::new(1, 16);
+        for tick in 0..100_000u64 {
+            ts.record(tick, || sample(tick, 0, 0));
+        }
+        assert!(ts.len() <= 16);
+        // ~200 bytes per sample; the bound is generous but fixed.
+        assert!(ts.to_json().len() < 16 * 512, "dump grew past the capacity bound");
+    }
+}

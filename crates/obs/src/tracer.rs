@@ -32,6 +32,14 @@ pub trait Tracer: Send + Sync + std::fmt::Debug {
     fn snapshot(&self) -> Option<RegistrySnapshot> {
         None
     }
+
+    /// One phase's `(p50_bound, p99_bound)` without materializing a full
+    /// snapshot — the per-tick telemetry sampler's fast path. `None` for
+    /// sinks without a registry or phases with no samples yet.
+    fn phase_quantiles(&self, phase: Phase) -> Option<(u64, u64)> {
+        let _ = phase;
+        None
+    }
 }
 
 /// The zero-cost default: disabled, records nothing, dumps nothing.
@@ -95,6 +103,10 @@ impl Tracer for JsonlSink {
 
     fn snapshot(&self) -> Option<RegistrySnapshot> {
         Some(self.registry.snapshot())
+    }
+
+    fn phase_quantiles(&self, phase: Phase) -> Option<(u64, u64)> {
+        self.registry.phase_quantiles(phase)
     }
 }
 
@@ -163,11 +175,21 @@ impl TracerHandle {
         self.0.snapshot()
     }
 
+    /// One phase's `(p50_bound, p99_bound)` from the sink's registry,
+    /// without cloning a whole snapshot. `None` when the sink keeps no
+    /// registry or the phase has no samples.
+    pub fn phase_quantiles(&self, phase: Phase) -> Option<(u64, u64)> {
+        self.0.phase_quantiles(phase)
+    }
+
     /// Writes the sink's buffered events to `<dir>/<label>.jsonl`, where
-    /// `<dir>` is `$FLIGHT_RECORDER_DIR` or `target/flight-recorder`.
-    /// Returns the path written, `None` when the sink retains nothing or
-    /// the write failed (failure dumps must never mask the original
-    /// panic). `label` is sanitized to a filename-safe slug.
+    /// `<dir>` is `$FLIGHT_RECORDER_DIR` or `target/flight-recorder`
+    /// (created if missing). When the sink keeps a span registry, its
+    /// snapshot is written alongside as `<label>.registry.json`, so
+    /// failure uploads carry the phase histograms too. Returns the JSONL
+    /// path written, `None` when the sink retains nothing or the write
+    /// failed (failure dumps must never mask the original panic).
+    /// `label` is sanitized to a filename-safe slug.
     pub fn dump_to_dir(&self, label: &str) -> Option<std::path::PathBuf> {
         let body = self.0.dump_jsonl()?;
         let dir = std::env::var_os("FLIGHT_RECORDER_DIR")
@@ -180,6 +202,10 @@ impl TracerHandle {
             .collect();
         let path = dir.join(format!("{slug}.jsonl"));
         std::fs::write(&path, body).ok()?;
+        if let Some(snapshot) = self.0.snapshot() {
+            let registry_path = dir.join(format!("{slug}.registry.json"));
+            let _ = std::fs::write(&registry_path, crate::export::registry_json(&snapshot));
+        }
         Some(path)
     }
 }

@@ -122,6 +122,25 @@ impl BaseNode {
         self.log[from..].iter().map(|(t, _)| *t).collect()
     }
 
+    /// The most recent committed transaction whose footprint conflicts
+    /// with `txn`'s (a shared item with at least one write), skipping
+    /// `txn` itself and everything in `exclude`. Telemetry-only: the
+    /// merge autopsy uses this to name the concrete base commit a
+    /// reprocessed tentative transaction lost to. Scans newest-first so
+    /// the partner named is the latest offender.
+    pub fn latest_conflicting_commit(
+        &self,
+        arena: &TxnArena,
+        txn: TxnId,
+        exclude: &std::collections::BTreeSet<TxnId>,
+    ) -> Option<TxnId> {
+        self.log
+            .iter()
+            .rev()
+            .map(|(t, _)| *t)
+            .find(|&t| t != txn && !exclude.contains(&t) && arena.conflicts(txn, t))
+    }
+
     /// The after state of the `i`-th committed transaction (0-based), or
     /// the initial state for `i == log length` counting from the back...
     /// use [`BaseNode::master`] for the latest state.

@@ -75,6 +75,7 @@ pub use sched::{fork_rng, Event, EventKind, EventQueue, SchedulerMode};
 pub use session::{RetryBackoff, SessionConfig, SessionLedger, SessionRecord, UnackedSession};
 pub use sim::{
     ConvergenceReport, DurableReport, Protocol, SimConfig, SimConfigError, SimReport, Simulation,
+    TelemetryConfig,
 };
 pub use sync::{SyncPath, SyncStrategy};
 pub use wal::{

@@ -255,6 +255,25 @@ impl Metrics {
         }
     }
 
+    /// Exact p50/p99 of the per-deferral waits ([`Metrics::defer_waits`])
+    /// in ticks, `(0, 0)` when nothing was deferred. Computed over a
+    /// sorted copy with the nearest-rank method — the series is bounded
+    /// by the number of deferred admissions, so exact quantiles are
+    /// affordable wherever they're read (telemetry samples, the pinned
+    /// metrics JSON).
+    pub fn defer_wait_quantiles(&self) -> (u64, u64) {
+        if self.defer_waits.is_empty() {
+            return (0, 0);
+        }
+        let mut sorted = self.defer_waits.clone();
+        sorted.sort_unstable();
+        let rank = |q: f64| {
+            let idx = ((sorted.len() as f64) * q).ceil() as usize;
+            sorted[idx.clamp(1, sorted.len()) - 1]
+        };
+        (rank(0.50), rank(0.99))
+    }
+
     /// A copy suitable for byte-for-byte run comparisons:
     /// [`Metrics::parallel_merge_ns`] is wall-clock timing,
     /// [`Metrics::wal`] is log volume, and [`Metrics::sched`] is
@@ -356,6 +375,13 @@ impl Metrics {
             st.defer_wait_max,
             st.backoff_reschedules,
             st.backoff_delay_ticks
+        ));
+        let (p50, p99) = self.defer_wait_quantiles();
+        out.push_str(&format!(
+            ",\"defer_waits\":{{\"count\":{},\"p50\":{},\"p99\":{}}}",
+            self.defer_waits.len(),
+            p50,
+            p99
         ));
         out.push('}');
         out

@@ -227,6 +227,13 @@ impl SessionLedger {
         self.records.len()
     }
 
+    /// Number of live records whose session has installed but not yet
+    /// completed re-execution — the in-flight sessions the telemetry
+    /// layer samples as the `active_sessions` gauge.
+    pub fn open_sessions(&self) -> usize {
+        self.records.values().filter(|r| !r.completed).count()
+    }
+
     /// `true` when no session installed yet.
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()

@@ -13,8 +13,13 @@ use histmerge_core::merge::{
 };
 use histmerge_core::prune::PruneMethod;
 use histmerge_core::rewrite::{FixMode, RewriteAlgorithm};
-use histmerge_history::{BaseEdgeCache, PrecedenceGraph, SerialHistory, TwoCycleOptimal, TxnArena};
-use histmerge_obs::{Phase, SessionStepKind, TraceEvent, TracerHandle};
+use histmerge_history::{
+    closure_weights_for, BaseEdgeCache, EdgeKind, PrecedenceGraph, SerialHistory, TwoCycleOptimal,
+    TxnArena,
+};
+use histmerge_obs::{
+    Phase, SessionStepKind, TickSample, TimeSeries, TraceEvent, TracerHandle, NO_PARTNER,
+};
 use histmerge_semantics::{compact, CompactionConfig, OracleStack, SemanticOracle, StaticAnalyzer};
 use histmerge_txn::{DbState, TxnId, TxnKind, VarSet};
 use histmerge_workload::canned_mix::{CannedMix, CannedMixParams};
@@ -184,6 +189,41 @@ pub struct SimConfig {
     /// default is unbounded — byte-identical to the pre-admission
     /// scheduler.
     pub admission: AdmissionConfig,
+    /// Fleet telemetry: the optional per-tick time-series collector and
+    /// the merge-autopsy switch. Observation-only by the same contract as
+    /// the tracer — a telemetry-enabled run commits byte-identical state
+    /// and (normalized) metrics to a plain run; the ninth
+    /// `session_differential` run pins this.
+    pub telemetry: TelemetryConfig,
+}
+
+/// Fleet-telemetry switches ([`SimConfig::telemetry`]).
+///
+/// Both pieces are off by default and strictly observation-only: they
+/// read simulation state after the fact and never touch RNG streams,
+/// metrics counters, or control flow.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryConfig {
+    /// When set, the simulation records one [`TickSample`] of fleet
+    /// gauges per collector stride into this shared series (backlog,
+    /// defer queue and wait quantiles, open/abandoned sessions,
+    /// cumulative saved/redone for the windowed save ratio, WAL bytes,
+    /// merge-cohort size, merge-plan span bounds).
+    pub series: Option<Arc<TimeSeries>>,
+    /// When `true` (and the tracer is enabled), every sync plan emits a
+    /// structured autopsy: a [`TraceEvent::BackoutEdge`] /
+    /// [`TraceEvent::ReprocessCause`] line per transaction that was not
+    /// saved, closed by a [`TraceEvent::MergeSummary`]. The flight
+    /// recorder reassembles these into [`histmerge_obs::MergeAutopsy`]
+    /// values.
+    pub autopsy: bool,
+}
+
+impl TelemetryConfig {
+    /// Telemetry fully enabled: a fresh bounded series plus autopsies.
+    pub fn full(stride: u64, capacity: usize) -> TelemetryConfig {
+        TelemetryConfig { series: Some(Arc::new(TimeSeries::new(stride, capacity))), autopsy: true }
+    }
 }
 
 impl Default for SimConfig {
@@ -216,6 +256,7 @@ impl Default for SimConfig {
             compaction: CompactionConfig::default(),
             connectivity: ConnectivityModel::AlwaysOn,
             admission: AdmissionConfig::unbounded(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -429,9 +470,49 @@ enum SyncDecision {
     },
     /// Re-execute everything the \[GHOS96\] way.
     Reprocess {
-        /// A Strategy-1 merge failed (snapshot invalidated) first.
-        merge_failed: bool,
+        /// Why the planner fell back to wholesale reprocessing.
+        cause: ReprocessReason,
     },
+}
+
+/// Why a sync plan fell back to \[GHOS96\] reprocessing — carried on
+/// [`SyncDecision::Reprocess`] so both the metrics (`merge_failed`) and
+/// the merge autopsy name the concrete cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReprocessReason {
+    /// The mobile's origin state is stale relative to the epoch it must
+    /// merge into (Strategy 2 window semantics).
+    DirtyOrigin,
+    /// The configured protocol is the reprocessing baseline.
+    ProtocolBaseline,
+    /// The mobile disconnected across a window rollover (Strategy 2
+    /// window miss).
+    WindowMiss,
+    /// A merge was planned but failed (Strategy 1 snapshot invalidated,
+    /// or the merge itself was rejected).
+    MergeFailed,
+    /// A session resumption found no ledger record and degraded to
+    /// legacy reprocessing.
+    LedgerGap,
+}
+
+impl ReprocessReason {
+    /// The autopsy cause label.
+    fn name(self) -> &'static str {
+        match self {
+            ReprocessReason::DirtyOrigin => "dirty-origin",
+            ReprocessReason::ProtocolBaseline => "protocol-reprocessing",
+            ReprocessReason::WindowMiss => "window-miss",
+            ReprocessReason::MergeFailed => "merge-failed",
+            ReprocessReason::LedgerGap => "ledger-gap",
+        }
+    }
+
+    /// `true` only when a planned merge failed first — the bit
+    /// [`crate::metrics::SyncRecord`] has always recorded.
+    fn merge_failed(self) -> bool {
+        matches!(self, ReprocessReason::MergeFailed)
+    }
 }
 
 /// A session resumption found no ledger record for `(mobile, seq)` — the
@@ -521,6 +602,13 @@ pub struct Simulation {
     /// with backoff disabled) are byte-identical to the pre-backoff
     /// simulator.
     backoff_rng: StdRng,
+    /// Merge-plan span nanoseconds of the most recent [`Self::plan_sync`]
+    /// call (0 when no plan was computed). Telemetry-only: read by the
+    /// merge autopsy, never by the simulation.
+    last_plan_ns: u64,
+    /// Mobiles admitted to the merge cohort this tick. Telemetry-only:
+    /// sampled as the `cohort` gauge, reset each tick.
+    tick_cohort: u64,
 }
 
 impl Simulation {
@@ -604,6 +692,8 @@ impl Simulation {
             deferred: VecDeque::new(),
             backoff_level: vec![0; n],
             backoff_rng: StdRng::seed_from_u64(config.workload.seed ^ 0xBAC0_0FF5_BAC0_0FF5),
+            last_plan_ns: 0,
+            tick_cohort: 0,
             mobiles,
             config,
         };
@@ -795,6 +885,7 @@ impl Simulation {
 
     fn step(&mut self, tick: u64) {
         let mut tick_base_work = 0.0;
+        self.tick_cohort = 0;
 
         // Window boundary (Strategy 2, fixed or adaptive).
         let rolled = match self.config.strategy {
@@ -847,9 +938,42 @@ impl Simulation {
             self.metrics.backlog_series.push((tick, self.backlog));
         }
 
+        // Fleet telemetry: one bounded time-series sample per collector
+        // stride. Observation-only — reads state, touches nothing.
+        self.sample_telemetry(tick);
+
         // Durability: checkpoint at tick boundaries once enough records
         // accumulated.
         self.wal_maybe_checkpoint();
+    }
+
+    /// Records one [`TickSample`] of fleet gauges into the configured
+    /// time series, if any. The closure only runs on collector-stride
+    /// ticks, so off-stride ticks cost one branch.
+    fn sample_telemetry(&mut self, tick: u64) {
+        let Some(series) = self.config.telemetry.series.clone() else {
+            return;
+        };
+        series.record(tick, || {
+            let (defer_wait_p50, defer_wait_p99) = self.metrics.defer_wait_quantiles();
+            let (merge_plan_p50, merge_plan_p99) =
+                self.config.tracer.phase_quantiles(Phase::MergePlan).unwrap_or((0, 0));
+            TickSample {
+                tick,
+                backlog: self.backlog,
+                deferred: self.deferred.len() as u64,
+                active_sessions: self.ledger.open_sessions() as u64,
+                abandoned_sessions: self.metrics.fault.abandoned_sessions as u64,
+                saved: self.metrics.saved as u64,
+                redone: (self.metrics.backed_out + self.metrics.reprocessed) as u64,
+                wal_bytes: self.wal.as_ref().map_or(0, Wal::bytes_written),
+                cohort: self.tick_cohort,
+                defer_wait_p50,
+                defer_wait_p99,
+                merge_plan_p50,
+                merge_plan_p99,
+            }
+        });
     }
 
     /// The legacy tick body: two O(fleet) traversals, one for generation
@@ -1077,6 +1201,7 @@ impl Simulation {
     /// members fall back to the live serial path. Returns base work units.
     fn sync_batch(&mut self, batch: &[usize], tick: u64) -> f64 {
         self.metrics.batch_sizes.push(batch.len());
+        self.tick_cohort += batch.len() as u64;
         let mut speculated = self.speculate_batch(batch);
         let tracer = self.config.tracer.clone();
         let mut work = 0.0;
@@ -1176,11 +1301,23 @@ impl Simulation {
         out
     }
 
-    /// Decides what this reconnection does, without applying anything. The
-    /// speculative outcome (if any) is validated here against the base
-    /// transactions appended since its snapshot; an invalidated member
-    /// falls through to the live serial decision.
-    fn plan_sync(&mut self, i: usize, spec: Option<Speculative>) -> SyncDecision {
+    /// Decides what this reconnection does, without applying anything,
+    /// and emits the decision's merge autopsy when telemetry asks for
+    /// one. Autopsies are per *plan*: on the session path a plan whose
+    /// session is later abandoned is re-planned (and re-explained) at the
+    /// next reconnect, so in faulted runs plans can outnumber
+    /// resolutions.
+    fn plan_sync(&mut self, i: usize, tick: u64, spec: Option<Speculative>) -> SyncDecision {
+        self.last_plan_ns = 0;
+        let decision = self.plan_sync_inner(i, spec);
+        self.emit_autopsy(i, tick, &decision);
+        decision
+    }
+
+    /// The decision body: validates any speculative outcome against the
+    /// base transactions appended since its snapshot (an invalidated
+    /// member falls through to the live serial decision), then plans.
+    fn plan_sync_inner(&mut self, i: usize, spec: Option<Speculative>) -> SyncDecision {
         if let Some(spec) = spec {
             let delta: Vec<TxnId> = self.base.base().history_suffix(spec.log_len);
             if delta_invalidates(&self.arena, &delta, &spec.reads, &spec.writes) {
@@ -1211,10 +1348,12 @@ impl Simulation {
             // The suffix a recovered session left behind ran from a state
             // that already included committed work: no base snapshot
             // matches its origin, so it cannot be merged.
-            return SyncDecision::Reprocess { merge_failed: false };
+            return SyncDecision::Reprocess { cause: ReprocessReason::DirtyOrigin };
         }
         match self.config.protocol {
-            Protocol::Reprocessing => SyncDecision::Reprocess { merge_failed: false },
+            Protocol::Reprocessing => {
+                SyncDecision::Reprocess { cause: ReprocessReason::ProtocolBaseline }
+            }
             Protocol::Merging { algorithm, fix_mode } => match self.config.strategy {
                 SyncStrategy::WindowStart { .. } | SyncStrategy::AdaptiveWindow { .. } => {
                     if self.mobile_epochs[i] != self.epoch {
@@ -1222,7 +1361,7 @@ impl Simulation {
                         // cannot be merged (Section 2.2) and is reprocessed
                         // instead.
                         self.metrics.window_misses += 1;
-                        SyncDecision::Reprocess { merge_failed: false }
+                        SyncDecision::Reprocess { cause: ReprocessReason::WindowMiss }
                     } else {
                         self.plan_merge_window(i, algorithm, fix_mode)
                     }
@@ -1232,6 +1371,239 @@ impl Simulation {
                 }
             },
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Merge autopsies (SimConfig::telemetry.autopsy). Observation-only:
+    // every function below reads simulation state and emits trace
+    // events; none touches RNG streams, metrics, or control flow.
+    // ------------------------------------------------------------------
+
+    /// Emits the structured autopsy for a freshly planned sync decision,
+    /// when telemetry asks for one and a tracer is listening. A refresh
+    /// plan (nothing pending) emits nothing.
+    fn emit_autopsy(&self, i: usize, tick: u64, decision: &SyncDecision) {
+        if !self.config.telemetry.autopsy || !self.config.tracer.enabled() {
+            return;
+        }
+        match decision {
+            SyncDecision::Refresh => {}
+            SyncDecision::Merge { hm, outcome, retroactive, .. } => {
+                self.emit_merge_autopsy(i, tick, hm, outcome, *retroactive);
+            }
+            SyncDecision::Reprocess { cause } => self.emit_reprocess_autopsy(i, tick, *cause),
+        }
+    }
+
+    /// A transaction's combined read|write summary mask — the compact
+    /// footprint fingerprint autopsy events carry.
+    fn footprint_mask(&self, id: TxnId) -> u64 {
+        let t = self.arena.get(id);
+        t.read_mask().summary() | t.write_mask().summary()
+    }
+
+    /// Explains a planned merge: one [`TraceEvent::BackoutEdge`] per
+    /// backed-out transaction naming the conflict edge (and the base
+    /// commit) it lost to plus its closure back-out weight, closed by a
+    /// [`TraceEvent::MergeSummary`]. Re-derives the evidence with
+    /// targeted scans — a subset closure pass for the weights and a
+    /// reverse conflict scan per casualty — instead of rebuilding the
+    /// planner's full graph and closure table, so a telemetry-enabled
+    /// run does not pay the merge's planning cost twice. Pure
+    /// re-derivation either way: the plan itself is untouched.
+    fn emit_merge_autopsy(
+        &self,
+        i: usize,
+        tick: u64,
+        hm: &SerialHistory,
+        outcome: &MergeOutcome,
+        retroactive: bool,
+    ) {
+        let tracer = self.config.tracer.clone();
+        let hb: SerialHistory = if retroactive {
+            let origin = self.mobiles[i].origin_index();
+            self.base.base().full_history().order()[origin..].iter().copied().collect()
+        } else {
+            self.base.base().epoch_history()
+        };
+        let bad: BTreeSet<TxnId> = outcome.backed_out.iter().copied().collect();
+        let weights = closure_weights_for(&self.arena, hm, &bad);
+        let hb_rev: Vec<TxnId> = hb.iter().collect();
+        let hm_rev: Vec<TxnId> = hm.iter().collect();
+        for &t in &outcome.backed_out {
+            // Prefer the partner that names a base commit: the latest
+            // epoch base transaction t draws a precedence edge with (a
+            // pure cross write-write overlap draws none). Fall back to
+            // the latest conflicting mobile partner — an affected-set
+            // casualty always has one, because its taint came in through
+            // a read of another casualty's write.
+            let base_partner = hb_rev.iter().rev().copied().find(|&b| {
+                self.arena.reads_overlap_writes(t, b) || self.arena.reads_overlap_writes(b, t)
+            });
+            let best = match base_partner {
+                Some(b) => {
+                    let rule = if self.arena.reads_overlap_writes(t, b) {
+                        EdgeKind::MobileReadBase.name()
+                    } else {
+                        EdgeKind::BaseReadMobile.name()
+                    };
+                    Some((b, rule))
+                }
+                None => hm_rev
+                    .iter()
+                    .rev()
+                    .copied()
+                    .find(|&m| m != t && self.arena.conflicts(t, m))
+                    .map(|m| (m, EdgeKind::MobileConflict.name())),
+            };
+            let txn_mask = self.footprint_mask(t);
+            let (lost_to, rule, other_mask) = match best {
+                Some((partner, rule)) => {
+                    (u64::from(partner.index()), rule, self.footprint_mask(partner))
+                }
+                None => (NO_PARTNER, "none", 0),
+            };
+            let weight = weights.get(&t).copied().unwrap_or(0);
+            tracer.emit(|| TraceEvent::BackoutEdge {
+                tick,
+                mobile: i,
+                txn: u64::from(t.index()),
+                lost_to,
+                rule,
+                txn_mask,
+                other_mask,
+                weight,
+            });
+        }
+        let clusters = self.count_clusters(hm, &hb);
+        let squashed = hm.iter().filter(|id| self.composites.contains_key(id)).count();
+        let pending = self.original_len(hm);
+        let saved = self.original_count(&outcome.saved);
+        let backed_out = self.original_count(&outcome.backed_out);
+        let plan_ns = self.last_plan_ns;
+        tracer.emit(|| TraceEvent::MergeSummary {
+            tick,
+            mobile: i,
+            pending,
+            saved,
+            backed_out,
+            reprocessed: 0,
+            clusters,
+            squashed,
+            plan_ns,
+        });
+    }
+
+    /// Connected components of the conflict relation over the merge's
+    /// input (`H_m ∪ H_b`) that contain at least one pending tentative
+    /// transaction — the merge's conflict clusters. Linear in total
+    /// footprint size, not quadratic in transactions: per item, every
+    /// writer unions with the item's first writer and every reader
+    /// unions with it too, which yields exactly the conflict graph's
+    /// components (readers of a written item are connected *through*
+    /// its writer; an item nobody writes connects nothing).
+    fn count_clusters(&self, hm: &SerialHistory, hb: &SerialHistory) -> usize {
+        let nodes: Vec<TxnId> = hm.iter().chain(hb.iter()).collect();
+        let mut parent: Vec<usize> = (0..nodes.len()).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        fn union(parent: &mut [usize], a: usize, b: usize) {
+            let (ra, rb) = (find(parent, a), find(parent, b));
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        }
+        let mut writer_of = vec![usize::MAX; self.arena.var_count()];
+        for (k, &id) in nodes.iter().enumerate() {
+            for (wi, &word) in self.arena.write_bits(id).words().iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let v = wi * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    if writer_of[v] == usize::MAX {
+                        writer_of[v] = k;
+                    } else {
+                        union(&mut parent, k, writer_of[v]);
+                    }
+                }
+            }
+        }
+        for (k, &id) in nodes.iter().enumerate() {
+            for (wi, &word) in self.arena.read_bits(id).words().iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let v = wi * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let w = writer_of[v];
+                    if w != usize::MAX {
+                        union(&mut parent, k, w);
+                    }
+                }
+            }
+        }
+        let mut roots = BTreeSet::new();
+        for k in 0..hm.len() {
+            roots.insert(find(&mut parent, k));
+        }
+        roots.len()
+    }
+
+    /// Explains a wholesale-reprocessing plan: one
+    /// [`TraceEvent::ReprocessCause`] per pending transaction naming the
+    /// latest committed base transaction it conflicts with (the concrete
+    /// commit it "lost to"), closed by a [`TraceEvent::MergeSummary`].
+    fn emit_reprocess_autopsy(&self, i: usize, tick: u64, reason: ReprocessReason) {
+        let tracer = self.config.tracer.clone();
+        let pending: Vec<TxnId> = self.mobiles[i].history().iter().collect();
+        let pending_set: BTreeSet<TxnId> = pending.iter().copied().collect();
+        for &t in &pending {
+            let partner = self.base.base().latest_conflicting_commit(&self.arena, t, &pending_set);
+            let (lost_to, rule, other_mask) = match partner {
+                Some(p) => {
+                    // Classify the conflict by the paper's rule-3 edge
+                    // directions; a pure write-write overlap draws no
+                    // precedence edge and is labeled as such.
+                    let rule = if self.arena.reads_overlap_writes(t, p) {
+                        EdgeKind::MobileReadBase.name()
+                    } else if self.arena.reads_overlap_writes(p, t) {
+                        EdgeKind::BaseReadMobile.name()
+                    } else {
+                        "write-write"
+                    };
+                    (u64::from(p.index()), rule, self.footprint_mask(p))
+                }
+                None => (NO_PARTNER, "none", 0),
+            };
+            let txn_mask = self.footprint_mask(t);
+            let cause = reason.name();
+            tracer.emit(|| TraceEvent::ReprocessCause {
+                tick,
+                mobile: i,
+                txn: u64::from(t.index()),
+                cause,
+                lost_to,
+                rule,
+                txn_mask,
+                other_mask,
+            });
+        }
+        let plan_ns = self.last_plan_ns;
+        tracer.emit(|| TraceEvent::MergeSummary {
+            tick,
+            mobile: i,
+            pending: pending.len(),
+            saved: 0,
+            backed_out: 0,
+            reprocessed: pending.len(),
+            clusters: 0,
+            squashed: 0,
+            plan_ns,
+        });
     }
 
     /// Brings the epoch's base-edge cache up to date with the epoch
@@ -1292,7 +1664,7 @@ impl Simulation {
     /// Synchronizes mobile `i` through the legacy atomic handshake;
     /// returns the base-side work units incurred.
     fn sync_mobile(&mut self, i: usize, tick: u64, spec: Option<Speculative>) -> f64 {
-        match self.plan_sync(i, spec) {
+        match self.plan_sync(i, tick, spec) {
             SyncDecision::Refresh => {
                 self.refresh_origin(i);
                 0.0
@@ -1300,7 +1672,7 @@ impl Simulation {
             SyncDecision::Merge { hm, hb_len, outcome, retroactive } => {
                 self.apply_merge(i, tick, &hm, hb_len, *outcome, retroactive)
             }
-            SyncDecision::Reprocess { merge_failed } => self.reprocess_all(i, tick, merge_failed),
+            SyncDecision::Reprocess { cause } => self.reprocess_all(i, tick, cause),
         }
     }
 
@@ -1342,7 +1714,7 @@ impl Simulation {
         } else {
             merger.merge_traced(&self.arena, &hm, &hb, &s0, assist, &tracer)
         };
-        tracer.span_end(Phase::MergePlan, span);
+        self.last_plan_ns = tracer.span_end(Phase::MergePlan, span);
         match planned {
             Ok(outcome) => SyncDecision::Merge {
                 hb_len: hb.len(),
@@ -1350,7 +1722,7 @@ impl Simulation {
                 outcome: Box::new(outcome),
                 retroactive: false,
             },
-            Err(_) => SyncDecision::Reprocess { merge_failed: true },
+            Err(_) => SyncDecision::Reprocess { cause: ReprocessReason::MergeFailed },
         }
     }
 
@@ -1377,7 +1749,7 @@ impl Simulation {
             Err(_) => false,
         };
         if !valid {
-            return SyncDecision::Reprocess { merge_failed: true };
+            return SyncDecision::Reprocess { cause: ReprocessReason::MergeFailed };
         }
         let hm = self.compact_pending(hm, &hb);
         let merger = self.merger(algorithm, fix_mode);
@@ -1396,7 +1768,7 @@ impl Simulation {
         } else {
             merger.merge_traced(&self.arena, &hm, &hb, &s0, MergeAssist::default(), &tracer)
         };
-        tracer.span_end(Phase::MergePlan, span);
+        self.last_plan_ns = tracer.span_end(Phase::MergePlan, span);
         match planned {
             Ok(outcome) => SyncDecision::Merge {
                 hb_len: hb.len(),
@@ -1404,7 +1776,7 @@ impl Simulation {
                 outcome: Box::new(outcome),
                 retroactive: true,
             },
-            Err(_) => SyncDecision::Reprocess { merge_failed: true },
+            Err(_) => SyncDecision::Reprocess { cause: ReprocessReason::MergeFailed },
         }
     }
 
@@ -1503,7 +1875,7 @@ impl Simulation {
 
     /// Reprocesses every pending tentative transaction of mobile `i` the
     /// old way. Returns base work units.
-    fn reprocess_all(&mut self, i: usize, tick: u64, merge_failed: bool) -> f64 {
+    fn reprocess_all(&mut self, i: usize, tick: u64, cause: ReprocessReason) -> f64 {
         let pending: Vec<TxnId> = self.mobiles[i].history().iter().collect();
         let total_stmts: usize =
             pending.iter().map(|id| self.arena.get(*id).program().statement_count()).sum();
@@ -1528,7 +1900,7 @@ impl Simulation {
                 saved: 0,
                 backed_out: 0,
                 reprocessed: pending.len(),
-                merge_failed,
+                merge_failed: cause.merge_failed(),
                 sync_ns: 0,
             },
             cost,
@@ -1682,7 +2054,7 @@ impl Simulation {
                 work += self.resume_or_degrade(i, seq, tick);
             } else {
                 if decision.is_none() {
-                    decision = Some(self.plan_sync(i, spec.take()));
+                    decision = Some(self.plan_sync(i, tick, spec.take()));
                     self.config.tracer.emit(|| TraceEvent::SessionStep {
                         tick,
                         mobile: i,
@@ -1869,7 +2241,13 @@ impl Simulation {
                     mobile: gap.mobile,
                     seq: gap.seq,
                 });
-                self.reprocess_all(gap.mobile, tick, false)
+                // This path bypasses `plan_sync`, so the autopsy (when
+                // enabled) is emitted here.
+                if self.config.telemetry.autopsy && self.config.tracer.enabled() {
+                    self.last_plan_ns = 0;
+                    self.emit_reprocess_autopsy(gap.mobile, tick, ReprocessReason::LedgerGap);
+                }
+                self.reprocess_all(gap.mobile, tick, ReprocessReason::LedgerGap)
             }
         }
     }
@@ -1907,7 +2285,7 @@ impl Simulation {
                     completed: false,
                 }
             }
-            SyncDecision::Reprocess { merge_failed } => {
+            SyncDecision::Reprocess { cause } => {
                 let pending: Vec<TxnId> = self.mobiles[i].history().iter().collect();
                 let total_stmts: usize =
                     pending.iter().map(|id| self.arena.get(*id).program().statement_count()).sum();
@@ -1924,7 +2302,7 @@ impl Simulation {
                         saved: 0,
                         backed_out: 0,
                         reprocessed: pending.len(),
-                        merge_failed,
+                        merge_failed: cause.merge_failed(),
                         sync_ns: 0,
                     },
                     plan: InstallPlan {
@@ -2043,6 +2421,7 @@ mod tests {
             compaction: CompactionConfig::default(),
             connectivity: ConnectivityModel::AlwaysOn,
             admission: AdmissionConfig::unbounded(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 

@@ -174,6 +174,14 @@ impl VarMask {
         self.sorted.is_empty()
     }
 
+    /// The 64-bit summary (bit `i % 64` set per member index `i`) — the
+    /// compact footprint fingerprint carried on telemetry events. A
+    /// filter, not the membership verdict: use [`VarMask::contains`] /
+    /// [`VarMask::intersects`] for exact answers.
+    pub fn summary(&self) -> u64 {
+        self.summary
+    }
+
     /// Number of members.
     pub fn len(&self) -> usize {
         self.sorted.len()

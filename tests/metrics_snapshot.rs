@@ -56,6 +56,7 @@ fn populated_metrics() -> Metrics {
             backoff_reschedules: 2,
             backoff_delay_ticks: 10,
         },
+        defer_waits: vec![3, 1, 2, 1],
         ..Metrics::default()
     };
     m.record(
@@ -114,7 +115,10 @@ fn metrics_json_shape_is_pinned() {
             "\"compaction\":{\"txns_in\":9,\"txns_out\":6,\"runs_squashed\":2},",
             "\"storm\":{\"shed\":7,\"deferred_drained\":7,\"deferred_peak\":4,",
             "\"defer_wait_ticks\":12,\"defer_wait_max\":3,",
-            "\"backoff_reschedules\":2,\"backoff_delay_ticks\":10}}"
+            "\"backoff_reschedules\":2,\"backoff_delay_ticks\":10},",
+            // defer_waits [3,1,2,1] sorted -> [1,1,2,3]: p50 = 2nd (1),
+            // p99 = 4th (3), nearest-rank.
+            "\"defer_waits\":{\"count\":4,\"p50\":1,\"p99\":3}}"
         )
     );
 }
@@ -131,7 +135,8 @@ fn default_metrics_json_is_all_zeroes_and_valid() {
     assert!(json.ends_with(
         "\"storm\":{\"shed\":0,\"deferred_drained\":0,\"deferred_peak\":0,\
          \"defer_wait_ticks\":0,\"defer_wait_max\":0,\
-         \"backoff_reschedules\":0,\"backoff_delay_ticks\":0}}"
+         \"backoff_reschedules\":0,\"backoff_delay_ticks\":0},\
+         \"defer_waits\":{\"count\":0,\"p50\":0,\"p99\":0}}"
     ));
 }
 

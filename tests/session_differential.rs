@@ -25,13 +25,20 @@
 //! unbounded admission AND a saturated duty cycle (`on_ticks == period`,
 //! exercising the non-trivial trace arithmetic) must both be the
 //! identity — the connectivity model adjusts schedules *after* the legacy
-//! cadence draws, it never consumes or adds randomness.
+//! cadence draws, it never consumes or adds randomness. A ninth run
+//! turns on the full PR-9 fleet telemetry (the per-tick time-series
+//! collector plus merge autopsies, on top of the flight-recorder ring):
+//! telemetry reads simulation state after the fact, so the fully
+//! instrumented run must hold to the same byte-identity bar while the
+//! series fills and every sync closes an autopsy.
 
-use histmerge::obs::FlightRecorder;
+use std::sync::Arc;
+
+use histmerge::obs::{FlightRecorder, TimeSeries, TracerHandle};
 use histmerge::replication::metrics::Metrics;
 use histmerge::replication::{
     AdmissionConfig, ConnectivityModel, DurabilityConfig, FaultPlan, FaultStats, Protocol,
-    SchedulerMode, SimConfig, SimReport, Simulation, SyncPath, SyncStrategy,
+    SchedulerMode, SimConfig, SimReport, Simulation, SyncPath, SyncStrategy, TelemetryConfig,
 };
 use histmerge::semantics::CompactionConfig;
 use histmerge::workload::cost::CostReport;
@@ -65,10 +72,11 @@ fn config(protocol: Protocol, seed: u64) -> SimConfig {
     }
 }
 
-/// Runs `config` through both paths — and the session path three times
-/// more, with durability enabled, with a flight-recorder ring attached,
-/// and with merge-scratch reuse across windows — plus a sixth run on the
-/// legacy tick-scan scheduler, and asserts the reports are identical.
+/// Runs `config` through both paths — and the session path again with
+/// durability enabled, with a flight-recorder ring attached, with
+/// merge-scratch reuse across windows, and with full fleet telemetry
+/// (time-series + autopsies) — plus a run on the legacy tick-scan
+/// scheduler, and asserts the reports are identical.
 fn assert_paths_agree(mut config: SimConfig, label: &str) -> SimReport {
     config.sync_path = SyncPath::Legacy;
     let legacy = Simulation::new(config.clone()).expect("valid sim config").run();
@@ -113,6 +121,32 @@ fn assert_paths_agree(mut config: SimConfig, label: &str) -> SimReport {
     saturated_config.connectivity =
         ConnectivityModel::DutyCycle { period: 16, on_ticks: 16, seed: 1717 };
     let saturated = Simulation::new(saturated_config).expect("valid sim config").run();
+    // Ninth run: the full PR-9 fleet telemetry — per-tick time-series
+    // collection and merge autopsies on top of the flight-recorder ring.
+    // Telemetry reads simulation state after the fact, so the fully
+    // instrumented run must stay byte-identical too.
+    let recorder = Arc::new(FlightRecorder::new(4096));
+    let series = Arc::new(TimeSeries::new(1, 1024));
+    let mut telemetry_config = config.clone();
+    telemetry_config.tracer = TracerHandle::new(recorder.clone());
+    telemetry_config.telemetry = TelemetryConfig { series: Some(series.clone()), autopsy: true };
+    let instrumented = Simulation::new(telemetry_config).expect("valid sim config").run();
+    assert!(!series.is_empty(), "{label}: the telemetry run sampled nothing");
+    let autopsies = recorder.autopsies();
+    assert!(!autopsies.is_empty(), "{label}: the telemetry run produced no autopsies");
+    // Back-outs always lose to a concrete conflict partner; partner-less
+    // edges are only legal for wholesale reprocess decisions, which must
+    // name their policy cause instead (protocol baseline, window miss,
+    // failed merge, dirty origin).
+    for autopsy in &autopsies {
+        for edge in autopsy.edges.iter() {
+            assert!(
+                edge.is_concrete() || (edge.cause != "backed-out" && !edge.cause.is_empty()),
+                "{label}: autopsy at tick {} has a vague edge: {edge:?}",
+                autopsy.tick
+            );
+        }
+    }
     // Fourth run: same session config with the flight recorder listening.
     // Tracing is observation-only, so `normalized()` must stay
     // byte-identical to the untraced runs.
@@ -132,6 +166,7 @@ fn assert_paths_agree(mut config: SimConfig, label: &str) -> SimReport {
         (&tickscan, "legacy+tickscan"),
         (&explicit, "session+always-on"),
         (&saturated, "session+saturated-duty"),
+        (&instrumented, "session+telemetry"),
     ] {
         assert_eq!(
             legacy.final_master, candidate.final_master,
