@@ -1,14 +1,14 @@
-//! The per-PR perf-trajectory gate over the committed `BENCH_pr8.json`.
+//! The per-PR perf-trajectory gate over the committed `BENCH_pr10.json`.
 //!
 //! Two modes:
 //!
 //! * `bench_trajectory --write [--out PATH]` — combine the freshly
 //!   emitted `BENCH_hotpath.json` (E18), `BENCH_scale.json` (E19),
-//!   `BENCH_compaction.json` (E20) and `BENCH_storm.json` (E21)
-//!   artifacts from `$EXPERIMENTS_DIR` (default `target/experiments`)
-//!   into one trajectory document, written to `PATH` (default
-//!   `BENCH_pr8.json`). Run from the repo root to refresh the committed
-//!   baseline.
+//!   `BENCH_compaction.json` (E20), `BENCH_storm.json` (E21) and
+//!   `BENCH_cohort.json` (E23) artifacts from `$EXPERIMENTS_DIR`
+//!   (default `target/experiments`) into one trajectory document,
+//!   written to `PATH` (default `BENCH_pr10.json`). Run from the repo
+//!   root to refresh the committed baseline.
 //! * `bench_trajectory --check BASELINE [--out PATH]` — combine the
 //!   fresh artifacts the same way (written to `PATH` for CI upload),
 //!   then compare every **throughput metric** — a column whose name
@@ -31,7 +31,8 @@ use std::process::ExitCode;
 use histmerge_bench::json::{metric_number, parse, JsonVal};
 
 /// The artifacts a trajectory document combines, in document order.
-const ARTIFACTS: [&str; 4] = ["BENCH_hotpath", "BENCH_scale", "BENCH_compaction", "BENCH_storm"];
+const ARTIFACTS: [&str; 5] =
+    ["BENCH_hotpath", "BENCH_scale", "BENCH_compaction", "BENCH_storm", "BENCH_cohort"];
 
 fn artifacts_dir() -> PathBuf {
     std::env::var_os("EXPERIMENTS_DIR")
@@ -44,7 +45,8 @@ fn read_artifact(name: &str) -> Result<String, String> {
     let path = artifacts_dir().join(format!("{name}.json"));
     let text = std::fs::read_to_string(&path).map_err(|e| {
         format!(
-            "cannot read {} (run exp_hotpath, exp_scale, exp_compaction and exp_storm first): {e}",
+            "cannot read {} (run exp_hotpath, exp_scale, exp_compaction, exp_storm and \
+             exp_cohort first): {e}",
             path.display()
         )
     })?;
@@ -141,7 +143,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut mode = None;
     let mut baseline_path = None;
-    let mut out = PathBuf::from("BENCH_pr8.json");
+    let mut out = PathBuf::from("BENCH_pr10.json");
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {

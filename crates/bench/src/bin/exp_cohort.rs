@@ -1,0 +1,322 @@
+//! E23 — the cohort install pipeline: killing the quadratic same-tick
+//! install cost.
+//!
+//! E19's honest finding (and E21's storm corollary) was that under the
+//! merging protocol a same-tick reconnect cohort pays quadratically for
+//! its own installs: every member's install appends base transactions
+//! that invalidate later members' speculative merges, and each
+//! invalidated member re-pays a serial live merge against the grown
+//! epoch history. PR 10 restructures that pipeline — incremental epoch
+//! edge maintenance (the cache appends each install's suffix instead of
+//! re-walking the epoch), bounded **wave re-speculation** (the still
+//! pending stale remainder re-merges concurrently against a refreshed
+//! snapshot), the **mask-disjoint fast path** (a pending history whose
+//! footprint is disjoint from the whole concurrent base slice skips
+//! precedence-graph construction wholesale), and **deferred witness
+//! materialization** (the slow path stops paying a per-merge O(|H|²)
+//! topological sort for a Theorem-1 witness history the install
+//! pipeline never reads).
+//!
+//! Two tables:
+//!
+//! * `cohort` — E19's `merge_regime` sweep extended to cohort sizes
+//!   64 / 256 / 1024, each run A/B: the legacy pipeline
+//!   ([`CohortConfig::legacy`], exactly the pre-PR install path) against
+//!   the tuned one ([`CohortConfig::tuned`]). Byte-identity of the two
+//!   arms is asserted **in-run** (final master, commit log, every sync
+//!   record, normalized metrics) — the speedup is pure mechanism.
+//! * `herd` — E21's uncapped storm-herd cell (the o60 outage whose
+//!   slid cohort approaches the whole fleet), re-run under both arms on
+//!   the session path with retry backoff, to show the tuned pipeline
+//!   pays the herd's bill too.
+//!
+//! Acceptance bars, asserted below: the tuned 256-member cohort row
+//! clears 3x the legacy throughput; the legacy 256→1024 wall-clock
+//! growth is super-linear while the tuned curve is strictly flatter
+//! with an advantage that widens with cohort size (~5x at 1024); the
+//! tuned herd cell is measurably faster than the legacy herd.
+//!
+//! `EXP_COHORT_SMOKE=1` drops the 1024-member row and shortens the herd
+//! outage — CI's `bench-trajectory` job runs that mode on every PR and
+//! gates on the emitted `BENCH_cohort.json` (see `bench_trajectory`).
+//!
+//! Run: `cargo run --release -p histmerge-bench --bin exp_cohort`
+
+use histmerge_bench::{artifact_json, fmt, timed, write_artifact, Table};
+use histmerge_replication::{
+    AdmissionConfig, CohortConfig, ConnectivityModel, Parallelism, Protocol, RetryBackoff,
+    SchedulerMode, SimConfig, SimReport, Simulation, SyncPath, SyncStrategy,
+};
+use histmerge_workload::generator::ScenarioParams;
+
+/// E19's `merge_config` with the worker count pinned: synchronized
+/// reconnects turn every cadence tick into a fleet-sized batch, and the
+/// window rollover at tick 100 forces a reprocessing share.
+fn cohort_config(fleet: usize, cohort: CohortConfig) -> SimConfig {
+    SimConfig {
+        n_mobiles: fleet,
+        duration: 200,
+        base_rate: 0.2,
+        mobile_rate: 0.05,
+        connect_every: 25,
+        protocol: Protocol::merging_default(),
+        strategy: SyncStrategy::WindowStart { window: 100 },
+        workload: ScenarioParams {
+            n_vars: 256,
+            commutative_fraction: 0.7,
+            guarded_fraction: 0.1,
+            read_only_fraction: 0.1,
+            hot_fraction: 0.05,
+            hot_prob: 0.05,
+            seed: 1906,
+            ..ScenarioParams::default()
+        },
+        base_capacity: 10_000.0,
+        // Pinned (not `Auto`) so the speculative phase engages with the
+        // same worker count on any host, single-core CI included; both
+        // arms run under the identical setting, so the A/B stays fair.
+        parallelism: Parallelism::Threads(4),
+        synchronized_reconnects: true,
+        scheduler: SchedulerMode::EventQueue,
+        lean_base_log: true,
+        backlog_sample_every: 0,
+        cohort,
+        ..SimConfig::default()
+    }
+}
+
+/// E21's uncapped storm cell, verbatim: a fleet-wide outage slides every
+/// reconnect to the first up tick, and the herd merges uncapped.
+fn herd_config(fleet: usize, outage: u64, cohort: CohortConfig) -> SimConfig {
+    SimConfig {
+        n_mobiles: fleet,
+        duration: 600,
+        base_rate: 0.2,
+        mobile_rate: 0.05,
+        connect_every: 40,
+        protocol: Protocol::merging_default(),
+        strategy: SyncStrategy::WindowStart { window: 150 },
+        workload: ScenarioParams {
+            n_vars: 192,
+            commutative_fraction: 0.7,
+            guarded_fraction: 0.1,
+            read_only_fraction: 0.1,
+            hot_fraction: 0.05,
+            hot_prob: 0.1,
+            seed: 2108,
+            ..ScenarioParams::default()
+        },
+        base_capacity: 10_000.0,
+        sync_path: SyncPath::Session,
+        scheduler: SchedulerMode::EventQueue,
+        backlog_sample_every: 0,
+        connectivity: ConnectivityModel::OutageStorm {
+            start: 100,
+            outage_ticks: outage,
+            surge_ticks: 40,
+            fault_boost: 1.0,
+        },
+        admission: AdmissionConfig::unbounded(),
+        check_convergence: true,
+        cohort,
+        ..SimConfig::default()
+    }
+}
+
+/// Min-of-`reps` wall clock, the E18/E19/E21 discipline: deterministic
+/// runs, identical reports, only the timing varies.
+fn run(config: SimConfig, reps: usize) -> (SimReport, f64) {
+    let mut best: Option<(SimReport, f64)> = None;
+    for _ in 0..reps {
+        let (report, ms) =
+            timed(|| Simulation::new(config.clone()).expect("valid sim config").run());
+        if best.as_ref().is_none_or(|(_, b)| ms < *b) {
+            best = Some((report, ms));
+        }
+    }
+    best.expect("at least one rep ran")
+}
+
+/// The in-run byte-identity bar: the tuned arm must reproduce the legacy
+/// arm on everything the normalization contract keeps — committed state,
+/// commit counts, every per-sync record, and all non-mechanism counters.
+fn assert_identical(legacy: &SimReport, tuned: &SimReport, label: &str) {
+    assert_eq!(legacy.final_master, tuned.final_master, "{label}: master state diverged");
+    assert_eq!(legacy.base_commits, tuned.base_commits, "{label}: commit count diverged");
+    assert_eq!(legacy.cluster, tuned.cluster, "{label}: cluster stats diverged");
+    assert_eq!(legacy.metrics.records, tuned.metrics.records, "{label}: sync records diverged");
+    assert_eq!(
+        legacy.metrics.normalized(),
+        tuned.metrics.normalized(),
+        "{label}: metrics diverged"
+    );
+}
+
+fn main() {
+    let smoke = std::env::var_os("EXP_COHORT_SMOKE").is_some();
+    let fleets: &[usize] = if smoke { &[64, 256] } else { &[64, 256, 1024] };
+    let reps = if smoke { 1 } else { 2 };
+
+    println!(
+        "E23: the cohort install pipeline — waves + mask-disjoint fast path{}\n",
+        if smoke { " (smoke mode: 1024 row skipped)" } else { "" }
+    );
+
+    let mut cohort = Table::new(&[
+        "mobiles",
+        "syncs",
+        "saved",
+        "save_ratio",
+        "batch_max",
+        "wave_rounds",
+        "fastpath",
+        "legacy_ms",
+        "tuned_ms",
+        "speedup",
+        "merges_per_sec",
+    ]);
+    let mut legacy_wall = Vec::new();
+    let mut tuned_wall = Vec::new();
+    let mut speedups = Vec::new();
+    for &fleet in fleets {
+        // The 1024-row legacy arm is minutes of wall on its own; one rep
+        // suffices for a 5x signal (min-of-reps matters at millisecond
+        // scale, not there).
+        let row_reps = if fleet >= 1024 { 1 } else { reps };
+        let (legacy, legacy_ms) = run(cohort_config(fleet, CohortConfig::legacy()), row_reps);
+        let (tuned, tuned_ms) = run(cohort_config(fleet, CohortConfig::tuned()), row_reps);
+        eprintln!(
+            "  [x{fleet}] legacy {legacy_ms:.0} ms (pmerge {:.0} ms, retries {}), \
+             tuned {tuned_ms:.0} ms (pmerge {:.0} ms, waves {})",
+            legacy.metrics.parallel_merge_ns as f64 / 1e6,
+            legacy.metrics.speculative_retries,
+            tuned.metrics.parallel_merge_ns as f64 / 1e6,
+            tuned.metrics.cohort.wave_rounds,
+        );
+        assert_identical(&legacy, &tuned, &format!("cohort x{fleet}"));
+        let m = &tuned.metrics;
+        assert!(m.saved > 0, "merging never engaged at {fleet} mobiles");
+        assert!(
+            m.cohort.wave_rounds > 0 || m.speculative_retries == 0,
+            "x{fleet}: invalidations occurred but no wave ever ran"
+        );
+        assert_eq!(legacy.metrics.cohort.wave_rounds, 0, "legacy arm ran a wave");
+        assert_eq!(legacy.metrics.cohort.fastpath_merges, 0, "legacy arm took the fast path");
+        let speedup = legacy_ms / tuned_ms;
+        legacy_wall.push(legacy_ms);
+        tuned_wall.push(tuned_ms);
+        speedups.push(speedup);
+        cohort.row_owned(vec![
+            fleet.to_string(),
+            m.syncs.to_string(),
+            m.saved.to_string(),
+            fmt(m.save_ratio(), 3),
+            m.batch_sizes.iter().max().copied().unwrap_or(0).to_string(),
+            m.cohort.wave_rounds.to_string(),
+            m.cohort.fastpath_merges.to_string(),
+            fmt(legacy_ms, 0),
+            fmt(tuned_ms, 0),
+            fmt(speedup, 2),
+            fmt(m.syncs as f64 / (tuned_ms / 1e3), 1),
+        ]);
+    }
+    cohort.print();
+
+    // Acceptance bar 1: the 256-member cohort row (index 1 in both
+    // modes) clears 3x the legacy install path.
+    assert!(
+        speedups[1] >= 3.0,
+        "256-member cohort speedup {:.2} below the 3x bar",
+        speedups[1]
+    );
+    // Acceptance bar 2 (full mode): the legacy 256→1024 wall grows
+    // super-linearly in the 4x cohort, and the tuned pipeline bends the
+    // curve — strictly flatter growth, and an advantage that *widens*
+    // with cohort size. (The curve does not go linear: with the witness
+    // gone, what remains is the conflict analysis itself — every
+    // non-disjoint member still builds a graph linear in the grown
+    // epoch — so the honest claim is a flatter super-linear curve and a
+    // monotone speedup, ~5x at 1024.)
+    if !smoke {
+        let legacy_growth = legacy_wall[2] / legacy_wall[1];
+        let tuned_growth = tuned_wall[2] / tuned_wall[1];
+        assert!(
+            legacy_growth > 4.0,
+            "legacy 256->1024 growth {legacy_growth:.1}x is not super-linear; \
+             the baseline regressed out of the regime this experiment measures"
+        );
+        assert!(
+            tuned_growth < legacy_growth * 0.9,
+            "tuned 256->1024 growth {tuned_growth:.1}x did not flatten the \
+             legacy curve ({legacy_growth:.1}x)"
+        );
+        assert!(
+            speedups[2] > speedups[1] && speedups[1] > speedups[0],
+            "the tuned advantage must widen with cohort size, got {speedups:?}"
+        );
+    }
+
+    println!("\nstorm herd (E21's uncapped cell, both pipelines):\n");
+    let herd_outage: u64 = if smoke { 30 } else { 60 };
+    let herd_fleet: usize = 300;
+    let mut herd = Table::new(&[
+        "scenario",
+        "batch_max",
+        "syncs",
+        "commits",
+        "saved",
+        "legacy_ms",
+        "tuned_ms",
+        "speedup",
+        "merges_per_sec",
+    ]);
+    let mut legacy_cfg = herd_config(herd_fleet, herd_outage, CohortConfig::legacy());
+    legacy_cfg.session.backoff = RetryBackoff::enabled();
+    let mut tuned_cfg = herd_config(herd_fleet, herd_outage, CohortConfig::tuned());
+    tuned_cfg.session.backoff = RetryBackoff::enabled();
+    let (legacy, legacy_ms) = run(legacy_cfg, reps);
+    let (tuned, tuned_ms) = run(tuned_cfg, reps);
+    eprintln!("  [o{herd_outage}-uncapped] legacy {legacy_ms:.0} ms, tuned {tuned_ms:.0} ms");
+    assert_identical(&legacy, &tuned, "herd");
+    let convergence = tuned.convergence.as_ref().expect("oracle requested");
+    assert!(convergence.holds(), "herd: oracle failed: {convergence:?}");
+    let m = &tuned.metrics;
+    let batch_max = m.batch_sizes.iter().max().copied().unwrap_or(0);
+    assert!(batch_max > 8, "no herd formed (batch_max {batch_max})");
+    let herd_speedup = legacy_ms / tuned_ms;
+    // Acceptance bar 3: the tuned pipeline pays the herd's bill —
+    // measurably faster, not noise.
+    assert!(
+        herd_speedup >= 1.1,
+        "herd speedup {herd_speedup:.2} is not a measurable improvement"
+    );
+    herd.row_owned(vec![
+        format!("o{herd_outage}-uncapped"),
+        batch_max.to_string(),
+        m.syncs.to_string(),
+        tuned.base_commits.to_string(),
+        m.saved.to_string(),
+        fmt(legacy_ms, 0),
+        fmt(tuned_ms, 0),
+        fmt(herd_speedup, 2),
+        fmt(m.syncs as f64 / (tuned_ms / 1e3), 1),
+    ]);
+    herd.print();
+
+    println!(
+        "\nThe quadratic was never the conflict analysis — profiling the 256-member\n\
+         cohort put four fifths of the install wall inside the Theorem-1 witness: a\n\
+         per-merge O(|H_b ∪ H_m|²) topological sort producing a history nobody on\n\
+         the install path ever reads. Deferring it (the witness stays available to\n\
+         callers that ask) removes the dominant super-linear term; incremental edge\n\
+         maintenance makes the epoch cache O(appended) per install, anchored\n\
+         footprint unions make each staleness check O(words), wave re-speculation\n\
+         turns the invalidated remainder's serial re-merges back into the parallel\n\
+         phase, and the mask-disjoint fast path lets conflict-free members skip\n\
+         graph construction entirely. Byte-identity of both arms is asserted\n\
+         in-run: the speedup is mechanism, not semantics."
+    );
+
+    let json = artifact_json("exp_cohort", &[("cohort", &cohort), ("herd", &herd)]);
+    println!("\nartifact: {}", write_artifact("BENCH_cohort", &json).display());
+}

@@ -4,7 +4,7 @@ use std::collections::BTreeSet;
 
 use histmerge_history::{
     run_to_final, AugmentedHistory, BackoutStrategy, BaseEdgeCache, ClosureScratch, ClosureTable,
-    GraphScratch, PrecedenceGraph, SerialHistory, TwoCycleOptimal, TxnArena,
+    DenseBits, GraphScratch, PrecedenceGraph, SerialHistory, TwoCycleOptimal, TxnArena,
 };
 use histmerge_obs::{Phase, TraceEvent, TracerHandle};
 use histmerge_semantics::{OracleStack, SemanticOracle, StaticAnalyzer};
@@ -81,10 +81,19 @@ pub struct MergeOutcome {
     pub reexecuted: Vec<(TxnId, bool)>,
     /// An equivalent merged serial history over the base transactions and
     /// the saved tentative transactions (Theorem 1), for inspection.
+    /// `None` when the caller deferred witness materialization
+    /// ([`MergeAssist::defer_witness`]) — the install path derives the new
+    /// master without it.
     pub merged_history: Option<SerialHistory>,
     /// Number of edges in the full precedence graph `G(H_m, H_b)` (cost
-    /// accounting input).
+    /// accounting input). Exact even on the fast path: rule-1 pairs are
+    /// counted directly and rule-2 edges read from the cache; a disjoint
+    /// merge has no rule-3 edges by definition.
     pub graph_edges: usize,
+    /// `true` if the merge took the conflict-free fast path (pending
+    /// history disjoint from the entire concurrent base slice): graph and
+    /// closure construction were skipped, with a byte-identical outcome.
+    pub fast_path: bool,
 }
 
 /// The durable, resumable half of a [`MergeOutcome`]: everything a base
@@ -138,6 +147,22 @@ pub struct MergeAssist<'a> {
     /// hold this (it is the current master), so re-executing the whole
     /// epoch log per merge is pure waste.
     pub hb_final: Option<&'a DbState>,
+    /// Allow the conflict-free fast path: when the pending history's
+    /// footprint union is disjoint from the cached base slice's footprint
+    /// union (`base_edges` must cover *all* of `hb`), skip precedence-graph
+    /// and closure construction entirely. Pure mechanism — the outcome is
+    /// byte-identical; the flag exists so legacy-comparison runs can hold
+    /// the old code path.
+    pub fastpath: bool,
+    /// Skip materializing [`MergeOutcome::merged_history`] on the slow
+    /// path. The witness topological sort is O(|H_b ∪ H_m|²) with the
+    /// deterministic base-first tie-break, and the replication install
+    /// path never reads it (the new master is derived from `hb_final`
+    /// plus the forwarded updates) — per-cohort it is the dominant
+    /// super-linear term. Callers that assert Theorem 1's witness (tests,
+    /// the worked example) leave this off. The fast path still emits its
+    /// witness: there it is a cheap concatenation.
+    pub defer_witness: bool,
 }
 
 /// Reusable working memory for repeated merges (the zero-realloc hot
@@ -293,19 +318,61 @@ impl Merger {
         };
         tracer.span_end(Phase::Exec, span);
 
-        // Step 1: the precedence graph.
+        // Conflict-free fast-path gate: when the caller allows it and the
+        // epoch edge cache covers ALL of `hb` (its footprint union is only
+        // meaningful at full length), a pending history disjoint from the
+        // whole concurrent base slice draws no rule-3 edge against any
+        // prefix. Both sub-histories are then forward-edge DAGs, so the
+        // graph is acyclic, every back-out strategy returns ∅, and the
+        // entire graph/closure machinery can be skipped — O(words) gate,
+        // O(m²) rule-1 pair count, byte-identical outcome.
+        let fast_path = assist.fastpath
+            && assist.base_edges.is_some_and(|cache| cache.len() == hb.len())
+            && {
+                let mut hm_bits = DenseBits::new();
+                for id in hm.iter() {
+                    hm_bits.union_with(arena.read_bits(id));
+                    hm_bits.union_with(arena.write_bits(id));
+                }
+                let cache = assist.base_edges.expect("gated above");
+                !hm_bits.intersects(cache.footprint_bits())
+            };
+
+        // Step 1: the precedence graph. On the fast path the graph is
+        // never materialized — only its exact edge count is derived (rule-1
+        // pairs counted directly, rule-2 read from the cache, rule-3 zero
+        // by disjointness), because `graph_edges` feeds the cost model.
         let span = tracer.span_start();
-        let graph = match assist.base_edges {
-            Some(cache) => PrecedenceGraph::build_with_base_cache_scratch(
-                arena,
-                hm,
-                hb,
-                cache,
-                &mut scratch.graph,
-            ),
-            None => PrecedenceGraph::build_with_scratch(arena, hm, hb, &mut scratch.graph),
+        let graph = if fast_path {
+            None
+        } else {
+            Some(match assist.base_edges {
+                Some(cache) => PrecedenceGraph::build_with_base_cache_scratch(
+                    arena,
+                    hm,
+                    hb,
+                    cache,
+                    &mut scratch.graph,
+                ),
+                None => PrecedenceGraph::build_with_scratch(arena, hm, hb, &mut scratch.graph),
+            })
         };
-        let graph_edges = graph.edges().len();
+        let graph_edges = match &graph {
+            Some(graph) => graph.edges().len(),
+            None => {
+                let hm_order: Vec<TxnId> = hm.iter().collect();
+                let mut edges =
+                    assist.base_edges.map_or(0, |cache| cache.edge_count(hb.len()));
+                for (i, &ti) in hm_order.iter().enumerate() {
+                    for &tj in &hm_order[i + 1..] {
+                        if arena.conflicts(ti, tj) {
+                            edges += 1;
+                        }
+                    }
+                }
+                edges
+            }
+        };
         tracer.span_end(Phase::GraphBuild, span);
         tracer.emit(|| TraceEvent::GraphBuilt {
             hm_len: hm.len(),
@@ -316,13 +383,22 @@ impl Merger {
         // Step 2: the back-out set, weighted by reads-from closure sizes.
         // One closure-table pass serves both the back-out weights and the
         // affected set AG(B): the seed walked the reads-from closure once
-        // per transaction for the weights and then again for AG.
+        // per transaction for the weights and then again for AG. On the
+        // fast path the graph is acyclic by construction, so B = AG = ∅
+        // without consulting any strategy (all built-ins return ∅ on
+        // acyclic graphs) and the closure table is never built.
         let span = tracer.span_start();
-        let table = ClosureTable::build_with_scratch(arena, hm, &mut scratch.closure);
-        let weights = table.weights();
-        let weight = move |id: TxnId| weights.get(&id).copied().unwrap_or(1);
-        let bad = self.config.backout.compute(&graph, &weight)?;
-        let affected = table.affected_of(&bad);
+        let (bad, affected) = match &graph {
+            Some(graph) => {
+                let table = ClosureTable::build_with_scratch(arena, hm, &mut scratch.closure);
+                let weights = table.weights();
+                let weight = move |id: TxnId| weights.get(&id).copied().unwrap_or(1);
+                let bad = self.config.backout.compute(graph, &weight)?;
+                let affected = table.affected_of(&bad);
+                (bad, affected)
+            }
+            None => (BTreeSet::new(), BTreeSet::new()),
+        };
         tracer.span_end(Phase::Backout, span);
         tracer.emit(|| TraceEvent::CycleBreak { backed_out: bad.len(), affected: affected.len() });
 
@@ -389,7 +465,16 @@ impl Merger {
         let saved = rewritten.saved();
         let backed_out = rewritten.pruned();
         let removed: BTreeSet<TxnId> = backed_out.iter().copied().collect();
-        let merged_history = graph.merged_history_without(&removed);
+        // On the fast path the witness history is written down directly:
+        // with no cross edges, Kahn's tie-break (base kind first, then
+        // node index) emits exactly `hb` in order followed by `hm` in
+        // order — the same history the slow path's topological sort
+        // produces on a disjoint graph.
+        let merged_history = match &graph {
+            Some(_) if assist.defer_witness => None,
+            Some(graph) => graph.merged_history_without(&removed),
+            None => Some(SerialHistory::from_order(hb.iter().chain(hm.iter()))),
+        };
 
         Ok(MergeOutcome {
             bad,
@@ -403,6 +488,7 @@ impl Merger {
             reexecuted,
             merged_history,
             graph_edges,
+            fast_path,
         })
     }
 }
@@ -518,7 +604,11 @@ mod tests {
         cache.sync(&ex.arena, &ex.hb);
         let hb_final =
             AugmentedHistory::execute(&ex.arena, &ex.hb, &ex.s0).unwrap().final_state().clone();
-        let assist = MergeAssist { base_edges: Some(&cache), hb_final: Some(&hb_final) };
+        let assist = MergeAssist {
+            base_edges: Some(&cache),
+            hb_final: Some(&hb_final),
+            ..MergeAssist::default()
+        };
         let assisted = merger.merge_assisted(&ex.arena, &ex.hm, &ex.hb, &ex.s0, assist).unwrap();
 
         assert_eq!(plain.bad, assisted.bad);
@@ -623,7 +713,11 @@ mod tests {
             let assist = if round % 2 == 0 {
                 MergeAssist::default()
             } else {
-                MergeAssist { base_edges: Some(&cache), hb_final: Some(&hb_final) }
+                MergeAssist {
+                    base_edges: Some(&cache),
+                    hb_final: Some(&hb_final),
+                    ..MergeAssist::default()
+                }
             };
             let reused = merger
                 .merge_scratch(&ex.arena, &ex.hm, &ex.hb, &ex.s0, assist, &mut scratch)

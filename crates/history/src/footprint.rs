@@ -62,6 +62,21 @@ impl DenseBits {
         self.words.iter().zip(other.words.iter()).any(|(a, b)| a & b != 0)
     }
 
+    /// Word-wise OR of `other` into `self`, growing as needed.
+    pub fn union_with(&mut self, other: &DenseBits) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= *b;
+        }
+    }
+
+    /// Clears every bit, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.words.clear();
+    }
+
     /// Iterates the indices of the set bits in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, w)| {
@@ -154,6 +169,23 @@ mod tests {
         assert_eq!(b.count(), 2);
         assert_eq!(b.iter().collect::<Vec<_>>(), vec![0, 70]);
         assert_eq!(b.words().len(), 2);
+    }
+
+    #[test]
+    fn union_with_grows_and_ors() {
+        let mut a = DenseBits::new();
+        a.set(3);
+        let mut b = DenseBits::new();
+        b.set(100);
+        a.union_with(&b);
+        assert!(a.get(3));
+        assert!(a.get(100));
+        assert_eq!(a.count(), 2);
+        // Union the short set into the long one: no shrink, no loss.
+        b.union_with(&DenseBits::new());
+        assert!(b.get(100));
+        a.clear();
+        assert!(a.is_empty());
     }
 
     #[test]

@@ -21,6 +21,7 @@ use std::fmt;
 use histmerge_txn::{TxnId, TxnKind};
 
 use crate::arena::TxnArena;
+use crate::footprint::DenseBits;
 use crate::schedule::SerialHistory;
 
 /// Why an edge is in the precedence graph.
@@ -124,12 +125,22 @@ pub struct BaseEdgeCache {
     pairs: Vec<(usize, usize)>,
     /// `edges_upto[k]` = number of pairs whose later member is `< k`.
     edges_upto: Vec<usize>,
+    /// Union of every cached transaction's read∪write bitset — the whole
+    /// epoch slice's footprint. A pending history disjoint from this union
+    /// cannot draw a single cross edge against *any* cached prefix, which
+    /// is the gate for the conflict-free merge fast path.
+    footprint: DenseBits,
 }
 
 impl BaseEdgeCache {
     /// Creates an empty cache (start of a window).
     pub fn new() -> Self {
-        BaseEdgeCache { txns: Vec::new(), pairs: Vec::new(), edges_upto: vec![0] }
+        BaseEdgeCache {
+            txns: Vec::new(),
+            pairs: Vec::new(),
+            edges_upto: vec![0],
+            footprint: DenseBits::new(),
+        }
     }
 
     /// Number of base transactions cached.
@@ -148,6 +159,7 @@ impl BaseEdgeCache {
         self.pairs.clear();
         self.edges_upto.clear();
         self.edges_upto.push(0);
+        self.footprint.clear();
     }
 
     /// Appends base transactions, computing their conflicts against every
@@ -162,6 +174,8 @@ impl BaseEdgeCache {
                 }
             }
             self.edges_upto.push(self.pairs.len());
+            self.footprint.union_with(arena.read_bits(id));
+            self.footprint.union_with(arena.write_bits(id));
         }
     }
 
@@ -180,6 +194,14 @@ impl BaseEdgeCache {
     /// Number of rule-2 edges among the first `prefix` cached transactions.
     pub fn edge_count(&self, prefix: usize) -> usize {
         self.edges_upto[prefix.min(self.txns.len())]
+    }
+
+    /// Union of every cached transaction's read∪write footprint. Only
+    /// meaningful for the *full* cached length (prefix unions are not
+    /// derivable), so fast-path gates must also check
+    /// `cache.len() == hb.len()`.
+    pub fn footprint_bits(&self) -> &DenseBits {
+        &self.footprint
     }
 
     /// The conflicting pairs among the first `prefix` transactions, in the

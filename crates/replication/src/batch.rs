@@ -25,7 +25,7 @@
 
 use histmerge_core::merge::{MergeAssist, MergeOutcome, MergeScratch, Merger};
 use histmerge_core::CoreError;
-use histmerge_history::{BaseEdgeCache, SerialHistory, TxnArena};
+use histmerge_history::{BaseEdgeCache, DenseBits, SerialHistory, TxnArena};
 use histmerge_txn::{DbState, TxnId, VarSet};
 
 /// How many worker threads the batched sync path may use.
@@ -88,8 +88,17 @@ pub fn merge_batch(
     cache: &BaseEdgeCache,
     make_merger: &(dyn Fn() -> Merger + Sync),
     workers: usize,
+    fastpath: bool,
 ) -> Vec<Result<MergeOutcome, CoreError>> {
-    let assist = MergeAssist { base_edges: Some(cache), hb_final: Some(hb_final) };
+    // The fast-path knob also defers the slow path's witness history:
+    // the install pipeline never reads it, and its topological sort is
+    // the dominant super-linear term at cohort scale.
+    let assist = MergeAssist {
+        base_edges: Some(cache),
+        hb_final: Some(hb_final),
+        fastpath,
+        defer_witness: fastpath,
+    };
     if workers <= 1 || jobs.len() <= 1 {
         let merger = make_merger();
         let mut scratch = MergeScratch::new();
@@ -141,8 +150,23 @@ pub fn history_footprint(arena: &TxnArena, hm: &SerialHistory) -> (VarSet, VarSe
     (reads, writes)
 }
 
+/// The read and write footprint of a tentative history as dense bitset
+/// unions of the arena's admission-time masks — no `VarSet` walk, no
+/// re-interning. This is the speculation-time form: the unions are
+/// computed once per batch job and every subsequent delta validation is
+/// a handful of word-wise ANDs.
+pub fn history_bits(arena: &TxnArena, hm: &SerialHistory) -> (DenseBits, DenseBits) {
+    let mut reads = DenseBits::new();
+    let mut writes = DenseBits::new();
+    for id in hm.iter() {
+        reads.union_with(arena.read_bits(id));
+        writes.union_with(arena.write_bits(id));
+    }
+    (reads, writes)
+}
+
 /// Would appending `delta` to the base history have changed the merge of a
-/// tentative history with footprint (`reads`, `writes`)?
+/// tentative history with footprint union (`read_bits`, `write_bits`)?
 ///
 /// New precedence-graph edges incident to the tentative history appear
 /// exactly when some delta transaction writes an item the history read
@@ -152,23 +176,18 @@ pub fn history_footprint(arena: &TxnArena, hm: &SerialHistory) -> (VarSet, VarSe
 /// into the snapshot — so back-out, rewrite, prune, and the forwarded
 /// values are untouched (write-write overlap does not add cross edges; see
 /// [`histmerge_history::PrecedenceGraph::build`]).
+///
+/// The footprints are the precomputed [`history_bits`] unions, so each
+/// delta transaction costs two word-wise ANDs against its admission-time
+/// bitsets — O(words), not O(txns × footprint).
 pub fn delta_invalidates(
     arena: &TxnArena,
     delta: &[TxnId],
-    reads: &VarSet,
-    writes: &VarSet,
+    read_bits: &DenseBits,
+    write_bits: &DenseBits,
 ) -> bool {
-    if delta.is_empty() {
-        return false;
-    }
-    // Intern the footprint once, then test each delta transaction against
-    // its admission-time bitsets — a few word-wise ANDs per transaction
-    // instead of BTreeSet intersections. Every footprint variable comes
-    // from an arena transaction, so interning is lossless here.
-    let read_bits = arena.bits_of(reads);
-    let write_bits = arena.bits_of(writes);
     delta.iter().any(|&d| {
-        arena.write_bits(d).intersects(&read_bits) || arena.read_bits(d).intersects(&write_bits)
+        arena.write_bits(d).intersects(read_bits) || arena.read_bits(d).intersects(write_bits)
     })
 }
 
@@ -221,8 +240,10 @@ mod tests {
         let jobs: Vec<BatchJob> =
             (0..4).map(|mobile| BatchJob { mobile, hm: ex.hm.clone() }).collect();
         let make = || Merger::new(MergeConfig::default());
-        let serial = merge_batch(&ex.arena, &jobs, &ex.hb, &ex.s0, &hb_final, &cache, &make, 1);
-        let parallel = merge_batch(&ex.arena, &jobs, &ex.hb, &ex.s0, &hb_final, &cache, &make, 4);
+        let serial =
+            merge_batch(&ex.arena, &jobs, &ex.hb, &ex.s0, &hb_final, &cache, &make, 1, false);
+        let parallel =
+            merge_batch(&ex.arena, &jobs, &ex.hb, &ex.s0, &hb_final, &cache, &make, 4, false);
         assert_eq!(serial.len(), 4);
         assert_eq!(parallel.len(), 4);
         for (s, p) in serial.iter().zip(parallel.iter()) {
@@ -236,6 +257,48 @@ mod tests {
     }
 
     #[test]
+    fn fastpath_batch_matches_slow_batch() {
+        // A pending history disjoint from the whole base slice: the
+        // fastpath run must produce a byte-identical outcome while
+        // reporting `fast_path` on every member; a conflicting history
+        // must refuse the fast path.
+        let mut arena = TxnArena::new();
+        let b0 = rw_txn(&mut arena, "b0", TxnKind::Base, &[0], &[1]);
+        let b1 = rw_txn(&mut arena, "b1", TxnKind::Base, &[1], &[2]);
+        let hb = SerialHistory::from_order([b0, b1]);
+        let disjoint = rw_txn(&mut arena, "m0", TxnKind::Tentative, &[10], &[11]);
+        let touching = rw_txn(&mut arena, "m1", TxnKind::Tentative, &[1], &[10]);
+        let mut cache = BaseEdgeCache::new();
+        cache.sync(&arena, &hb);
+        let s0 = DbState::uniform(12, 0);
+        let hb_final = AugmentedHistory::execute(&arena, &hb, &s0).unwrap().final_state().clone();
+        let jobs = vec![
+            BatchJob { mobile: 0, hm: SerialHistory::from_order([disjoint]) },
+            BatchJob { mobile: 1, hm: SerialHistory::from_order([touching]) },
+        ];
+        let make = || Merger::new(MergeConfig::default());
+        let slow = merge_batch(&arena, &jobs, &hb, &s0, &hb_final, &cache, &make, 1, false);
+        let fast = merge_batch(&arena, &jobs, &hb, &s0, &hb_final, &cache, &make, 1, true);
+        for (s, f) in slow.iter().zip(fast.iter()) {
+            let (s, f) = (s.as_ref().unwrap(), f.as_ref().unwrap());
+            assert_eq!(s.saved, f.saved);
+            assert_eq!(s.backed_out, f.backed_out);
+            assert_eq!(s.forwarded, f.forwarded);
+            assert_eq!(s.new_master, f.new_master);
+            assert_eq!(s.graph_edges, f.graph_edges);
+            assert!(!s.fast_path);
+        }
+        // The fast-path member's cheap concatenation witness equals the
+        // slow path's topological sort; the slow-path member under the
+        // fastpath knob defers its witness instead of sorting.
+        assert_eq!(slow[0].as_ref().unwrap().merged_history, fast[0].as_ref().unwrap().merged_history);
+        assert!(slow[1].as_ref().unwrap().merged_history.is_some());
+        assert!(fast[1].as_ref().unwrap().merged_history.is_none());
+        assert!(fast[0].as_ref().unwrap().fast_path, "disjoint member takes the fast path");
+        assert!(!fast[1].as_ref().unwrap().fast_path, "conflicting member keeps the slow path");
+    }
+
+    #[test]
     fn delta_validation_tracks_rule3_edges() {
         let mut arena = TxnArena::new();
         let m = rw_txn(&mut arena, "m", TxnKind::Tentative, &[0], &[1]);
@@ -244,16 +307,20 @@ mod tests {
         // The footprint: reads {0, 1} (writes imply reads here), writes {1}.
         assert!(reads.contains(VarId::new(0)));
         assert!(writes.contains(VarId::new(1)));
+        let (read_bits, write_bits) = history_bits(&arena, &hm);
+        // The bitset unions agree with the VarSet walk.
+        assert_eq!(read_bits, arena.bits_of(&reads));
+        assert_eq!(write_bits, arena.bits_of(&writes));
 
         // Delta writing an item the history read: invalidates.
         let d1 = rw_txn(&mut arena, "d1", TxnKind::Base, &[], &[0]);
-        assert!(delta_invalidates(&arena, &[d1], &reads, &writes));
+        assert!(delta_invalidates(&arena, &[d1], &read_bits, &write_bits));
         // Delta reading an item the history wrote: invalidates.
         let d2 = rw_txn(&mut arena, "d2", TxnKind::Base, &[1], &[]);
-        assert!(delta_invalidates(&arena, &[d2], &reads, &writes));
+        assert!(delta_invalidates(&arena, &[d2], &read_bits, &write_bits));
         // Disjoint delta: valid.
         let d3 = rw_txn(&mut arena, "d3", TxnKind::Base, &[5], &[6]);
-        assert!(!delta_invalidates(&arena, &[d3], &reads, &writes));
-        assert!(!delta_invalidates(&arena, &[], &reads, &writes));
+        assert!(!delta_invalidates(&arena, &[d3], &read_bits, &write_bits));
+        assert!(!delta_invalidates(&arena, &[], &read_bits, &write_bits));
     }
 }

@@ -68,14 +68,14 @@ pub use batch::{merge_batch, BatchJob, Parallelism};
 pub use cluster::{BaseCluster, ClusterStats};
 pub use connectivity::{AdmissionConfig, ConnectivityModel, InvalidConnectivity, LinkTrace};
 pub use fault::{Delivery, FaultKind, FaultPlan, FaultRates, InvalidFaultRate};
-pub use metrics::{CompactionStats, FaultStats, SchedStats, StormStats, WalStats};
+pub use metrics::{CohortStats, CompactionStats, FaultStats, SchedStats, StormStats, WalStats};
 pub use mobile::MobileNode;
 pub use recovery::{recover, recover_traced, Recovered, RecoveryError};
 pub use sched::{fork_rng, Event, EventKind, EventQueue, SchedulerMode};
 pub use session::{RetryBackoff, SessionConfig, SessionLedger, SessionRecord, UnackedSession};
 pub use sim::{
-    ConvergenceReport, DurableReport, Protocol, SimConfig, SimConfigError, SimReport, Simulation,
-    TelemetryConfig,
+    CohortConfig, ConvergenceReport, DurableReport, Protocol, SimConfig, SimConfigError, SimReport,
+    Simulation, TelemetryConfig,
 };
 pub use sync::{SyncPath, SyncStrategy};
 pub use wal::{

@@ -106,6 +106,23 @@ pub struct CompactionStats {
     pub runs_squashed: u64,
 }
 
+/// Cohort install-pipeline counters: how the quadratic same-tick install
+/// cost was avoided. Pure mechanism — the fast path and wave
+/// re-speculation produce byte-identical runs (the `cohort_differential`
+/// suite pins this), so [`Metrics::normalized`] zeroes the whole block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct CohortStats {
+    /// Merges that took the conflict-free fast path (pending history
+    /// footprint-disjoint from the entire concurrent base slice — graph
+    /// and closure construction skipped).
+    pub fastpath_merges: u64,
+    /// Wave re-speculation rounds run for invalidated cohort remainders.
+    pub wave_rounds: u64,
+    /// Base transactions appended to the epoch edge cache incrementally
+    /// (per-install and per-wave syncs included).
+    pub edge_cache_appends: u64,
+}
+
 /// Storm-robustness counters: what the admission controller and the
 /// retry backoff did. All zero with admission control disabled and
 /// backoff off (the defaults), so the differential suites are untouched;
@@ -219,6 +236,10 @@ pub struct Metrics {
     /// from determinism comparisons (a compacted run commits the same
     /// base state while differing exactly here).
     pub compaction: CompactionStats,
+    /// Cohort install-pipeline counters. Mechanism-only — excluded from
+    /// determinism comparisons (a fast-path/wave run commits the same
+    /// base state while differing exactly here).
+    pub cohort: CohortStats,
     /// Admission-control and retry-backoff counters. Behavioral (not
     /// mechanism-only): kept by [`Metrics::normalized`], and all zero
     /// with admission and backoff at their defaults.
@@ -286,6 +307,7 @@ impl Metrics {
             wal: WalStats::default(),
             sched: SchedStats::default(),
             compaction: CompactionStats::default(),
+            cohort: CohortStats::default(),
             ..self.clone()
         };
         for record in &mut normalized.records {
@@ -362,6 +384,11 @@ impl Metrics {
         out.push_str(&format!(
             ",\"compaction\":{{\"txns_in\":{},\"txns_out\":{},\"runs_squashed\":{}}}",
             c.txns_in, c.txns_out, c.runs_squashed
+        ));
+        let co = &self.cohort;
+        out.push_str(&format!(
+            ",\"cohort\":{{\"fastpath_merges\":{},\"wave_rounds\":{},\"edge_cache_appends\":{}}}",
+            co.fastpath_merges, co.wave_rounds, co.edge_cache_appends
         ));
         let st = &self.storm;
         out.push_str(&format!(
@@ -529,6 +556,20 @@ mod tests {
         assert_ne!(plain, compacted);
         assert_eq!(plain.normalized(), compacted.normalized());
         assert!(compacted.to_json().contains("\"compaction\":{\"txns_in\":40"));
+    }
+
+    #[test]
+    fn normalized_strips_cohort_mechanism() {
+        // A fast-path/wave run and a legacy run differ only in the cohort
+        // block; normalization must erase exactly that difference.
+        let legacy = Metrics::default();
+        let pipelined = Metrics {
+            cohort: CohortStats { fastpath_merges: 9, wave_rounds: 2, edge_cache_appends: 31 },
+            ..Metrics::default()
+        };
+        assert_ne!(legacy, pipelined);
+        assert_eq!(legacy.normalized(), pipelined.normalized());
+        assert!(pipelined.to_json().contains("\"cohort\":{\"fastpath_merges\":9"));
     }
 
     #[test]

@@ -14,21 +14,23 @@ use histmerge_core::merge::{
 use histmerge_core::prune::PruneMethod;
 use histmerge_core::rewrite::{FixMode, RewriteAlgorithm};
 use histmerge_history::{
-    closure_weights_for, BaseEdgeCache, EdgeKind, PrecedenceGraph, SerialHistory, TwoCycleOptimal,
-    TxnArena,
+    closure_weights_for, BaseEdgeCache, DenseBits, EdgeKind, PrecedenceGraph, SerialHistory,
+    TwoCycleOptimal, TxnArena,
 };
 use histmerge_obs::{
     Phase, SessionStepKind, TickSample, TimeSeries, TraceEvent, TracerHandle, NO_PARTNER,
 };
 use histmerge_semantics::{compact, CompactionConfig, OracleStack, SemanticOracle, StaticAnalyzer};
-use histmerge_txn::{DbState, TxnId, TxnKind, VarSet};
+use histmerge_txn::{DbState, TxnId, TxnKind};
 use histmerge_workload::canned_mix::{CannedMix, CannedMixParams};
 use histmerge_workload::cost::{
     merging_cost, reprocessing_cost, CostParams, MergeStats, ReprocessStats,
 };
 use histmerge_workload::generator::{ScenarioParams, TxnFactory};
 
-use crate::batch::{delta_invalidates, history_footprint, merge_batch, BatchJob, Parallelism};
+use crate::batch::{
+    delta_invalidates, history_bits, history_footprint, merge_batch, BatchJob, Parallelism,
+};
 use crate::cluster::BaseCluster;
 use crate::connectivity::{AdmissionConfig, ConnectivityModel, InvalidConnectivity, LinkTrace};
 use crate::fault::{Delivery, FaultPlan, InvalidFaultRate};
@@ -195,6 +197,56 @@ pub struct SimConfig {
     /// and (normalized) metrics to a plain run; the ninth
     /// `session_differential` run pins this.
     pub telemetry: TelemetryConfig,
+    /// The cohort install pipeline's mechanism knobs: bounded wave
+    /// re-speculation for invalidated cohort remainders and the
+    /// mask-disjoint conflict-free merge fast path. Pure mechanism by
+    /// the usual contract — committed state, sync records and save
+    /// ratios are byte-identical to the legacy
+    /// ([`CohortConfig::legacy`]) pipeline (the `cohort_differential`
+    /// suite and the tenth `session_differential` run pin this); only
+    /// wall-clock and the normalized-away [`crate::CohortStats`]
+    /// counters move.
+    pub cohort: CohortConfig,
+}
+
+/// Cohort install-pipeline knobs ([`SimConfig::cohort`]).
+///
+/// The default ([`CohortConfig::legacy`]) disables both mechanisms and
+/// reproduces the pre-wave pipeline byte-for-byte — including its cost
+/// accounting — which is what the differential suites compare against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct CohortConfig {
+    /// How many wave re-speculation rounds one reconnect cohort may run.
+    /// When a member's speculative merge is found stale at its install
+    /// turn (earlier members appended conflicting base commits), a wave
+    /// re-runs the concurrent merge phase for every still-pending stale
+    /// member against a refreshed snapshot instead of letting each fall
+    /// back to a serial live merge. `0` disables waves.
+    pub max_waves: u32,
+    /// Enables the mask-disjoint merge fast path: when a pending
+    /// history's read∪write footprint is disjoint from the entire
+    /// concurrent base slice (checked word-wise against the epoch edge
+    /// cache's running footprint union), the merge skips precedence-graph
+    /// construction and cycle breaking wholesale — no conflict means no
+    /// rule-3 edge, no cycle, and nothing to back out. The same knob
+    /// defers the slow path's Theorem-1 witness history
+    /// (`MergeOutcome::merged_history`): the install pipeline never reads
+    /// it, and its per-merge topological sort over the whole epoch
+    /// history is the dominant super-linear term of the cohort install
+    /// cost.
+    pub fastpath: bool,
+}
+
+impl CohortConfig {
+    /// The pre-wave pipeline: no waves, no fast path (the default).
+    pub fn legacy() -> CohortConfig {
+        CohortConfig::default()
+    }
+
+    /// The tuned pipeline: bounded waves plus the merge fast path.
+    pub fn tuned() -> CohortConfig {
+        CohortConfig { max_waves: 3, fastpath: true }
+    }
 }
 
 /// Fleet-telemetry switches ([`SimConfig::telemetry`]).
@@ -257,6 +309,7 @@ impl Default for SimConfig {
             connectivity: ConnectivityModel::AlwaysOn,
             admission: AdmissionConfig::unbounded(),
             telemetry: TelemetryConfig::default(),
+            cohort: CohortConfig::default(),
         }
     }
 }
@@ -443,10 +496,40 @@ struct Speculative {
     log_len: usize,
     /// The speculative merge outcome.
     outcome: MergeOutcome,
-    /// Items the pending history read (validation footprint).
-    reads: VarSet,
-    /// Items the pending history wrote (validation footprint).
-    writes: VarSet,
+    /// Word-wise union of the items the pending history read (validation
+    /// footprint: one `intersects` per delta transaction, no per-item
+    /// set probes).
+    read_bits: DenseBits,
+    /// Word-wise union of the items the pending history wrote.
+    write_bits: DenseBits,
+    /// Whether this outcome came from a wave re-speculation round rather
+    /// than the cohort's initial merge phase. A rewaved adoption counts
+    /// as a speculative *retry*: in the legacy pipeline the same member
+    /// would have fallen back to a serial live merge (staleness only
+    /// grows), so this keeps the hit/retry counters byte-identical.
+    rewaved: bool,
+    /// Set when a wave re-merge for this member errored: the stale
+    /// outcome is kept (it still validates exactly like the legacy one)
+    /// but barred from further waves, so the member falls to the serial
+    /// path at its turn with legacy error handling and exactly one
+    /// retry increment.
+    wave_skip: bool,
+}
+
+/// A running footprint union of the base commits appended since a
+/// speculation snapshot, keyed by the full-log index the snapshot was
+/// taken at. Folding each installed member's commits in once makes a
+/// staleness check O(words) instead of O(delta × words) — the piece
+/// that made validating a c-member cohort quadratic in c.
+struct DeltaAnchor {
+    /// Full-log index the union starts at (the speculation snapshot).
+    from: usize,
+    /// Full-log index the union covers up to (exclusive).
+    upto: usize,
+    /// Union of the covered commits' write sets.
+    writes: DenseBits,
+    /// Union of the covered commits' read sets.
+    reads: DenseBits,
 }
 
 /// What a reconnection decided to do, computed by [`Simulation::plan_sync`]
@@ -609,6 +692,11 @@ pub struct Simulation {
     /// Mobiles admitted to the merge cohort this tick. Telemetry-only:
     /// sampled as the `cohort` gauge, reset each tick.
     tick_cohort: u64,
+    /// Per-snapshot delta footprint unions for the current cohort's
+    /// speculative outcomes (one per speculation round: the initial
+    /// merge phase plus each wave). Cleared at every batch start —
+    /// specs never outlive their batch.
+    delta_anchors: Vec<DeltaAnchor>,
 }
 
 impl Simulation {
@@ -694,6 +782,7 @@ impl Simulation {
             backoff_rng: StdRng::seed_from_u64(config.workload.seed ^ 0xBAC0_0FF5_BAC0_0FF5),
             last_plan_ns: 0,
             tick_cohort: 0,
+            delta_anchors: Vec::new(),
             mobiles,
             config,
         };
@@ -1202,10 +1291,34 @@ impl Simulation {
     fn sync_batch(&mut self, batch: &[usize], tick: u64) -> f64 {
         self.metrics.batch_sizes.push(batch.len());
         self.tick_cohort += batch.len() as u64;
+        self.delta_anchors.clear();
         let mut speculated = self.speculate_batch(batch);
+        // Incremental edge maintenance only matters where the cache is
+        // read: windowed-strategy merging. (Strategy 1 and reprocessing
+        // never touch it.)
+        let incremental = matches!(self.config.protocol, Protocol::Merging { .. })
+            && !matches!(self.config.strategy, SyncStrategy::PerDisconnectSnapshot);
+        let mut wave_budget = self.config.cohort.max_waves;
         let tracer = self.config.tracer.clone();
         let mut work = 0.0;
-        for &i in batch {
+        for (pos, &i) in batch.iter().enumerate() {
+            // Wave re-speculation: when this member's speculative merge
+            // went stale (earlier installs appended conflicting base
+            // commits), re-run the concurrent merge phase for the whole
+            // still-pending stale remainder against a refreshed snapshot
+            // instead of letting each member pay a serial live merge.
+            // Bounded by the wave budget; install order is untouched.
+            if wave_budget > 0
+                && speculated.get(&i).is_some_and(|s| !s.wave_skip)
+                && self.spec_stale(&speculated[&i])
+            {
+                if self.respeculate_wave(&batch[pos..], &mut speculated) {
+                    self.metrics.cohort.wave_rounds += 1;
+                }
+                // Every triggered attempt burns budget, so a cohort runs
+                // at most `max_waves` concurrent re-merge phases.
+                wave_budget -= 1;
+            }
             let spec = speculated.remove(&i);
             let before = self.metrics.records.len();
             let span = tracer.span_start();
@@ -1221,8 +1334,106 @@ impl Simulation {
                     record.sync_ns = ns;
                 }
             }
+            // Fold whatever this member just committed into the epoch
+            // edge cache immediately (O(appended)), so later members'
+            // validation, waves, and serial fallbacks never re-pay an
+            // epoch-wide scan.
+            if incremental {
+                self.sync_cache();
+            }
         }
         work
+    }
+
+    /// Re-runs the concurrent merge phase for the still-pending batch
+    /// members whose speculative outcomes have gone stale, against a
+    /// freshly refreshed snapshot. Returns `true` when a wave actually
+    /// ran. Members whose re-merge errors keep their stale outcome and
+    /// are barred from further waves ([`Speculative::wave_skip`]), so
+    /// they reach the serial path with legacy error handling.
+    fn respeculate_wave(
+        &mut self,
+        rest: &[usize],
+        speculated: &mut BTreeMap<usize, Speculative>,
+    ) -> bool {
+        let Protocol::Merging { algorithm, fix_mode } = self.config.protocol else {
+            return false;
+        };
+        let stale: Vec<usize> = rest
+            .iter()
+            .copied()
+            .filter(|i| {
+                speculated.get(i).is_some_and(|s| !s.wave_skip)
+                    && self.spec_stale(&speculated[i])
+            })
+            .collect();
+        let workers = self.config.parallelism.workers(stale.len());
+        if stale.len() < 2 || workers < 2 {
+            return false; // Nothing to overlap: the serial path is no worse.
+        }
+        self.sync_cache();
+        let hb = self.base.base().epoch_history();
+        let s0 = self.base.base().epoch_state().clone();
+        let hb_final = self.base.base().master().clone();
+        let log_len = self.base.base().committed();
+        let hb_len = hb.len();
+        let jobs: Vec<BatchJob> = stale
+            .iter()
+            .map(|&i| {
+                // Compaction re-runs against the refreshed base slice —
+                // exactly what the serial fallback at this member's turn
+                // would see.
+                let hm = self.compact_pending(self.mobiles[i].history().clone(), &hb);
+                BatchJob { mobile: i, hm }
+            })
+            .collect();
+        let source = &self.source;
+        let make_merger = move || build_merger(source, algorithm, fix_mode);
+        let started = Instant::now();
+        let results = merge_batch(
+            &self.arena,
+            &jobs,
+            &hb,
+            &s0,
+            &hb_final,
+            &self.base_edge_cache,
+            &make_merger,
+            workers,
+            self.config.cohort.fastpath,
+        );
+        let ns = started.elapsed().as_nanos() as u64;
+        self.metrics.parallel_merge_ns += ns;
+        self.config.tracer.emit(|| TraceEvent::Span { phase: Phase::ParallelMerge, ns });
+        self.push_anchor(log_len);
+        for (job, result) in jobs.into_iter().zip(results) {
+            match result {
+                Ok(outcome) => {
+                    if outcome.fast_path {
+                        self.metrics.cohort.fastpath_merges += 1;
+                    }
+                    let (read_bits, write_bits) = history_bits(&self.arena, &job.hm);
+                    speculated.insert(
+                        job.mobile,
+                        Speculative {
+                            hm: job.hm,
+                            hb_len,
+                            log_len,
+                            outcome,
+                            read_bits,
+                            write_bits,
+                            rewaved: true,
+                            wave_skip: false,
+                        },
+                    );
+                }
+                Err(_) => {
+                    if let Some(old) = speculated.get_mut(&job.mobile) {
+                        old.wave_skip = true;
+                    }
+                }
+            }
+        }
+        true
     }
 
     /// Runs the concurrent merge phase for the batch members that can
@@ -1284,21 +1495,82 @@ impl Simulation {
             &self.base_edge_cache,
             &make_merger,
             workers,
+            self.config.cohort.fastpath,
         );
         let ns = started.elapsed().as_nanos() as u64;
         self.metrics.parallel_merge_ns += ns;
         self.config.tracer.emit(|| TraceEvent::Span { phase: Phase::ParallelMerge, ns });
 
+        self.push_anchor(log_len);
         for (job, result) in jobs.into_iter().zip(results) {
             if let Ok(outcome) = result {
-                let (reads, writes) = history_footprint(&self.arena, &job.hm);
+                if outcome.fast_path {
+                    self.metrics.cohort.fastpath_merges += 1;
+                }
+                // The footprint union comes from the arena's interned
+                // admission-time masks — a word-wise OR per transaction,
+                // not a per-item set rebuild.
+                let (read_bits, write_bits) = history_bits(&self.arena, &job.hm);
                 out.insert(
                     job.mobile,
-                    Speculative { hm: job.hm, hb_len, log_len, outcome, reads, writes },
+                    Speculative {
+                        hm: job.hm,
+                        hb_len,
+                        log_len,
+                        outcome,
+                        read_bits,
+                        write_bits,
+                        rewaved: false,
+                        wave_skip: false,
+                    },
                 );
             }
         }
         out
+    }
+
+    /// Registers a fresh delta anchor for a speculation snapshot taken at
+    /// full-log index `from` (no-op when that snapshot already has one —
+    /// a wave taken before any install appends shares the initial
+    /// anchor).
+    fn push_anchor(&mut self, from: usize) {
+        if self.delta_anchors.iter().any(|a| a.from == from) {
+            return;
+        }
+        self.delta_anchors.push(DeltaAnchor {
+            from,
+            upto: from,
+            writes: DenseBits::new(),
+            reads: DenseBits::new(),
+        });
+    }
+
+    /// Whether base commits appended since `spec`'s snapshot invalidate
+    /// it (a delta write hits a speculative read or vice versa —
+    /// rule-3-only, matching `delta_invalidates`). Snapshots with a
+    /// delta anchor fold the new commits into the anchor's running union
+    /// once and answer in O(words); anchor-less snapshots (wave-skipped
+    /// members whose wave replaced the cohort anchor) fall back to the
+    /// per-transaction scan.
+    fn spec_stale(&mut self, spec: &Speculative) -> bool {
+        let committed = self.base.base().committed();
+        let anchored = self.delta_anchors.iter().position(|a| a.from == spec.log_len);
+        if let Some(idx) = anchored {
+            if self.delta_anchors[idx].upto < committed {
+                let suffix = self.base.base().history_suffix(self.delta_anchors[idx].upto);
+                let anchor = &mut self.delta_anchors[idx];
+                for id in suffix {
+                    anchor.writes.union_with(self.arena.write_bits(id));
+                    anchor.reads.union_with(self.arena.read_bits(id));
+                }
+                anchor.upto = committed;
+            }
+            let anchor = &self.delta_anchors[idx];
+            return anchor.writes.intersects(&spec.read_bits)
+                || anchor.reads.intersects(&spec.write_bits);
+        }
+        let delta: Vec<TxnId> = self.base.base().history_suffix(spec.log_len);
+        delta_invalidates(&self.arena, &delta, &spec.read_bits, &spec.write_bits)
     }
 
     /// Decides what this reconnection does, without applying anything,
@@ -1319,8 +1591,7 @@ impl Simulation {
     /// member falls through to the live serial decision), then plans.
     fn plan_sync_inner(&mut self, i: usize, spec: Option<Speculative>) -> SyncDecision {
         if let Some(spec) = spec {
-            let delta: Vec<TxnId> = self.base.base().history_suffix(spec.log_len);
-            if delta_invalidates(&self.arena, &delta, &spec.reads, &spec.writes) {
+            if self.spec_stale(&spec) {
                 self.metrics.speculative_retries += 1;
             } else {
                 // The delta only appends base-internal edges to the
@@ -1332,7 +1603,15 @@ impl Simulation {
                     - self.base_edge_cache.edge_count(spec.hb_len);
                 let mut outcome = spec.outcome;
                 outcome.graph_edges += appended_edges;
-                self.metrics.speculative_hits += 1;
+                if spec.rewaved {
+                    // The legacy pipeline would have counted this member
+                    // as a retry (its initial speculation was already
+                    // stale when the wave ran, and staleness only
+                    // grows) — keep the counters byte-identical.
+                    self.metrics.speculative_retries += 1;
+                } else {
+                    self.metrics.speculative_hits += 1;
+                }
                 return SyncDecision::Merge {
                     hm: spec.hm,
                     hb_len: live_hb_len,
@@ -1607,14 +1886,22 @@ impl Simulation {
     }
 
     /// Brings the epoch's base-edge cache up to date with the epoch
-    /// history, resetting it on window rollover.
+    /// history, resetting it on window rollover. O(appended): the cache
+    /// is append-only within an epoch and already covers a prefix of the
+    /// epoch history, so only the suffix it has not seen is walked — the
+    /// epoch history is never re-materialized or re-scanned.
     fn sync_cache(&mut self) {
         if self.cache_epoch != self.epoch {
             self.base_edge_cache.clear();
             self.cache_epoch = self.epoch;
         }
-        let hb = self.base.base().epoch_history();
-        self.base_edge_cache.sync(&self.arena, &hb);
+        let from = self.base.base().epoch_start() + self.base_edge_cache.len();
+        let suffix = self.base.base().history_suffix(from);
+        if suffix.is_empty() {
+            return;
+        }
+        self.metrics.cohort.edge_cache_appends += suffix.len() as u64;
+        self.base_edge_cache.extend(&self.arena, suffix.iter().copied());
     }
 
     /// Runs the pre-merge compaction pass over a pending history when
@@ -1697,8 +1984,12 @@ impl Simulation {
         let hb_final = self.base.base().master().clone();
         self.sync_cache();
         let merger = self.merger(algorithm, fix_mode);
-        let assist =
-            MergeAssist { base_edges: Some(&self.base_edge_cache), hb_final: Some(&hb_final) };
+        let assist = MergeAssist {
+            base_edges: Some(&self.base_edge_cache),
+            hb_final: Some(&hb_final),
+            fastpath: self.config.cohort.fastpath,
+            defer_witness: self.config.cohort.fastpath,
+        };
         let tracer = self.config.tracer.clone();
         let span = tracer.span_start();
         let planned = if self.config.reuse_merge_scratch {
@@ -1716,12 +2007,17 @@ impl Simulation {
         };
         self.last_plan_ns = tracer.span_end(Phase::MergePlan, span);
         match planned {
-            Ok(outcome) => SyncDecision::Merge {
-                hb_len: hb.len(),
-                hm,
-                outcome: Box::new(outcome),
-                retroactive: false,
-            },
+            Ok(outcome) => {
+                if outcome.fast_path {
+                    self.metrics.cohort.fastpath_merges += 1;
+                }
+                SyncDecision::Merge {
+                    hb_len: hb.len(),
+                    hm,
+                    outcome: Box::new(outcome),
+                    retroactive: false,
+                }
+            }
             Err(_) => SyncDecision::Reprocess { cause: ReprocessReason::MergeFailed },
         }
     }

@@ -1,0 +1,252 @@
+//! Differential tests of the PR-10 cohort install pipeline: bounded wave
+//! re-speculation for invalidated cohort remainders and the mask-disjoint
+//! conflict-free merge fast path must both be pure mechanism. Every run
+//! with [`CohortConfig::tuned`] (and each knob alone) is compared against
+//! the legacy pipeline ([`CohortConfig::legacy`], the default) over
+//! generated scenarios spanning protocol × strategy × cohort size, and
+//! must be byte-identical on the final master, the base commit log, every
+//! per-mobile sync record (saved / backed-out / reprocessed), and the full
+//! cost accounting — only the normalized-away cohort counters (fast-path
+//! hits, wave rounds, cache appends) may move.
+//!
+//! The deterministic fault-matrix sweep at the bottom runs every fault
+//! kind under bounded admission with waves and the fast path on, holding
+//! the convergence oracle to the same bar as the legacy fault matrix.
+
+use proptest::prelude::*;
+
+use histmerge::replication::{
+    AdmissionConfig, CohortConfig, FaultKind, FaultPlan, FaultRates, Parallelism, Protocol,
+    SimConfig, SimReport, Simulation, SyncPath, SyncStrategy,
+};
+use histmerge::workload::generator::ScenarioParams;
+
+const STRATEGIES: [SyncStrategy; 3] = [
+    SyncStrategy::WindowStart { window: 120 },
+    SyncStrategy::AdaptiveWindow { max_hb: 60 },
+    SyncStrategy::PerDisconnectSnapshot,
+];
+
+/// A cohort-heavy scenario: synchronized reconnects put the whole fleet
+/// into one merge cohort, and a hot, conflict-prone workload makes
+/// earlier installs invalidate later members' speculations — the regime
+/// waves exist for. Compaction stays off: the strict byte-identity bar
+/// here includes the cost model (the compacted regime is covered by
+/// `session_differential`'s cost-masked run).
+fn config(
+    protocol: Protocol,
+    strategy: SyncStrategy,
+    n_mobiles: usize,
+    seed: u64,
+    hot_prob: f64,
+) -> SimConfig {
+    SimConfig {
+        n_mobiles,
+        duration: 300,
+        base_rate: 0.3,
+        mobile_rate: 0.25,
+        connect_every: 40,
+        protocol,
+        strategy,
+        workload: ScenarioParams {
+            n_vars: 48,
+            commutative_fraction: 0.5,
+            guarded_fraction: 0.15,
+            read_only_fraction: 0.1,
+            hot_fraction: 0.15,
+            hot_prob,
+            seed,
+            ..ScenarioParams::default()
+        },
+        base_capacity: 200.0,
+        synchronized_reconnects: true,
+        // Pin the worker count so the speculative phase engages on any
+        // host; the outcome is parallelism-independent either way.
+        parallelism: Parallelism::Threads(4),
+        ..SimConfig::default()
+    }
+}
+
+/// Runs `base` under the legacy pipeline and under `cohort`, asserting
+/// byte-identity on everything the normalization contract keeps. Returns
+/// both reports for mechanism-engagement assertions.
+fn assert_cohort_identity(
+    base: SimConfig,
+    cohort: CohortConfig,
+    label: &str,
+) -> (SimReport, SimReport) {
+    let mut legacy_config = base.clone();
+    legacy_config.cohort = CohortConfig::legacy();
+    let legacy = Simulation::new(legacy_config).expect("valid sim config").run();
+    let mut tuned_config = base;
+    tuned_config.cohort = cohort;
+    tuned_config.check_convergence = true;
+    let tuned = Simulation::new(tuned_config).expect("valid sim config").run();
+
+    assert_eq!(legacy.final_master, tuned.final_master, "{label}: master state diverged");
+    assert_eq!(legacy.base_commits, tuned.base_commits, "{label}: commit count diverged");
+    assert_eq!(legacy.cluster, tuned.cluster, "{label}: cluster stats diverged");
+    // Per-mobile saved / backed-out / reprocessed, exactly.
+    assert_eq!(legacy.metrics.records, tuned.metrics.records, "{label}: sync records diverged");
+    // Everything else: counters (speculative hits/retries included), cost
+    // totals, backlog trajectory. Only wall clock and the cohort
+    // mechanism counters are normalized away.
+    assert_eq!(
+        legacy.metrics.normalized(),
+        tuned.metrics.normalized(),
+        "{label}: metrics diverged"
+    );
+    let convergence = tuned.convergence.expect("tuned run checked convergence");
+    assert!(convergence.holds(), "{label}: convergence oracle failed: {convergence:?}");
+    (legacy, tuned)
+}
+
+proptest! {
+    // Whole-simulation differentials: few, fat cases.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The full tuned pipeline (waves + fast path) is byte-identical to
+    /// the legacy pipeline across protocol × strategy × cohort size.
+    #[test]
+    fn tuned_pipeline_matches_legacy(
+        seed in 0u64..10_000,
+        strategy_idx in 0usize..3,
+        n_mobiles in 2usize..10,
+        protocol_merging in proptest::bool::ANY,
+        hot_prob in 0.2f64..0.9,
+    ) {
+        let protocol = if protocol_merging {
+            Protocol::merging_default()
+        } else {
+            Protocol::Reprocessing
+        };
+        let strategy = STRATEGIES[strategy_idx];
+        let base = config(protocol, strategy, n_mobiles, seed, hot_prob);
+        let label = format!(
+            "{}/{}/x{n_mobiles}/seed {seed}", protocol.name(), strategy.name()
+        );
+        assert_cohort_identity(base, CohortConfig::tuned(), &label);
+    }
+
+    /// Each knob alone holds the same bar: the fast path without waves,
+    /// and waves without the fast path.
+    #[test]
+    fn each_knob_alone_matches_legacy(
+        seed in 0u64..10_000,
+        strategy_idx in 0usize..3,
+        n_mobiles in 2usize..8,
+    ) {
+        let strategy = STRATEGIES[strategy_idx];
+        let base = config(Protocol::merging_default(), strategy, n_mobiles, seed, 0.6);
+        let fastpath_only = CohortConfig { max_waves: 0, fastpath: true };
+        let waves_only = CohortConfig { max_waves: 3, fastpath: false };
+        let label = format!("{}/x{n_mobiles}/seed {seed}", strategy.name());
+        assert_cohort_identity(base.clone(), fastpath_only, &format!("{label}/fastpath-only"));
+        assert_cohort_identity(base, waves_only, &format!("{label}/waves-only"));
+    }
+
+    /// The session path holds the bar too: a tuned session run equals the
+    /// legacy session run on the same terms (waves interact with the
+    /// resumable handshake only through the speculation map, which is
+    /// per-reconnect either way).
+    #[test]
+    fn tuned_session_path_matches_legacy(
+        seed in 0u64..10_000,
+        n_mobiles in 2usize..8,
+    ) {
+        let mut base = config(
+            Protocol::merging_default(),
+            SyncStrategy::WindowStart { window: 120 },
+            n_mobiles,
+            seed,
+            0.6,
+        );
+        base.sync_path = SyncPath::Session;
+        base.fault = FaultPlan::none();
+        let label = format!("session/x{n_mobiles}/seed {seed}");
+        assert_cohort_identity(base, CohortConfig::tuned(), &label);
+    }
+}
+
+/// The mechanisms actually engage in the regime the differentials sweep:
+/// a hot synchronized cohort drives wave rounds, and a cold disjoint
+/// cohort drives fast-path merges. Guards against the suite silently
+/// comparing two runs that both took the legacy path everywhere.
+#[test]
+fn tuned_mechanisms_engage() {
+    // Hot workload: earlier installs invalidate later speculations.
+    let hot = config(
+        Protocol::merging_default(),
+        SyncStrategy::WindowStart { window: 120 },
+        8,
+        42,
+        0.9,
+    );
+    let (legacy, tuned) = assert_cohort_identity(hot, CohortConfig::tuned(), "engage/hot");
+    assert!(
+        legacy.metrics.speculative_retries > 0,
+        "hot scenario produced no invalidations to wave over"
+    );
+    assert!(tuned.metrics.cohort.wave_rounds > 0, "no wave ever ran");
+    assert!(tuned.metrics.cohort.edge_cache_appends > 0, "edge cache never appended");
+    assert_eq!(legacy.metrics.cohort.wave_rounds, 0, "legacy pipeline ran a wave");
+    assert_eq!(legacy.metrics.cohort.fastpath_merges, 0, "legacy pipeline took the fast path");
+
+    // Cold workload: wide keyspace, no hotspot — pending histories are
+    // usually disjoint from the concurrent base slice.
+    let mut cold = config(
+        Protocol::merging_default(),
+        SyncStrategy::WindowStart { window: 120 },
+        6,
+        43,
+        0.0,
+    );
+    cold.workload.n_vars = 512;
+    cold.workload.hot_fraction = 0.0;
+    let (_, tuned) = assert_cohort_identity(cold, CohortConfig::tuned(), "engage/cold");
+    assert!(tuned.metrics.cohort.fastpath_merges > 0, "no merge ever took the fast path");
+}
+
+/// The fault-matrix row: every fault kind under bounded admission with
+/// waves and the fast path on. The convergence oracle must hold for every
+/// schedule, exactly as the legacy fault matrix demands. `FAULT_SEEDS`
+/// scales the schedules per cell (CI's fault-matrix job runs release with
+/// a large matrix).
+#[test]
+fn seed_matrix_convergence_with_waves() {
+    let seeds: u64 = std::env::var("FAULT_SEEDS").ok().and_then(|s| s.parse().ok()).unwrap_or(4);
+    const RATES: [f64; 2] = [0.1, 0.25];
+    let kinds = [
+        FaultKind::MessageLoss,
+        FaultKind::MessageDuplication,
+        FaultKind::MessageReorder,
+        FaultKind::MidMergeDisconnect,
+        FaultKind::BaseCrash,
+    ];
+    let mut schedules = 0usize;
+    for kind in kinds {
+        for s in 0..seeds {
+            let rate = RATES[(s as usize) % RATES.len()];
+            let mut cfg = config(
+                Protocol::merging_default(),
+                SyncStrategy::WindowStart { window: 120 },
+                6,
+                900 + s,
+                0.6,
+            );
+            cfg.sync_path = SyncPath::Session;
+            cfg.fault = FaultPlan::seeded(7000 + s, FaultRates::only(kind, rate));
+            cfg.admission = AdmissionConfig::bounded(3);
+            cfg.cohort = CohortConfig::tuned();
+            cfg.check_convergence = true;
+            let report = Simulation::new(cfg).expect("valid sim config").run();
+            let convergence = report.convergence.expect("oracle requested");
+            assert!(
+                convergence.holds(),
+                "oracle failed for {kind:?} seed {s} rate {rate}: {convergence:?}"
+            );
+            schedules += 1;
+        }
+    }
+    assert_eq!(schedules, kinds.len() * seeds as usize);
+}

@@ -7,7 +7,9 @@
 
 use histmerge::obs::validate_json_line;
 use histmerge::replication::metrics::{Metrics, SyncRecord};
-use histmerge::replication::{CompactionStats, FaultStats, SchedStats, StormStats, WalStats};
+use histmerge::replication::{
+    CohortStats, CompactionStats, FaultStats, SchedStats, StormStats, WalStats,
+};
 use histmerge::workload::cost::CostReport;
 
 fn populated_metrics() -> Metrics {
@@ -47,6 +49,7 @@ fn populated_metrics() -> Metrics {
         },
         sched: SchedStats { fleet_scans: 800, events_pushed: 96, events_popped: 90 },
         compaction: CompactionStats { txns_in: 9, txns_out: 6, runs_squashed: 2 },
+        cohort: CohortStats { fastpath_merges: 5, wave_rounds: 1, edge_cache_appends: 33 },
         storm: StormStats {
             shed: 7,
             deferred_drained: 7,
@@ -113,6 +116,7 @@ fn metrics_json_shape_is_pinned() {
             "\"segments_retired\":2,\"pruned_records\":11,\"shadow_recoveries\":1},",
             "\"sched\":{\"fleet_scans\":800,\"events_pushed\":96,\"events_popped\":90},",
             "\"compaction\":{\"txns_in\":9,\"txns_out\":6,\"runs_squashed\":2},",
+            "\"cohort\":{\"fastpath_merges\":5,\"wave_rounds\":1,\"edge_cache_appends\":33},",
             "\"storm\":{\"shed\":7,\"deferred_drained\":7,\"deferred_peak\":4,",
             "\"defer_wait_ticks\":12,\"defer_wait_max\":3,",
             "\"backoff_reschedules\":2,\"backoff_delay_ticks\":10},",
@@ -132,6 +136,9 @@ fn default_metrics_json_is_all_zeroes_and_valid() {
     assert!(json.contains("\"wal\":{\"records\":0,"));
     assert!(json.contains("\"sched\":{\"fleet_scans\":0,"));
     assert!(json.contains("\"compaction\":{\"txns_in\":0,\"txns_out\":0,\"runs_squashed\":0}"));
+    assert!(json.contains(
+        "\"cohort\":{\"fastpath_merges\":0,\"wave_rounds\":0,\"edge_cache_appends\":0}"
+    ));
     assert!(json.ends_with(
         "\"storm\":{\"shed\":0,\"deferred_drained\":0,\"deferred_peak\":0,\
          \"defer_wait_ticks\":0,\"defer_wait_max\":0,\
@@ -149,4 +156,15 @@ fn normalized_is_unchanged_when_compaction_is_off() {
     m.compaction = CompactionStats::default();
     assert_eq!(m.normalized(), populated_metrics().normalized());
     assert_eq!(m.normalized().compaction, CompactionStats::default());
+}
+
+/// The cohort block is mechanism accounting (fast-path hits, wave
+/// rounds, cache appends): `normalized()` zeroes it, so wave-enabled
+/// runs stay comparable against legacy-pipeline baselines.
+#[test]
+fn normalized_strips_cohort_counters() {
+    let mut m = populated_metrics();
+    m.cohort = CohortStats::default();
+    assert_eq!(m.normalized(), populated_metrics().normalized());
+    assert_eq!(m.normalized().cohort, CohortStats::default());
 }

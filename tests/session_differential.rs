@@ -30,15 +30,22 @@
 //! collector plus merge autopsies, on top of the flight-recorder ring):
 //! telemetry reads simulation state after the fact, so the fully
 //! instrumented run must hold to the same byte-identity bar while the
-//! series fills and every sync closes an autopsy.
+//! series fills and every sync closes an autopsy. A tenth run turns on
+//! the PR-10 tuned cohort pipeline (bounded wave re-speculation plus the
+//! mask-disjoint merge fast path): both are pure mechanism — a conflict
+//! the fast path skips is a conflict that was never there, and a wave
+//! only precomputes exactly the merges the serial fallback would run —
+//! so the tuned run must be byte-identical on every scenario, including
+//! the speculative hit/retry counters.
 
 use std::sync::Arc;
 
 use histmerge::obs::{FlightRecorder, TimeSeries, TracerHandle};
 use histmerge::replication::metrics::Metrics;
 use histmerge::replication::{
-    AdmissionConfig, ConnectivityModel, DurabilityConfig, FaultPlan, FaultStats, Protocol,
-    SchedulerMode, SimConfig, SimReport, Simulation, SyncPath, SyncStrategy, TelemetryConfig,
+    AdmissionConfig, CohortConfig, ConnectivityModel, DurabilityConfig, FaultPlan, FaultStats,
+    Protocol, SchedulerMode, SimConfig, SimReport, Simulation, SyncPath, SyncStrategy,
+    TelemetryConfig,
 };
 use histmerge::semantics::CompactionConfig;
 use histmerge::workload::cost::CostReport;
@@ -132,6 +139,14 @@ fn assert_paths_agree(mut config: SimConfig, label: &str) -> SimReport {
     telemetry_config.telemetry = TelemetryConfig { series: Some(series.clone()), autopsy: true };
     let instrumented = Simulation::new(telemetry_config).expect("valid sim config").run();
     assert!(!series.is_empty(), "{label}: the telemetry run sampled nothing");
+    // Tenth run: the tuned cohort install pipeline — wave re-speculation
+    // for invalidated cohort remainders plus the mask-disjoint merge
+    // fast path. Pure mechanism, so `normalized()` (which zeroes the
+    // cohort counters) must stay byte-identical, hit/retry counters
+    // included.
+    let mut waves_config = config.clone();
+    waves_config.cohort = CohortConfig::tuned();
+    let waved = Simulation::new(waves_config).expect("valid sim config").run();
     let autopsies = recorder.autopsies();
     assert!(!autopsies.is_empty(), "{label}: the telemetry run produced no autopsies");
     // Back-outs always lose to a concrete conflict partner; partner-less
@@ -167,6 +182,7 @@ fn assert_paths_agree(mut config: SimConfig, label: &str) -> SimReport {
         (&explicit, "session+always-on"),
         (&saturated, "session+saturated-duty"),
         (&instrumented, "session+telemetry"),
+        (&waved, "session+waves"),
     ] {
         assert_eq!(
             legacy.final_master, candidate.final_master,
